@@ -1,0 +1,102 @@
+// Ablation A3: MPE_Log_sync_clocks quality under injected clock drift.
+// Every rank logs an event at the same true instant (right after a
+// barrier); the merged timestamps' spread measures residual clock error,
+// with and without sync, across drift magnitudes and sync-round counts.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "mpe/mpe.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+struct Sample {
+  double spread = 0.0;  // max - min corrected timestamp at one true instant
+};
+
+double measure_spread(double max_offset, double max_skew, bool sync, int rounds,
+                      std::uint64_t seed) {
+  mpisim::World::Config cfg;
+  cfg.nprocs = 6;
+  cfg.time_scale = 0.0;
+  cfg.clock_max_offset = max_offset;
+  cfg.clock_max_skew = max_skew;
+  cfg.seed = seed;
+  cfg.watchdog_seconds = 30.0;
+  mpisim::World world(cfg);
+
+  mpe::Logger::Options opts;
+  opts.sync_rounds = rounds;
+  opts.merge_base_cost = 0;
+  opts.merge_cost_per_record = 0;
+  mpe::Logger logger(world, opts);
+  const int mark = logger.get_event_number();
+  logger.define_event(mark, "mark", "yellow");
+
+  util::TempDir dir;
+  const auto path = dir.file("sync.clog2");
+  world.run([&](mpisim::Comm& c) {
+    if (sync) logger.log_sync_clocks(c);
+    c.barrier();
+    logger.log_event(c, mark);
+    c.barrier();
+    if (sync) logger.log_sync_clocks(c);
+    logger.finish_log(c, path);
+    return 0;
+  });
+
+  const auto file = clog2::read_file(path);
+  std::vector<double> stamps;
+  for (const auto& rec : file.records)
+    if (const auto* e = std::get_if<clog2::EventRec>(&rec))
+      stamps.push_back(e->timestamp);
+  return *std::max_element(stamps.begin(), stamps.end()) -
+         *std::min_element(stamps.begin(), stamps.end());
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::heading("Ablation: clock synchronization quality",
+                 "MPE_Log_sync_clocks (Section III): correcting per-rank "
+                 "clock offset/skew before the merge");
+
+  std::printf("%-16s %-12s %16s %16s %10s\n", "injected offset", "skew",
+              "no sync spread", "synced spread", "gain");
+  struct Case {
+    double offset, skew;
+  };
+  bool all_good = true;
+  for (const Case c : {Case{0.001, 0.0}, Case{0.01, 0.0}, Case{0.1, 0.0},
+                       Case{0.5, 0.0}, Case{0.05, 1e-3}}) {
+    std::vector<double> raw, synced;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      raw.push_back(measure_spread(c.offset, c.skew, false, 5, seed));
+      synced.push_back(measure_spread(c.offset, c.skew, true, 5, seed));
+    }
+    const double r = util::median(raw);
+    const double s = util::median(synced);
+    std::printf("%-16s %-12s %16s %16s %9.0fx\n",
+                util::strprintf("%.0f ms", c.offset * 1e3).c_str(),
+                util::strprintf("%g", c.skew).c_str(),
+                util::human_seconds(r).c_str(), util::human_seconds(s).c_str(),
+                s > 0 ? r / s : 0.0);
+    // Injected offsets must dominate the raw spread and be mostly removed.
+    if (c.offset >= 0.01 && !(s < r / 5)) all_good = false;
+  }
+
+  std::printf("\nSync-round sensitivity (offset 100 ms): min-RTT sampling\n");
+  std::printf("%-8s %16s\n", "rounds", "synced spread");
+  for (const int rounds : {1, 2, 5, 10}) {
+    std::vector<double> xs;
+    for (std::uint64_t seed = 10; seed < 13; ++seed)
+      xs.push_back(measure_spread(0.1, 0.0, true, rounds, seed));
+    std::printf("%-8d %16s\n", rounds, util::human_seconds(util::median(xs)).c_str());
+  }
+
+  std::printf("\nShape checks:\n");
+  std::printf("  [%s] sync reduces timestamp spread by >5x for offsets >= 10 ms\n",
+              all_good ? "ok" : "MISMATCH");
+  return all_good ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harness. Every bench regenerates one of
+// the paper's tables or figures (see DESIGN.md's per-experiment index) and
+// writes its artifacts (SVGs, traces) under ./bench_out/.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace bench {
+
+/// Output directory for rendered figures and traces.
+inline std::filesystem::path out_dir() {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// "median [variance]" in the paper's reporting style.
+inline std::string median_var(const std::vector<double>& xs) {
+  return util::strprintf("%7.2f s [%0.2f]", util::median(xs), util::variance(xs));
+}
+
+/// Simple argv scan for "--key=value" benches (reps overrides etc.).
+inline long long arg_int(int argc, char** argv, const std::string& key,
+                         long long fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::stoll(a.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+}  // namespace bench

@@ -1,0 +1,60 @@
+// Figure 1: the full-run Jumpshot view of the thumbnail application with
+// PI_MAIN + compressor + 9 decompressors (11 ranks), and the robustness
+// claim behind it: after thousands of Pilot calls the CLOG-2 trace converts
+// to SLOG-2 with zero errors.
+#include "bench_common.hpp"
+#include "jumpshot/render.hpp"
+#include "slog2/slog2.hpp"
+#include "workloads/thumbnail_app.hpp"
+
+int main(int argc, char** argv) {
+  const int files = static_cast<int>(bench::arg_int(argc, argv, "files", 1058));
+  bench::heading("Figure 1: thumbnail application, full timeline",
+                 "Fig. 1 (10 work processes + PI_MAIN, 1058 files, -pisvc=j)");
+
+  workloads::thumbnail::Config cfg;
+  cfg.files = files;
+  cfg.workers = 9;  // paper: compressor (rank 1) + 9 decompressors (2-10)
+  cfg.image_size = 16;
+  cfg.costs.decode_per_pixel = 0.1464 / 256.0;
+  cfg.costs.encode_per_pixel = 0.009 / 90.0;
+  cfg.pilot_args = {"-pisvc=j", "-pisim-scale=0.002", "-piname=fig1",
+                    "-piout=" + bench::out_dir().string(), "-piwatchdog=300"};
+
+  const auto stats = workloads::thumbnail::run_app(cfg);
+  std::printf("run: %zu files, wall %.2f s, aborted=%d\n", stats.files_out,
+              stats.wall_seconds, stats.run.aborted ? 1 : 0);
+
+  const auto clog = clog2::read_file(bench::out_dir() / "fig1.clog2");
+  std::printf("CLOG-2: %d ranks, %zu records\n", clog.nranks, clog.records.size());
+
+  std::vector<std::string> warnings;
+  const auto slog = slog2::convert(clog, {}, &warnings);
+  std::printf("conversion: states=%llu events=%llu arrows=%llu, warnings=%zu\n",
+              static_cast<unsigned long long>(slog.stats.total_states),
+              static_cast<unsigned long long>(slog.stats.total_events),
+              static_cast<unsigned long long>(slog.stats.total_arrows),
+              warnings.size());
+  slog2::write_file(bench::out_dir() / "fig1.slog2", slog);
+
+  jumpshot::RenderOptions opts;
+  opts.title = "Fig. 1 - thumbnail application (full run)";
+  opts.width = 1400;
+  opts.preview_threshold = 200;  // force Jumpshot's zoomed-out striping
+  jumpshot::render_to_file(bench::out_dir() / "fig1.svg", slog, opts);
+  std::printf("wrote %s\n", (bench::out_dir() / "fig1.svg").string().c_str());
+
+  std::printf("\nShape checks:\n");
+  auto check = [](bool ok, const std::string& text) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());
+  };
+  check(clog.nranks == 11, "11 ranks: PI_MAIN + C + 9 decompressors");
+  check(slog.stats.clean() && warnings.empty(),
+        "SLOG-2 loads with zero conversion errors (paper's robustness claim)");
+  check(slog.stats.total_arrows >= static_cast<std::uint64_t>(files) * 3,
+        util::strprintf("at least 3 message arrows per file (%llu total)",
+                        static_cast<unsigned long long>(slog.stats.total_arrows)));
+  check(slog.stats.total_states > static_cast<std::uint64_t>(files) * 6,
+        "thousands of state rectangles from thousands of Pilot calls");
+  return slog.stats.clean() ? 0 : 1;
+}

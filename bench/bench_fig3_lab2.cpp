@@ -1,0 +1,140 @@
+// Figure 3: the "lab 2" hands-on exercise and its visual log — 6 processes,
+// total execution under 3 ms, and per worker the signature pattern: two red
+// PI_Read bars (share size, then data), gray computing, one short green
+// PI_Write reporting the subtotal; white arrows between PI_MAIN and workers.
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "jumpshot/render.hpp"
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "slog2/slog2.hpp"
+#include "util/prng.hpp"
+
+#define W 5
+#define NUM 10000
+
+namespace {
+
+PI_PROCESS* Worker[W];
+PI_CHANNEL* toWorker[W];
+PI_CHANNEL* result[W];
+
+int workerFunc(int index, void*) {
+  int myshare, sum = 0, *buff;
+  PI_Read(toWorker[index], "%d", &myshare);
+  buff = static_cast<int*>(std::malloc(static_cast<std::size_t>(myshare) * sizeof(int)));
+  PI_Read(toWorker[index], "%*d", myshare, buff);
+  for (int i = 0; i < myshare; i++) sum += buff[i];
+  std::free(buff);
+  PI_Write(result[index], "%d", sum);
+  return 0;
+}
+
+int lab2_main(int argc, char** argv) {
+  PI_Configure(&argc, &argv);
+  for (int i = 0; i < W; i++) {
+    Worker[i] = PI_CreateProcess(workerFunc, i, nullptr);
+    toWorker[i] = PI_CreateChannel(PI_MAIN, Worker[i]);
+    result[i] = PI_CreateChannel(Worker[i], PI_MAIN);
+  }
+  PI_StartAll();
+
+  std::vector<int> numbers(NUM);
+  util::SplitMix64 rng(2016);
+  for (int i = 0; i < NUM; i++)
+    numbers[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(100));
+
+  for (int i = 0; i < W; i++) {
+    int portion = NUM / W;
+    if (i == W - 1) portion += NUM % W;
+    PI_Write(toWorker[i], "%d", portion);
+    PI_Write(toWorker[i], "%*d", portion,
+             &numbers[static_cast<std::size_t>(i) * (NUM / W)]);
+  }
+  int sum, total = 0;
+  for (int i = 0; i < W; i++) {
+    PI_Read(result[i], "%d", &sum);
+    total += sum;
+  }
+  std::printf("lab2 grand total = %d\n", total);
+  PI_StopMain(0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::heading("Figure 3: lab2 source + visual log",
+                 "Fig. 3 (6 processes, < 3 ms total, read-read-compute-write "
+                 "pattern per worker)");
+
+  const auto res = pilot::run(
+      {"lab2", "-pisvc=j", "-piname=fig3", "-piout=" + bench::out_dir().string(),
+       "-piwatchdog=60"},
+      lab2_main);
+  std::printf("aborted=%d, MPE wrap-up %.4f s\n", res.aborted ? 1 : 0,
+              res.mpe_wrapup_seconds);
+
+  const auto slog =
+      slog2::convert(clog2::read_file(bench::out_dir() / "fig3.clog2"));
+  slog2::write_file(bench::out_dir() / "fig3.slog2", slog);
+  jumpshot::RenderOptions opts;
+  opts.title = "Fig. 3 - lab2 visual log";
+  opts.rank_names = {"PI_MAIN", "P1", "P2", "P3", "P4", "P5"};
+  jumpshot::render_to_file(bench::out_dir() / "fig3.svg", slog, opts);
+  std::printf("wrote %s\n", (bench::out_dir() / "fig3.svg").string().c_str());
+
+  // Execution-phase duration: the span of the Compute states (excludes the
+  // configuration phase, as in the paper's screenshot).
+  double exec_begin = 1e300, exec_end = 0;
+  struct Call {
+    double t;
+    std::string name;
+  };
+  std::vector<std::vector<Call>> calls(7);
+  std::int32_t config_cat = -1;
+  for (const auto& c : slog.categories)
+    if (c.name == "PI_Configure") config_cat = c.id;
+  slog.visit_window(
+      slog.t_min, slog.t_max,
+      [&](const slog2::StateDrawable& s) {
+        const auto* cat = slog.category(s.category_id);
+        if (!cat) return;
+        if (cat->name == "Compute") {
+          exec_begin = std::min(exec_begin, s.start_time);
+          exec_end = std::max(exec_end, s.end_time);
+        }
+        if ((cat->name == "PI_Read" || cat->name == "PI_Write") && s.rank >= 1 &&
+            s.rank <= W)
+          calls[static_cast<std::size_t>(s.rank)].push_back({s.start_time, cat->name});
+        (void)config_cat;
+      },
+      nullptr, nullptr);
+  const double exec_ms = (exec_end - exec_begin) * 1e3;
+  std::printf("execution phase: %.3f ms (paper: under 3 ms)\n", exec_ms);
+  std::printf("arrows: %llu (expected %d: 3 messages per worker)\n",
+              static_cast<unsigned long long>(slog.stats.total_arrows), 3 * W);
+
+  std::printf("\nShape checks:\n");
+  auto check = [](bool ok, const std::string& text) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());
+  };
+  check(slog.nranks == 6, "6 processes on the timeline (PI_MAIN + 5 workers)");
+  check(slog.stats.clean(), "clean conversion");
+  check(slog.stats.total_arrows == 3 * W, "3 white arrows per worker");
+  check(exec_ms < 3.0, "total execution under 3 ms");
+  bool pattern_ok = true;
+  for (int wkr = 1; wkr <= W; ++wkr) {
+    auto& seq = calls[static_cast<std::size_t>(wkr)];
+    std::sort(seq.begin(), seq.end(),
+              [](const Call& a, const Call& b) { return a.t < b.t; });
+    if (seq.size() != 3 || seq[0].name != "PI_Read" || seq[1].name != "PI_Read" ||
+        seq[2].name != "PI_Write")
+      pattern_ok = false;
+  }
+  check(pattern_ok, "every worker shows read, read, (compute), write");
+  return slog.stats.clean() && pattern_ok ? 0 : 1;
+}

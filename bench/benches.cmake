@@ -1,0 +1,34 @@
+# One binary per paper table/figure plus ablations; see DESIGN.md's
+# per-experiment index. All are runnable with no arguments.
+#
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# ${CMAKE_BINARY_DIR}/bench holds ONLY the bench executables — the canonical
+# harness loop is `for b in build/bench/*; do $b; done`.
+function(pilot_add_bench name src)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${src})
+  target_link_libraries(${name} PRIVATE ${ARGN} pilot_warnings)
+  target_include_directories(${name} PRIVATE
+    ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pilot_add_bench(bench_table_overhead bench_table_overhead.cpp pilot_workloads)
+pilot_add_bench(bench_fig1_thumbnail_full bench_fig1_thumbnail_full.cpp
+  pilot_workloads pilot_slog2 pilot_jumpshot)
+pilot_add_bench(bench_fig2_thumbnail_zoom bench_fig2_thumbnail_zoom.cpp
+  pilot_workloads pilot_slog2 pilot_jumpshot)
+pilot_add_bench(bench_fig3_lab2 bench_fig3_lab2.cpp
+  pilot_core pilot_slog2 pilot_jumpshot)
+pilot_add_bench(bench_fig4_instance_a bench_fig4_instance_a.cpp
+  pilot_workloads pilot_slog2 pilot_jumpshot)
+pilot_add_bench(bench_fig5_instance_b bench_fig5_instance_b.cpp
+  pilot_workloads pilot_slog2 pilot_jumpshot)
+pilot_add_bench(bench_ablation_arrow_spread bench_ablation_arrow_spread.cpp
+  pilot_core pilot_slog2)
+pilot_add_bench(bench_ablation_frame_size bench_ablation_frame_size.cpp
+  pilot_slog2)
+pilot_add_bench(bench_ablation_clock_sync bench_ablation_clock_sync.cpp
+  pilot_mpe)
+pilot_add_bench(bench_micro_logging bench_micro_logging.cpp
+  pilot_mpe pilot_slog2 pilot_jumpshot pilot_core benchmark::benchmark)

@@ -1,0 +1,67 @@
+// The paper's Section IV-B debugging assignment: parallel queries over a
+// large collision CSV. --variant selects the intended program ("fixed") or
+// one of the two student submissions whose logs are shown in Fig. 4
+// (instance A: serialized query loop) and Fig. 5 (instance B: single-
+// threaded file read).
+//
+// Reproduce Fig. 4 / Fig. 5:
+//
+//   ./collision_query --variant=a -pisvc=j -pisim-scale=0.01 -piname=figA
+//   ./pilot-clog2toslog2 figA.clog2 && ./pilot-jumpshot figA.slog2 --out=fig4.svg
+#include <cstdio>
+#include <exception>
+
+#include "util/cli.hpp"
+#include "workloads/collision_app.hpp"
+
+int main(int argc, char* argv[]) {
+  try {
+    std::vector<std::string> pilot_args;
+    std::vector<std::string> own = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      (a.rfind("-pi", 0) == 0 ? pilot_args : own).push_back(a);
+    }
+    std::vector<char*> own_ptrs;
+    for (auto& s : own) own_ptrs.push_back(s.data());
+    util::ArgParser args(static_cast<int>(own_ptrs.size()), own_ptrs.data());
+
+    namespace wc = workloads::collisions;
+    wc::AppConfig cfg;
+    const std::string variant = args.get_or("variant", "fixed");
+    if (variant == "fixed") {
+      cfg.variant = wc::Variant::kFixed;
+    } else if (variant == "a") {
+      cfg.variant = wc::Variant::kInstanceA;
+    } else if (variant == "b") {
+      cfg.variant = wc::Variant::kInstanceB;
+    } else {
+      std::fprintf(stderr, "--variant must be fixed, a, or b\n");
+      return 2;
+    }
+    cfg.workers = static_cast<int>(args.get_int_or("workers", 4));
+    cfg.records = static_cast<std::size_t>(args.get_int_or("records", 100000));
+    cfg.query_rounds = static_cast<int>(args.get_int_or("rounds", 4));
+    cfg.pilot_args = pilot_args;
+
+    const auto stats = wc::run_app(cfg);
+    std::printf("collision query (%s, %d workers, %zu records)\n",
+                wc::variant_name(cfg.variant).c_str(), cfg.workers, cfg.records);
+    std::printf("  read phase : %.3f s (virtual clock)\n", stats.read_phase_seconds);
+    std::printf("  query phase: %.3f s (virtual clock)\n", stats.query_phase_seconds);
+    std::printf("  wall time  : %.3f s\n", stats.wall_seconds);
+    std::printf("  results %s the sequential oracle\n",
+                stats.correct() ? "MATCH" : "DO NOT MATCH");
+    std::printf("  total records: %llu, fatal: %llu, max vehicles: %d\n",
+                static_cast<unsigned long long>(stats.totals.total),
+                static_cast<unsigned long long>(
+                    stats.totals.by_severity.count(1)
+                        ? stats.totals.by_severity.at(1)
+                        : 0),
+                stats.totals.max_vehicles);
+    return stats.correct() && !stats.run.aborted ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

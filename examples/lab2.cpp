@@ -1,0 +1,74 @@
+// "lab2" — the hands-on exercise of the paper's Fig. 3, reproduced
+// line-for-line in structure: PI_MAIN splits an array of random numbers
+// across W workers; each worker reads its share size, then its data, sums
+// it, and reports the subtotal back.
+//
+// Regenerate the Fig. 3 visual log with:
+//
+//   ./lab2 -pisvc=j -piname=lab2
+//   ./pilot-clog2toslog2 lab2.clog2
+//   ./pilot-jumpshot lab2.slog2 --out=lab2.svg --title="lab2 (Fig. 3)"
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "pilot/pi.hpp"
+#include "util/prng.hpp"
+
+#define W 5        // fixed no. of workers
+#define NUM 10000  // size of data array
+
+namespace {
+
+PI_PROCESS* Worker[W];
+PI_CHANNEL* toWorker[W];
+PI_CHANNEL* result[W];
+
+int workerFunc(int index, void*) {
+  int myshare, sum = 0, *buff;
+  PI_Read(toWorker[index], "%d", &myshare);
+  buff = static_cast<int*>(std::malloc(static_cast<std::size_t>(myshare) * sizeof(int)));
+  PI_Read(toWorker[index], "%*d", myshare, buff);
+  for (int i = 0; i < myshare; i++) sum += buff[i];
+  std::free(buff);
+  PI_Write(result[index], "%d", sum);
+  return 0;  // exit process function
+}
+
+}  // namespace
+
+int main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+
+  for (int i = 0; i < W; i++) {
+    Worker[i] = PI_CreateProcess(workerFunc, i, nullptr);
+    toWorker[i] = PI_CreateChannel(PI_MAIN, Worker[i]);
+    result[i] = PI_CreateChannel(Worker[i], PI_MAIN);
+  }
+
+  PI_StartAll();  // workers launch, PI_MAIN continues
+
+  // Fill numbers array with random nos.
+  std::vector<int> numbers(NUM);
+  util::SplitMix64 rng(2016);
+  for (int i = 0; i < NUM; i++)
+    numbers[static_cast<std::size_t>(i)] = static_cast<int>(rng.below(100));
+
+  for (int i = 0; i < W; i++) {
+    int portion = NUM / W;
+    if (i == W - 1) portion += NUM % W;
+    PI_Write(toWorker[i], "%d", portion);
+    PI_Write(toWorker[i], "%*d", portion, &numbers[static_cast<std::size_t>(i) * (NUM / W)]);
+  }
+
+  int sum, total = 0;
+  for (int i = 0; i < W; i++) {
+    PI_Read(result[i], "%d", &sum);
+    std::printf("Worker #%d reports sum = %d\n", i, sum);
+    total += sum;
+  }
+  std::printf("Grand total = %d\n", total);
+
+  PI_StopMain(0);  // workers also cease
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: the smallest useful Pilot program — one worker, two channels,
+// a message each way. Run it, then look at the visual log:
+//
+//   ./quickstart -pisvc=j
+//   ./pilot-clog2toslog2 pilot.clog2
+//   ./pilot-jumpshot pilot.slog2 --out=quickstart.svg
+//
+// Try -picheck=3 for maximum error checking, or -pisvc=cdj for everything.
+#include <cstdio>
+
+#include "pilot/pi.hpp"
+
+namespace {
+
+PI_CHANNEL* to_worker;
+PI_CHANNEL* from_worker;
+
+int greeter(int index, void*) {
+  int year = 0;
+  PI_Read(to_worker, "%d", &year);
+  std::printf("[worker %d] got year %d, replying\n", index, year);
+  PI_Write(from_worker, "%d", year - 1978);  // Pilot's CSP roots: CSP is 1978
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+
+  PI_PROCESS* worker = PI_CreateProcess(greeter, 0, nullptr);
+  PI_SetName(worker, "Greeter");
+  to_worker = PI_CreateChannel(PI_MAIN, worker);
+  from_worker = PI_CreateChannel(worker, PI_MAIN);
+
+  PI_StartAll();  // worker launches; we continue as PI_MAIN
+
+  PI_Write(to_worker, "%d", 2017);
+  int age = 0;
+  PI_Read(from_worker, "%d", &age);
+  std::printf("[main] CSP was %d years old when this paper appeared\n", age);
+
+  PI_StopMain(0);
+  return 0;
+}

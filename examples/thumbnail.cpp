@@ -1,0 +1,55 @@
+// The paper's Section III-D demonstration application: a JPEG thumbnail
+// pipeline with PI_MAIN + one compressor C + N decompressors D_i. Inputs
+// are synthetic tinyjpeg files (see DESIGN.md's substitution table).
+//
+// Reproduce Fig. 1 / Fig. 2:
+//
+//   ./thumbnail --files=1058 --workers=10 -pisvc=j -pisim-scale=0.01
+//   ./pilot-clog2toslog2 pilot.clog2
+//   ./pilot-jumpshot pilot.slog2 --out=fig1.svg
+//   ./pilot-jumpshot pilot.slog2 --out=fig2.svg --t0=... --t1=...   (zoom)
+#include <cstdio>
+#include <exception>
+
+#include "util/cli.hpp"
+#include "workloads/thumbnail_app.hpp"
+
+int main(int argc, char* argv[]) {
+  try {
+    // Split the command line: Pilot options (-pi...) pass through to the
+    // app's embedded PI_Configure; --key=value options configure the run.
+    std::vector<std::string> pilot_args;
+    std::vector<std::string> own = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      (a.rfind("-pi", 0) == 0 ? pilot_args : own).push_back(a);
+    }
+    std::vector<char*> own_ptrs;
+    for (auto& s : own) own_ptrs.push_back(s.data());
+    util::ArgParser args(static_cast<int>(own_ptrs.size()), own_ptrs.data());
+
+    workloads::thumbnail::Config cfg;
+    cfg.files = static_cast<int>(args.get_int_or("files", 100));
+    cfg.workers = static_cast<int>(args.get_int_or("workers", 5));
+    cfg.image_size = static_cast<int>(args.get_int_or("size", 64));
+    cfg.quality = static_cast<int>(args.get_int_or("quality", 75));
+    cfg.pilot_args = pilot_args;
+
+    const auto stats = workloads::thumbnail::run_app(cfg);
+    std::printf("thumbnail: %zu files in -> %zu thumbnails out\n",
+                static_cast<std::size_t>(cfg.files), stats.files_out);
+    std::printf("  bytes in  : %zu\n", stats.bytes_in);
+    std::printf("  bytes out : %zu (%.1f%%)\n", stats.bytes_out,
+                100.0 * static_cast<double>(stats.bytes_out) /
+                    static_cast<double>(stats.bytes_in));
+    std::printf("  wall time : %.3f s\n", stats.wall_seconds);
+    std::printf("  mean thumbnail codec error: %.2f grey levels\n",
+                stats.thumb_mean_error);
+    if (stats.run.mpe_wrapup_seconds > 0)
+      std::printf("  MPE log wrap-up: %.3f s\n", stats.run.mpe_wrapup_seconds);
+    return stats.run.aborted ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,215 @@
+#include "clog2/clog2.hpp"
+
+#include <array>
+
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace clog2 {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', 'C', 'L', 'O', 'G', '2', '\0', '\0'};
+
+enum class RecordKind : std::uint8_t {
+  kEventDef = 1,
+  kStateDef = 2,
+  kConstDef = 3,
+  kEvent = 4,
+  kMsg = 5,
+  kSync = 6,
+  kEndLog = 255,
+};
+
+}  // namespace
+
+void append_record(util::ByteWriter& w, const Record& rec) {
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, EventDef>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kEventDef));
+          w.i32(r.event_id);
+          w.str(r.name);
+          w.str(r.color);
+          w.str(r.format);
+        } else if constexpr (std::is_same_v<T, StateDef>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kStateDef));
+          w.i32(r.state_id);
+          w.i32(r.start_event_id);
+          w.i32(r.end_event_id);
+          w.str(r.name);
+          w.str(r.color);
+          w.str(r.format);
+        } else if constexpr (std::is_same_v<T, ConstDef>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kConstDef));
+          w.str(r.name);
+          w.i64(r.value);
+        } else if constexpr (std::is_same_v<T, EventRec>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kEvent));
+          w.f64(r.timestamp);
+          w.i32(r.rank);
+          w.i32(r.event_id);
+          w.str(r.text);
+        } else if constexpr (std::is_same_v<T, MsgRec>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kMsg));
+          w.f64(r.timestamp);
+          w.i32(r.rank);
+          w.u8(static_cast<std::uint8_t>(r.kind));
+          w.i32(r.partner);
+          w.i32(r.tag);
+          w.u32(r.size);
+        } else if constexpr (std::is_same_v<T, SyncRec>) {
+          w.u8(static_cast<std::uint8_t>(RecordKind::kSync));
+          w.i32(r.rank);
+          w.f64(r.local_time);
+          w.f64(r.ref_time);
+        }
+      },
+      rec);
+}
+
+Record read_record(util::ByteReader& r) {
+  const auto kind = static_cast<RecordKind>(r.u8());
+  switch (kind) {
+    case RecordKind::kEventDef: {
+      EventDef d;
+      d.event_id = r.i32();
+      d.name = r.str();
+      d.color = r.str();
+      d.format = r.str();
+      return d;
+    }
+    case RecordKind::kStateDef: {
+      StateDef d;
+      d.state_id = r.i32();
+      d.start_event_id = r.i32();
+      d.end_event_id = r.i32();
+      d.name = r.str();
+      d.color = r.str();
+      d.format = r.str();
+      return d;
+    }
+    case RecordKind::kConstDef: {
+      ConstDef d;
+      d.name = r.str();
+      d.value = r.i64();
+      return d;
+    }
+    case RecordKind::kEvent: {
+      EventRec e;
+      e.timestamp = r.f64();
+      e.rank = r.i32();
+      e.event_id = r.i32();
+      e.text = r.str();
+      return e;
+    }
+    case RecordKind::kMsg: {
+      MsgRec m;
+      m.timestamp = r.f64();
+      m.rank = r.i32();
+      m.kind = static_cast<MsgRec::Kind>(r.u8());
+      if (m.kind != MsgRec::Kind::kSend && m.kind != MsgRec::Kind::kRecv)
+        throw util::IoError("clog2: bad msg record kind");
+      m.partner = r.i32();
+      m.tag = r.i32();
+      m.size = r.u32();
+      return m;
+    }
+    case RecordKind::kSync: {
+      SyncRec s;
+      s.rank = r.i32();
+      s.local_time = r.f64();
+      s.ref_time = r.f64();
+      return s;
+    }
+    default:
+      throw util::IoError(util::strprintf("clog2: unknown record kind %u at offset %zu",
+                                          static_cast<unsigned>(kind), r.pos() - 1));
+  }
+}
+
+std::vector<std::uint8_t> serialize(const File& file) {
+  util::ByteWriter w;
+  w.raw(kMagic.data(), kMagic.size());
+  w.u32(file.version);
+  w.i32(file.nranks);
+  w.str(file.comment);
+  w.u64(file.records.size());
+  for (const auto& rec : file.records) append_record(w, rec);
+  w.u8(static_cast<std::uint8_t>(RecordKind::kEndLog));
+  return w.take();
+}
+
+File parse(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  const std::uint8_t* magic = r.take(kMagic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw util::IoError("clog2: bad magic (not a CLOG-2 file)");
+
+  File file;
+  file.version = r.u32();
+  if (file.version != kFormatVersion)
+    throw util::IoError(util::strprintf("clog2: unsupported version %u (expected %u)",
+                                        file.version, kFormatVersion));
+  file.nranks = r.i32();
+  if (file.nranks < 0) throw util::IoError("clog2: negative rank count");
+  file.comment = r.str();
+  const std::uint64_t nrecords = r.u64();
+  file.records.reserve(nrecords);
+  for (std::uint64_t i = 0; i < nrecords; ++i)
+    file.records.push_back(read_record(r));
+  if (r.u8() != static_cast<std::uint8_t>(RecordKind::kEndLog))
+    throw util::IoError("clog2: missing end-of-log marker");
+  return file;
+}
+
+void write_file(const std::filesystem::path& path, const File& file) {
+  util::write_file(path, serialize(file));
+}
+
+File read_file(const std::filesystem::path& path) {
+  return parse(util::read_file(path));
+}
+
+std::string to_text(const File& file) {
+  std::string out;
+  out += util::strprintf("CLOG-2 v%u  ranks=%d  records=%zu  comment=\"%s\"\n",
+                         file.version, file.nranks, file.records.size(),
+                         file.comment.c_str());
+  for (const auto& rec : file.records) {
+    std::visit(
+        [&](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, EventDef>) {
+            out += util::strprintf("  eventdef id=%d name=\"%s\" color=%s fmt=\"%s\"\n",
+                                   r.event_id, r.name.c_str(), r.color.c_str(),
+                                   r.format.c_str());
+          } else if constexpr (std::is_same_v<T, StateDef>) {
+            out += util::strprintf(
+                "  statedef id=%d start=%d end=%d name=\"%s\" color=%s fmt=\"%s\"\n",
+                r.state_id, r.start_event_id, r.end_event_id, r.name.c_str(),
+                r.color.c_str(), r.format.c_str());
+          } else if constexpr (std::is_same_v<T, ConstDef>) {
+            out += util::strprintf("  constdef %s=%lld\n", r.name.c_str(),
+                                   static_cast<long long>(r.value));
+          } else if constexpr (std::is_same_v<T, EventRec>) {
+            out += util::strprintf("  event t=%.9f rank=%d id=%d text=\"%s\"\n",
+                                   r.timestamp, r.rank, r.event_id, r.text.c_str());
+          } else if constexpr (std::is_same_v<T, MsgRec>) {
+            out += util::strprintf("  msg t=%.9f rank=%d %s partner=%d tag=%d size=%u\n",
+                                   r.timestamp, r.rank,
+                                   r.kind == MsgRec::Kind::kSend ? "send" : "recv",
+                                   r.partner, r.tag, r.size);
+          } else if constexpr (std::is_same_v<T, SyncRec>) {
+            out += util::strprintf("  sync rank=%d local=%.9f ref=%.9f\n", r.rank,
+                                   r.local_time, r.ref_time);
+          }
+        },
+        rec);
+  }
+  return out;
+}
+
+}  // namespace clog2

@@ -1,0 +1,120 @@
+// CLOG-2: the "raw" trace format produced by the MPE layer at Finish_log.
+//
+// Clean-room format with the same architecture as Argonne's CLOG-2: a flat,
+// time-merged stream of fixed-vocabulary records —
+//   * definition records (solo events, states, integer constants),
+//   * timestamped event instances (with optional popup text),
+//   * message events (send/recv halves matched later by the converter),
+//   * clock-sync sample points.
+// CLOG-2 deliberately knows nothing about pairing or nesting; that analysis
+// happens in the CLOG-2 → SLOG-2 converter, which is exactly why the paper
+// calls the two-step pipeline "preferred": a defective program still yields
+// a parseable CLOG-2 file that can be inspected with clog2print.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytebuf.hpp"
+
+namespace clog2 {
+
+/// Current on-disk format version.
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+/// Definition of a solo event kind (one timestamp, drawn as a bubble).
+struct EventDef {
+  std::int32_t event_id = 0;
+  std::string name;
+  std::string color;   ///< X11-style colour name (validated at MPE layer)
+  std::string format;  ///< popup text template, e.g. "Line: %d"
+};
+
+/// Definition of a state kind (start/end event pair, drawn as a rectangle).
+struct StateDef {
+  std::int32_t state_id = 0;
+  std::int32_t start_event_id = 0;
+  std::int32_t end_event_id = 0;
+  std::string name;
+  std::string color;
+  std::string format;
+};
+
+/// Miscellaneous named integer constant (world size, options in force, ...).
+struct ConstDef {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// One timestamped event instance. Instances of a StateDef's start/end
+/// events delimit a state; instances of an EventDef are solo bubbles.
+struct EventRec {
+  double timestamp = 0.0;  ///< seconds, already clock-sync corrected
+  std::int32_t rank = 0;
+  std::int32_t event_id = 0;
+  std::string text;  ///< popup payload (MPE caps it at 40 bytes)
+};
+
+/// One half of a message (the converter pairs sends with receives).
+struct MsgRec {
+  enum class Kind : std::uint8_t { kSend = 0, kRecv = 1 };
+  double timestamp = 0.0;
+  std::int32_t rank = 0;  ///< the rank that logged this half
+  Kind kind = Kind::kSend;
+  std::int32_t partner = 0;  ///< peer rank
+  std::int32_t tag = 0;
+  std::uint32_t size = 0;  ///< payload bytes
+};
+
+/// Clock-sync sample: rank-local clock vs the rank-0 reference clock at the
+/// same instant. Used by tools to judge sync quality after the fact.
+struct SyncRec {
+  std::int32_t rank = 0;
+  double local_time = 0.0;
+  double ref_time = 0.0;
+};
+
+using Record = std::variant<EventDef, StateDef, ConstDef, EventRec, MsgRec, SyncRec>;
+
+/// A parsed / to-be-written CLOG-2 file.
+struct File {
+  std::uint32_t version = kFormatVersion;
+  std::int32_t nranks = 0;
+  std::string comment;
+  std::vector<Record> records;
+
+  /// Number of records of type T.
+  template <typename T>
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& r : records)
+      if (std::holds_alternative<T>(r)) ++n;
+    return n;
+  }
+};
+
+/// Append one record in the on-disk layout (used by the robust-log spill
+/// files, which are bare record streams without the file header).
+void append_record(util::ByteWriter& w, const Record& rec);
+
+/// Read one record; throws util::IoError on a malformed or truncated
+/// record. Callers streaming a possibly-truncated spill catch the error at
+/// the tail and keep what parsed.
+Record read_record(util::ByteReader& r);
+
+/// Serialize to the on-disk byte layout.
+std::vector<std::uint8_t> serialize(const File& file);
+
+/// Parse; throws util::IoError on malformed/truncated input.
+File parse(const std::vector<std::uint8_t>& bytes);
+
+void write_file(const std::filesystem::path& path, const File& file);
+File read_file(const std::filesystem::path& path);
+
+/// Human-readable dump (the clog2print tool).
+std::string to_text(const File& file);
+
+}  // namespace clog2

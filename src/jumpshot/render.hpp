@@ -1,0 +1,63 @@
+// Headless timeline renderer: draws an SLOG-2 window as SVG with Jumpshot's
+// visual vocabulary — timelines per rank on a dark canvas, state rectangles
+// (nested states inset), solo-event bubbles, white message arrows, a time
+// axis in seconds, and the legend table. Popup contents become SVG <title>
+// tooltips, so every figure in the paper can be regenerated and inspected.
+//
+// When a rank has more states in the window than `preview_threshold`, its
+// row is drawn in Jumpshot's zoomed-out "outline form": per time bucket,
+// stripes whose sizes give the relative proportion of each colour (how
+// Fig. 1 renders the full thumbnail run).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "slog2/slog2.hpp"
+
+namespace jumpshot {
+
+struct RenderOptions {
+  /// Window; NaN means "whole file".
+  double t0 = std::numeric_limits<double>::quiet_NaN();
+  double t1 = std::numeric_limits<double>::quiet_NaN();
+  int width = 1200;        ///< total image width in px
+  int row_height = 26;     ///< timeline row height
+  int row_gap = 8;
+  bool draw_arrows = true;
+  bool draw_events = true;
+  bool draw_legend = true;
+  /// States per rank in the window beyond which the row switches to
+  /// zoomed-out preview striping.
+  std::size_t preview_threshold = 400;
+  std::string title;
+  /// Y-axis labels; defaults to "0".."N-1" (PI_SetName feeds real names).
+  std::vector<std::string> rank_names;
+};
+
+/// Render to an SVG document string.
+std::string render_svg(const slog2::File& file, const RenderOptions& opts = {});
+
+/// Render and write to `path`.
+void render_to_file(const std::filesystem::path& path, const slog2::File& file,
+                    const RenderOptions& opts = {});
+
+/// Jumpshot's "statistics picture" for a user-selected duration (the paper
+/// highlights it for spotting load imbalance): one horizontal bar per rank,
+/// stacked by state category and scaled by busy time within [t0, t1], with
+/// the imbalance factor in the header. NaN bounds mean the whole file.
+struct StatsRenderOptions {
+  double t0 = std::numeric_limits<double>::quiet_NaN();
+  double t1 = std::numeric_limits<double>::quiet_NaN();
+  int width = 900;
+  std::string title;
+  std::vector<std::string> rank_names;
+};
+
+std::string render_stats_svg(const slog2::File& file,
+                             const StatsRenderOptions& opts = {});
+void render_stats_to_file(const std::filesystem::path& path, const slog2::File& file,
+                          const StatsRenderOptions& opts = {});
+
+}  // namespace jumpshot

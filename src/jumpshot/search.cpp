@@ -1,0 +1,73 @@
+#include "jumpshot/search.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace jumpshot {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool contains_ci(std::string_view haystack, const std::string& lowered_needle) {
+  if (lowered_needle.empty()) return true;
+  return lower(haystack).find(lowered_needle) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<SearchHit> search(const slog2::File& file, const SearchQuery& query) {
+  const double a = query.t0.value_or(file.t_min);
+  const double b = query.t1.value_or(file.t_max);
+  const std::string needle = lower(query.needle);
+
+  std::vector<SearchHit> hits;
+  auto name_of = [&](std::int32_t cat) -> std::string {
+    const auto* c = file.category(cat);
+    return c ? c->name : "?";
+  };
+
+  file.visit_window(
+      a, b,
+      [&](const slog2::StateDrawable& s) {
+        if (query.rank && *query.rank != s.rank) return;
+        const std::string cat = name_of(s.category_id);
+        if (!contains_ci(cat, needle) && !contains_ci(s.start_text, needle) &&
+            !contains_ci(s.end_text, needle))
+          return;
+        hits.push_back(SearchHit{SearchHit::Kind::kState, cat, s.rank, s.start_time,
+                                 s.end_time,
+                                 s.start_text.empty() ? s.end_text : s.start_text});
+      },
+      [&](const slog2::EventDrawable& e) {
+        if (query.rank && *query.rank != e.rank) return;
+        const std::string cat = name_of(e.category_id);
+        if (!contains_ci(cat, needle) && !contains_ci(e.text, needle)) return;
+        hits.push_back(
+            SearchHit{SearchHit::Kind::kEvent, cat, e.rank, e.time, e.time, e.text});
+      },
+      [&](const slog2::ArrowDrawable& ar) {
+        if (query.rank && *query.rank != ar.src_rank && *query.rank != ar.dst_rank)
+          return;
+        const std::string desc = util::strprintf(
+            "message %d->%d tag=%d size=%u", ar.src_rank, ar.dst_rank, ar.tag, ar.size);
+        if (!contains_ci("message", needle) && !contains_ci(desc, needle)) return;
+        hits.push_back(SearchHit{SearchHit::Kind::kArrow, "message", ar.src_rank,
+                                 ar.start_time, ar.end_time, desc});
+      });
+
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& x, const SearchHit& y) {
+    return x.start_time < y.start_time;
+  });
+  if (hits.size() > query.max_results) hits.resize(query.max_results);
+  return hits;
+}
+
+}  // namespace jumpshot

@@ -1,0 +1,37 @@
+// Jumpshot's search-and-scan facility: locate drawables that are hard to
+// find visually, by category name or popup text, optionally narrowed to a
+// time window and rank.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "slog2/slog2.hpp"
+
+namespace jumpshot {
+
+struct SearchHit {
+  enum class Kind { kState, kEvent, kArrow } kind = Kind::kState;
+  std::string category_name;
+  std::int32_t rank = 0;  ///< src rank for arrows
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::string text;  ///< popup text that matched (or arrow description)
+};
+
+struct SearchQuery {
+  /// Case-insensitive substring matched against category names and popup
+  /// texts; empty matches everything.
+  std::string needle;
+  std::optional<double> t0;
+  std::optional<double> t1;
+  std::optional<std::int32_t> rank;
+  std::size_t max_results = 100;
+};
+
+/// Hits are returned in increasing start-time order ("scan to the next
+/// match" behaviour).
+std::vector<SearchHit> search(const slog2::File& file, const SearchQuery& query);
+
+}  // namespace jumpshot

@@ -1,0 +1,171 @@
+#include "jumpshot/stats.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace jumpshot {
+
+namespace {
+
+/// Exclusive-time computation: per rank, sweep states in start order with a
+/// stack; a state's duration is subtracted from its innermost enclosing
+/// state. The converter guarantees LIFO nesting within a rank, so "top of
+/// stack still covers me" identifies the parent.
+struct OpenInterval {
+  double end;
+  std::int32_t category_id;
+};
+
+}  // namespace
+
+std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort) {
+  std::map<std::int32_t, LegendEntry> by_id;
+  for (const auto& c : file.categories) {
+    LegendEntry e;
+    e.category = c;
+    by_id[c.id] = e;
+  }
+
+  // Group states per rank for the nesting sweep.
+  std::map<std::int32_t, std::vector<slog2::StateDrawable>> per_rank;
+  file.visit_window(
+      file.t_min, file.t_max,
+      [&](const slog2::StateDrawable& s) { per_rank[s.rank].push_back(s); },
+      [&](const slog2::EventDrawable& e) {
+        auto it = by_id.find(e.category_id);
+        if (it != by_id.end()) ++it->second.count;
+      },
+      [&](const slog2::ArrowDrawable&) { ++by_id[slog2::kArrowCategoryId].count; });
+
+  std::map<std::int32_t, double> exclusive;  // category -> seconds
+  for (auto& [rank, states] : per_rank) {
+    std::sort(states.begin(), states.end(),
+              [](const slog2::StateDrawable& a, const slog2::StateDrawable& b) {
+                if (a.start_time != b.start_time) return a.start_time < b.start_time;
+                return a.end_time > b.end_time;  // outer first on ties
+              });
+    std::vector<OpenInterval> stack;
+    for (const auto& s : states) {
+      auto it = by_id.find(s.category_id);
+      if (it != by_id.end()) {
+        ++it->second.count;
+        it->second.inclusive += s.end_time - s.start_time;
+      }
+      while (!stack.empty() && stack.back().end <= s.start_time) stack.pop_back();
+      const double dur = s.end_time - s.start_time;
+      exclusive[s.category_id] += dur;
+      if (!stack.empty() && stack.back().end >= s.end_time) {
+        // Nested: parent loses this much exclusive time.
+        exclusive[stack.back().category_id] -= dur;
+      }
+      stack.push_back(OpenInterval{s.end_time, s.category_id});
+    }
+  }
+  for (auto& [id, entry] : by_id) {
+    auto it = exclusive.find(id);
+    entry.exclusive = it != exclusive.end() ? it->second : 0.0;
+  }
+
+  std::vector<LegendEntry> out;
+  out.reserve(by_id.size());
+  for (auto& [id, entry] : by_id) out.push_back(std::move(entry));
+
+  switch (sort) {
+    case LegendSort::kByName:
+      std::sort(out.begin(), out.end(), [](const LegendEntry& a, const LegendEntry& b) {
+        return a.category.name < b.category.name;
+      });
+      break;
+    case LegendSort::kByCount:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const LegendEntry& a, const LegendEntry& b) {
+                         return a.count > b.count;
+                       });
+      break;
+    case LegendSort::kByInclusive:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const LegendEntry& a, const LegendEntry& b) {
+                         return a.inclusive > b.inclusive;
+                       });
+      break;
+    case LegendSort::kByExclusive:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const LegendEntry& a, const LegendEntry& b) {
+                         return a.exclusive > b.exclusive;
+                       });
+      break;
+  }
+  return out;
+}
+
+double RankWindowStats::total_state_time() const {
+  double t = 0.0;
+  for (const auto& [cat, secs] : state_time) t += secs;
+  return t;
+}
+
+double WindowStats::imbalance() const {
+  double max_busy = 0.0, sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : ranks) {
+    const double busy = r.total_state_time();
+    max_busy = std::max(max_busy, busy);
+    sum += busy;
+    ++n;
+  }
+  if (n == 0 || sum == 0.0) return 1.0;
+  return max_busy / (sum / static_cast<double>(n));
+}
+
+WindowStats window_stats(const slog2::File& file, double a, double b) {
+  if (b < a) std::swap(a, b);
+  WindowStats out;
+  out.t0 = a;
+  out.t1 = b;
+  out.ranks.resize(static_cast<std::size_t>(std::max(file.nranks, 0)));
+  for (std::int32_t r = 0; r < file.nranks; ++r)
+    out.ranks[static_cast<std::size_t>(r)].rank = r;
+
+  auto rank_slot = [&](std::int32_t r) -> RankWindowStats* {
+    if (r < 0 || r >= file.nranks) return nullptr;
+    return &out.ranks[static_cast<std::size_t>(r)];
+  };
+
+  file.visit_window(
+      a, b,
+      [&](const slog2::StateDrawable& s) {
+        if (auto* slot = rank_slot(s.rank)) {
+          const double lo = std::max(s.start_time, a);
+          const double hi = std::min(s.end_time, b);
+          if (hi > lo) slot->state_time[s.category_id] += hi - lo;
+          ++slot->state_count[s.category_id];
+        }
+      },
+      [&](const slog2::EventDrawable& e) {
+        if (auto* slot = rank_slot(e.rank)) ++slot->event_count[e.category_id];
+      },
+      [&](const slog2::ArrowDrawable& ar) {
+        if (auto* src = rank_slot(ar.src_rank)) ++src->arrows_out;
+        if (auto* dst = rank_slot(ar.dst_rank)) ++dst->arrows_in;
+      });
+  return out;
+}
+
+std::string legend_to_text(const std::vector<LegendEntry>& entries) {
+  std::string out;
+  out += util::strprintf("%-24s %-12s %-7s %10s %14s %14s\n", "name", "color", "kind",
+                         "count", "incl (s)", "excl (s)");
+  for (const auto& e : entries) {
+    const char* kind = e.category.kind == slog2::CategoryKind::kState   ? "state"
+                       : e.category.kind == slog2::CategoryKind::kEvent ? "event"
+                                                                        : "arrow";
+    out += util::strprintf("%-24s %-12s %-7s %10llu %14.6f %14.6f\n",
+                           e.category.name.c_str(), e.category.color.c_str(), kind,
+                           static_cast<unsigned long long>(e.count), e.inclusive,
+                           e.exclusive);
+  }
+  return out;
+}
+
+}  // namespace jumpshot

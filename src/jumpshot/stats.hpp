@@ -1,0 +1,63 @@
+// Legend and window statistics — the numbers Jumpshot's legend table and
+// "statistics picture" show.
+//
+// For each category the legend lists a count of instances, the *inclusive*
+// duration (sum of state rectangle widths) and the *exclusive* duration
+// (inclusive minus directly nested substates — time spent purely in the
+// state, not in its substates). The paper points out these are useful as a
+// poor man's profiler; the Fig. 2 discussion ("red and green tiny compared
+// to gray") is exactly a legend-statistics claim, and the benches assert it
+// numerically.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "slog2/slog2.hpp"
+
+namespace jumpshot {
+
+struct LegendEntry {
+  slog2::Category category;
+  std::uint64_t count = 0;
+  double inclusive = 0.0;  ///< states only; 0 for events/arrows
+  double exclusive = 0.0;  ///< inclusive minus directly nested substates
+};
+
+enum class LegendSort { kByName, kByCount, kByInclusive, kByExclusive };
+
+/// Legend table over the whole file (every category appears, even unused).
+std::vector<LegendEntry> legend(const slog2::File& file,
+                                LegendSort sort = LegendSort::kByName);
+
+/// Per-rank occupancy of one window [a, b]: how the paper's instructor spots
+/// load imbalance "at a glance".
+struct RankWindowStats {
+  std::int32_t rank = 0;
+  /// category id -> busy seconds within the window (states clipped to it).
+  std::map<std::int32_t, double> state_time;
+  /// category id -> instances whose anchor time falls inside the window.
+  std::map<std::int32_t, std::uint64_t> state_count;
+  std::map<std::int32_t, std::uint64_t> event_count;
+  std::uint64_t arrows_out = 0;
+  std::uint64_t arrows_in = 0;
+
+  [[nodiscard]] double total_state_time() const;
+};
+
+struct WindowStats {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<RankWindowStats> ranks;  ///< index == rank
+
+  /// max/mean of per-rank busy time — 1.0 means perfectly balanced.
+  [[nodiscard]] double imbalance() const;
+};
+
+WindowStats window_stats(const slog2::File& file, double a, double b);
+
+/// Render a legend as fixed-width text (tools and bench output).
+std::string legend_to_text(const std::vector<LegendEntry>& entries);
+
+}  // namespace jumpshot

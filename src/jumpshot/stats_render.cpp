@@ -1,0 +1,118 @@
+// The "statistics picture": per-rank stacked busy-time bars for a selected
+// window. A glance shows load imbalance — the use the paper recommends for
+// deciding to adjust work granularity or switch to dynamic allocation.
+#include <algorithm>
+#include <cmath>
+
+#include "jumpshot/render.hpp"
+#include "jumpshot/stats.hpp"
+#include "util/color.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace jumpshot {
+
+namespace {
+constexpr const char* kCanvas = "#101014";
+constexpr const char* kText = "#c8c8c8";
+constexpr int kMarginLeft = 96;
+constexpr int kMarginRight = 110;
+constexpr int kRowH = 22;
+constexpr int kRowGap = 8;
+constexpr int kTop = 56;
+
+std::string color_hex(const slog2::File& file, std::int32_t cat) {
+  const auto* c = file.category(cat);
+  if (c == nullptr || !util::is_known_color(c->color)) return "#888888";
+  return util::color_by_name(c->color).to_hex();
+}
+}  // namespace
+
+std::string render_stats_svg(const slog2::File& file, const StatsRenderOptions& opts) {
+  const double a = std::isnan(opts.t0) ? file.t_min : opts.t0;
+  const double b = std::isnan(opts.t1) ? file.t_max : opts.t1;
+  const auto ws = window_stats(file, a, b);
+
+  double max_busy = 0.0;
+  for (const auto& r : ws.ranks) max_busy = std::max(max_busy, r.total_state_time());
+  if (max_busy <= 0.0) max_busy = 1.0;
+
+  const int nranks = static_cast<int>(ws.ranks.size());
+  const int legend_lines = static_cast<int>(file.categories.size());
+  const int height =
+      kTop + std::max(nranks, 1) * (kRowH + kRowGap) + 24 + legend_lines * 16 + 12;
+  const int plot_w = opts.width - kMarginLeft - kMarginRight;
+
+  std::string svg;
+  svg += util::strprintf(
+      "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'>\n",
+      opts.width, height);
+  svg += util::strprintf("<rect width='%d' height='%d' fill='%s'/>\n", opts.width,
+                         height, kCanvas);
+  svg += util::strprintf(
+      "<text x='%d' y='20' fill='%s' font-size='14' font-family='sans-serif'>"
+      "%s</text>\n",
+      kMarginLeft, kText,
+      util::xml_escape(opts.title.empty() ? "duration statistics" : opts.title)
+          .c_str());
+  svg += util::strprintf(
+      "<text x='%d' y='40' fill='%s' font-size='12' font-family='monospace'>"
+      "window [%s .. %s]   load imbalance (max/mean busy) = %.3f</text>\n",
+      kMarginLeft, kText, util::human_seconds(a).c_str(),
+      util::human_seconds(b).c_str(), ws.imbalance());
+
+  for (int r = 0; r < nranks; ++r) {
+    const auto& rank = ws.ranks[static_cast<std::size_t>(r)];
+    const double y = kTop + r * (kRowH + kRowGap);
+    std::string label = r < static_cast<int>(opts.rank_names.size())
+                            ? opts.rank_names[static_cast<std::size_t>(r)]
+                            : std::to_string(r);
+    svg += util::strprintf(
+        "<text x='%d' y='%.1f' fill='%s' font-size='12' text-anchor='end' "
+        "font-family='monospace'>%s</text>\n",
+        kMarginLeft - 8, y + kRowH * 0.7, kText, util::xml_escape(label).c_str());
+
+    double x = kMarginLeft;
+    for (const auto& [cat, secs] : rank.state_time) {
+      const double w = secs / max_busy * plot_w;
+      if (w <= 0) continue;
+      svg += util::strprintf(
+          "<rect x='%.2f' y='%.1f' width='%.2f' height='%d' fill='%s'>",
+          x, y, std::max(w, 0.5), kRowH, color_hex(file, cat).c_str());
+      const auto* c = file.category(cat);
+      svg += "<title>" +
+             util::xml_escape(util::strprintf(
+                 "%s: %s", c ? c->name.c_str() : "?",
+                 util::human_seconds(secs).c_str())) +
+             "</title></rect>\n";
+      x += w;
+    }
+    svg += util::strprintf(
+        "<text x='%.1f' y='%.1f' fill='%s' font-size='11' "
+        "font-family='monospace'>%s</text>\n",
+        x + 6, y + kRowH * 0.7, kText,
+        util::human_seconds(rank.total_state_time()).c_str());
+  }
+
+  // Category legend.
+  int ly = kTop + std::max(nranks, 1) * (kRowH + kRowGap) + 18;
+  for (const auto& c : file.categories) {
+    if (c.kind != slog2::CategoryKind::kState) continue;
+    svg += util::strprintf(
+        "<rect x='%d' y='%d' width='10' height='10' fill='%s'/>"
+        "<text x='%d' y='%d' fill='%s' font-size='11' font-family='monospace'>"
+        "%s</text>\n",
+        kMarginLeft, ly - 9, color_hex(file, c.id).c_str(), kMarginLeft + 16, ly,
+        kText, util::xml_escape(c.name).c_str());
+    ly += 16;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+void render_stats_to_file(const std::filesystem::path& path, const slog2::File& file,
+                          const StatsRenderOptions& opts) {
+  util::write_file(path, render_stats_svg(file, opts));
+}
+
+}  // namespace jumpshot

@@ -1,0 +1,46 @@
+#include "mpisim/clock.hpp"
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace mpisim {
+
+VirtualClock::VirtualClock(int nranks, double max_offset, double max_skew,
+                           std::uint64_t seed)
+    : t0_(std::chrono::steady_clock::now()) {
+  util::SplitMix64 rng(seed ^ 0xC10CC10CC10CC10CULL);
+  offsets_.reserve(static_cast<std::size_t>(nranks));
+  skews_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    // Rank 0 is the reference clock, exactly like MPE treats rank 0.
+    if (r == 0 || (max_offset == 0.0 && max_skew == 0.0)) {
+      offsets_.push_back(0.0);
+      skews_.push_back(0.0);
+    } else {
+      offsets_.push_back(rng.uniform(-max_offset, max_offset));
+      skews_.push_back(rng.uniform(-max_skew, max_skew));
+    }
+  }
+}
+
+void VirtualClock::backdate(double seconds) {
+  t0_ -= std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+double VirtualClock::true_time() const {
+  const auto d = std::chrono::steady_clock::now() - t0_;
+  return std::chrono::duration<double>(d).count();
+}
+
+double VirtualClock::now(int rank) const { return to_local(rank, true_time()); }
+
+double VirtualClock::to_local(int rank, double true_t) const {
+  const auto r = static_cast<std::size_t>(rank);
+  double t = true_t * (1.0 + skews_.at(r)) + offsets_.at(r);
+  if (quantum_ > 0.0) t = std::floor(t / quantum_) * quantum_;
+  return t;
+}
+
+}  // namespace mpisim

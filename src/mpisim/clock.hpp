@@ -1,0 +1,57 @@
+// Per-rank virtual wall clocks.
+//
+// Real clusters have one clock per node, each with its own offset and skew;
+// MPE's Log_sync_clocks exists to undo exactly that. The substrate models a
+// rank's clock as
+//
+//     local(t) = (t - t0) * (1 + skew) + offset
+//
+// over a shared steady base clock, with offset/skew drawn deterministically
+// from a seed. Tests and the clock-sync ablation get ground truth via
+// true_time().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace mpisim {
+
+class VirtualClock {
+public:
+  /// `max_offset` seconds and `max_skew` (fractional, e.g. 1e-4) bound the
+  /// injected per-rank error; both zero gives perfectly synchronized clocks.
+  VirtualClock(int nranks, double max_offset, double max_skew, std::uint64_t seed);
+
+  /// Shift the clock origin into the past (time already reads `seconds` at
+  /// the call). Pilot uses this so the Configuration Phase — which runs
+  /// before the World exists — still has positive timestamps.
+  void backdate(double seconds);
+
+  /// Quantize reported times to multiples of `quantum` seconds, emulating a
+  /// coarse MPI_Wtime. The paper's "Equal Drawables" problem stems from
+  /// exactly this: events inside one quantum get identical timestamps.
+  void set_quantum(double quantum) { quantum_ = quantum; }
+  [[nodiscard]] double quantum() const { return quantum_; }
+
+  /// The rank-local (possibly drifted) clock — what MPI_Wtime would return.
+  [[nodiscard]] double now(int rank) const;
+
+  /// Drift-free global time (ground truth; not observable by ranks on a real
+  /// cluster, used here by tests and by the sync-quality ablation).
+  [[nodiscard]] double true_time() const;
+
+  /// Convert a ground-truth instant into rank-local clock units.
+  [[nodiscard]] double to_local(int rank, double true_t) const;
+
+  [[nodiscard]] double offset(int rank) const { return offsets_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] double skew(int rank) const { return skews_.at(static_cast<std::size_t>(rank)); }
+
+private:
+  std::chrono::steady_clock::time_point t0_;
+  double quantum_ = 0.0;
+  std::vector<double> offsets_;
+  std::vector<double> skews_;
+};
+
+}  // namespace mpisim

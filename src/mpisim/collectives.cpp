@@ -1,0 +1,97 @@
+// Collectives built on the point-to-point layer with reserved internal tags.
+//
+// MPI requires every rank to call collectives in the same order; under that
+// rule a per-rank call counter yields identical tags on all ranks, and the
+// reserved tag space (above kMaxUserTag) keeps collective traffic from ever
+// matching user receives.
+#include <cstring>
+#include <vector>
+
+#include "mpisim/world.hpp"
+#include "util/strings.hpp"
+
+namespace mpisim {
+
+namespace {
+constexpr int kCollectiveTagBase = kMaxUserTag + 1;  // 0x01000000
+
+int collective_tag(std::uint64_t seq) {
+  // Cycle through a window of reserved tags. The window is far larger than
+  // the number of collectives that can be simultaneously in flight.
+  return kCollectiveTagBase + static_cast<int>(seq % 0x00400000ULL);
+}
+}  // namespace
+
+void Comm::bcast(int root, void* data, std::size_t n) {
+  world_->check_rank(root, "bcast");
+  const int tag = collective_tag(collective_seq_++);
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, tag, data, n);
+  } else {
+    recv(root, tag, data, n);
+  }
+}
+
+void Comm::gather(int root, const void* sendbuf, std::size_t n_each, void* recvbuf) {
+  world_->check_rank(root, "gather");
+  const int tag = collective_tag(collective_seq_++);
+  if (rank_ == root) {
+    auto* out = static_cast<std::uint8_t*>(recvbuf);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        if (n_each > 0)
+          std::memcpy(out + static_cast<std::size_t>(r) * n_each, sendbuf, n_each);
+      } else {
+        recv(r, tag, out + static_cast<std::size_t>(r) * n_each, n_each);
+      }
+    }
+  } else {
+    send(root, tag, sendbuf, n_each);
+  }
+}
+
+void Comm::scatter(int root, const void* sendbuf, std::size_t n_each, void* recvbuf) {
+  world_->check_rank(root, "scatter");
+  const int tag = collective_tag(collective_seq_++);
+  if (rank_ == root) {
+    const auto* in = static_cast<const std::uint8_t*>(sendbuf);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        if (n_each > 0)
+          std::memcpy(recvbuf, in + static_cast<std::size_t>(r) * n_each, n_each);
+      } else {
+        send(r, tag, in + static_cast<std::size_t>(r) * n_each, n_each);
+      }
+    }
+  } else {
+    recv(root, tag, recvbuf, n_each);
+  }
+}
+
+void Comm::reduce(int root, Op op, Datatype dt, const void* sendbuf, void* recvbuf,
+                  std::size_t count) {
+  world_->check_rank(root, "reduce");
+  const int tag = collective_tag(collective_seq_++);
+  const std::size_t bytes = count * datatype_size(dt);
+  if (rank_ == root) {
+    if (bytes > 0) std::memcpy(recvbuf, sendbuf, bytes);
+    std::vector<std::uint8_t> tmp(bytes);
+    // Deterministic rank order gives reproducible floating-point results.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(r, tag, tmp.data(), tmp.size());
+      reduce_apply(op, dt, recvbuf, tmp.data(), count);
+    }
+  } else {
+    send(root, tag, sendbuf, bytes);
+  }
+}
+
+void Comm::allreduce(Op op, Datatype dt, const void* sendbuf, void* recvbuf,
+                     std::size_t count) {
+  reduce(0, op, dt, sendbuf, recvbuf, count);
+  bcast(0, recvbuf, count * datatype_size(dt));
+}
+
+}  // namespace mpisim

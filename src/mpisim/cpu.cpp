@@ -1,0 +1,50 @@
+#include "mpisim/cpu.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace mpisim {
+
+CpuModel::CpuModel(unsigned cores, double time_scale)
+    : cores_(cores), time_scale_(time_scale) {
+  if (cores_ == 0) throw util::UsageError("CpuModel needs at least one core");
+  if (time_scale_ < 0.0) throw util::UsageError("CpuModel time_scale must be >= 0");
+}
+
+void CpuModel::execute(double virtual_seconds) {
+  if (virtual_seconds < 0.0)
+    throw util::UsageError("CpuModel::execute: negative cost");
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return shutdown_ || busy_ < cores_; });
+    if (shutdown_) return;
+    ++busy_;
+    charged_ += virtual_seconds;
+  }
+  if (virtual_seconds > 0.0 && time_scale_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(virtual_seconds * time_scale_));
+  }
+  {
+    std::lock_guard lk(mu_);
+    --busy_;
+  }
+  cv_.notify_one();
+}
+
+double CpuModel::total_charged() const {
+  std::lock_guard lk(mu_);
+  return charged_;
+}
+
+void CpuModel::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mpisim

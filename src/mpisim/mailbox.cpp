@@ -1,0 +1,97 @@
+#include "mpisim/mailbox.hpp"
+
+#include <atomic>
+#include <limits>
+
+namespace mpisim {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+Status status_of(const Envelope& e) {
+  Status st;
+  st.source = e.src;
+  st.tag = e.tag;
+  st.count = e.payload.size();
+  st.send_time = e.send_time;
+  return st;
+}
+}  // namespace
+
+void Mailbox::post(Envelope env) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_match(int src, int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Envelope& e = queue_[i];
+    if ((src == kAnySource || e.src == src) && (tag == kAnyTag || e.tag == tag))
+      return i;
+  }
+  return kNpos;
+}
+
+Envelope Mailbox::receive(int src, int tag, const std::atomic<bool>& aborted,
+                          int abort_code) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (aborted.load(std::memory_order_acquire))
+      throw AbortedError(abort_code, "receive interrupted by abort");
+    const std::size_t i = find_match(src, tag);
+    if (i == kNpos) {
+      cv_.wait(lk);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (queue_[i].deliver_at > now) {
+      // Matching message in flight: wait out its latency. Other arrivals
+      // notify the cv, so an earlier-deliverable match is picked up.
+      cv_.wait_until(lk, queue_[i].deliver_at);
+      continue;
+    }
+    Envelope out = std::move(queue_[i]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+}
+
+Status Mailbox::probe(int src, int tag, const std::atomic<bool>& aborted,
+                      int abort_code) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (aborted.load(std::memory_order_acquire))
+      throw AbortedError(abort_code, "probe interrupted by abort");
+    const std::size_t i = find_match(src, tag);
+    if (i == kNpos) {
+      cv_.wait(lk);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (queue_[i].deliver_at > now) {
+      cv_.wait_until(lk, queue_[i].deliver_at);
+      continue;
+    }
+    return status_of(queue_[i]);
+  }
+}
+
+std::optional<Status> Mailbox::try_probe(int src, int tag) {
+  std::lock_guard lk(mu_);
+  const std::size_t i = find_match(src, tag);
+  if (i == kNpos) return std::nullopt;
+  if (queue_[i].deliver_at > std::chrono::steady_clock::now()) return std::nullopt;
+  return status_of(queue_[i]);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+}  // namespace mpisim

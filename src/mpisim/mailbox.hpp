@@ -1,0 +1,64 @@
+// Per-rank message queue with MPI matching semantics.
+//
+// Every rank owns one Mailbox; senders push copied byte payloads, receivers
+// scan in arrival order for the first envelope matching (source, tag) with
+// wildcards. Scanning in post order preserves MPI's non-overtaking guarantee
+// per (source, destination, tag). A message only becomes *deliverable* once
+// its latency-model delivery instant has passed, which is how the substrate
+// gives message arrows a nonzero duration in the visual log.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mpisim/types.hpp"
+
+namespace mpisim {
+
+struct Envelope {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+  double send_time = 0.0;  ///< sender-local clock at post time
+  std::chrono::steady_clock::time_point deliver_at;
+  std::uint64_t seq = 0;  ///< global post order, for deterministic debugging
+};
+
+class Mailbox {
+public:
+  /// Post a message (never blocks; buffered semantics).
+  void post(Envelope env);
+
+  /// Block until a matching message is deliverable, then remove and return
+  /// it. `aborted` is polled through the predicate; when it flips the call
+  /// throws AbortedError. Matching follows post order.
+  Envelope receive(int src, int tag, const std::atomic<bool>& aborted, int abort_code);
+
+  /// Blocking probe: like receive but leaves the message queued.
+  Status probe(int src, int tag, const std::atomic<bool>& aborted, int abort_code);
+
+  /// Non-blocking probe.
+  std::optional<Status> try_probe(int src, int tag);
+
+  /// Number of queued messages (deliverable or not), for diagnostics.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Wake all waiters (used on abort).
+  void interrupt();
+
+private:
+  // Index of first match in post order, or npos. Caller holds mu_.
+  [[nodiscard]] std::size_t find_match(int src, int tag) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace mpisim

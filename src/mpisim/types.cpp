@@ -1,0 +1,135 @@
+#include "mpisim/types.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mpisim {
+
+std::size_t datatype_size(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return 1;
+    case Datatype::kChar: return sizeof(char);
+    case Datatype::kInt: return sizeof(int);
+    case Datatype::kUnsigned: return sizeof(unsigned);
+    case Datatype::kLong: return sizeof(long);
+    case Datatype::kUnsignedLong: return sizeof(unsigned long);
+    case Datatype::kLongLong: return sizeof(long long);
+    case Datatype::kUnsignedLongLong: return sizeof(unsigned long long);
+    case Datatype::kFloat: return sizeof(float);
+    case Datatype::kDouble: return sizeof(double);
+  }
+  throw util::UsageError("datatype_size: bad datatype");
+}
+
+std::string datatype_name(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return "byte";
+    case Datatype::kChar: return "char";
+    case Datatype::kInt: return "int";
+    case Datatype::kUnsigned: return "unsigned";
+    case Datatype::kLong: return "long";
+    case Datatype::kUnsignedLong: return "unsigned long";
+    case Datatype::kLongLong: return "long long";
+    case Datatype::kUnsignedLongLong: return "unsigned long long";
+    case Datatype::kFloat: return "float";
+    case Datatype::kDouble: return "double";
+  }
+  return "?";
+}
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kSum: return "sum";
+    case Op::kProd: return "prod";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kLand: return "land";
+    case Op::kLor: return "lor";
+    case Op::kBand: return "band";
+    case Op::kBor: return "bor";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void apply_arith(Op op, T* acc, const T* in, std::size_t count) {
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] + in[i]);
+      return;
+    case Op::kProd:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] * in[i]);
+      return;
+    case Op::kMin:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::min(acc[i], in[i]);
+      return;
+    case Op::kMax:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);
+      return;
+    default: break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+      case Op::kLand:
+        for (std::size_t i = 0; i < count; ++i)
+          acc[i] = static_cast<T>((acc[i] != 0) && (in[i] != 0));
+        return;
+      case Op::kLor:
+        for (std::size_t i = 0; i < count; ++i)
+          acc[i] = static_cast<T>((acc[i] != 0) || (in[i] != 0));
+        return;
+      case Op::kBand:
+        for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] & in[i]);
+        return;
+      case Op::kBor:
+        for (std::size_t i = 0; i < count; ++i) acc[i] = static_cast<T>(acc[i] | in[i]);
+        return;
+      default: break;
+    }
+  }
+  throw util::UsageError("reduce_apply: op " + op_name(op) +
+                         " not valid for this datatype");
+}
+
+}  // namespace
+
+void reduce_apply(Op op, Datatype dt, void* acc, const void* in, std::size_t count) {
+  switch (dt) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      apply_arith(op, static_cast<char*>(acc), static_cast<const char*>(in), count);
+      return;
+    case Datatype::kInt:
+      apply_arith(op, static_cast<int*>(acc), static_cast<const int*>(in), count);
+      return;
+    case Datatype::kUnsigned:
+      apply_arith(op, static_cast<unsigned*>(acc), static_cast<const unsigned*>(in), count);
+      return;
+    case Datatype::kLong:
+      apply_arith(op, static_cast<long*>(acc), static_cast<const long*>(in), count);
+      return;
+    case Datatype::kUnsignedLong:
+      apply_arith(op, static_cast<unsigned long*>(acc),
+                  static_cast<const unsigned long*>(in), count);
+      return;
+    case Datatype::kLongLong:
+      apply_arith(op, static_cast<long long*>(acc), static_cast<const long long*>(in),
+                  count);
+      return;
+    case Datatype::kUnsignedLongLong:
+      apply_arith(op, static_cast<unsigned long long*>(acc),
+                  static_cast<const unsigned long long*>(in), count);
+      return;
+    case Datatype::kFloat:
+      apply_arith(op, static_cast<float*>(acc), static_cast<const float*>(in), count);
+      return;
+    case Datatype::kDouble:
+      apply_arith(op, static_cast<double*>(acc), static_cast<const double*>(in), count);
+      return;
+  }
+  throw util::UsageError("reduce_apply: bad datatype");
+}
+
+}  // namespace mpisim

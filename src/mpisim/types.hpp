@@ -1,0 +1,81 @@
+// Basic vocabulary of the MPI substrate: datatypes, reduction ops, receive
+// status, wildcards, and the error types blocked operations can raise.
+//
+// mpisim is a clean-room, in-process subset of MPI sufficient to host the
+// Pilot library: point-to-point messages with (source, tag) matching and
+// non-overtaking order, probes, collectives, wall clock, and abort. Ranks
+// are threads in one address space; messages are copied byte buffers, so the
+// semantics match a real distributed run (no accidental sharing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mpisim {
+
+/// Matches any sender rank (like MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Matches any tag (like MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Element types understood by typed collectives (reduce) and by the Pilot
+/// format engine. Point-to-point transfers are untyped byte buffers.
+enum class Datatype : std::uint8_t {
+  kByte,
+  kChar,
+  kInt,
+  kUnsigned,
+  kLong,
+  kUnsignedLong,
+  kLongLong,
+  kUnsignedLongLong,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element of `dt`.
+std::size_t datatype_size(Datatype dt);
+
+/// Human-readable datatype name ("int", "double", ...).
+std::string datatype_name(Datatype dt);
+
+/// Reduction operators for Comm::reduce / allreduce.
+enum class Op : std::uint8_t { kSum, kProd, kMin, kMax, kLand, kLor, kBand, kBor };
+
+std::string op_name(Op op);
+
+/// Elementwise `acc = acc (op) in` over `count` elements of type `dt`.
+/// Bitwise/logical ops are rejected for floating types (UsageError).
+void reduce_apply(Op op, Datatype dt, void* acc, const void* in, std::size_t count);
+
+/// Result of a receive or probe.
+struct Status {
+  int source = kAnySource;   ///< actual sender rank
+  int tag = kAnyTag;         ///< actual message tag
+  std::size_t count = 0;     ///< payload size in bytes
+  double send_time = 0.0;    ///< sender's clock when the message was posted
+};
+
+/// Thrown out of any blocked/blocking substrate call once the world has
+/// been aborted (Comm::abort or a crashed rank).
+class AbortedError : public util::Error {
+public:
+  AbortedError(int code, const std::string& what)
+      : util::Error(what), code_(code) {}
+  [[nodiscard]] int code() const { return code_; }
+
+private:
+  int code_;
+};
+
+/// Thrown by World::run when the watchdog expires (a backstop so a deadlocked
+/// test run terminates even when Pilot's own deadlock detector is off).
+class TimeoutError : public util::Error {
+public:
+  explicit TimeoutError(const std::string& what) : util::Error(what) {}
+};
+
+}  // namespace mpisim

@@ -1,0 +1,264 @@
+#include "mpisim/world.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace mpisim {
+
+namespace {
+thread_local Comm* tls_comm = nullptr;
+
+struct TlsCommGuard {
+  explicit TlsCommGuard(Comm* c) { tls_comm = c; }
+  ~TlsCommGuard() { tls_comm = nullptr; }
+};
+}  // namespace
+
+Comm* World::current() { return tls_comm; }
+
+World::World(Config cfg)
+    : cfg_(cfg),
+      clock_(cfg.nprocs, cfg.clock_max_offset, cfg.clock_max_skew, cfg.seed),
+      cpu_(cfg.cpu_cores == 0 ? static_cast<unsigned>(cfg.nprocs) : cfg.cpu_cores,
+           cfg.time_scale) {
+  if (cfg_.nprocs < 1) throw util::UsageError("World needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
+  for (int r = 0; r < cfg_.nprocs; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() {
+  // Safety net: a World abandoned mid-job (exception between start() and
+  // finish()) must not terminate the process via ~thread on a joinable
+  // thread. Abort the job and wait everyone out.
+  if (!threads_.empty()) {
+    abort_from(-13);
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+    stop_watchdog_.store(true, std::memory_order_release);
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void World::check_rank(int rank, const char* what) const {
+  if (rank < 0 || rank >= cfg_.nprocs)
+    throw util::UsageError(util::strprintf("%s: rank %d out of range [0,%d)", what,
+                                           rank, cfg_.nprocs));
+}
+
+void World::abort_from(int code) {
+  bool expected = false;
+  if (aborted_.compare_exchange_strong(expected, true)) {
+    abort_code_.store(code);
+  }
+  for (auto& mb : mailboxes_) mb->interrupt();
+  cpu_.shutdown();
+  barrier_cv_.notify_all();
+}
+
+void World::spawn_rank(const std::function<int(Comm&)>& fn, int rank) {
+  threads_.emplace_back([this, &fn, rank] {
+    Comm comm(this, rank);
+    TlsCommGuard guard(&comm);
+    try {
+      exit_codes_[static_cast<std::size_t>(rank)] = fn(comm);
+    } catch (const AbortedError&) {
+      // Expected unwind path once the job is aborted.
+    } catch (...) {
+      {
+        std::lock_guard lk(error_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      abort_from(-1);
+    }
+    ranks_done_.fetch_add(1, std::memory_order_release);
+  });
+}
+
+void World::spawn_watchdog(int expected_done) {
+  if (cfg_.watchdog_seconds <= 0.0) return;
+  watchdog_ = std::thread([this, expected_done] {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(cfg_.watchdog_seconds));
+    while (!stop_watchdog_.load(std::memory_order_acquire)) {
+      if (ranks_done_.load(std::memory_order_acquire) >= expected_done) return;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        timed_out_.store(true);
+        abort_from(kWatchdogAbortCode);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+}
+
+World::Result World::join_all() {
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  stop_watchdog_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  if (timed_out_.load())
+    throw TimeoutError(util::strprintf(
+        "watchdog: job did not finish within %.1f s (deadlock?)",
+        cfg_.watchdog_seconds));
+
+  Result result;
+  result.exit_codes = exit_codes_;
+  result.aborted = aborted_.load();
+  result.abort_code = abort_code_.load();
+  result.timed_out = false;
+  return result;
+}
+
+World::Result World::run(const std::function<int(Comm&)>& fn) {
+  bool expected = false;
+  if (!ran_.compare_exchange_strong(expected, true))
+    throw util::UsageError("World::run may only be called once");
+
+  exit_codes_.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+  rank_fn_ = fn;
+  threads_.reserve(static_cast<std::size_t>(cfg_.nprocs));
+  for (int r = 0; r < cfg_.nprocs; ++r) spawn_rank(rank_fn_, r);
+  spawn_watchdog(cfg_.nprocs);
+  return join_all();
+}
+
+Comm& World::start(const std::function<int(Comm&)>& fn) {
+  bool expected = false;
+  if (!ran_.compare_exchange_strong(expected, true))
+    throw util::UsageError("World::start: job already launched");
+
+  exit_codes_.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+  rank_fn_ = fn;
+  rank0_comm_.reset(new Comm(this, 0));
+  tls_comm = rank0_comm_.get();
+  threads_.reserve(static_cast<std::size_t>(cfg_.nprocs - 1));
+  for (int r = 1; r < cfg_.nprocs; ++r) spawn_rank(rank_fn_, r);
+  // Rank 0 is the caller and never bumps ranks_done_; the watchdog only
+  // waits for the spawned ranks (a stuck rank 0 still trips the deadline).
+  spawn_watchdog(cfg_.nprocs - 1);
+  return *rank0_comm_;
+}
+
+World::Result World::finish() {
+  if (!rank0_comm_)
+    throw util::UsageError("World::finish without a matching start()");
+  tls_comm = nullptr;
+  rank0_comm_.reset();
+  return join_all();
+}
+
+// --- Comm -------------------------------------------------------------------
+
+int Comm::size() const { return world_->nprocs(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t n) {
+  world_->check_rank(dst, "send");
+  if (world_->aborted_.load(std::memory_order_acquire))
+    throw AbortedError(world_->abort_code_.load(), "send after abort");
+  if (n > 0 && data == nullptr) throw util::UsageError("send: null data with n > 0");
+
+  Envelope env;
+  env.src = rank_;
+  env.tag = tag;
+  env.payload.assign(static_cast<const std::uint8_t*>(data),
+                     static_cast<const std::uint8_t*>(data) + n);
+  env.send_time = wtime();
+  env.seq = world_->send_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  double delay = world_->cfg_.msg_latency;
+  if (world_->cfg_.msg_bandwidth > 0.0)
+    delay += static_cast<double>(n) / world_->cfg_.msg_bandwidth;
+  env.deliver_at = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(delay));
+
+  world_->mailbox(dst).post(std::move(env));
+}
+
+Status Comm::recv(int src, int tag, void* buf, std::size_t cap) {
+  if (src != kAnySource) world_->check_rank(src, "recv");
+  Envelope env = world_->mailbox(rank_).receive(src, tag, world_->aborted_,
+                                                world_->abort_code_.load());
+  if (env.payload.size() > cap)
+    throw util::UsageError(util::strprintf(
+        "recv: message from rank %d tag %d is %zu bytes but buffer holds %zu",
+        env.src, env.tag, env.payload.size(), cap));
+  if (!env.payload.empty()) std::memcpy(buf, env.payload.data(), env.payload.size());
+  world_->delivered_.fetch_add(1, std::memory_order_relaxed);
+
+  Status st;
+  st.source = env.src;
+  st.tag = env.tag;
+  st.count = env.payload.size();
+  st.send_time = env.send_time;
+  return st;
+}
+
+std::pair<Status, std::vector<std::uint8_t>> Comm::recv_any_size(int src, int tag) {
+  if (src != kAnySource) world_->check_rank(src, "recv_any_size");
+  Envelope env = world_->mailbox(rank_).receive(src, tag, world_->aborted_,
+                                                world_->abort_code_.load());
+  world_->delivered_.fetch_add(1, std::memory_order_relaxed);
+  Status st;
+  st.source = env.src;
+  st.tag = env.tag;
+  st.count = env.payload.size();
+  st.send_time = env.send_time;
+  return {st, std::move(env.payload)};
+}
+
+Status Comm::probe(int src, int tag) {
+  if (src != kAnySource) world_->check_rank(src, "probe");
+  return world_->mailbox(rank_).probe(src, tag, world_->aborted_,
+                                      world_->abort_code_.load());
+}
+
+std::optional<Status> Comm::iprobe(int src, int tag) {
+  if (src != kAnySource) world_->check_rank(src, "iprobe");
+  if (world_->aborted_.load(std::memory_order_acquire))
+    throw AbortedError(world_->abort_code_.load(), "iprobe after abort");
+  return world_->mailbox(rank_).try_probe(src, tag);
+}
+
+void Comm::barrier() {
+  World& w = *world_;
+  std::unique_lock lk(w.barrier_mu_);
+  const std::uint64_t my_generation = w.barrier_generation_;
+  if (++w.barrier_waiting_ == w.nprocs()) {
+    w.barrier_waiting_ = 0;
+    ++w.barrier_generation_;
+    lk.unlock();
+    w.barrier_cv_.notify_all();
+    return;
+  }
+  w.barrier_cv_.wait(lk, [&] {
+    return w.barrier_generation_ != my_generation ||
+           w.aborted_.load(std::memory_order_acquire);
+  });
+  if (w.barrier_generation_ == my_generation)
+    throw AbortedError(w.abort_code_.load(), "barrier interrupted by abort");
+}
+
+double Comm::wtime() const { return world_->clock_.now(rank_); }
+double Comm::true_time() const { return world_->clock_.true_time(); }
+void Comm::compute(double virtual_seconds) {
+  world_->cpu_.execute(virtual_seconds);
+  if (world_->aborted_.load(std::memory_order_acquire))
+    throw AbortedError(world_->abort_code_.load(), "compute interrupted by abort");
+}
+
+void Comm::abort(int code) {
+  world_->abort_from(code);
+  throw AbortedError(code, util::strprintf("rank %d called abort(%d)", rank_, code));
+}
+
+}  // namespace mpisim

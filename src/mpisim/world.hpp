@@ -1,0 +1,213 @@
+// World: a simulated MPI job. Spawns one thread per rank, each receiving a
+// Comm handle (the substrate's MPI_COMM_WORLD analogue).
+//
+// Usage:
+//
+//   mpisim::World::Config cfg;
+//   cfg.nprocs = 4;
+//   mpisim::World world(cfg);
+//   auto result = world.run([](mpisim::Comm& comm) {
+//     if (comm.rank() == 0) { int v = 42; comm.send(1, 7, &v, sizeof v); }
+//     if (comm.rank() == 1) { int v; comm.recv(0, 7, &v, sizeof v); }
+//     return 0;
+//   });
+//
+// A World runs exactly one job. Abort (Comm::abort or an uncaught exception
+// in any rank) interrupts every blocked operation with AbortedError. A
+// watchdog aborts deadlocked jobs after Config::watchdog_seconds so tests
+// always terminate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mpisim/clock.hpp"
+#include "mpisim/cpu.hpp"
+#include "mpisim/mailbox.hpp"
+#include "mpisim/types.hpp"
+
+namespace mpisim {
+
+class World;
+
+/// Per-rank communication handle. Valid only inside the rank function and
+/// only on its own thread.
+class Comm {
+public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // --- point-to-point -----------------------------------------------------
+  /// Buffered send: copies `n` bytes, never blocks. Tags must be in
+  /// [0, kMaxUserTag] for user traffic.
+  void send(int dst, int tag, const void* data, std::size_t n);
+
+  /// Blocking receive into a caller buffer of capacity `cap`. Throws
+  /// UsageError if the matched message is larger than `cap` (message
+  /// truncation is a program bug, as in MPI).
+  Status recv(int src, int tag, void* buf, std::size_t cap);
+
+  /// Blocking receive returning the payload (for unknown-length messages).
+  std::pair<Status, std::vector<std::uint8_t>> recv_any_size(int src, int tag);
+
+  /// Blocking probe (message stays queued).
+  Status probe(int src, int tag);
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(int src, int tag);
+
+  // --- collectives (all ranks must call in the same order) ----------------
+  void barrier();
+  void bcast(int root, void* data, std::size_t n);
+  void gather(int root, const void* send, std::size_t n_each, void* recvbuf);
+  void scatter(int root, const void* sendbuf, std::size_t n_each, void* recvbuf);
+  void reduce(int root, Op op, Datatype dt, const void* send, void* recv,
+              std::size_t count);
+  void allreduce(Op op, Datatype dt, const void* send, void* recv, std::size_t count);
+
+  // --- clock / machine -----------------------------------------------------
+  /// Rank-local wall clock (MPI_Wtime analogue; subject to injected drift).
+  [[nodiscard]] double wtime() const;
+  /// Ground-truth global time (not available on a real cluster).
+  [[nodiscard]] double true_time() const;
+  /// Charge `virtual_seconds` of compute to the simulated machine.
+  void compute(double virtual_seconds);
+
+  /// Abort the whole job (MPI_Abort analogue). Throws AbortedError in this
+  /// rank as well — it never returns normally.
+  [[noreturn]] void abort(int code);
+
+  [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] const World& world() const { return *world_; }
+
+private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  std::uint64_t collective_seq_ = 0;  // per-rank; identical across ranks by
+                                      // the same-order-collectives rule
+};
+
+/// Largest tag available to user traffic; larger tags are reserved for the
+/// substrate's internal collectives.
+inline constexpr int kMaxUserTag = 0x00FFFFFF;
+
+class World {
+public:
+  struct Config {
+    int nprocs = 1;
+    /// Virtual cores of the simulated machine (0 = one per rank).
+    unsigned cpu_cores = 0;
+    /// Wall seconds per virtual compute second (see CpuModel).
+    double time_scale = 1.0;
+    /// Message latency model, in *wall* seconds: delivery is delayed by
+    /// latency + bytes/bandwidth (bandwidth 0 = infinite).
+    double msg_latency = 0.0;
+    double msg_bandwidth = 0.0;
+    /// Injected per-rank clock error bounds (see VirtualClock).
+    double clock_max_offset = 0.0;
+    double clock_max_skew = 0.0;
+    std::uint64_t seed = 1;
+    /// Backstop: abort the job after this much wall time (0 = no watchdog).
+    double watchdog_seconds = 60.0;
+  };
+
+  /// Abort code reported when the watchdog fires.
+  static constexpr int kWatchdogAbortCode = -86;
+
+  explicit World(Config cfg);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  struct Result {
+    std::vector<int> exit_codes;  ///< per-rank return values (0 for aborted ranks)
+    bool aborted = false;
+    int abort_code = 0;
+    bool timed_out = false;  ///< aborted by the watchdog
+  };
+
+  /// Run the job: every rank executes `fn`. Rethrows the first non-abort
+  /// exception raised by any rank; throws TimeoutError if the watchdog
+  /// fired. Callable exactly once (and exclusive with start()/finish()).
+  Result run(const std::function<int(Comm&)>& fn);
+
+  /// Asynchronous launch for host-thread integration (Pilot's PI_StartAll
+  /// semantics, where code after the call continues as rank 0): spawns
+  /// ranks 1..nprocs-1 on new threads and binds the *calling* thread as
+  /// rank 0. Returns rank 0's Comm, valid until finish().
+  Comm& start(const std::function<int(Comm&)>& fn);
+
+  /// Join a job launched with start(); must be called on the same thread.
+  /// Error/timeout semantics match run().
+  Result finish();
+
+  [[nodiscard]] int nprocs() const { return cfg_.nprocs; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] VirtualClock& clock() { return clock_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+
+  /// Total messages successfully delivered (diagnostics / tests).
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool is_aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int abort_code() const { return abort_code_.load(); }
+
+  /// Abort from outside any rank thread (host-side teardown). Unlike
+  /// Comm::abort this does not throw.
+  void force_abort(int code) { abort_from(code); }
+
+  /// The Comm of the calling thread, or nullptr outside a rank thread.
+  /// Lets C-style layers (the PI_* API) find their context implicitly.
+  static Comm* current();
+
+private:
+  friend class Comm;
+
+  void abort_from(int code);
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  void check_rank(int rank, const char* what) const;
+  void spawn_rank(const std::function<int(Comm&)>& fn, int rank);
+  void spawn_watchdog(int expected_done);
+  Result join_all();
+
+  Config cfg_;
+  VirtualClock clock_;
+  CpuModel cpu_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<int> abort_code_{0};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<std::uint64_t> send_seq_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<bool> ran_{false};
+  std::atomic<int> ranks_done_{0};
+
+  // Thread management shared by run() and start()/finish().
+  std::vector<std::thread> threads_;
+  std::thread watchdog_;
+  std::atomic<bool> stop_watchdog_{false};
+  std::vector<int> exit_codes_;
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+  std::function<int(Comm&)> rank_fn_;  // keeps the callable alive for threads
+  std::unique_ptr<Comm> rank0_comm_;   // start() mode only
+
+  // Barrier state
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace mpisim

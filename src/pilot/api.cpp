@@ -1,0 +1,238 @@
+// The C-style PI_* entry points: unpack varargs, capture the call site, and
+// delegate to the installed Runtime.
+#include <cstdarg>
+#include <memory>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+PI_PROCESS* PI_MAIN = nullptr;
+
+namespace {
+
+pilot::CallSite at(const char* file, int line) { return pilot::CallSite{file, line}; }
+
+}  // namespace
+
+int PI_Configure_(const char* file, int line, int* argc, char*** argv) {
+  if (argc == nullptr || argv == nullptr)
+    throw pilot::PilotError("PI_Configure: argc/argv must not be null");
+  // Parse (and strip) Pilot's own options, then install a fresh runtime —
+  // the same job MPI_Init + option scanning does in real Pilot.
+  pilot::Options opts = pilot::Options::parse(argc, argv);
+  auto runtime = std::make_unique<pilot::Runtime>(std::move(opts));
+  const int np = runtime->configure(at(file, line));
+  pilot::Runtime::install(std::move(runtime));
+  PI_MAIN = pilot::Runtime::current()->main_process();
+  return np;
+}
+
+PI_PROCESS* PI_CreateProcess_(const char* file, int line, int (*work)(int, void*),
+                              int index, void* arg2) {
+  return pilot::Runtime::require(at(file, line))
+      .create_process(at(file, line), work, index, arg2);
+}
+
+PI_CHANNEL* PI_CreateChannel_(const char* file, int line, PI_PROCESS* from,
+                              PI_PROCESS* to) {
+  return pilot::Runtime::require(at(file, line))
+      .create_channel(at(file, line), from, to);
+}
+
+PI_BUNDLE* PI_CreateBundle_(const char* file, int line, PI_BUNUSE usage,
+                            PI_CHANNEL* const channels[], int size) {
+  return pilot::Runtime::require(at(file, line))
+      .create_bundle(at(file, line), usage, channels, size);
+}
+
+PI_CHANNEL** PI_CopyChannels_(const char* file, int line, PI_COPYDIR direction,
+                              PI_CHANNEL* const channels[], int size) {
+  return pilot::Runtime::require(at(file, line))
+      .copy_channels(at(file, line), direction, channels, size);
+}
+
+void PI_StartAll_(const char* file, int line) {
+  pilot::Runtime::require(at(file, line)).start_all(at(file, line));
+}
+
+void PI_StopMain_(const char* file, int line, int status) {
+  pilot::Runtime::require(at(file, line)).stop_main(at(file, line), status);
+}
+
+void PI_Write_(const char* file, int line, PI_CHANNEL* chan, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line)).write(at(file, line), chan, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+void PI_Read_(const char* file, int line, PI_CHANNEL* chan, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line)).read(at(file, line), chan, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+void PI_Broadcast_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt,
+                   ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line)).broadcast(at(file, line), bundle, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+void PI_Scatter_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line)).scatter(at(file, line), bundle, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+void PI_Gather_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line)).gather(at(file, line), bundle, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+void PI_Reduce_(const char* file, int line, PI_BUNDLE* bundle, PI_REDOP op,
+                const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  try {
+    pilot::Runtime::require(at(file, line))
+        .reduce(at(file, line), bundle, op, fmt, ap);
+  } catch (...) {
+    va_end(ap);
+    throw;
+  }
+  va_end(ap);
+}
+
+int PI_Select_(const char* file, int line, PI_BUNDLE* bundle) {
+  return pilot::Runtime::require(at(file, line)).select(at(file, line), bundle);
+}
+
+int PI_TrySelect_(const char* file, int line, PI_BUNDLE* bundle) {
+  return pilot::Runtime::require(at(file, line)).try_select(at(file, line), bundle);
+}
+
+int PI_ChannelHasData_(const char* file, int line, PI_CHANNEL* chan) {
+  return pilot::Runtime::require(at(file, line))
+      .channel_has_data(at(file, line), chan);
+}
+
+void PI_SetName_(const char* file, int line, PI_PROCESS* p, const char* name) {
+  pilot::Runtime::require(at(file, line)).set_name(at(file, line), p, name);
+}
+void PI_SetName_(const char* file, int line, PI_CHANNEL* c, const char* name) {
+  pilot::Runtime::require(at(file, line)).set_name(at(file, line), c, name);
+}
+void PI_SetName_(const char* file, int line, PI_BUNDLE* b, const char* name) {
+  pilot::Runtime::require(at(file, line)).set_name(at(file, line), b, name);
+}
+
+const char* PI_GetName_(const char* file, int line, const PI_PROCESS* p) {
+  if (p == nullptr)
+    throw pilot::PilotError("PI_GetName: null process");
+  (void)file;
+  (void)line;
+  return p->name.c_str();
+}
+const char* PI_GetName_(const char* file, int line, const PI_CHANNEL* c) {
+  if (c == nullptr)
+    throw pilot::PilotError("PI_GetName: null channel");
+  (void)file;
+  (void)line;
+  return c->name.c_str();
+}
+const char* PI_GetName_(const char* file, int line, const PI_BUNDLE* b) {
+  if (b == nullptr)
+    throw pilot::PilotError("PI_GetName: null bundle");
+  (void)file;
+  (void)line;
+  return b->name.c_str();
+}
+
+PI_CHANNEL* PI_GetBundleChannel_(const char* file, int line, const PI_BUNDLE* b,
+                                 int index) {
+  if (b == nullptr)
+    throw pilot::PilotError("PI_GetBundleChannel: null bundle");
+  if (index < 0 || index >= static_cast<int>(b->channels.size()))
+    throw pilot::PilotError(
+        std::string(file ? file : "?") + ":" + std::to_string(line) +
+        ": PI_GetBundleChannel: index " + std::to_string(index) +
+        " out of range for bundle of size " + std::to_string(b->channels.size()));
+  return b->channels[static_cast<std::size_t>(index)];
+}
+
+int PI_GetBundleSize_(const char* file, int line, const PI_BUNDLE* b) {
+  if (b == nullptr)
+    throw pilot::PilotError("PI_GetBundleSize: null bundle");
+  (void)file;
+  (void)line;
+  return static_cast<int>(b->channels.size());
+}
+
+double PI_StartTime_(const char* file, int line) {
+  return pilot::Runtime::require(at(file, line)).start_time(at(file, line));
+}
+
+double PI_EndTime_(const char* file, int line) {
+  return pilot::Runtime::require(at(file, line)).end_time(at(file, line));
+}
+
+void PI_Log_(const char* file, int line, const char* text) {
+  pilot::Runtime::require(at(file, line)).log(at(file, line), text);
+}
+
+int PI_IsLogging_(const char* file, int line) {
+  return pilot::Runtime::require(at(file, line)).is_logging() ? 1 : 0;
+}
+
+void PI_Abort_(const char* file, int line, int errcode, const char* text) {
+  pilot::Runtime::require(at(file, line)).abort(at(file, line), errcode, text);
+}
+
+void PI_Compute_(const char* file, int line, double seconds) {
+  pilot::Runtime::require(at(file, line)).compute(at(file, line), seconds);
+}
+
+int PI_DefineState_(const char* file, int line, const char* name,
+                    const char* color) {
+  return pilot::Runtime::require(at(file, line))
+      .define_user_state(at(file, line), name, color);
+}
+
+void PI_StateBegin_(const char* file, int line, int state_handle) {
+  pilot::Runtime::require(at(file, line)).state_begin(at(file, line), state_handle);
+}
+
+void PI_StateEnd_(const char* file, int line, int state_handle) {
+  pilot::Runtime::require(at(file, line)).state_end(at(file, line), state_handle);
+}

@@ -1,0 +1,44 @@
+// Pilot's three programming abstractions: processes, channels, bundles.
+// Created during the configuration phase; immutable afterwards (except
+// names, which PI_SetName may assign any time for nicer logs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pilot/pi.hpp"
+
+namespace pilot {
+
+using WorkFunc = int (*)(int, void*);
+
+class Process {
+public:
+  int rank = 0;       ///< MPI rank (0 = PI_MAIN)
+  int index = 0;      ///< first argument passed to the work function
+  void* arg2 = nullptr;
+  WorkFunc work = nullptr;  ///< null for PI_MAIN
+  std::string name;         ///< default "P<rank>"; PI_SetName overrides
+};
+
+class Channel {
+public:
+  int id = 0;  ///< 1-based; also the message tag for this channel
+  Process* from = nullptr;
+  Process* to = nullptr;
+  std::string name;  ///< default "C<id>"
+};
+
+class Bundle {
+public:
+  int id = 0;
+  PI_BUNUSE usage = PI_BROADCAST;
+  std::vector<Channel*> channels;
+  std::string name;  ///< default "B<id>"
+  /// The single process common to all channels (the caller side of the
+  /// collective): 'from' for broadcast/scatter, 'to' for gather/reduce/
+  /// select.
+  Process* common = nullptr;
+};
+
+}  // namespace pilot

@@ -1,0 +1,32 @@
+// Pilot diagnostics. Every API misuse produces a PilotError whose message
+// pinpoints the source line, calling process, and function — the paper's
+// "elaborate error-detection for any abuse of the API".
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pilot {
+
+class PilotError : public util::UsageError {
+public:
+  explicit PilotError(const std::string& what) : util::UsageError(what) {}
+};
+
+/// Thrown out of user code when the program was halted by PI_Abort (or by
+/// Pilot itself, e.g. the deadlock detector). pilot::run converts it into a
+/// process exit status.
+class PilotAborted : public util::Error {
+public:
+  PilotAborted(int code, const std::string& what) : util::Error(what), code_(code) {}
+  [[nodiscard]] int code() const { return code_; }
+
+private:
+  int code_;
+};
+
+/// Exit code used when Pilot's integrated detector finds a deadlock.
+inline constexpr int kDeadlockAbortCode = 88;
+
+}  // namespace pilot

@@ -1,0 +1,134 @@
+#include "pilot/format.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace pilot {
+
+std::size_t element_size(ValueType t) {
+  switch (t) {
+    case ValueType::kChar: return sizeof(char);
+    case ValueType::kInt: return sizeof(int);
+    case ValueType::kUnsigned: return sizeof(unsigned);
+    case ValueType::kLong: return sizeof(long);
+    case ValueType::kUnsignedLong: return sizeof(unsigned long);
+    case ValueType::kLongLong: return sizeof(long long);
+    case ValueType::kUnsignedLongLong: return sizeof(unsigned long long);
+    case ValueType::kFloat: return sizeof(float);
+    case ValueType::kDouble: return sizeof(double);
+    case ValueType::kBytes: return 1;
+  }
+  throw FormatError("element_size: bad value type");
+}
+
+std::string type_name(ValueType t) {
+  switch (t) {
+    case ValueType::kChar: return "c";
+    case ValueType::kInt: return "d";
+    case ValueType::kUnsigned: return "u";
+    case ValueType::kLong: return "ld";
+    case ValueType::kUnsignedLong: return "lu";
+    case ValueType::kLongLong: return "lld";
+    case ValueType::kUnsignedLongLong: return "llu";
+    case ValueType::kFloat: return "f";
+    case ValueType::kDouble: return "lf";
+    case ValueType::kBytes: return "b";
+  }
+  return "?";
+}
+
+std::size_t FormatSpec::element_size() const { return pilot::element_size(type); }
+
+std::string FormatSpec::signature() const {
+  std::string out;
+  switch (count) {
+    case CountKind::kScalar: break;
+    case CountKind::kFixed: out += std::to_string(fixed_count); break;
+    case CountKind::kStar: out += '*'; break;
+    case CountKind::kCaret: out += '^'; break;
+  }
+  out += type_name(type);
+  return out;
+}
+
+namespace {
+
+ValueType parse_type(std::string_view fmt, std::size_t& i) {
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < fmt.size() ? fmt[i + k] : '\0';
+  };
+  const char c = peek(0);
+  switch (c) {
+    case 'c': ++i; return ValueType::kChar;
+    case 'd': ++i; return ValueType::kInt;
+    case 'u': ++i; return ValueType::kUnsigned;
+    case 'f': ++i; return ValueType::kFloat;
+    case 'b': ++i; return ValueType::kBytes;
+    case 'l':
+      if (peek(1) == 'd') { i += 2; return ValueType::kLong; }
+      if (peek(1) == 'u') { i += 2; return ValueType::kUnsignedLong; }
+      if (peek(1) == 'f') { i += 2; return ValueType::kDouble; }
+      if (peek(1) == 'l' && peek(2) == 'd') { i += 3; return ValueType::kLongLong; }
+      if (peek(1) == 'l' && peek(2) == 'u') { i += 3; return ValueType::kUnsignedLongLong; }
+      break;
+    default: break;
+  }
+  throw FormatError(util::strprintf(
+      "bad conversion type at offset %zu in format \"%.*s\"", i,
+      static_cast<int>(fmt.size()), fmt.data()));
+}
+
+}  // namespace
+
+std::vector<FormatSpec> parse_format(std::string_view fmt) {
+  std::vector<FormatSpec> specs;
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    if (fmt[i] == ' ') {
+      ++i;
+      continue;
+    }
+    if (fmt[i] != '%')
+      throw FormatError(util::strprintf(
+          "unexpected character '%c' at offset %zu in format \"%.*s\" "
+          "(Pilot formats contain only %% specifiers and spaces)",
+          fmt[i], i, static_cast<int>(fmt.size()), fmt.data()));
+    ++i;
+    FormatSpec spec;
+    if (i < fmt.size() && fmt[i] == '*') {
+      spec.count = CountKind::kStar;
+      ++i;
+    } else if (i < fmt.size() && fmt[i] == '^') {
+      spec.count = CountKind::kCaret;
+      ++i;
+    } else if (i < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+      spec.count = CountKind::kFixed;
+      std::size_t n = 0;
+      while (i < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[i]))) {
+        n = n * 10 + static_cast<std::size_t>(fmt[i] - '0');
+        if (n > 1'000'000'000)
+          throw FormatError("array length out of range in format string");
+        ++i;
+      }
+      if (n == 0) throw FormatError("zero-length array in format string");
+      spec.fixed_count = n;
+    }
+    spec.type = parse_type(fmt, i);
+    if (spec.type == ValueType::kBytes && spec.count == CountKind::kScalar)
+      throw FormatError("%b requires an array length (e.g. %16b or %*b)");
+    specs.push_back(spec);
+  }
+  if (specs.empty())
+    throw FormatError("format string contains no conversion specifiers");
+  return specs;
+}
+
+bool specs_compatible(const FormatSpec& writer, const FormatSpec& reader) {
+  if (writer.type != reader.type) return false;
+  const bool writer_array = writer.count != CountKind::kScalar;
+  const bool reader_array = reader.count != CountKind::kScalar;
+  return writer_array == reader_array;
+}
+
+}  // namespace pilot

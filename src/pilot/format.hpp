@@ -1,0 +1,85 @@
+// Pilot's printf/scanf-style format engine.
+//
+// Pilot borrows C's format syntax so novices learn nothing new: PI_Write
+// (toWorker, "%d %*d", n, count, array) writes an int and an int array.
+// Each conversion specifier becomes ONE message on the wire — the paper
+// relies on this ("%d %100f" sends two MPI messages, and the visual log
+// shows one arrival bubble per message).
+//
+// Grammar per specifier:   % [ count ] type
+//   count:  <none>   scalar
+//           digits   fixed-length array, e.g. %100f
+//           *        runtime-length array; length passed as an int argument
+//           ^        auto-allocating array (V2.1): on write like * ; on
+//                    read the length lands in an int* and a malloc'd buffer
+//                    pointer in a T** (caller frees)
+//   type:   c  char          d  int          u  unsigned
+//           ld long          lu unsigned long
+//           lld long long    llu unsigned long long
+//           f  float         lf double       b  raw bytes (count required)
+//
+// Level-2 error checking ships the writer's canonical signature with each
+// message so the reader can verify both ends agree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pilot {
+
+enum class ValueType : std::uint8_t {
+  kChar,
+  kInt,
+  kUnsigned,
+  kLong,
+  kUnsignedLong,
+  kLongLong,
+  kUnsignedLongLong,
+  kFloat,
+  kDouble,
+  kBytes,
+};
+
+enum class CountKind : std::uint8_t {
+  kScalar,  ///< single value
+  kFixed,   ///< compile-time length, e.g. %100f
+  kStar,    ///< %*type, length is a runtime int argument
+  kCaret,   ///< %^type, auto-allocated on the read side
+};
+
+struct FormatSpec {
+  ValueType type = ValueType::kInt;
+  CountKind count = CountKind::kScalar;
+  std::size_t fixed_count = 0;  ///< only for kFixed
+
+  [[nodiscard]] std::size_t element_size() const;
+  /// Canonical signature of one spec: "d", "100f", "*d", "^lf", ...
+  [[nodiscard]] std::string signature() const;
+};
+
+/// Thrown on malformed format strings and on reader/writer mismatches; the
+/// Pilot API layer wraps it with call-site context.
+class FormatError : public util::UsageError {
+public:
+  explicit FormatError(const std::string& what) : util::UsageError(what) {}
+};
+
+/// Parse a whole format string (specifiers separated by arbitrary spaces).
+/// Anything except valid specifiers and spaces is an error — Pilot formats
+/// carry no literal text.
+std::vector<FormatSpec> parse_format(std::string_view fmt);
+
+std::size_t element_size(ValueType t);
+std::string type_name(ValueType t);
+
+/// Reader/writer compatibility for one spec pair (level-2 checking): the
+/// element type must match exactly and both sides must agree on scalar vs
+/// array. Array length kinds may differ (%100d can be read by %*d or %^d);
+/// actual lengths are verified against the wire size at read time.
+bool specs_compatible(const FormatSpec& writer, const FormatSpec& reader);
+
+}  // namespace pilot

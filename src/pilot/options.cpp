@@ -1,0 +1,97 @@
+#include "pilot/options.hpp"
+
+#include <cstdlib>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pilot {
+
+namespace {
+
+double parse_double(const std::string& what, const std::string& v) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || parsed < 0.0)
+    throw util::UsageError(what + " expects a non-negative number, got '" + v + "'");
+  return parsed;
+}
+
+long long parse_int(const std::string& what, const std::string& v) {
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || parsed < 0)
+    throw util::UsageError(what + " expects a non-negative integer, got '" + v + "'");
+  return parsed;
+}
+
+}  // namespace
+
+Options Options::parse(int* argc, char*** argv) {
+  Options opts;
+
+  for (const std::string& letters :
+       util::strip_args_with_prefix(argc, argv, "-pisvc=")) {
+    for (char c : letters) {
+      switch (c) {
+        case 'c': opts.svc_calls = true; break;
+        case 'd': opts.svc_deadlock = true; break;
+        case 'j': opts.svc_jumpshot = true; break;
+        default:
+          throw util::UsageError(util::strprintf(
+              "-pisvc: unknown service letter '%c' (valid: c, d, j)", c));
+      }
+    }
+  }
+
+  // Bare flag: "-pirobust" (prefix match also strips it).
+  if (!util::strip_args_with_prefix(argc, argv, "-pirobust").empty())
+    opts.robust_log = true;
+
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-picheck="); !v.empty()) {
+    const long long level = parse_int("-picheck", v.back());
+    if (level > 3) throw util::UsageError("-picheck: level must be 0..3");
+    opts.check_level = static_cast<int>(level);
+  }
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pinp="); !v.empty())
+    opts.np = static_cast<int>(parse_int("-pinp", v.back()));
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-piout="); !v.empty())
+    opts.out_dir = v.back();
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-piname="); !v.empty())
+    opts.log_basename = v.back();
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pispread="); !v.empty())
+    opts.arrow_spread = parse_double("-pispread", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-piwatchdog="); !v.empty())
+    opts.watchdog = parse_double("-piwatchdog", v.back());
+
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-cores="); !v.empty())
+    opts.sim_cores = static_cast<unsigned>(parse_int("-pisim-cores", v.back()));
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-scale="); !v.empty())
+    opts.sim_scale = parse_double("-pisim-scale", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-latency="); !v.empty())
+    opts.sim_latency = parse_double("-pisim-latency", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-bandwidth="); !v.empty())
+    opts.sim_bandwidth = parse_double("-pisim-bandwidth", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-drift="); !v.empty())
+    opts.sim_drift = parse_double("-pisim-drift", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-skew="); !v.empty())
+    opts.sim_skew = parse_double("-pisim-skew", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-clockres="); !v.empty())
+    opts.sim_clockres = parse_double("-pisim-clockres", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pisim-seed="); !v.empty())
+    opts.sim_seed = static_cast<std::uint64_t>(parse_int("-pisim-seed", v.back()));
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pinativecost="); !v.empty())
+    opts.native_log_cost = parse_double("-pinativecost", v.back());
+
+  // Reject any leftover -pi... argument: a typo should fail loudly, not be
+  // silently passed through to the application.
+  for (int i = 1; i < *argc; ++i) {
+    const std::string a((*argv)[i]);
+    if (util::starts_with(a, "-pi"))
+      throw util::UsageError("unrecognized Pilot option: " + a);
+  }
+  return opts;
+}
+
+}  // namespace pilot

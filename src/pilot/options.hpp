@@ -1,0 +1,67 @@
+// Pilot run-time options, parsed (and stripped) from the command line by
+// PI_Configure — the same mechanism real Pilot uses, extended with
+// simulated-machine knobs (prefix -pisim-) for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pilot {
+
+struct Options {
+  // --- services (-pisvc=LETTERS) -------------------------------------------
+  bool svc_calls = false;     ///< 'c': native call log on a dedicated rank
+  bool svc_deadlock = false;  ///< 'd': deadlock detector on the same rank
+  bool svc_jumpshot = false;  ///< 'j': MPE logging -> CLOG-2 (the paper)
+
+  /// -pirobust (with 'j'): spill MPE records to per-rank files as they are
+  /// logged so the trace survives PI_Abort — the paper's stated future
+  /// work, implemented here. Recover with mpe::salvage / pilot-logsalvage.
+  bool robust_log = false;
+
+  // --- checking (-picheck=N) ------------------------------------------------
+  /// 0 = phase checks only; 1 = full API-abuse checks (default);
+  /// 2 = + reader/writer format matching; 3 = + pointer validity.
+  int check_level = 1;
+
+  // --- deployment -----------------------------------------------------------
+  int np = 0;  ///< simulated mpirun -np bound; 0 = as many as created
+  std::string out_dir = ".";
+  std::string log_basename = "pilot";
+
+  /// Arrow-spread delay in wall seconds between the per-channel sends of a
+  /// collective (the paper's 1 ms usleep fix for "Equal Drawables").
+  double arrow_spread = 0.0;
+
+  // --- simulated machine (-pisim-*) ----------------------------------------
+  unsigned sim_cores = 0;     ///< virtual cores; 0 = one per rank
+  double sim_scale = 0.0;     ///< wall seconds per virtual compute second
+  double sim_latency = 0.0;   ///< per-message delivery latency (wall s)
+  double sim_bandwidth = 0.0; ///< bytes/s (0 = infinite)
+  double sim_drift = 0.0;     ///< max per-rank clock offset (s)
+  double sim_skew = 0.0;      ///< max per-rank clock skew (fraction)
+  double sim_clockres = 0.0;  ///< MPI_Wtime resolution quantum (s)
+  std::uint64_t sim_seed = 1;
+  double watchdog = 60.0;     ///< whole-job wall deadline (s); 0 = off
+
+  // Cost model for the native-log service rank, in virtual seconds per
+  // logged call (formatting + disk write on real Pilot's logging rank).
+  double native_log_cost = 200e-6;
+
+  /// Parse and strip every "-pi..." argument. Never touches argv[0].
+  /// Throws util::UsageError on malformed values.
+  static Options parse(int* argc, char*** argv);
+
+  [[nodiscard]] bool needs_service_rank() const { return svc_calls || svc_deadlock; }
+  [[nodiscard]] std::string clog2_path() const {
+    return out_dir + "/" + log_basename + ".clog2";
+  }
+  [[nodiscard]] std::string native_log_path() const {
+    return out_dir + "/" + log_basename + ".log";
+  }
+  [[nodiscard]] std::string spill_base() const {
+    return out_dir + "/" + log_basename;
+  }
+};
+
+}  // namespace pilot

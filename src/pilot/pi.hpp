@@ -1,0 +1,173 @@
+// Pilot — "A friendly face for MPI".
+//
+// The public, C-style API of the Pilot library, reproduced from the paper:
+// a process/channel programming model in the CSP tradition, layered here on
+// the mpisim substrate (thread-per-rank MPI subset) instead of a real MPI.
+//
+// Life cycle of every Pilot program:
+//
+//   int worker(int index, void* arg) { ... PI_Read/PI_Write ... }
+//
+//   int main(int argc, char* argv[]) {
+//     PI_Configure(&argc, &argv);              // strips -pisvc=... etc.
+//     PI_PROCESS* w = PI_CreateProcess(worker, 0, nullptr);
+//     PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+//     PI_StartAll();                           // workers launch; caller
+//                                              // continues as PI_MAIN
+//     PI_Write(c, "%d", 42);
+//     PI_StopMain(0);                          // join + finalize logs
+//   }
+//
+// Command-line services (stripped by PI_Configure):
+//   -pisvc=LETTERS   c = native call log (uses an extra rank, like the
+//                        paper's measurement), d = deadlock detector
+//                        (same extra rank), j = MPE/Jumpshot log (the
+//                        paper's contribution; writes a CLOG-2 file)
+//   -picheck=N       error-check level 0..3 (2 adds reader/writer format
+//                        matching, 3 adds pointer validity checks)
+//   -pinp=N          simulated "mpirun -np N" bound on processes
+//   -piout=DIR       where log files are written (default ".")
+//   -piname=BASE     log file base name (default "pilot")
+//   -pispread=SEC    arrow-spread delay between collective sends
+//                        (the paper's 1 ms usleep fix; default 0)
+//   -pisim-...       simulated-machine knobs (cores, scale, latency,
+//                        bandwidth, drift, skew, clockres, seed)
+//
+// All API functions are macros capturing __FILE__/__LINE__, so error
+// diagnostics and the visual log pinpoint source lines, exactly as the
+// paper shows in every popup.
+#pragma once
+
+#include <cstddef>
+
+namespace pilot {
+class Process;
+class Channel;
+class Bundle;
+}  // namespace pilot
+
+using PI_PROCESS = pilot::Process;
+using PI_CHANNEL = pilot::Channel;
+using PI_BUNDLE = pilot::Bundle;
+
+/// Bundle usages (PI_CreateBundle).
+enum PI_BUNUSE : int {
+  PI_BROADCAST = 1,
+  PI_SCATTER = 2,
+  PI_GATHER = 3,
+  PI_REDUCE = 4,
+  PI_SELECT_B = 5,  ///< selector bundle for PI_Select / PI_TrySelect
+};
+
+/// Reduction operators (PI_Reduce).
+enum PI_REDOP : int {
+  PI_SUM = 1,
+  PI_PROD = 2,
+  PI_MIN = 3,
+  PI_MAX = 4,
+};
+
+/// Channel-copy directions (PI_CopyChannels).
+enum PI_COPYDIR : int {
+  PI_SAME = 1,     ///< copies keep the original endpoints
+  PI_REVERSE = 2,  ///< copies swap writer and reader
+};
+
+/// The main process (rank 0). Set by PI_Configure.
+extern PI_PROCESS* PI_MAIN;
+
+// --- implementation entry points (call via the PI_* macros below) ----------
+int PI_Configure_(const char* file, int line, int* argc, char*** argv);
+PI_PROCESS* PI_CreateProcess_(const char* file, int line, int (*work)(int, void*),
+                              int index, void* arg2);
+PI_CHANNEL* PI_CreateChannel_(const char* file, int line, PI_PROCESS* from,
+                              PI_PROCESS* to);
+PI_BUNDLE* PI_CreateBundle_(const char* file, int line, PI_BUNUSE usage,
+                            PI_CHANNEL* const channels[], int size);
+/// Duplicate `size` channels (configuration phase), optionally reversing
+/// their direction — the idiomatic way to get an independent channel set
+/// for a second bundle. Returns a malloc'd array of size `size`; the caller
+/// frees the array (the channels themselves belong to Pilot).
+PI_CHANNEL** PI_CopyChannels_(const char* file, int line, PI_COPYDIR direction,
+                              PI_CHANNEL* const channels[], int size);
+void PI_StartAll_(const char* file, int line);
+void PI_StopMain_(const char* file, int line, int status);
+
+void PI_Write_(const char* file, int line, PI_CHANNEL* chan, const char* fmt, ...);
+void PI_Read_(const char* file, int line, PI_CHANNEL* chan, const char* fmt, ...);
+void PI_Broadcast_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt, ...);
+void PI_Scatter_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt, ...);
+void PI_Gather_(const char* file, int line, PI_BUNDLE* bundle, const char* fmt, ...);
+void PI_Reduce_(const char* file, int line, PI_BUNDLE* bundle, PI_REDOP op,
+                const char* fmt, ...);
+
+int PI_Select_(const char* file, int line, PI_BUNDLE* bundle);
+int PI_TrySelect_(const char* file, int line, PI_BUNDLE* bundle);
+int PI_ChannelHasData_(const char* file, int line, PI_CHANNEL* chan);
+
+void PI_SetName_(const char* file, int line, PI_PROCESS* p, const char* name);
+void PI_SetName_(const char* file, int line, PI_CHANNEL* c, const char* name);
+void PI_SetName_(const char* file, int line, PI_BUNDLE* b, const char* name);
+const char* PI_GetName_(const char* file, int line, const PI_PROCESS* p);
+const char* PI_GetName_(const char* file, int line, const PI_CHANNEL* c);
+const char* PI_GetName_(const char* file, int line, const PI_BUNDLE* b);
+
+PI_CHANNEL* PI_GetBundleChannel_(const char* file, int line, const PI_BUNDLE* b,
+                                 int index);
+int PI_GetBundleSize_(const char* file, int line, const PI_BUNDLE* b);
+
+double PI_StartTime_(const char* file, int line);
+double PI_EndTime_(const char* file, int line);
+void PI_Log_(const char* file, int line, const char* text);
+int PI_IsLogging_(const char* file, int line);
+[[noreturn]] void PI_Abort_(const char* file, int line, int errcode,
+                            const char* text);
+
+/// Simulation extension (not in real Pilot): charge `seconds` of virtual
+/// compute to the simulated machine. Workload kernels call this so timing
+/// experiments are host-independent; see DESIGN.md.
+void PI_Compute_(const char* file, int line, double seconds);
+
+// --- custom logging (MPE's "customized logging via its API", surfaced
+// through Pilot as an extension) -----------------------------------------
+// Define states during the configuration phase, then bracket interesting
+// program phases at run time; they appear as user-coloured rectangles
+// nested inside the gray Compute state. All three are no-ops without
+// -pisvc=j, so instrumented programs run unchanged when logging is off.
+/// Define a custom state (configuration phase only). `color` must be a
+/// known X11-style name. Returns a handle for PI_StateBegin/PI_StateEnd.
+int PI_DefineState_(const char* file, int line, const char* name,
+                    const char* color);
+void PI_StateBegin_(const char* file, int line, int state_handle);
+void PI_StateEnd_(const char* file, int line, int state_handle);
+
+// --- the user-facing macros --------------------------------------------------
+#define PI_Configure(argcp, argvp) PI_Configure_(__FILE__, __LINE__, argcp, argvp)
+#define PI_CreateProcess(...) PI_CreateProcess_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_CreateChannel(...) PI_CreateChannel_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_CreateBundle(...) PI_CreateBundle_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_CopyChannels(...) PI_CopyChannels_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_StartAll() PI_StartAll_(__FILE__, __LINE__)
+#define PI_StopMain(status) PI_StopMain_(__FILE__, __LINE__, status)
+#define PI_Write(...) PI_Write_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Read(...) PI_Read_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Broadcast(...) PI_Broadcast_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Scatter(...) PI_Scatter_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Gather(...) PI_Gather_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Reduce(...) PI_Reduce_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_Select(bundle) PI_Select_(__FILE__, __LINE__, bundle)
+#define PI_TrySelect(bundle) PI_TrySelect_(__FILE__, __LINE__, bundle)
+#define PI_ChannelHasData(chan) PI_ChannelHasData_(__FILE__, __LINE__, chan)
+#define PI_SetName(...) PI_SetName_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_GetName(x) PI_GetName_(__FILE__, __LINE__, x)
+#define PI_GetBundleChannel(...) PI_GetBundleChannel_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_GetBundleSize(b) PI_GetBundleSize_(__FILE__, __LINE__, b)
+#define PI_StartTime() PI_StartTime_(__FILE__, __LINE__)
+#define PI_EndTime() PI_EndTime_(__FILE__, __LINE__)
+#define PI_Log(text) PI_Log_(__FILE__, __LINE__, text)
+#define PI_IsLogging() PI_IsLogging_(__FILE__, __LINE__)
+#define PI_Abort(errcode, text) PI_Abort_(__FILE__, __LINE__, errcode, text)
+#define PI_Compute(seconds) PI_Compute_(__FILE__, __LINE__, seconds)
+#define PI_DefineState(...) PI_DefineState_(__FILE__, __LINE__, __VA_ARGS__)
+#define PI_StateBegin(h) PI_StateBegin_(__FILE__, __LINE__, h)
+#define PI_StateEnd(h) PI_StateEnd_(__FILE__, __LINE__, h)

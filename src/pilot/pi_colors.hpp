@@ -1,0 +1,34 @@
+// Colour assignments for the visual log (Section III-A of the paper).
+//
+// The scheme is systematic, not ad hoc:
+//   * red theme for input  ("red" ~ "read"; reading always blocks — red
+//     means stop),
+//   * green theme for output (writing signals a waiting reader — green
+//     means go),
+//   * within a theme, point-to-point functions use the light shade and
+//     collective functions a dark shade,
+//   * administrative phases use neutral colours (bisque / gray),
+//   * milestone bubbles are yellow, message arrows white.
+//
+// Users who dislike the defaults edit this header and rebuild Pilot, just
+// as the paper describes. Names must exist in util::color_by_name.
+#pragma once
+
+// Input category (red theme).
+#define PI_COLOR_READ "red"
+#define PI_COLOR_GATHER "IndianRed"
+#define PI_COLOR_REDUCE "FireBrick"
+#define PI_COLOR_SELECT "LightCoral"
+
+// Output category (green theme).
+#define PI_COLOR_WRITE "green"
+#define PI_COLOR_BROADCAST "ForestGreen"
+#define PI_COLOR_SCATTER "SeaGreen"
+
+// Administrative phases.
+#define PI_COLOR_CONFIGURE "bisque"
+#define PI_COLOR_COMPUTE "gray"
+
+// Milestone bubbles (message arrivals, write info, utility returns).
+#define PI_COLOR_BUBBLE "yellow"
+#define PI_COLOR_UTILITY "orange"

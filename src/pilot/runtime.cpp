@@ -1,0 +1,557 @@
+// Runtime core: lifecycle, entity creation, phase rules, services wiring.
+// The message engine (read/write/collectives) lives in runtime_io.cpp.
+#include "pilot/runtime.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/color.hpp"
+#include "util/strings.hpp"
+
+namespace pilot {
+
+namespace {
+
+std::unique_ptr<Runtime> g_runtime;
+
+thread_local Process* tls_process = nullptr;
+thread_local double tls_start_time = 0.0;
+
+std::string site_str(const CallSite& site) {
+  const std::filesystem::path p(site.file ? site.file : "?");
+  return util::strprintf("%s:%d", p.filename().string().c_str(), site.line);
+}
+
+}  // namespace
+
+Runtime* Runtime::current() { return g_runtime.get(); }
+
+void Runtime::install(std::unique_ptr<Runtime> rt) {
+  if (g_runtime)
+    throw PilotError("a Pilot program is already active in this process");
+  g_runtime = std::move(rt);
+}
+
+std::unique_ptr<Runtime> Runtime::uninstall() {
+  tls_process = nullptr;
+  return std::move(g_runtime);
+}
+
+Runtime& Runtime::require(const CallSite& site) {
+  if (!g_runtime)
+    throw PilotError(util::strprintf(
+        "%s: Pilot API called before PI_Configure", site_str(site).c_str()));
+  return *g_runtime;
+}
+
+Runtime::Runtime(Options opts) : opts_(std::move(opts)) {}
+
+Runtime::~Runtime() { teardown(); }
+
+void Runtime::teardown() {
+  if (world_ && phase_ == Phase::kRunning) {
+    // Unblock and join without running the cooperative finalize path (the
+    // MPE gather cannot run once the job aborted — the log is lost, as the
+    // paper documents for PI_Abort).
+    if (!world_->is_aborted()) world_->force_abort(-13);
+    try {
+      (void)world_->finish();
+    } catch (...) {
+      // Teardown must not throw; diagnostics were already reported.
+    }
+    run_info_.aborted = world_->is_aborted();
+    run_info_.abort_code = world_->abort_code();
+    phase_ = Phase::kDone;
+  }
+  if (service_) {
+    run_info_.deadlock = service_->deadlock_detected();
+    if (run_info_.deadlock_report.empty())
+      run_info_.deadlock_report = service_->deadlock_report();
+  }
+  tls_process = nullptr;
+}
+
+void Runtime::fail(const CallSite& site, const std::string& msg) const {
+  throw PilotError(site_str(site) + ": " + msg);
+}
+
+void Runtime::require_phase(const CallSite& site, Phase want, const char* what) const {
+  if (phase_ == want) return;
+  const char* names[] = {"before PI_Configure", "configuration phase",
+                         "execution phase", "after PI_StopMain"};
+  fail(site, util::strprintf("%s may only be called in the %s (currently %s)", what,
+                             names[static_cast<int>(want)],
+                             names[static_cast<int>(phase_)]));
+}
+
+Process* Runtime::current_process(const CallSite& site, const char* what) const {
+  if (tls_process == nullptr)
+    fail(site, util::strprintf("%s called outside any Pilot process", what));
+  return tls_process;
+}
+
+mpisim::Comm& Runtime::comm(const CallSite& site, const char* what) const {
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr)
+    fail(site, util::strprintf("%s called outside the execution phase", what));
+  return *c;
+}
+
+void Runtime::check_pointer(const CallSite& site, const void* p,
+                            const char* what) const {
+  if (opts_.check_level >= 3 && p == nullptr)
+    fail(site, util::strprintf("%s: pointer argument seems invalid (null)", what));
+}
+
+// --- configuration phase -------------------------------------------------------
+
+int Runtime::configure(const CallSite& site) {
+  require_phase(site, Phase::kPreConfig, "PI_Configure");
+  config_epoch_ = std::chrono::steady_clock::now();
+  processes_.push_back(Process{});
+  main_ = &processes_.back();
+  main_->rank = 0;
+  main_->name = "PI_MAIN";
+  phase_ = Phase::kConfig;
+  // PI_MAIN's thread is this one during the configuration phase.
+  tls_process = main_;
+  return opts_.np;
+}
+
+Process* Runtime::create_process(const CallSite& site, WorkFunc work, int index,
+                                 void* arg2) {
+  require_phase(site, Phase::kConfig, "PI_CreateProcess");
+  if (work == nullptr) fail(site, "PI_CreateProcess: work function is null");
+  const int new_rank = static_cast<int>(processes_.size());
+  if (opts_.np > 0) {
+    const int budget = opts_.np - (opts_.needs_service_rank() ? 1 : 0);
+    if (new_rank + 1 > budget)
+      fail(site, util::strprintf(
+                     "PI_CreateProcess: process budget exhausted (-pinp=%d%s allows "
+                     "%d worker process(es))",
+                     opts_.np, opts_.needs_service_rank() ? " minus 1 service rank" : "",
+                     budget - 1));
+  }
+  processes_.push_back(Process{});
+  Process* p = &processes_.back();
+  p->rank = new_rank;
+  p->index = index;
+  p->arg2 = arg2;
+  p->work = work;
+  p->name = "P" + std::to_string(new_rank);
+  return p;
+}
+
+Channel* Runtime::create_channel(const CallSite& site, Process* from, Process* to) {
+  require_phase(site, Phase::kConfig, "PI_CreateChannel");
+  if (from == nullptr || to == nullptr)
+    fail(site, "PI_CreateChannel: endpoint is null");
+  if (from == to)
+    fail(site, "PI_CreateChannel: a channel needs two distinct processes");
+  channels_.push_back(Channel{});
+  Channel* c = &channels_.back();
+  c->id = static_cast<int>(channels_.size());
+  c->from = from;
+  c->to = to;
+  c->name = "C" + std::to_string(c->id);
+  return c;
+}
+
+Bundle* Runtime::create_bundle(const CallSite& site, PI_BUNUSE usage,
+                               PI_CHANNEL* const channels[], int size) {
+  require_phase(site, Phase::kConfig, "PI_CreateBundle");
+  if (usage < PI_BROADCAST || usage > PI_SELECT_B)
+    fail(site, "PI_CreateBundle: invalid bundle usage");
+  if (channels == nullptr || size <= 0)
+    fail(site, "PI_CreateBundle: needs a non-empty channel array");
+
+  const bool common_is_from = usage == PI_BROADCAST || usage == PI_SCATTER;
+  Process* common = nullptr;
+  std::vector<Channel*> members;
+  members.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    Channel* c = channels[i];
+    if (c == nullptr)
+      fail(site, util::strprintf("PI_CreateBundle: channel %d is null", i));
+    Process* endpoint = common_is_from ? c->from : c->to;
+    if (common == nullptr) {
+      common = endpoint;
+    } else if (common != endpoint) {
+      fail(site, util::strprintf(
+                     "PI_CreateBundle: channel %d (%s) does not share the bundle's "
+                     "common %s endpoint (%s)",
+                     i, c->name.c_str(), common_is_from ? "writer" : "reader",
+                     common->name.c_str()));
+    }
+    for (const Channel* seen : members)
+      if (seen == c)
+        fail(site, util::strprintf("PI_CreateBundle: channel %s appears twice",
+                                   c->name.c_str()));
+    members.push_back(c);
+  }
+
+  bundles_.push_back(Bundle{});
+  Bundle* b = &bundles_.back();
+  b->id = static_cast<int>(bundles_.size());
+  b->usage = usage;
+  b->channels = std::move(members);
+  b->common = common;
+  b->name = "B" + std::to_string(b->id);
+  return b;
+}
+
+void Runtime::set_name(const CallSite& site, Process* p, const char* name) {
+  if (p == nullptr || name == nullptr) fail(site, "PI_SetName: null argument");
+  p->name = name;
+}
+void Runtime::set_name(const CallSite& site, Channel* c, const char* name) {
+  if (c == nullptr || name == nullptr) fail(site, "PI_SetName: null argument");
+  c->name = name;
+}
+void Runtime::set_name(const CallSite& site, Bundle* b, const char* name) {
+  if (b == nullptr || name == nullptr) fail(site, "PI_SetName: null argument");
+  b->name = name;
+}
+
+Channel** Runtime::copy_channels(const CallSite& site, PI_COPYDIR direction,
+                                 PI_CHANNEL* const channels[], int size) {
+  require_phase(site, Phase::kConfig, "PI_CopyChannels");
+  if (direction != PI_SAME && direction != PI_REVERSE)
+    fail(site, "PI_CopyChannels: invalid direction");
+  if (channels == nullptr || size <= 0)
+    fail(site, "PI_CopyChannels: needs a non-empty channel array");
+
+  auto** out = static_cast<Channel**>(
+      std::malloc(static_cast<std::size_t>(size) * sizeof(Channel*)));
+  if (out == nullptr) fail(site, "PI_CopyChannels: out of memory");
+  for (int i = 0; i < size; ++i) {
+    const Channel* src = channels[i];
+    if (src == nullptr) {
+      std::free(out);
+      fail(site, util::strprintf("PI_CopyChannels: channel %d is null", i));
+    }
+    Process* from = direction == PI_SAME ? src->from : src->to;
+    Process* to = direction == PI_SAME ? src->to : src->from;
+    out[i] = create_channel(site, from, to);
+  }
+  return out;
+}
+
+int Runtime::define_user_state(const CallSite& site, const char* name,
+                               const char* color) {
+  require_phase(site, Phase::kConfig, "PI_DefineState");
+  if (name == nullptr || color == nullptr)
+    fail(site, "PI_DefineState: null argument");
+  if (!util::is_known_color(color))
+    fail(site, util::strprintf("PI_DefineState: unknown colour '%s'", color));
+  user_state_defs_.emplace_back(name, color);
+  return static_cast<int>(user_state_defs_.size()) - 1;
+}
+
+void Runtime::state_begin(const CallSite& site, int handle) {
+  require_phase(site, Phase::kRunning, "PI_StateBegin");
+  if (handle < 0 || handle >= static_cast<int>(user_state_defs_.size()))
+    fail(site, util::strprintf("PI_StateBegin: invalid state handle %d", handle));
+  Process* me = current_process(site, "PI_StateBegin");
+  mpisim::Comm& c = comm(site, "PI_StateBegin");
+  svc_call_line(site, util::strprintf(
+                          "PI_StateBegin %s",
+                          user_state_defs_[static_cast<std::size_t>(handle)]
+                              .first.c_str()));
+  if (logviz_) logviz_->begin_user_state(c, handle, site, *me);
+}
+
+void Runtime::state_end(const CallSite& site, int handle) {
+  require_phase(site, Phase::kRunning, "PI_StateEnd");
+  if (handle < 0 || handle >= static_cast<int>(user_state_defs_.size()))
+    fail(site, util::strprintf("PI_StateEnd: invalid state handle %d", handle));
+  current_process(site, "PI_StateEnd");
+  mpisim::Comm& c = comm(site, "PI_StateEnd");
+  svc_call_line(site, util::strprintf(
+                          "PI_StateEnd %s",
+                          user_state_defs_[static_cast<std::size_t>(handle)]
+                              .first.c_str()));
+  if (logviz_) logviz_->end_user_state(c, handle);
+}
+
+std::vector<std::string> Runtime::rank_names() const {
+  std::vector<std::string> names;
+  names.reserve(processes_.size() + 1);
+  for (const auto& p : processes_) names.push_back(p.name);
+  if (service_rank_ >= 0) names.emplace_back("(log)");
+  return names;
+}
+
+// --- execution phase -------------------------------------------------------------
+
+void Runtime::start_all(const CallSite& site) {
+  require_phase(site, Phase::kConfig, "PI_StartAll");
+  if (tls_process != main_)
+    fail(site, "PI_StartAll must be called by the configuring (main) thread");
+
+  const int compute_ranks = static_cast<int>(processes_.size());
+  const int nranks = compute_ranks + (opts_.needs_service_rank() ? 1 : 0);
+  service_rank_ = opts_.needs_service_rank() ? nranks - 1 : -1;
+
+  mpisim::World::Config cfg;
+  cfg.nprocs = nranks;
+  cfg.cpu_cores =
+      opts_.sim_cores != 0 ? opts_.sim_cores : static_cast<unsigned>(compute_ranks);
+  cfg.time_scale = opts_.sim_scale;
+  cfg.msg_latency = opts_.sim_latency;
+  cfg.msg_bandwidth = opts_.sim_bandwidth;
+  cfg.clock_max_offset = opts_.sim_drift;
+  cfg.clock_max_skew = opts_.sim_skew;
+  cfg.seed = opts_.sim_seed;
+  cfg.watchdog_seconds = opts_.watchdog;
+
+  const double config_duration = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - config_epoch_)
+                                     .count();
+  world_ = std::make_unique<mpisim::World>(cfg);
+  world_->clock().backdate(config_duration);
+  world_->clock().set_quantum(opts_.sim_clockres);
+
+  if (opts_.svc_jumpshot) {
+    mpe::Logger::Options mpe_opts;
+    mpe_opts.comment = "Pilot MPE log (" + opts_.log_basename + ")";
+    if (opts_.robust_log) mpe_opts.spill_base = opts_.spill_base();
+    logviz_ = std::make_unique<LogViz>(*world_, mpe_opts);
+    for (const auto& [name, color] : user_state_defs_)
+      logviz_->define_user_state(name, color);
+    if (opts_.robust_log) logviz_->logger().write_spill_defs();
+  }
+  if (opts_.needs_service_rank()) {
+    std::vector<Service::ChannelMeta> metas;
+    metas.reserve(channels_.size());
+    for (const auto& c : channels_)
+      metas.push_back(Service::ChannelMeta{c.from->rank, c.to->rank, c.name});
+    service_ = std::make_unique<Service>(opts_, std::move(metas), rank_names());
+  }
+
+  phase_ = Phase::kRunning;
+  mpisim::Comm& c0 = world_->start([this](mpisim::Comm& c) { return dispatch_rank(c); });
+
+  if (logviz_) {
+    logviz_->logger().log_sync_clocks(c0);
+    // The Configuration Phase rectangle on rank 0, back-dated to t=0.
+    logviz_->configure_phase(c0, 0.0, c0.wtime());
+    logviz_->begin_compute(c0, *main_);
+  }
+  svc_call_line(site, "PI_StartAll");
+}
+
+int Runtime::dispatch_rank(mpisim::Comm& c) {
+  if (logviz_) logviz_->logger().log_sync_clocks(c);
+
+  if (c.rank() == service_rank_) {
+    const int status = service_->run(c);
+    if (logviz_) {
+      logviz_->logger().log_sync_clocks(c);
+      logviz_->logger().finish_log(c, opts_.clog2_path());
+    }
+    return status;
+  }
+
+  Process* proc = &processes_[static_cast<std::size_t>(c.rank())];
+  tls_process = proc;
+  if (logviz_) logviz_->begin_compute(c, *proc);
+  int status = 0;
+  try {
+    status = proc->work(proc->index, proc->arg2);
+  } catch (...) {
+    tls_process = nullptr;
+    throw;
+  }
+  if (logviz_) logviz_->end_compute(c);
+  finalize_rank(c);
+  tls_process = nullptr;
+  return status;
+}
+
+void Runtime::finalize_rank(mpisim::Comm& c) {
+  svc_done();
+  if (logviz_) {
+    logviz_->logger().log_sync_clocks(c);
+    const double wrapup = logviz_->logger().finish_log(c, opts_.clog2_path());
+    if (c.rank() == 0) run_info_.mpe_wrapup_seconds = wrapup;
+  }
+}
+
+void Runtime::stop_main(const CallSite& site, int status) {
+  require_phase(site, Phase::kRunning, "PI_StopMain");
+  if (tls_process != main_)
+    fail(site, "PI_StopMain must be called by PI_MAIN");
+  mpisim::Comm& c = comm(site, "PI_StopMain");
+
+  if (!world_->is_aborted()) {
+    svc_call_line(site, util::strprintf("PI_StopMain status=%d", status));
+    if (logviz_) logviz_->end_compute(c);
+    finalize_rank(c);
+  }
+
+  tls_process = nullptr;
+  const auto result = world_->finish();
+  run_info_.completed = true;
+  run_info_.aborted = result.aborted;
+  run_info_.abort_code = result.abort_code;
+  run_info_.exit_codes = result.exit_codes;
+  if (service_) {
+    run_info_.deadlock = service_->deadlock_detected();
+    run_info_.deadlock_report = service_->deadlock_report();
+  }
+  phase_ = Phase::kDone;
+}
+
+// --- utilities -------------------------------------------------------------------
+
+double Runtime::start_time(const CallSite& site) {
+  mpisim::Comm& c = comm(site, "PI_StartTime");
+  const double t = c.wtime();
+  tls_start_time = t;
+  if (logviz_) logviz_->utility(c, "PI_StartTime", site, util::strprintf("%.9f", t));
+  svc_call_line(site, "PI_StartTime");
+  return t;
+}
+
+double Runtime::end_time(const CallSite& site) {
+  mpisim::Comm& c = comm(site, "PI_EndTime");
+  const double dt = c.wtime() - tls_start_time;
+  if (logviz_) logviz_->utility(c, "PI_EndTime", site, util::strprintf("%.9f", dt));
+  svc_call_line(site, "PI_EndTime");
+  return dt;
+}
+
+void Runtime::log(const CallSite& site, const char* text) {
+  if (text == nullptr) fail(site, "PI_Log: null text");
+  mpisim::Comm& c = comm(site, "PI_Log");
+  if (logviz_) logviz_->user_log(c, site, text);
+  svc_call_line(site, util::strprintf("PI_Log \"%s\"", text));
+}
+
+bool Runtime::is_logging() const {
+  return opts_.svc_jumpshot || opts_.svc_calls;
+}
+
+void Runtime::abort(const CallSite& site, int errcode, const char* text) {
+  const Process* proc = tls_process;
+  std::fprintf(stderr, "PI_Abort(%d) by %s at %s: %s\n", errcode,
+               proc ? proc->name.c_str() : "?", site_str(site).c_str(),
+               text ? text : "");
+  mpisim::Comm* c = mpisim::World::current();
+  if (phase_ == Phase::kRunning && c != nullptr) {
+    // MPI_Abort semantics: tear down all messaging. The MPE log, which
+    // needs messages to be gathered at finalize, is unavoidably lost —
+    // the limitation the paper documents.
+    c->abort(errcode);  // never returns
+  }
+  throw PilotAborted(errcode, util::strprintf("PI_Abort(%d): %s", errcode,
+                                              text ? text : ""));
+}
+
+void Runtime::compute(const CallSite& site, double seconds) {
+  if (seconds < 0) fail(site, "PI_Compute: negative duration");
+  mpisim::Comm& c = comm(site, "PI_Compute");
+  c.compute(seconds);
+}
+
+// --- service-event helpers ---------------------------------------------------------
+
+void Runtime::svc_call_line(const CallSite& site, const std::string& what) {
+  if (!opts_.svc_calls || service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr || c->rank() == service_rank_) return;
+  const Process* proc = tls_process;
+  const auto line = util::strprintf("%s %s %s",
+                                    proc ? proc->name.c_str() : "?", what.c_str(),
+                                    site_str(site).c_str());
+  const auto bytes = Service::encode_call(line);
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+void Runtime::svc_write_event(int channel_id) {
+  if (!opts_.svc_deadlock || service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr) return;
+  const auto bytes = Service::encode_write(channel_id);
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+void Runtime::svc_wait(const std::vector<int>& channel_ids, const CallSite& site) {
+  if (!opts_.svc_deadlock || service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr) return;
+  const Process* proc = tls_process;
+  const auto bytes = Service::encode_wait(channel_ids, site_str(site),
+                                          proc ? proc->name : "?");
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+void Runtime::svc_consume(int channel_id, std::uint32_t count) {
+  if (!opts_.svc_deadlock || service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr) return;
+  const auto bytes = Service::encode_consume(channel_id, count);
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+void Runtime::svc_resume() {
+  if (!opts_.svc_deadlock || service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr) return;
+  const auto bytes = Service::encode_resume();
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+void Runtime::svc_done() {
+  if (service_rank_ < 0) return;
+  mpisim::Comm* c = mpisim::World::current();
+  if (c == nullptr || c->rank() == service_rank_) return;
+  const auto bytes = Service::encode_done();
+  c->send(service_rank_, kTagService, bytes.data(), bytes.size());
+}
+
+// --- whole-program harness ----------------------------------------------------------
+
+RunResult run(const std::vector<std::string>& args,
+              const std::function<int(int, char**)>& program_main) {
+  if (Runtime::current())
+    throw PilotError("pilot::run: another Pilot program is active");
+
+  std::vector<std::string> storage = args;
+  if (storage.empty()) storage.emplace_back("pilot-program");
+  std::vector<char*> ptrs;
+  ptrs.reserve(storage.size() + 1);
+  for (auto& s : storage) ptrs.push_back(s.data());
+  ptrs.push_back(nullptr);
+
+  RunResult res;
+  try {
+    res.status = program_main(static_cast<int>(storage.size()), ptrs.data());
+  } catch (const mpisim::AbortedError& e) {
+    res.aborted = true;
+    res.abort_code = e.code();
+    res.status = e.code();
+  } catch (const PilotAborted& e) {
+    res.aborted = true;
+    res.abort_code = e.code();
+    res.status = e.code();
+  } catch (...) {
+    Runtime::uninstall();  // dtor tears the world down
+    throw;
+  }
+
+  if (auto rt = Runtime::uninstall()) {
+    rt->teardown();  // join any still-running world, harvest abort state
+    const auto& info = rt->run_info();
+    res.aborted = res.aborted || info.aborted;
+    if (res.abort_code == 0) res.abort_code = info.abort_code;
+    res.deadlock = info.deadlock;
+    res.deadlock_report = info.deadlock_report;
+    res.mpe_wrapup_seconds = info.mpe_wrapup_seconds;
+    res.exit_codes = info.exit_codes;
+  }
+  return res;
+}
+
+}  // namespace pilot

@@ -1,0 +1,226 @@
+#include "pilot/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "pilot/errors.hpp"
+#include "util/bytebuf.hpp"
+#include "util/strings.hpp"
+
+namespace pilot {
+
+namespace {
+
+enum class Kind : std::uint8_t {
+  kCall = 1,
+  kWrite = 2,
+  kWait = 3,
+  kConsume = 4,
+  kResume = 5,
+  kDone = 6,
+};
+
+}  // namespace
+
+Service::Service(const Options& opts, std::vector<ChannelMeta> channels,
+                 std::vector<std::string> rank_names)
+    : opts_(opts), channels_(std::move(channels)), rank_names_(std::move(rank_names)) {}
+
+std::vector<std::uint8_t> Service::encode_call(const std::string& text) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kCall));
+  w.str(text);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Service::encode_write(int channel_id) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kWrite));
+  w.i32(channel_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Service::encode_wait(const std::vector<int>& channel_ids,
+                                               const std::string& site,
+                                               const std::string& proc_name) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kWait));
+  w.u32(static_cast<std::uint32_t>(channel_ids.size()));
+  for (int id : channel_ids) w.i32(id);
+  w.str(site);
+  w.str(proc_name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Service::encode_consume(int channel_id,
+                                                  std::uint32_t count) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kConsume));
+  w.i32(channel_id);
+  w.u32(count);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Service::encode_resume() {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kResume));
+  return w.take();
+}
+
+std::vector<std::uint8_t> Service::encode_done() {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kDone));
+  return w.take();
+}
+
+bool Service::check_deadlock() {
+  if (waiting_.empty()) return false;
+
+  auto writer_of = [&](int channel_id) -> int {
+    const std::size_t idx = static_cast<std::size_t>(channel_id) - 1;
+    return idx < channels_.size() ? channels_[idx].writer_rank : -1;
+  };
+  auto has_pending = [&](int channel_id) {
+    auto it = pending_writes_.find(channel_id);
+    return it != pending_writes_.end() && it->second > 0;
+  };
+
+  // Candidate set: blocked ranks with nothing already pending.
+  std::set<int> d;
+  for (const auto& [rank, info] : waiting_) {
+    bool satisfiable = false;
+    for (int c : info.channel_ids)
+      if (has_pending(c)) satisfiable = true;
+    if (!satisfiable) d.insert(rank);
+  }
+
+  // Remove any rank that some still-live outsider could wake; iterate to a
+  // fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = d.begin(); it != d.end();) {
+      bool escapable = false;
+      for (int c : waiting_.at(*it).channel_ids) {
+        const int w = writer_of(c);
+        if (w < 0) continue;
+        const bool writer_stuck = d.count(w) != 0;
+        const bool writer_done = done_.count(w) != 0;
+        if (!writer_stuck && !writer_done) {
+          escapable = true;  // writer is alive and running: could still write
+          break;
+        }
+      }
+      if (escapable) {
+        it = d.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (d.empty()) return false;
+
+  std::string report = "Pilot deadlock detected:\n";
+  for (int rank : d) {
+    const auto& info = waiting_.at(rank);
+    std::string chans;
+    for (std::size_t i = 0; i < info.channel_ids.size(); ++i) {
+      const std::size_t idx = static_cast<std::size_t>(info.channel_ids[i]) - 1;
+      if (i) chans += ", ";
+      chans += idx < channels_.size() ? channels_[idx].name
+                                      : std::to_string(info.channel_ids[i]);
+    }
+    report += util::strprintf("  %s blocked reading {%s} at %s\n",
+                              info.proc_name.c_str(), chans.c_str(),
+                              info.site.c_str());
+  }
+  report_ = report;
+  return true;
+}
+
+int Service::run(mpisim::Comm& comm) {
+  std::ofstream log;
+  if (opts_.svc_calls) {
+    log.open(opts_.native_log_path(), std::ios::trunc);
+    if (!log)
+      throw PilotError("cannot open native log file: " + opts_.native_log_path());
+  }
+
+  const int peers = comm.size() - 1;
+  while (static_cast<int>(done_.size()) < peers) {
+    auto [st, bytes] = comm.recv_any_size(mpisim::kAnySource, kTagService);
+    util::ByteReader r(bytes);
+    const auto kind = static_cast<Kind>(r.u8());
+    switch (kind) {
+      case Kind::kCall: {
+        const std::string text = r.str();
+        ++calls_logged_;
+        if (log.is_open()) {
+          // Stamped with the *service's* arrival clock — the timestamp
+          // inaccuracy the paper's Section I criticizes in the native log.
+          log << util::strprintf("%.9f %s\n", comm.wtime(), text.c_str());
+          log.flush();
+        }
+        // The disk write and formatting occupy this rank's core.
+        comm.compute(opts_.native_log_cost);
+        break;
+      }
+      case Kind::kWrite: {
+        const int channel = r.i32();
+        ++pending_writes_[channel];
+        break;
+      }
+      case Kind::kWait: {
+        WaitInfo info;
+        const std::uint32_t n = r.u32();
+        info.channel_ids.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) info.channel_ids.push_back(r.i32());
+        info.site = r.str();
+        info.proc_name = r.str();
+        waiting_[st.source] = std::move(info);
+        if (check_deadlock()) {
+          std::fputs(report_.c_str(), stderr);
+          if (log.is_open()) {
+            log << report_;
+            log.flush();
+          }
+          comm.abort(kDeadlockAbortCode);  // never returns
+        }
+        break;
+      }
+      case Kind::kConsume: {
+        const int channel = r.i32();
+        const std::uint32_t count = r.u32();
+        auto it = pending_writes_.find(channel);
+        if (it != pending_writes_.end())
+          it->second -= std::min<std::uint64_t>(it->second, count);
+        break;
+      }
+      case Kind::kResume: {
+        waiting_.erase(st.source);
+        break;
+      }
+      case Kind::kDone: {
+        done_.insert(st.source);
+        waiting_.erase(st.source);
+        // A rank exiting can strand blocked readers: re-check.
+        if (opts_.svc_deadlock && check_deadlock()) {
+          std::fputs(report_.c_str(), stderr);
+          if (log.is_open()) {
+            log << report_;
+            log.flush();
+          }
+          comm.abort(kDeadlockAbortCode);
+        }
+        break;
+      }
+      default:
+        throw PilotError("service: corrupt event message");
+    }
+  }
+  return 0;
+}
+
+}  // namespace pilot

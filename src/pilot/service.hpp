@@ -1,0 +1,89 @@
+// Pilot's dedicated service rank: native call logging and the integrated
+// deadlock detector (the pre-existing facilities the paper contrasts its
+// visualization against).
+//
+// With -pisvc=c and/or -pisvc=d, Pilot claims one extra rank (displacing a
+// worker on a fully subscribed machine — the overhead the paper measures).
+// Every other rank streams events to it:
+//   * CALL  — a formatted line for the native text log. The service stamps
+//     it with its own arrival time, faithfully reproducing the timestamp
+//     inaccuracy the paper complains about in Section I.
+//   * WRITE / WAIT / RESUME — deadlock bookkeeping: writers announce
+//     messages, readers announce what they block on and what they consumed.
+//   * DONE — rank finished; the service exits once everyone is done.
+//
+// Deadlock rule: a set D of blocked ranks is deadlocked iff no member can
+// be satisfied by a pending write or by a rank outside D that is still
+// running. PI_Select contributes all its channels (it wakes if ANY gets
+// data), which the fixpoint below handles naturally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mpisim/world.hpp"
+#include "pilot/options.hpp"
+
+namespace pilot {
+
+/// Reserved tag for service traffic (above MPE's band).
+inline constexpr int kTagService = 0x03000001;
+
+class Service {
+public:
+  struct ChannelMeta {
+    int writer_rank = -1;
+    int reader_rank = -1;
+    std::string name;
+  };
+
+  Service(const Options& opts, std::vector<ChannelMeta> channels,
+          std::vector<std::string> rank_names);
+
+  /// The service rank's main loop. Returns when all peer ranks sent DONE,
+  /// or aborts the world with kDeadlockAbortCode on deadlock.
+  int run(mpisim::Comm& comm);
+
+  // --- encoding helpers used by the other ranks -----------------------------
+  static std::vector<std::uint8_t> encode_call(const std::string& text);
+  static std::vector<std::uint8_t> encode_write(int channel_id);
+  static std::vector<std::uint8_t> encode_wait(const std::vector<int>& channel_ids,
+                                               const std::string& site,
+                                               const std::string& proc_name);
+  /// Messages consumed from a channel (decrements its pending count).
+  static std::vector<std::uint8_t> encode_consume(int channel_id,
+                                                  std::uint32_t count);
+  /// The sender is no longer blocked.
+  static std::vector<std::uint8_t> encode_resume();
+  static std::vector<std::uint8_t> encode_done();
+
+  /// Valid after run(): human-readable deadlock diagnosis, empty if none.
+  [[nodiscard]] const std::string& deadlock_report() const { return report_; }
+  [[nodiscard]] bool deadlock_detected() const { return !report_.empty(); }
+  [[nodiscard]] std::uint64_t calls_logged() const { return calls_logged_; }
+
+private:
+  struct WaitInfo {
+    std::vector<int> channel_ids;
+    std::string site;
+    std::string proc_name;
+  };
+
+  /// Fixpoint deadlock check; fills report_ and returns true on deadlock.
+  bool check_deadlock();
+
+  Options opts_;
+  std::vector<ChannelMeta> channels_;  // index = channel id - 1
+  std::vector<std::string> rank_names_;
+
+  std::map<int, std::uint64_t> pending_writes_;  // channel id -> unconsumed count
+  std::map<int, WaitInfo> waiting_;              // rank -> what it blocks on
+  std::set<int> done_;
+  std::string report_;
+  std::uint64_t calls_logged_ = 0;
+};
+
+}  // namespace pilot

@@ -1,0 +1,490 @@
+// CLOG-2 → SLOG-2 conversion: pairing, matching, superposition detection,
+// and frame-tree construction. See slog2.hpp for the format overview.
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "slog2/slog2.hpp"
+#include "util/strings.hpp"
+
+namespace slog2 {
+
+namespace {
+
+constexpr std::size_t kMaxWarningMessages = 50;
+
+void warn(std::vector<std::string>* warnings, const std::string& msg) {
+  if (warnings && warnings->size() < kMaxWarningMessages) warnings->push_back(msg);
+}
+
+struct StateInfo {
+  std::int32_t category_id = 0;
+  bool is_start = false;  // else end
+};
+
+struct OpenState {
+  std::int32_t category_id = 0;
+  double start_time = 0.0;
+  std::string start_text;
+  std::int32_t depth = 0;
+};
+
+struct Collected {
+  std::vector<StateDrawable> states;
+  std::vector<EventDrawable> events;
+  std::vector<ArrowDrawable> arrows;
+};
+
+std::size_t state_bytes(const StateDrawable& s) {
+  return 2 * sizeof(double) + 3 * sizeof(std::int32_t) + s.start_text.size() +
+         s.end_text.size();
+}
+std::size_t event_bytes(const EventDrawable& e) {
+  return sizeof(double) + 2 * sizeof(std::int32_t) + e.text.size();
+}
+constexpr std::size_t kArrowBytes = 2 * sizeof(double) + 3 * sizeof(std::int32_t) + 4;
+
+// Recursive bounded-frame builder: drawables that fit entirely inside a
+// child half-interval sink down until the payload fits the frame-size bound.
+std::unique_ptr<Frame> build_frame(Collected items, double a, double b, int depth,
+                                   const ConvertOptions& opts, ConvertStats& stats) {
+  auto frame = std::make_unique<Frame>();
+  frame->t0 = a;
+  frame->t1 = b;
+  frame->depth = depth;
+
+  std::size_t bytes = 0;
+  for (const auto& s : items.states) bytes += state_bytes(s);
+  for (const auto& e : items.events) bytes += event_bytes(e);
+  bytes += items.arrows.size() * kArrowBytes;
+
+  const bool can_split = depth < opts.max_depth && b > a &&
+                         (b - a) / 2.0 > 0.0 && bytes > opts.frame_size;
+  if (!can_split) {
+    frame->states = std::move(items.states);
+    frame->events = std::move(items.events);
+    frame->arrows = std::move(items.arrows);
+    ++stats.frames;
+    ++stats.leaf_frames;
+    stats.tree_depth = std::max(stats.tree_depth, depth);
+    return frame;
+  }
+
+  const double mid = 0.5 * (a + b);
+  Collected left, right, here;
+  auto place = [&](auto member, auto&& drawable, double s, double e) {
+    if (e <= mid) {
+      (left.*member).push_back(std::move(drawable));
+    } else if (s >= mid) {
+      (right.*member).push_back(std::move(drawable));
+    } else {
+      (here.*member).push_back(std::move(drawable));
+    }
+  };
+  for (auto& s : items.states) {
+    const double st = s.start_time;
+    const double en = s.end_time;
+    place(&Collected::states, std::move(s), st, en);
+  }
+  for (auto& e : items.events) {
+    const double t = e.time;
+    place(&Collected::events, std::move(e), t, t);
+  }
+  for (auto& ar : items.arrows) {
+    const double lo = std::min(ar.start_time, ar.end_time);
+    const double hi = std::max(ar.start_time, ar.end_time);
+    place(&Collected::arrows, std::move(ar), lo, hi);
+  }
+  frame->states = std::move(here.states);
+  frame->events = std::move(here.events);
+  frame->arrows = std::move(here.arrows);
+
+  ++stats.frames;
+  if (!left.states.empty() || !left.events.empty() || !left.arrows.empty())
+    frame->left = build_frame(std::move(left), a, mid, depth + 1, opts, stats);
+  if (!right.states.empty() || !right.events.empty() || !right.arrows.empty())
+    frame->right = build_frame(std::move(right), mid, b, depth + 1, opts, stats);
+  stats.tree_depth = std::max(stats.tree_depth, depth);
+  return frame;
+}
+
+void add_occupancy(Preview& pv, double node_t0, double node_t1, std::int32_t cat,
+                   double s, double e) {
+  if (pv.nbuckets <= 0 || node_t1 <= node_t0) return;
+  auto& buckets = pv.state_occupancy[cat];
+  if (buckets.empty()) buckets.assign(static_cast<std::size_t>(pv.nbuckets), 0.0F);
+  const double width = (node_t1 - node_t0) / pv.nbuckets;
+  const double lo = std::max(s, node_t0);
+  const double hi = std::min(e, node_t1);
+  if (hi <= lo) return;
+  auto first = static_cast<int>((lo - node_t0) / width);
+  auto last = static_cast<int>((hi - node_t0) / width);
+  first = std::clamp(first, 0, pv.nbuckets - 1);
+  last = std::clamp(last, 0, pv.nbuckets - 1);
+  for (int i = first; i <= last; ++i) {
+    const double b0 = node_t0 + i * width;
+    const double b1 = b0 + width;
+    const double overlap = std::min(hi, b1) - std::max(lo, b0);
+    if (overlap > 0)
+      buckets[static_cast<std::size_t>(i)] += static_cast<float>(overlap);
+  }
+}
+
+void add_event_count(Preview& pv, double node_t0, double node_t1, std::int32_t cat,
+                     double t) {
+  if (pv.nbuckets <= 0) return;
+  auto& buckets = pv.event_counts[cat];
+  if (buckets.empty()) buckets.assign(static_cast<std::size_t>(pv.nbuckets), 0);
+  int idx = 0;
+  if (node_t1 > node_t0)
+    idx = std::clamp(static_cast<int>((t - node_t0) / (node_t1 - node_t0) *
+                                      pv.nbuckets),
+                     0, pv.nbuckets - 1);
+  buckets[static_cast<std::size_t>(idx)]++;
+}
+
+// Every drawable contributes to the preview of its own frame and of every
+// ancestor, so any node's preview summarizes its whole subtree.
+void fill_previews(Frame& frame, std::vector<Frame*>& path, int nbuckets) {
+  frame.preview.nbuckets = nbuckets;
+  path.push_back(&frame);
+  for (Frame* node : path) {
+    for (const auto& s : frame.states)
+      add_occupancy(node->preview, node->t0, node->t1, s.category_id, s.start_time,
+                    s.end_time);
+    for (const auto& e : frame.events)
+      add_event_count(node->preview, node->t0, node->t1, e.category_id, e.time);
+    node->preview.arrow_count += static_cast<std::uint32_t>(frame.arrows.size());
+  }
+  if (frame.left) fill_previews(*frame.left, path, nbuckets);
+  if (frame.right) fill_previews(*frame.right, path, nbuckets);
+  path.pop_back();
+}
+
+}  // namespace
+
+std::size_t Frame::payload_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& s : states) bytes += state_bytes(s);
+  for (const auto& e : events) bytes += event_bytes(e);
+  bytes += arrows.size() * kArrowBytes;
+  return bytes;
+}
+
+File convert(const clog2::File& in, const ConvertOptions& opts,
+             std::vector<std::string>* warnings) {
+  if (opts.frame_size == 0)
+    throw util::UsageError("slog2::convert: frame_size must be positive");
+  if (opts.max_depth < 0 || opts.max_depth > 48)
+    throw util::UsageError("slog2::convert: max_depth out of range");
+
+  File out;
+  out.nranks = in.nranks;
+  out.frame_size = opts.frame_size;
+
+  // --- category table -------------------------------------------------------
+  out.categories.push_back(
+      Category{kArrowCategoryId, CategoryKind::kArrow, "message", "white", ""});
+  std::map<std::int32_t, StateInfo> state_events;  // event id -> role
+  std::map<std::int32_t, std::int32_t> solo_events;  // event id -> category
+  std::int32_t next_cat = 1;
+  for (const auto& rec : in.records) {
+    if (const auto* d = std::get_if<clog2::StateDef>(&rec)) {
+      const std::int32_t cat = next_cat++;
+      out.categories.push_back(
+          Category{cat, CategoryKind::kState, d->name, d->color, d->format});
+      state_events[d->start_event_id] = StateInfo{cat, true};
+      state_events[d->end_event_id] = StateInfo{cat, false};
+    } else if (const auto* e = std::get_if<clog2::EventDef>(&rec)) {
+      const std::int32_t cat = next_cat++;
+      out.categories.push_back(
+          Category{cat, CategoryKind::kEvent, e->name, e->color, e->format});
+      solo_events[e->event_id] = cat;
+    }
+  }
+
+  // --- gather instances in chronological order ------------------------------
+  struct Instance {
+    double t;
+    const clog2::EventRec* event = nullptr;
+    const clog2::MsgRec* msg = nullptr;
+  };
+  std::vector<Instance> instances;
+  for (const auto& rec : in.records) {
+    if (const auto* e = std::get_if<clog2::EventRec>(&rec)) {
+      instances.push_back(Instance{e->timestamp, e, nullptr});
+    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
+      instances.push_back(Instance{m->timestamp, nullptr, m});
+    }
+  }
+  std::stable_sort(instances.begin(), instances.end(),
+                   [](const Instance& a, const Instance& b) { return a.t < b.t; });
+
+  // --- pair states, collect events, match arrows ----------------------------
+  Collected items;
+  std::map<std::int32_t, std::vector<OpenState>> open;  // rank -> stack
+  double last_time_seen = 0.0;
+  bool any_instance = false;
+
+  // (src, dst, tag) -> pending unmatched halves, FIFO per key.
+  using MsgKey = std::tuple<std::int32_t, std::int32_t, std::int32_t>;
+  std::map<MsgKey, std::deque<const clog2::MsgRec*>> pending_sends;
+  std::map<MsgKey, std::deque<const clog2::MsgRec*>> pending_recvs;
+
+  for (const auto& inst : instances) {
+    any_instance = true;
+    last_time_seen = std::max(last_time_seen, inst.t);
+    if (inst.event != nullptr) {
+      const auto& e = *inst.event;
+      if (auto it = state_events.find(e.event_id); it != state_events.end()) {
+        auto& stack = open[e.rank];
+        if (it->second.is_start) {
+          stack.push_back(OpenState{it->second.category_id, e.timestamp, e.text,
+                                    static_cast<std::int32_t>(stack.size())});
+        } else if (!stack.empty() &&
+                   stack.back().category_id == it->second.category_id) {
+          StateDrawable s;
+          s.category_id = stack.back().category_id;
+          s.rank = e.rank;
+          s.start_time = stack.back().start_time;
+          s.end_time = e.timestamp;
+          s.depth = stack.back().depth;
+          s.start_text = stack.back().start_text;
+          s.end_text = e.text;
+          stack.pop_back();
+          items.states.push_back(std::move(s));
+        } else {
+          ++out.stats.unmatched_state_ends;
+          warn(warnings, util::strprintf(
+                             "rank %d: end event id %d at t=%.9f has no matching "
+                             "open state",
+                             e.rank, e.event_id, e.timestamp));
+        }
+      } else if (auto sit = solo_events.find(e.event_id); sit != solo_events.end()) {
+        items.events.push_back(EventDrawable{sit->second, e.rank, e.timestamp, e.text});
+      } else {
+        ++out.stats.unknown_event_ids;
+        warn(warnings, util::strprintf("rank %d: event id %d has no definition",
+                                       e.rank, e.event_id));
+      }
+    } else {
+      const auto& m = *inst.msg;
+      const bool is_send = m.kind == clog2::MsgRec::Kind::kSend;
+      const MsgKey key = is_send ? MsgKey{m.rank, m.partner, m.tag}
+                                 : MsgKey{m.partner, m.rank, m.tag};
+      auto& opposite = is_send ? pending_recvs[key] : pending_sends[key];
+      if (!opposite.empty()) {
+        const clog2::MsgRec* other = opposite.front();
+        opposite.pop_front();
+        const clog2::MsgRec& send = is_send ? m : *other;
+        const clog2::MsgRec& recv = is_send ? *other : m;
+        ArrowDrawable a;
+        a.src_rank = send.rank;
+        a.dst_rank = recv.rank;
+        a.start_time = send.timestamp;
+        a.end_time = recv.timestamp;
+        a.tag = send.tag;
+        a.size = send.size;
+        items.arrows.push_back(a);
+      } else {
+        (is_send ? pending_sends[key] : pending_recvs[key]).push_back(&m);
+      }
+    }
+  }
+
+  for (const auto& [key, q] : pending_sends) {
+    out.stats.unmatched_sends += q.size();
+    if (!q.empty())
+      warn(warnings, util::strprintf("%zu send(s) from rank %d to rank %d tag %d "
+                                     "were never received",
+                                     q.size(), std::get<0>(key), std::get<1>(key),
+                                     std::get<2>(key)));
+  }
+  for (const auto& [key, q] : pending_recvs) {
+    out.stats.unmatched_recvs += q.size();
+    if (!q.empty())
+      warn(warnings, util::strprintf("%zu receive(s) at rank %d from rank %d tag %d "
+                                     "have no logged send",
+                                     q.size(), std::get<1>(key), std::get<0>(key),
+                                     std::get<2>(key)));
+  }
+
+  // Close dangling states at the last timestamp so they stay visible.
+  for (auto& [rank, stack] : open) {
+    while (!stack.empty()) {
+      ++out.stats.unclosed_states;
+      StateDrawable s;
+      s.category_id = stack.back().category_id;
+      s.rank = rank;
+      s.start_time = stack.back().start_time;
+      s.end_time = last_time_seen;
+      s.depth = stack.back().depth;
+      s.start_text = stack.back().start_text;
+      warn(warnings,
+           util::strprintf("rank %d: state category %d opened at t=%.9f never closed",
+                           rank, s.category_id, s.start_time));
+      stack.pop_back();
+      items.states.push_back(std::move(s));
+    }
+  }
+
+  // --- "Equal Drawables" detection -------------------------------------------
+  {
+    std::set<std::tuple<std::int32_t, std::int32_t, double, double>> arrow_seen;
+    for (const auto& a : items.arrows)
+      if (!arrow_seen.insert({a.src_rank, a.dst_rank, a.start_time, a.end_time}).second) {
+        ++out.stats.equal_drawables;
+        warn(warnings, util::strprintf(
+                           "Equal Drawables: arrows %d->%d share start=%.9f end=%.9f",
+                           a.src_rank, a.dst_rank, a.start_time, a.end_time));
+      }
+    std::set<std::tuple<std::int32_t, std::int32_t, double, double>> state_seen;
+    for (const auto& s : items.states)
+      if (!state_seen.insert({s.category_id, s.rank, s.start_time, s.end_time}).second) {
+        ++out.stats.equal_drawables;
+        warn(warnings, util::strprintf(
+                           "Equal Drawables: states cat=%d rank=%d share start=%.9f "
+                           "end=%.9f",
+                           s.category_id, s.rank, s.start_time, s.end_time));
+      }
+    std::set<std::tuple<std::int32_t, std::int32_t, double>> event_seen;
+    for (const auto& e : items.events)
+      if (!event_seen.insert({e.category_id, e.rank, e.time}).second) {
+        ++out.stats.equal_drawables;
+        warn(warnings,
+             util::strprintf("Equal Drawables: events cat=%d rank=%d share t=%.9f",
+                             e.category_id, e.rank, e.time));
+      }
+  }
+
+  out.stats.total_states = items.states.size();
+  out.stats.total_events = items.events.size();
+  out.stats.total_arrows = items.arrows.size();
+
+  // --- time span -------------------------------------------------------------
+  if (any_instance) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    auto widen = [&](double s, double e) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, e);
+    };
+    for (const auto& s : items.states) widen(s.start_time, s.end_time);
+    for (const auto& e : items.events) widen(e.time, e.time);
+    for (const auto& a : items.arrows)
+      widen(std::min(a.start_time, a.end_time), std::max(a.start_time, a.end_time));
+    if (lo <= hi) {
+      out.t_min = lo;
+      out.t_max = hi;
+    }
+  }
+
+  // --- frame tree + previews --------------------------------------------------
+  out.root = build_frame(std::move(items), out.t_min, out.t_max, 0, opts, out.stats);
+  std::vector<Frame*> path;
+  fill_previews(*out.root, path, opts.preview_buckets);
+  return out;
+}
+
+const Category* File::category(std::int32_t id) const {
+  for (const auto& c : categories)
+    if (c.id == id) return &c;
+  return nullptr;
+}
+
+void File::visit_window(
+    double a, double b, const std::function<void(const StateDrawable&)>& on_state,
+    const std::function<void(const EventDrawable&)>& on_event,
+    const std::function<void(const ArrowDrawable&)>& on_arrow) const {
+  if (!root) return;
+  std::function<void(const Frame&)> go = [&](const Frame& f) {
+    if (f.t1 < a || f.t0 > b) {
+      // Frames never contain drawables outside [t0, t1]... except the root,
+      // whose interval equals the global span, so pruning here is safe.
+      return;
+    }
+    if (on_state)
+      for (const auto& s : f.states)
+        if (s.end_time >= a && s.start_time <= b) on_state(s);
+    if (on_event)
+      for (const auto& e : f.events)
+        if (e.time >= a && e.time <= b) on_event(e);
+    if (on_arrow)
+      for (const auto& ar : f.arrows) {
+        const double lo = std::min(ar.start_time, ar.end_time);
+        const double hi = std::max(ar.start_time, ar.end_time);
+        if (hi >= a && lo <= b) on_arrow(ar);
+      }
+    if (f.left) go(*f.left);
+    if (f.right) go(*f.right);
+  };
+  go(*root);
+}
+
+void File::visit_frames(const std::function<void(const Frame&)>& fn) const {
+  if (!root) return;
+  std::function<void(const Frame&)> go = [&](const Frame& f) {
+    fn(f);
+    if (f.left) go(*f.left);
+    if (f.right) go(*f.right);
+  };
+  go(*root);
+}
+
+std::string to_text(const File& file, bool dump_drawables) {
+  std::string out;
+  out += util::strprintf(
+      "SLOG-2  ranks=%d  span=[%.9f, %.9f]  frame_size=%llu\n", file.nranks,
+      file.t_min, file.t_max, static_cast<unsigned long long>(file.frame_size));
+  out += util::strprintf(
+      "  drawables: states=%llu events=%llu arrows=%llu\n",
+      static_cast<unsigned long long>(file.stats.total_states),
+      static_cast<unsigned long long>(file.stats.total_events),
+      static_cast<unsigned long long>(file.stats.total_arrows));
+  out += util::strprintf(
+      "  frames=%llu leaves=%llu depth=%d\n",
+      static_cast<unsigned long long>(file.stats.frames),
+      static_cast<unsigned long long>(file.stats.leaf_frames), file.stats.tree_depth);
+  out += util::strprintf(
+      "  warnings: unmatched_sends=%llu unmatched_recvs=%llu "
+      "unmatched_state_ends=%llu unclosed_states=%llu equal_drawables=%llu "
+      "unknown_event_ids=%llu\n",
+      static_cast<unsigned long long>(file.stats.unmatched_sends),
+      static_cast<unsigned long long>(file.stats.unmatched_recvs),
+      static_cast<unsigned long long>(file.stats.unmatched_state_ends),
+      static_cast<unsigned long long>(file.stats.unclosed_states),
+      static_cast<unsigned long long>(file.stats.equal_drawables),
+      static_cast<unsigned long long>(file.stats.unknown_event_ids));
+  out += "  categories:\n";
+  for (const auto& c : file.categories) {
+    const char* kind = c.kind == CategoryKind::kState   ? "state"
+                       : c.kind == CategoryKind::kEvent ? "event"
+                                                        : "arrow";
+    out += util::strprintf("    [%d] %-6s %-24s %s\n", c.id, kind, c.name.c_str(),
+                           c.color.c_str());
+  }
+  if (dump_drawables) {
+    file.visit_window(
+        file.t_min, file.t_max,
+        [&](const StateDrawable& s) {
+          out += util::strprintf(
+              "  state cat=%d rank=%d [%.9f, %.9f] depth=%d \"%s\"\n", s.category_id,
+              s.rank, s.start_time, s.end_time, s.depth, s.start_text.c_str());
+        },
+        [&](const EventDrawable& e) {
+          out += util::strprintf("  event cat=%d rank=%d t=%.9f \"%s\"\n",
+                                 e.category_id, e.rank, e.time, e.text.c_str());
+        },
+        [&](const ArrowDrawable& a) {
+          out += util::strprintf("  arrow %d->%d [%.9f, %.9f] tag=%d size=%u\n",
+                                 a.src_rank, a.dst_rank, a.start_time, a.end_time,
+                                 a.tag, a.size);
+        });
+  }
+  return out;
+}
+
+}  // namespace slog2

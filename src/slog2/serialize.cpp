@@ -1,0 +1,478 @@
+// SLOG-2 binary serialization, version 3: header, category table, stats,
+// frame directory (intervals, tree links, payload extents, previews), then
+// a blob of independently decodable frame payloads. The directory enables
+// the Navigator's partial loading.
+#include <array>
+
+#include "slog2/slog2.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace slog2 {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', 'S', 'L', 'O', 'G', '2', '\0', '\0'};
+constexpr std::uint32_t kVersion = 3;
+
+void write_preview(util::ByteWriter& w, const Preview& pv) {
+  w.i32(pv.nbuckets);
+  w.u32(pv.arrow_count);
+  w.u32(static_cast<std::uint32_t>(pv.state_occupancy.size()));
+  for (const auto& [cat, buckets] : pv.state_occupancy) {
+    w.i32(cat);
+    w.u32(static_cast<std::uint32_t>(buckets.size()));
+    for (float v : buckets) w.f64(static_cast<double>(v));
+  }
+  w.u32(static_cast<std::uint32_t>(pv.event_counts.size()));
+  for (const auto& [cat, buckets] : pv.event_counts) {
+    w.i32(cat);
+    w.u32(static_cast<std::uint32_t>(buckets.size()));
+    for (std::uint32_t v : buckets) w.u32(v);
+  }
+}
+
+Preview read_preview(util::ByteReader& r) {
+  Preview pv;
+  pv.nbuckets = r.i32();
+  pv.arrow_count = r.u32();
+  const std::uint32_t nstate = r.u32();
+  for (std::uint32_t i = 0; i < nstate; ++i) {
+    const std::int32_t cat = r.i32();
+    const std::uint32_t n = r.u32();
+    auto& buckets = pv.state_occupancy[cat];
+    buckets.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j)
+      buckets.push_back(static_cast<float>(r.f64()));
+  }
+  const std::uint32_t nevent = r.u32();
+  for (std::uint32_t i = 0; i < nevent; ++i) {
+    const std::int32_t cat = r.i32();
+    const std::uint32_t n = r.u32();
+    auto& buckets = pv.event_counts[cat];
+    buckets.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) buckets.push_back(r.u32());
+  }
+  return pv;
+}
+
+// A frame payload: the drawables only (interval/depth/preview/links live in
+// the directory), independently decodable.
+void write_payload(util::ByteWriter& w, const Frame& f) {
+  w.u32(static_cast<std::uint32_t>(f.states.size()));
+  for (const auto& s : f.states) {
+    w.i32(s.category_id);
+    w.i32(s.rank);
+    w.f64(s.start_time);
+    w.f64(s.end_time);
+    w.i32(s.depth);
+    w.str(s.start_text);
+    w.str(s.end_text);
+  }
+  w.u32(static_cast<std::uint32_t>(f.events.size()));
+  for (const auto& e : f.events) {
+    w.i32(e.category_id);
+    w.i32(e.rank);
+    w.f64(e.time);
+    w.str(e.text);
+  }
+  w.u32(static_cast<std::uint32_t>(f.arrows.size()));
+  for (const auto& a : f.arrows) {
+    w.i32(a.src_rank);
+    w.i32(a.dst_rank);
+    w.f64(a.start_time);
+    w.f64(a.end_time);
+    w.i32(a.tag);
+    w.u32(a.size);
+  }
+}
+
+void read_payload(util::ByteReader& r, Frame* f) {
+  const std::uint32_t nstates = r.u32();
+  f->states.reserve(nstates);
+  for (std::uint32_t i = 0; i < nstates; ++i) {
+    StateDrawable s;
+    s.category_id = r.i32();
+    s.rank = r.i32();
+    s.start_time = r.f64();
+    s.end_time = r.f64();
+    s.depth = r.i32();
+    s.start_text = r.str();
+    s.end_text = r.str();
+    f->states.push_back(std::move(s));
+  }
+  const std::uint32_t nevents = r.u32();
+  f->events.reserve(nevents);
+  for (std::uint32_t i = 0; i < nevents; ++i) {
+    EventDrawable e;
+    e.category_id = r.i32();
+    e.rank = r.i32();
+    e.time = r.f64();
+    e.text = r.str();
+    f->events.push_back(std::move(e));
+  }
+  const std::uint32_t narrows = r.u32();
+  f->arrows.reserve(narrows);
+  for (std::uint32_t i = 0; i < narrows; ++i) {
+    ArrowDrawable a;
+    a.src_rank = r.i32();
+    a.dst_rank = r.i32();
+    a.start_time = r.f64();
+    a.end_time = r.f64();
+    a.tag = r.i32();
+    a.size = r.u32();
+    f->arrows.push_back(a);
+  }
+}
+
+void write_stats(util::ByteWriter& w, const ConvertStats& st) {
+  w.u64(st.total_states);
+  w.u64(st.total_events);
+  w.u64(st.total_arrows);
+  w.u64(st.unmatched_sends);
+  w.u64(st.unmatched_recvs);
+  w.u64(st.unmatched_state_ends);
+  w.u64(st.unclosed_states);
+  w.u64(st.equal_drawables);
+  w.u64(st.unknown_event_ids);
+  w.u64(st.frames);
+  w.u64(st.leaf_frames);
+  w.i32(st.tree_depth);
+}
+
+ConvertStats read_stats(util::ByteReader& r) {
+  ConvertStats st;
+  st.total_states = r.u64();
+  st.total_events = r.u64();
+  st.total_arrows = r.u64();
+  st.unmatched_sends = r.u64();
+  st.unmatched_recvs = r.u64();
+  st.unmatched_state_ends = r.u64();
+  st.unclosed_states = r.u64();
+  st.equal_drawables = r.u64();
+  st.unknown_event_ids = r.u64();
+  st.frames = r.u64();
+  st.leaf_frames = r.u64();
+  st.tree_depth = r.i32();
+  return st;
+}
+
+struct FlatNode {
+  const Frame* frame;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+// Preorder flattening with child indices.
+std::int32_t flatten(const Frame& f, std::vector<FlatNode>& out) {
+  const auto index = static_cast<std::int32_t>(out.size());
+  out.push_back(FlatNode{&f});
+  if (f.left) out[static_cast<std::size_t>(index)].left = flatten(*f.left, out);
+  if (f.right) out[static_cast<std::size_t>(index)].right = flatten(*f.right, out);
+  return index;
+}
+
+void write_header(util::ByteWriter& w, const File& file) {
+  w.raw(kMagic.data(), kMagic.size());
+  w.u32(kVersion);
+  w.i32(file.nranks);
+  w.f64(file.t_min);
+  w.f64(file.t_max);
+  w.u64(file.frame_size);
+  w.u32(static_cast<std::uint32_t>(file.categories.size()));
+  for (const auto& c : file.categories) {
+    w.i32(c.id);
+    w.u8(static_cast<std::uint8_t>(c.kind));
+    w.str(c.name);
+    w.str(c.color);
+    w.str(c.format);
+  }
+  write_stats(w, file.stats);
+}
+
+struct Header {
+  std::int32_t nranks = 0;
+  double t_min = 0.0, t_max = 0.0;
+  std::uint64_t frame_size = 0;
+  std::vector<Category> categories;
+  ConvertStats stats;
+};
+
+Header read_header(util::ByteReader& r) {
+  const std::uint8_t* magic = r.take(kMagic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw util::IoError("slog2: bad magic (not an SLOG-2 file)");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw util::IoError(util::strprintf("slog2: unsupported version %u", version));
+
+  Header h;
+  h.nranks = r.i32();
+  h.t_min = r.f64();
+  h.t_max = r.f64();
+  h.frame_size = r.u64();
+  const std::uint32_t ncats = r.u32();
+  h.categories.reserve(ncats);
+  for (std::uint32_t i = 0; i < ncats; ++i) {
+    Category c;
+    c.id = r.i32();
+    const std::uint8_t kind = r.u8();
+    if (kind > 2) throw util::IoError("slog2: bad category kind");
+    c.kind = static_cast<CategoryKind>(kind);
+    c.name = r.str();
+    c.color = r.str();
+    c.format = r.str();
+    h.categories.push_back(std::move(c));
+  }
+  h.stats = read_stats(r);
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const File& file) {
+  util::ByteWriter w;
+  write_header(w, file);
+
+  if (!file.root) {
+    w.u32(0);  // empty directory
+    w.u64(0);  // empty blob
+    return w.take();
+  }
+
+  std::vector<FlatNode> nodes;
+  flatten(*file.root, nodes);
+
+  // Payload blob first (to know extents), directory second — but the
+  // directory precedes the blob on disk, so build both, then emit.
+  util::ByteWriter blob;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  extents.reserve(nodes.size());
+  for (const FlatNode& n : nodes) {
+    const std::uint64_t begin = blob.size();
+    write_payload(blob, *n.frame);
+    extents.emplace_back(begin, blob.size() - begin);
+  }
+
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Frame& f = *nodes[i].frame;
+    w.f64(f.t0);
+    w.f64(f.t1);
+    w.i32(f.depth);
+    w.i32(nodes[i].left);
+    w.i32(nodes[i].right);
+    w.u64(extents[i].first);
+    w.u64(extents[i].second);
+    write_preview(w, f.preview);
+  }
+  w.u64(blob.size());
+  w.raw(blob.bytes().data(), blob.size());
+  return w.take();
+}
+
+File parse(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  const Header h = read_header(r);
+
+  File file;
+  file.nranks = h.nranks;
+  file.t_min = h.t_min;
+  file.t_max = h.t_max;
+  file.frame_size = h.frame_size;
+  file.categories = h.categories;
+  file.stats = h.stats;
+
+  const std::uint32_t node_count = r.u32();
+  struct NodeMeta {
+    double t0, t1;
+    std::int32_t depth, left, right;
+    std::uint64_t offset, length;
+    Preview preview;
+  };
+  std::vector<NodeMeta> metas;
+  metas.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    NodeMeta m{};
+    m.t0 = r.f64();
+    m.t1 = r.f64();
+    m.depth = r.i32();
+    m.left = r.i32();
+    m.right = r.i32();
+    if ((m.left != -1 && (m.left <= static_cast<std::int32_t>(i) ||
+                          m.left >= static_cast<std::int32_t>(node_count))) ||
+        (m.right != -1 && (m.right <= static_cast<std::int32_t>(i) ||
+                           m.right >= static_cast<std::int32_t>(node_count))))
+      throw util::IoError("slog2: corrupt frame directory links");
+    m.offset = r.u64();
+    m.length = r.u64();
+    m.preview = read_preview(r);
+    metas.push_back(std::move(m));
+  }
+  const std::uint64_t blob_len = r.u64();
+  const std::uint8_t* blob = r.take(blob_len);
+  if (!r.at_end()) throw util::IoError("slog2: trailing bytes after payload blob");
+
+  // Rebuild the tree from the preorder directory.
+  std::vector<std::unique_ptr<Frame>> frames;
+  frames.reserve(node_count);
+  for (const NodeMeta& m : metas) {
+    auto f = std::make_unique<Frame>();
+    f->t0 = m.t0;
+    f->t1 = m.t1;
+    f->depth = m.depth;
+    f->preview = m.preview;
+    if (m.offset + m.length > blob_len)
+      throw util::IoError("slog2: frame payload extent out of range");
+    util::ByteReader pr(blob + m.offset, m.length);
+    read_payload(pr, f.get());
+    if (!pr.at_end()) throw util::IoError("slog2: frame payload has trailing bytes");
+    frames.push_back(std::move(f));
+  }
+  // Link children (indices always point forward; validated above).
+  for (std::size_t i = node_count; i-- > 0;) {
+    const NodeMeta& m = metas[i];
+    if (m.left != -1) frames[i]->left = std::move(frames[static_cast<std::size_t>(m.left)]);
+    if (m.right != -1)
+      frames[i]->right = std::move(frames[static_cast<std::size_t>(m.right)]);
+  }
+  if (node_count > 0) file.root = std::move(frames[0]);
+  return file;
+}
+
+void write_file(const std::filesystem::path& path, const File& file) {
+  util::write_file(path, serialize(file));
+}
+
+File read_file(const std::filesystem::path& path) {
+  return parse(util::read_file(path));
+}
+
+// --- Navigator ---------------------------------------------------------------
+
+Navigator::Navigator(const std::filesystem::path& path) {
+  load(util::read_file(path));
+}
+
+Navigator::Navigator(std::vector<std::uint8_t> bytes) { load(std::move(bytes)); }
+
+void Navigator::load(std::vector<std::uint8_t> bytes) {
+  bytes_ = std::move(bytes);
+  util::ByteReader r(bytes_);
+  const Header h = read_header(r);
+  nranks_ = h.nranks;
+  t_min_ = h.t_min;
+  t_max_ = h.t_max;
+  frame_size_ = h.frame_size;
+  categories_ = h.categories;
+  stats_ = h.stats;
+
+  const std::uint32_t node_count = r.u32();
+  directory_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    DirEntry e;
+    e.t0 = r.f64();
+    e.t1 = r.f64();
+    e.depth = r.i32();
+    e.left = r.i32();
+    e.right = r.i32();
+    e.offset = r.u64();
+    e.length = r.u64();
+    e.preview = read_preview(r);
+    directory_.push_back(std::move(e));
+  }
+  const std::uint64_t blob_len = r.u64();
+  blob_base_ = r.pos();
+  r.skip(blob_len);
+  if (!r.at_end()) throw util::IoError("slog2: trailing bytes after payload blob");
+  for (const auto& e : directory_)
+    if (e.offset + e.length > blob_len)
+      throw util::IoError("slog2: frame payload extent out of range");
+  decoded_.resize(directory_.size());
+}
+
+const Category* Navigator::category(std::int32_t id) const {
+  for (const auto& c : categories_)
+    if (c.id == id) return &c;
+  return nullptr;
+}
+
+std::size_t Navigator::frames_decoded() const {
+  std::size_t n = 0;
+  for (const auto& f : decoded_)
+    if (f) ++n;
+  return n;
+}
+
+const Frame& Navigator::frame(std::size_t index) {
+  auto& slot = decoded_.at(index);
+  if (!slot) {
+    const DirEntry& e = directory_[index];
+    slot = std::make_unique<Frame>();
+    slot->t0 = e.t0;
+    slot->t1 = e.t1;
+    slot->depth = e.depth;
+    util::ByteReader pr(bytes_.data() + blob_base_ + e.offset,
+                        static_cast<std::size_t>(e.length));
+    read_payload(pr, slot.get());
+  }
+  return *slot;
+}
+
+void Navigator::visit_window(
+    double a, double b, const std::function<void(const StateDrawable&)>& on_state,
+    const std::function<void(const EventDrawable&)>& on_event,
+    const std::function<void(const ArrowDrawable&)>& on_arrow) {
+  if (directory_.empty()) return;
+  std::vector<std::int32_t> stack = {0};
+  while (!stack.empty()) {
+    const auto i = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    const DirEntry& e = directory_[i];
+    if (e.t1 < a || e.t0 > b) continue;
+    const Frame& f = frame(i);
+    if (on_state)
+      for (const auto& s : f.states)
+        if (s.end_time >= a && s.start_time <= b) on_state(s);
+    if (on_event)
+      for (const auto& ev : f.events)
+        if (ev.time >= a && ev.time <= b) on_event(ev);
+    if (on_arrow)
+      for (const auto& ar : f.arrows) {
+        const double lo = std::min(ar.start_time, ar.end_time);
+        const double hi = std::max(ar.start_time, ar.end_time);
+        if (hi >= a && lo <= b) on_arrow(ar);
+      }
+    if (e.left != -1) stack.push_back(e.left);
+    if (e.right != -1) stack.push_back(e.right);
+  }
+}
+
+Navigator::PreviewView Navigator::preview_covering(double a, double b) {
+  PreviewView out;
+  if (directory_.empty()) return out;
+  // Descend while a single child still covers the window.
+  std::size_t i = 0;
+  for (;;) {
+    const DirEntry& e = directory_[i];
+    std::int32_t next = -1;
+    if (e.left != -1) {
+      const DirEntry& l = directory_[static_cast<std::size_t>(e.left)];
+      if (l.t0 <= a && b <= l.t1) next = e.left;
+    }
+    if (next == -1 && e.right != -1) {
+      const DirEntry& rr = directory_[static_cast<std::size_t>(e.right)];
+      if (rr.t0 <= a && b <= rr.t1) next = e.right;
+    }
+    if (next == -1) break;
+    i = static_cast<std::size_t>(next);
+  }
+  const DirEntry& e = directory_[i];
+  out.t0 = e.t0;
+  out.t1 = e.t1;
+  out.preview = &e.preview;
+  return out;
+}
+
+}  // namespace slog2

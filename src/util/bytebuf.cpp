@@ -1,0 +1,5 @@
+#include "util/bytebuf.hpp"
+
+// Header-only in practice; this TU anchors the library and catches ODR
+// problems early.
+namespace util {}

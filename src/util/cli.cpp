@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  ingest(args);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& args) { ingest(args); }
+
+void ArgParser::ingest(const std::vector<std::string>& args) {
+  if (!args.empty()) program_ = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (starts_with(a, "--")) {
+      const auto eq = a.find('=');
+      if (eq == std::string::npos) {
+        kv_[a.substr(2)] = "true";
+      } else {
+        kv_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(a);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  used_[key] = true;
+  return kv_.count(key) != 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  used_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& key, const std::string& fallback) const {
+  auto v = get(key);
+  return v ? *v : fallback;
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& key, std::int64_t fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0')
+    throw UsageError("--" + key + " expects an integer, got '" + *v + "'");
+  return parsed;
+}
+
+double ArgParser::get_double_or(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0')
+    throw UsageError("--" + key + " expects a number, got '" + *v + "'");
+  return parsed;
+}
+
+std::vector<std::string> ArgParser::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : kv_)
+    if (!used_.count(k)) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> strip_args_with_prefix(int* argc, char*** argv,
+                                                const std::string& prefix) {
+  std::vector<std::string> taken;
+  if (argc == nullptr || argv == nullptr || *argv == nullptr) return taken;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    std::string a((*argv)[i]);
+    if (i > 0 && starts_with(a, prefix)) {
+      taken.push_back(a.substr(prefix.size()));
+    } else {
+      (*argv)[out++] = (*argv)[i];
+    }
+  }
+  for (int i = out; i < *argc; ++i) (*argv)[i] = nullptr;
+  *argc = out;
+  return taken;
+}
+
+}  // namespace util

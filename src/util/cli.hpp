@@ -1,0 +1,50 @@
+// Command-line helpers.
+//
+// Two consumers:
+//  * tools/examples use ArgParser for ordinary --key=value options;
+//  * the Pilot library itself strips its "-pisvc=..." / "-picheck=N" style
+//    options out of the user's argc/argv inside PI_Configure, exactly like
+//    the real library does (user code never sees Pilot's options).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/// Minimal --key=value / --flag / positional parser for the CLI tools.
+class ArgParser {
+public:
+  ArgParser(int argc, const char* const* argv);
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Keys that were provided but never queried; lets tools reject typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+private:
+  void ingest(const std::vector<std::string>& args);
+
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+/// Remove argv entries for which `matches(arg)` returned an engaged value,
+/// collecting those values. Used by PI_Configure to strip "-pisvc=..."-style
+/// options in place, updating argc/argv like the real Pilot does.
+std::vector<std::string> strip_args_with_prefix(int* argc, char*** argv,
+                                                const std::string& prefix);
+
+}  // namespace util

@@ -1,0 +1,34 @@
+// Named colours in the X11 palette subset that the paper's visual design
+// uses (red/green themes, ForestGreen, IndianRed, bisque, gray, yellow,
+// white, ...). Jumpshot identifies state/event categories by colour, so the
+// colour is part of the trace, not just of the renderer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace util {
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+
+  [[nodiscard]] std::string to_hex() const;  ///< "#rrggbb"
+  bool operator==(const Color&) const = default;
+};
+
+/// Look up an X11-style colour name (case-insensitive). Throws UsageError
+/// for unknown names so colour-scheme typos fail at definition time.
+Color color_by_name(std::string_view name);
+
+/// True if `name` is a known colour name.
+bool is_known_color(std::string_view name);
+
+/// Parse "#rrggbb".
+Color color_from_hex(std::string_view hex);
+
+/// Perceived luminance in [0,255]; the renderer uses it to pick black or
+/// white label text over a state rectangle.
+double luminance(const Color& c);
+
+}  // namespace util

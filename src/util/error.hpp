@@ -1,0 +1,32 @@
+// Common exception hierarchy for the pilot-logviz stack.
+//
+// All modules throw subclasses of util::Error so callers can catch the whole
+// family at one place (tools do; the Pilot API layer converts them into its
+// own diagnostics).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+/// Root of the project's exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on malformed or truncated binary input (CLOG-2 / SLOG-2 readers,
+/// ByteReader overruns).
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an API is used against its documented contract.
+class UsageError : public Error {
+public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace util

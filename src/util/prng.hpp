@@ -1,0 +1,44 @@
+// Deterministic PRNG for workload generation (synthetic images, collision
+// CSV rows, property-test inputs). SplitMix64: tiny, fast, well distributed,
+// and — unlike std::mt19937 seeded ad hoc — identical across libstdc++
+// versions, so generated workloads are bit-stable.
+#pragma once
+
+#include <cstdint>
+
+namespace util {
+
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  bool chance(double p) { return uniform() < p; }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace util

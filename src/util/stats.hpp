@@ -1,0 +1,43 @@
+// Small statistics helpers used by the benchmark harness (the paper reports
+// "median execution time [variance shown in brackets]" over 10 runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace util {
+
+/// Median of a sample (average of the two middle elements for even sizes).
+/// Throws UsageError on an empty sample.
+double median(std::vector<double> xs);
+
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for samples of size < 2.
+double variance(const std::vector<double>& xs);
+
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::vector<double> xs, double p);
+
+/// Streaming mean/variance (Welford). Useful for long event streams where
+/// the sample should not be materialized.
+class RunningStats {
+public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace util

@@ -1,0 +1,241 @@
+#include "workloads/collision_app.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "pilot/pi.hpp"
+#include "util/bytebuf.hpp"
+
+namespace workloads::collisions {
+
+namespace {
+
+std::vector<std::uint8_t> encode_result(const QueryResult& q) {
+  util::ByteWriter w;
+  w.u64(q.total);
+  auto put_map = [&](const std::map<int, std::uint64_t>& m) {
+    w.u32(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      w.i32(k);
+      w.u64(v);
+    }
+  };
+  put_map(q.by_severity);
+  put_map(q.fatal_by_year);
+  w.i32(q.max_vehicles);
+  w.u64(q.persons_sum);
+  put_map(q.by_region);
+  return w.take();
+}
+
+QueryResult decode_result(const std::uint8_t* data, std::size_t n) {
+  util::ByteReader r(data, n);
+  QueryResult q;
+  q.total = r.u64();
+  auto get_map = [&](std::map<int, std::uint64_t>& m) {
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const int k = r.i32();
+      m[k] = r.u64();
+    }
+  };
+  get_map(q.by_severity);
+  get_map(q.fatal_by_year);
+  q.max_vehicles = r.i32();
+  q.persons_sum = r.u64();
+  get_map(q.by_region);
+  return q;
+}
+
+struct AppState {
+  const AppConfig* config = nullptr;
+  const std::string* csv = nullptr;
+
+  std::vector<PI_CHANNEL*> down;  // main -> worker
+  std::vector<PI_CHANNEL*> up;    // worker -> main
+
+  std::vector<std::vector<Record>> worker_records;  // per worker index
+
+  // Outputs (written by PI_MAIN).
+  double read_phase = 0.0;
+  double query_phase = 0.0;
+  double t_read0 = 0.0, t_read1 = 0.0, t_query1 = 0.0;
+  QueryResult totals;
+};
+
+AppState g_app;
+
+int worker(int index, void*) {
+  const AppConfig& cfg = *g_app.config;
+  auto& records = g_app.worker_records[static_cast<std::size_t>(index)];
+
+  if (cfg.variant == Variant::kInstanceB) {
+    // Instance B: PI_MAIN parsed the whole file; we just receive records.
+    int len = 0;
+    unsigned char* bytes = nullptr;
+    PI_Read(g_app.down[static_cast<std::size_t>(index)], "%^b", &len, &bytes);
+    records.resize(static_cast<std::size_t>(len) / sizeof(Record));
+    if (len > 0) std::memcpy(records.data(), bytes, static_cast<std::size_t>(len));
+    std::free(bytes);
+  } else {
+    // Parse our own byte range of the "file", starting from a raw offset.
+    unsigned long begin = 0, end = 0;
+    PI_Read(g_app.down[static_cast<std::size_t>(index)], "%lu %lu", &begin, &end);
+    records = parse_chunk(*g_app.csv, begin, end);
+    PI_Compute(cfg.costs.parse_cost(end - begin));
+  }
+  PI_Write(g_app.up[static_cast<std::size_t>(index)], "%d", 1);  // chunk ready
+
+  for (int round = 0; round < cfg.query_rounds; ++round) {
+    int query_id = 0;
+    PI_Read(g_app.down[static_cast<std::size_t>(index)], "%d", &query_id);
+    const QueryResult partial = run_queries(records);
+    PI_Compute(cfg.costs.query_cost(records.size()));
+    const auto bytes = encode_result(partial);
+    PI_Write(g_app.up[static_cast<std::size_t>(index)], "%*b",
+             static_cast<int>(bytes.size()), bytes.data());
+  }
+  return 0;
+}
+
+int app_main(int argc, char** argv) {
+  const AppConfig& cfg = *g_app.config;
+  const std::string& csv = *g_app.csv;
+  const int w = cfg.workers;
+
+  PI_Configure(&argc, &argv);
+  g_app.down.assign(static_cast<std::size_t>(w), nullptr);
+  g_app.up.assign(static_cast<std::size_t>(w), nullptr);
+  g_app.worker_records.assign(static_cast<std::size_t>(w), {});
+  for (int i = 0; i < w; ++i) {
+    PI_PROCESS* p = PI_CreateProcess(worker, i, nullptr);
+    PI_SetName(p, ("W" + std::to_string(i)).c_str());
+    g_app.down[static_cast<std::size_t>(i)] = PI_CreateChannel(PI_MAIN, p);
+    g_app.up[static_cast<std::size_t>(i)] = PI_CreateChannel(p, PI_MAIN);
+  }
+  PI_StartAll();
+
+  const double t_read0 = PI_StartTime();
+
+  if (cfg.variant == Variant::kInstanceB) {
+    // Instance B: the whole file is read and parsed by PI_MAIN while every
+    // worker sits blocked (the paper's 11-second wait).
+    PI_Compute(cfg.costs.parse_cost(csv.size()));
+    const auto all = parse_chunk(csv, 0, csv.size());
+    const std::size_t per = all.size() / static_cast<std::size_t>(w);
+    for (int i = 0; i < w; ++i) {
+      const std::size_t lo = static_cast<std::size_t>(i) * per;
+      const std::size_t hi =
+          i == w - 1 ? all.size() : lo + per;
+      PI_Write(g_app.down[static_cast<std::size_t>(i)], "%*b",
+               static_cast<int>((hi - lo) * sizeof(Record)),
+               reinterpret_cast<const unsigned char*>(all.data() + lo));
+    }
+  } else {
+    // Intended plan: every worker parses its own chunk, in parallel.
+    const std::size_t per = csv.size() / static_cast<std::size_t>(w);
+    for (int i = 0; i < w; ++i) {
+      const auto begin = static_cast<unsigned long>(static_cast<std::size_t>(i) * per);
+      const auto end = static_cast<unsigned long>(
+          i == w - 1 ? csv.size() : static_cast<std::size_t>(i + 1) * per);
+      PI_Write(g_app.down[static_cast<std::size_t>(i)], "%lu %lu", begin, end);
+    }
+  }
+  for (int i = 0; i < w; ++i) {
+    int ready = 0;
+    PI_Read(g_app.up[static_cast<std::size_t>(i)], "%d", &ready);
+  }
+  const double t_read1 = PI_StartTime();
+
+  // Query phase.
+  QueryResult merged;
+  for (int round = 0; round < cfg.query_rounds; ++round) {
+    QueryResult this_round;
+    if (cfg.variant == Variant::kInstanceA) {
+      // The Fig. 4 bug: write+read paired per worker serializes everything.
+      for (int i = 0; i < w; ++i) {
+        PI_Write(g_app.down[static_cast<std::size_t>(i)], "%d", round);
+        int len = 0;
+        unsigned char* bytes = nullptr;
+        PI_Read(g_app.up[static_cast<std::size_t>(i)], "%^b", &len, &bytes);
+        this_round.merge(decode_result(bytes, static_cast<std::size_t>(len)));
+        std::free(bytes);
+      }
+    } else {
+      // All writes first, then all reads: workers compute concurrently.
+      for (int i = 0; i < w; ++i)
+        PI_Write(g_app.down[static_cast<std::size_t>(i)], "%d", round);
+      for (int i = 0; i < w; ++i) {
+        int len = 0;
+        unsigned char* bytes = nullptr;
+        PI_Read(g_app.up[static_cast<std::size_t>(i)], "%^b", &len, &bytes);
+        this_round.merge(decode_result(bytes, static_cast<std::size_t>(len)));
+        std::free(bytes);
+      }
+    }
+    merged = std::move(this_round);
+  }
+  const double t_query1 = PI_StartTime();
+
+  g_app.read_phase = t_read1 - t_read0;
+  g_app.query_phase = t_query1 - t_read1;
+  g_app.t_read0 = t_read0;
+  g_app.t_read1 = t_read1;
+  g_app.t_query1 = t_query1;
+  g_app.totals = std::move(merged);
+
+  PI_StopMain(0);
+  return 0;
+}
+
+}  // namespace
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::kFixed: return "fixed";
+    case Variant::kInstanceA: return "instance-a";
+    case Variant::kInstanceB: return "instance-b";
+  }
+  return "?";
+}
+
+const std::string& input_csv(const AppConfig& config) {
+  static std::mutex mu;
+  static std::map<std::pair<std::uint64_t, std::size_t>, std::string> cache;
+  std::lock_guard lk(mu);
+  auto& slot = cache[{config.seed, config.records}];
+  if (slot.empty()) slot = to_csv(generate(config.seed, config.records));
+  return slot;
+}
+
+AppStats run_app(const AppConfig& config) {
+  const std::string& csv = input_csv(config);
+
+  g_app = AppState{};
+  g_app.config = &config;
+  g_app.csv = &csv;
+
+  std::vector<std::string> args = {"collision-query"};
+  args.insert(args.end(), config.pilot_args.begin(), config.pilot_args.end());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pilot::RunResult run = pilot::run(args, app_main);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  AppStats stats;
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.read_phase_seconds = g_app.read_phase;
+  stats.query_phase_seconds = g_app.query_phase;
+  stats.t_read_begin = g_app.t_read0;
+  stats.t_read_end = g_app.t_read1;
+  stats.t_query_end = g_app.t_query1;
+  stats.totals = std::move(g_app.totals);
+  stats.oracle = run_queries(parse_chunk(csv, 0, csv.size()));
+  stats.run = std::move(run);
+  return stats;
+}
+
+}  // namespace workloads::collisions

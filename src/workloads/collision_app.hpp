@@ -1,0 +1,65 @@
+// The paper's Section IV-B debugging assignment: parse a large collision
+// CSV in parallel from per-worker file offsets, then answer queries in
+// parallel and merge. Three variants:
+//
+//   kFixed     — the intended program: all workers parse their chunk
+//                concurrently; each query round does all PI_Writes, then
+//                all PI_Reads.
+//   kInstanceA — the Fig. 4 student bug: PI_Write/PI_Read paired per worker
+//                inside the loop, inadvertently serializing the query phase.
+//   kInstanceB — the Fig. 5 student bug: PI_MAIN reads the whole file alone
+//                (~11 s in the paper) while the workers sit blocked, then
+//                ships the records out; no speedup is possible.
+//
+// All parsing/query work is real (the synthetic CSV is actually parsed and
+// aggregated; results are cross-checked against a sequential oracle) with
+// virtual costs charged per the CostModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pilot/runtime.hpp"
+#include "workloads/collisions.hpp"
+
+namespace workloads::collisions {
+
+enum class Variant { kFixed, kInstanceA, kInstanceB };
+
+std::string variant_name(Variant v);
+
+struct AppConfig {
+  Variant variant = Variant::kFixed;
+  int workers = 4;
+  std::size_t records = 100000;
+  int query_rounds = 4;
+  std::uint64_t seed = 7;
+  CostModel costs;
+  std::vector<std::string> pilot_args;
+};
+
+struct AppStats {
+  double wall_seconds = 0.0;
+  double read_phase_seconds = 0.0;   ///< virtual clock, via PI_StartTime
+  double query_phase_seconds = 0.0;
+  // Absolute instants on the trace's clock (for zooming the visual log
+  // into a phase): read phase = [t_read_begin, t_read_end], query phase =
+  // [t_read_end, t_query_end].
+  double t_read_begin = 0.0;
+  double t_read_end = 0.0;
+  double t_query_end = 0.0;
+  QueryResult totals;                ///< merged across workers
+  QueryResult oracle;                ///< sequential ground truth
+  pilot::RunResult run;
+
+  [[nodiscard]] bool correct() const { return totals == oracle; }
+};
+
+AppStats run_app(const AppConfig& config);
+
+/// The CSV text for `config` (cached; excluded from timing like a file
+/// already on disk).
+const std::string& input_csv(const AppConfig& config);
+
+}  // namespace workloads::collisions

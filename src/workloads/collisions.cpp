@@ -1,0 +1,116 @@
+#include "workloads/collisions.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+#include "util/strings.hpp"
+
+namespace workloads::collisions {
+
+std::vector<Record> generate(std::uint64_t seed, std::size_t count) {
+  util::SplitMix64 rng(seed ^ 0xC0111D0EULL);
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Record r;
+    r.year = static_cast<int>(1999 + rng.below(19));
+    r.month = static_cast<int>(1 + rng.below(12));
+    // Severity skewed like real data: fatal rare, property damage common.
+    const double roll = rng.uniform();
+    r.severity = roll < 0.015 ? 1 : roll < 0.35 ? 2 : 3;
+    r.vehicles = static_cast<int>(1 + rng.below(4)) +
+                 (rng.chance(0.02) ? static_cast<int>(rng.below(20)) : 0);
+    r.persons = r.vehicles + static_cast<int>(rng.below(5));
+    r.region = static_cast<int>(rng.below(13));
+    r.weather = static_cast<int>(rng.below(7));
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string to_csv(const std::vector<Record>& records) {
+  std::string out = "year,month,severity,vehicles,persons,region,weather\n";
+  for (const auto& r : records) {
+    out += util::strprintf("%d,%d,%d,%d,%d,%d,%d\n", r.year, r.month, r.severity,
+                           r.vehicles, r.persons, r.region, r.weather);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_line(const char* begin, const char* end, Record* out) {
+  int fields[7];
+  int nfield = 0;
+  const char* p = begin;
+  while (p < end && nfield < 7) {
+    char* next = nullptr;
+    const long v = std::strtol(p, &next, 10);
+    if (next == p) return false;
+    fields[nfield++] = static_cast<int>(v);
+    p = next;
+    if (p < end && *p == ',') ++p;
+  }
+  if (nfield != 7) return false;
+  out->year = fields[0];
+  out->month = fields[1];
+  out->severity = fields[2];
+  out->vehicles = fields[3];
+  out->persons = fields[4];
+  out->region = fields[5];
+  out->weather = fields[6];
+  return true;
+}
+
+}  // namespace
+
+std::vector<Record> parse_chunk(const std::string& csv, std::size_t begin,
+                                std::size_t end) {
+  if (begin > csv.size()) return {};
+  end = std::min(end, csv.size());
+
+  // Align the start: the first chunk skips the header line; later chunks
+  // skip the partial record they landed in.
+  std::size_t pos = csv.find('\n', begin);
+  if (pos == std::string::npos) return {};
+  ++pos;
+
+  std::vector<Record> out;
+  while (pos < csv.size() && pos <= end) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string::npos) eol = csv.size();
+    Record r;
+    if (parse_line(csv.data() + pos, csv.data() + eol, &r)) out.push_back(r);
+    pos = eol + 1;
+    if (pos > end) break;  // the record straddling `end` was ours to finish
+  }
+  return out;
+}
+
+void QueryResult::add(const Record& r) {
+  ++total;
+  ++by_severity[r.severity];
+  if (r.severity == 1) ++fatal_by_year[r.year];
+  max_vehicles = std::max(max_vehicles, r.vehicles);
+  persons_sum += static_cast<std::uint64_t>(r.persons);
+  ++by_region[r.region];
+}
+
+void QueryResult::merge(const QueryResult& other) {
+  total += other.total;
+  for (const auto& [k, v] : other.by_severity) by_severity[k] += v;
+  for (const auto& [k, v] : other.fatal_by_year) fatal_by_year[k] += v;
+  max_vehicles = std::max(max_vehicles, other.max_vehicles);
+  persons_sum += other.persons_sum;
+  for (const auto& [k, v] : other.by_region) by_region[k] += v;
+}
+
+QueryResult run_queries(const std::vector<Record>& records) {
+  QueryResult q;
+  for (const auto& r : records) q.add(r);
+  return q;
+}
+
+}  // namespace workloads::collisions

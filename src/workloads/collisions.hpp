@@ -1,0 +1,69 @@
+// Synthetic stand-in for the 316 MB Canadian automotive-collision CSV used
+// by the paper's Section IV-B debugging assignment: a deterministic record
+// generator, the CSV encoding, an offset-partitioned chunk parser (workers
+// start mid-file and align to the next newline, like the assignment), and a
+// small mergeable query engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace workloads::collisions {
+
+struct Record {
+  int year = 0;        // 1999..2017
+  int month = 0;       // 1..12
+  int severity = 0;    // 1 = fatal, 2 = injury, 3 = property damage
+  int vehicles = 0;    // vehicles involved
+  int persons = 0;     // persons involved
+  int region = 0;      // 0..12 (provinces/territories)
+  int weather = 0;     // 0..6
+};
+
+/// Deterministic synthetic dataset.
+std::vector<Record> generate(std::uint64_t seed, std::size_t count);
+
+/// CSV with header line "year,month,severity,vehicles,persons,region,weather".
+std::string to_csv(const std::vector<Record>& records);
+
+/// Parse the byte range [begin, end) of a CSV buffer the way the class
+/// assignment does: skip to the first newline after `begin` (unless begin
+/// is 0, which skips the header instead), and keep reading past `end` to
+/// finish the record that straddles it. Partitioning [0,n) into touching
+/// ranges therefore parses every record exactly once.
+std::vector<Record> parse_chunk(const std::string& csv, std::size_t begin,
+                                std::size_t end);
+
+/// Mergeable aggregates for the assignment's query set.
+struct QueryResult {
+  std::uint64_t total = 0;
+  std::map<int, std::uint64_t> by_severity;
+  std::map<int, std::uint64_t> fatal_by_year;
+  int max_vehicles = 0;
+  std::uint64_t persons_sum = 0;
+  std::map<int, std::uint64_t> by_region;
+
+  void add(const Record& r);
+  void merge(const QueryResult& other);
+  bool operator==(const QueryResult&) const = default;
+};
+
+QueryResult run_queries(const std::vector<Record>& records);
+
+/// Virtual-seconds cost model: the paper's instance B spends ~11 s reading
+/// 316 MB single-threaded, so the default parse rate is ~28 MB/s.
+struct CostModel {
+  double parse_per_byte = 1.0 / (28.0 * 1024 * 1024);
+  double query_per_record = 250e-9;
+
+  [[nodiscard]] double parse_cost(std::size_t bytes) const {
+    return parse_per_byte * static_cast<double>(bytes);
+  }
+  [[nodiscard]] double query_cost(std::size_t records) const {
+    return query_per_record * static_cast<double>(records);
+  }
+};
+
+}  // namespace workloads::collisions

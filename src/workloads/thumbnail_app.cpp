@@ -1,0 +1,201 @@
+#include "workloads/thumbnail_app.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "pilot/pi.hpp"
+
+namespace workloads::thumbnail {
+
+namespace {
+
+// Globals shared with the (C-function-pointer) work functions. One Pilot
+// program runs at a time, so plain globals match Pilot's usual style.
+struct AppState {
+  const Config* config = nullptr;
+  const std::vector<std::vector<std::uint8_t>>* files = nullptr;
+
+  std::vector<PI_CHANNEL*> ready;   // D_i -> main
+  std::vector<PI_CHANNEL*> work;    // main -> D_i
+  std::vector<PI_CHANNEL*> pixels;  // D_i -> C
+  PI_CHANNEL* count_to_c = nullptr; // main -> C
+  PI_CHANNEL* results = nullptr;    // C -> main
+  PI_BUNDLE* ready_bundle = nullptr;
+  PI_BUNDLE* pixels_bundle = nullptr;
+
+  // Outputs (written by PI_MAIN / C inside one program run).
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  std::size_t files_out = 0;
+  double thumb_err_sum = 0.0;
+};
+
+AppState g_app;
+
+int decompressor(int index, void*) {
+  const Config& cfg = *g_app.config;
+  for (;;) {
+    PI_Write(g_app.ready[static_cast<std::size_t>(index)], "%d", index);
+    int len = 0;
+    unsigned char* bytes = nullptr;
+    PI_Read(g_app.work[static_cast<std::size_t>(index)], "%^b", &len, &bytes);
+    if (len == 0) {
+      std::free(bytes);
+      break;
+    }
+    const std::vector<std::uint8_t> jpeg(bytes, bytes + len);
+    std::free(bytes);
+
+    const Image img = decode(jpeg);
+    const Image thumb = crop_and_subsample(img);
+    // Decompressing + cropping + subsampling is the pipeline's dominant
+    // cost; charge it against the source image size.
+    PI_Compute(cfg.costs.decode_cost(img.pixel_count()));
+
+    PI_Write(g_app.pixels[static_cast<std::size_t>(index)], "%d %d %*b",
+             thumb.width, thumb.height, static_cast<int>(thumb.pixels.size()),
+             thumb.pixels.data());
+  }
+  return 0;
+}
+
+int compressor(int, void*) {
+  const Config& cfg = *g_app.config;
+  int expected = 0;
+  PI_Read(g_app.count_to_c, "%d", &expected);
+  for (int done = 0; done < expected; ++done) {
+    const int which = PI_Select(g_app.pixels_bundle);
+    Image thumb;
+    int len = 0;
+    unsigned char* bytes = nullptr;
+    PI_Read(g_app.pixels[static_cast<std::size_t>(which)], "%d %d %^b",
+            &thumb.width, &thumb.height, &len, &bytes);
+    thumb.pixels.assign(bytes, bytes + len);
+    std::free(bytes);
+
+    const auto jpeg = encode(thumb, cfg.quality);
+    PI_Compute(cfg.costs.encode_cost(thumb.pixel_count()));
+
+    // Reconstruction sanity: decoded thumbnail must stay close.
+    g_app.thumb_err_sum += mean_abs_error(thumb, decode(jpeg));
+
+    PI_Write(g_app.results, "%*b", static_cast<int>(jpeg.size()), jpeg.data());
+  }
+  return 0;
+}
+
+int app_main(int argc, char** argv) {
+  const Config& cfg = *g_app.config;
+  const auto& files = *g_app.files;
+  const int w = cfg.workers;
+
+  PI_Configure(&argc, &argv);
+
+  // Rank 1 = compressor, ranks 2..w+1 = decompressors (paper's layout).
+  PI_PROCESS* c_proc = PI_CreateProcess(compressor, 0, nullptr);
+  PI_SetName(c_proc, "C");
+  g_app.count_to_c = PI_CreateChannel(PI_MAIN, c_proc);
+  g_app.results = PI_CreateChannel(c_proc, PI_MAIN);
+
+  g_app.ready.assign(static_cast<std::size_t>(w), nullptr);
+  g_app.work.assign(static_cast<std::size_t>(w), nullptr);
+  g_app.pixels.assign(static_cast<std::size_t>(w), nullptr);
+  for (int i = 0; i < w; ++i) {
+    PI_PROCESS* d = PI_CreateProcess(decompressor, i, nullptr);
+    PI_SetName(d, ("D" + std::to_string(i)).c_str());
+    g_app.ready[static_cast<std::size_t>(i)] = PI_CreateChannel(d, PI_MAIN);
+    g_app.work[static_cast<std::size_t>(i)] = PI_CreateChannel(PI_MAIN, d);
+    g_app.pixels[static_cast<std::size_t>(i)] = PI_CreateChannel(d, c_proc);
+  }
+  g_app.ready_bundle =
+      PI_CreateBundle(PI_SELECT_B, g_app.ready.data(), w);
+  g_app.pixels_bundle =
+      PI_CreateBundle(PI_SELECT_B, g_app.pixels.data(), w);
+
+  PI_StartAll();
+
+  PI_Write(g_app.count_to_c, "%d", static_cast<int>(files.size()));
+
+  // Ship each file to the next available decompressor.
+  for (const auto& jpeg : files) {
+    PI_Compute(cfg.costs.io_cost(jpeg.size()));  // "read from disk"
+    g_app.bytes_in += jpeg.size();
+    const int which = PI_Select(g_app.ready_bundle);
+    int token = 0;
+    PI_Read(g_app.ready[static_cast<std::size_t>(which)], "%d", &token);
+    PI_Write(g_app.work[static_cast<std::size_t>(which)], "%*b",
+             static_cast<int>(jpeg.size()), jpeg.data());
+  }
+  // Stop tokens.
+  for (int i = 0; i < w; ++i) {
+    const int which = PI_Select(g_app.ready_bundle);
+    int token = 0;
+    PI_Read(g_app.ready[static_cast<std::size_t>(which)], "%d", &token);
+    PI_Write(g_app.work[static_cast<std::size_t>(which)], "%*b", 0,
+             static_cast<const unsigned char*>(nullptr));
+  }
+
+  // Collect thumbnails and "write them to disk".
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    int len = 0;
+    unsigned char* bytes = nullptr;
+    PI_Read(g_app.results, "%^b", &len, &bytes);
+    g_app.bytes_out += static_cast<std::size_t>(len);
+    ++g_app.files_out;
+    PI_Compute(cfg.costs.io_cost(static_cast<std::size_t>(len)));
+    std::free(bytes);
+  }
+
+  PI_StopMain(0);
+  return 0;
+}
+
+}  // namespace
+
+const std::vector<std::vector<std::uint8_t>>& input_files(const Config& config) {
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, int, std::uint64_t>,
+                  std::vector<std::vector<std::uint8_t>>>
+      cache;
+  std::lock_guard lk(mu);
+  auto& slot = cache[{config.files, config.image_size, config.quality, config.seed}];
+  if (slot.empty() && config.files > 0) {
+    slot.reserve(static_cast<std::size_t>(config.files));
+    for (int f = 0; f < config.files; ++f) {
+      const Image img = generate_image(config.seed + static_cast<std::uint64_t>(f),
+                                       config.image_size, config.image_size);
+      slot.push_back(encode(img, config.quality));
+    }
+  }
+  return slot;
+}
+
+Stats run_app(const Config& config) {
+  const auto& files = input_files(config);
+
+  g_app = AppState{};
+  g_app.config = &config;
+  g_app.files = &files;
+
+  std::vector<std::string> args = {"thumbnail"};
+  args.insert(args.end(), config.pilot_args.begin(), config.pilot_args.end());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pilot::RunResult run = pilot::run(args, app_main);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Stats stats;
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.files_out = g_app.files_out;
+  stats.bytes_in = g_app.bytes_in;
+  stats.bytes_out = g_app.bytes_out;
+  stats.thumb_mean_error =
+      g_app.files_out ? g_app.thumb_err_sum / static_cast<double>(g_app.files_out)
+                      : 0.0;
+  stats.run = std::move(run);
+  return stats;
+}
+
+}  // namespace workloads::thumbnail

@@ -1,0 +1,51 @@
+// The paper's demonstration application (Section III-D): a JPEG thumbnail
+// pipeline with PI_MAIN doing all "disk" I/O, multiple decompressor
+// processes D_i (the scalable, compute-heavy stage), and one compressor C.
+//
+//   PI_MAIN --files--> D_i --pixels--> C --thumbnails--> PI_MAIN
+//
+// Work is handed to "the next available worker": each D announces itself on
+// a ready channel and PI_MAIN selects among them. Input files are synthetic
+// tinyjpeg images (substitute for the course's >1000 real JPEGs); all
+// compute charges the simulated machine so the Section III-E overhead table
+// reproduces on any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pilot/runtime.hpp"
+#include "workloads/tinyjpeg.hpp"
+
+namespace workloads::thumbnail {
+
+struct Config {
+  int files = 100;
+  int workers = 5;  ///< decompressor count (the paper scales 5 -> 10)
+  int image_size = 64;
+  int quality = 75;
+  std::uint64_t seed = 42;
+  CostModel costs;
+  /// Extra Pilot command-line arguments (-pisvc=..., -pisim-..., -piout=...).
+  std::vector<std::string> pilot_args;
+};
+
+struct Stats {
+  double wall_seconds = 0.0;  ///< around the whole Pilot program
+  std::size_t files_out = 0;
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  double thumb_mean_error = 0.0;  ///< reconstruction sanity metric
+  pilot::RunResult run;
+};
+
+/// Run the pipeline once. Thread-compatible with the rest of the suite but
+/// not reentrant (one Pilot program per process at a time).
+Stats run_app(const Config& config);
+
+/// The generated input set for `config` (cached across runs; generation is
+/// excluded from timing, like pre-existing files on disk).
+const std::vector<std::vector<std::uint8_t>>& input_files(const Config& config);
+
+}  // namespace workloads::thumbnail

@@ -1,0 +1,268 @@
+#include "workloads/tinyjpeg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/bytebuf.hpp"
+#include "util/prng.hpp"
+
+namespace workloads {
+
+namespace {
+
+constexpr int kBlock = 8;
+constexpr std::array<char, 4> kMagic = {'T', 'J', '1', '\0'};
+
+// Zigzag scan order for an 8x8 block.
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// Base quantization table (JPEG Annex K luminance, the classic one).
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+std::array<double, 64> quant_table(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  // libjpeg's quality-to-scale mapping.
+  const double scale = quality < 50 ? 5000.0 / quality : 200.0 - 2.0 * quality;
+  std::array<double, 64> q{};
+  for (int i = 0; i < 64; ++i) {
+    double v = std::floor((kBaseQuant[static_cast<std::size_t>(i)] * scale + 50.0) / 100.0);
+    q[static_cast<std::size_t>(i)] = std::clamp(v, 1.0, 255.0);
+  }
+  return q;
+}
+
+// Naive 2D DCT-II / DCT-III on an 8x8 block. O(N^4) per block is fine at
+// this scale and keeps the transform obviously correct.
+void dct_forward(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  constexpr double pi = std::numbers::pi;
+  for (int u = 0; u < kBlock; ++u) {
+    for (int v = 0; v < kBlock; ++v) {
+      double sum = 0.0;
+      for (int x = 0; x < kBlock; ++x)
+        for (int y = 0; y < kBlock; ++y)
+          sum += in[x][y] * std::cos((2 * x + 1) * u * pi / 16.0) *
+                 std::cos((2 * y + 1) * v * pi / 16.0);
+      const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      const double cv = v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+      out[u][v] = 0.25 * cu * cv * sum;
+    }
+  }
+}
+
+void dct_inverse(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  constexpr double pi = std::numbers::pi;
+  for (int x = 0; x < kBlock; ++x) {
+    for (int y = 0; y < kBlock; ++y) {
+      double sum = 0.0;
+      for (int u = 0; u < kBlock; ++u)
+        for (int v = 0; v < kBlock; ++v) {
+          const double cu = u == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+          const double cv = v == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+          sum += cu * cv * in[u][v] * std::cos((2 * x + 1) * u * pi / 16.0) *
+                 std::cos((2 * y + 1) * v * pi / 16.0);
+        }
+      out[x][y] = 0.25 * sum;
+    }
+  }
+}
+
+// Varint zigzag coding for signed coefficients.
+void put_signed(util::ByteWriter& w, int v) {
+  std::uint32_t u = static_cast<std::uint32_t>((v << 1) ^ (v >> 31));
+  while (u >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(u) | 0x80);
+    u >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(u));
+}
+
+int get_signed(util::ByteReader& r) {
+  std::uint32_t u = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = r.u8();
+    u |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 28) throw util::IoError("tinyjpeg: varint overflow");
+  }
+  return static_cast<int>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace
+
+Image generate_image(std::uint64_t seed, int width, int height) {
+  if (width <= 0 || height <= 0)
+    throw util::UsageError("generate_image: non-positive dimensions");
+  util::SplitMix64 rng(seed);
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(img.pixel_count());
+
+  // Smooth base: two gradients with random orientation.
+  const double gx = rng.uniform(-1, 1), gy = rng.uniform(-1, 1);
+  const double base = rng.uniform(60, 180);
+
+  // Soft blobs.
+  struct Blob {
+    double cx, cy, r, amp;
+  };
+  std::vector<Blob> blobs;
+  const int nblobs = static_cast<int>(3 + rng.below(6));
+  for (int i = 0; i < nblobs; ++i) {
+    blobs.push_back(Blob{rng.uniform(0, width), rng.uniform(0, height),
+                         rng.uniform(width / 16.0, width / 3.0),
+                         rng.uniform(-80, 80)});
+  }
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double v = base + gx * 40.0 * x / width + gy * 40.0 * y / height;
+      for (const auto& b : blobs) {
+        const double dx = x - b.cx, dy = y - b.cy;
+        v += b.amp * std::exp(-(dx * dx + dy * dy) / (2 * b.r * b.r));
+      }
+      img.pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)] =
+          static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> encode(const Image& img, int quality) {
+  if (img.width <= 0 || img.height <= 0 || img.pixels.size() != img.pixel_count())
+    throw util::UsageError("tinyjpeg::encode: malformed image");
+  const auto q = quant_table(quality);
+
+  util::ByteWriter w;
+  w.raw(kMagic.data(), kMagic.size());
+  w.i32(img.width);
+  w.i32(img.height);
+  w.u8(static_cast<std::uint8_t>(std::clamp(quality, 1, 100)));
+
+  double in[kBlock][kBlock];
+  double freq[kBlock][kBlock];
+  for (int by = 0; by < img.height; by += kBlock) {
+    for (int bx = 0; bx < img.width; bx += kBlock) {
+      // Load block (edge blocks replicate the border pixel).
+      for (int y = 0; y < kBlock; ++y)
+        for (int x = 0; x < kBlock; ++x) {
+          const int sx = std::min(bx + x, img.width - 1);
+          const int sy = std::min(by + y, img.height - 1);
+          in[x][y] = static_cast<double>(img.at(sx, sy)) - 128.0;
+        }
+      dct_forward(in, freq);
+
+      // Quantize in zigzag order, RLE the zero runs.
+      int zero_run = 0;
+      for (int i = 0; i < 64; ++i) {
+        const int zz = kZigzag[static_cast<std::size_t>(i)];
+        const int u = zz / kBlock, v = zz % kBlock;
+        const int coef = static_cast<int>(
+            std::lround(freq[u][v] / q[static_cast<std::size_t>(zz)]));
+        if (coef == 0) {
+          ++zero_run;
+        } else {
+          put_signed(w, -zero_run - 1);  // negative sentinel: run of zeros
+          put_signed(w, coef);
+          zero_run = 0;
+        }
+      }
+      put_signed(w, 0);  // end-of-block
+    }
+  }
+  return w.take();
+}
+
+Image decode(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  const std::uint8_t* magic = r.take(kMagic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw util::IoError("tinyjpeg: bad magic");
+  Image img;
+  img.width = r.i32();
+  img.height = r.i32();
+  if (img.width <= 0 || img.height <= 0 || img.width > 1 << 16 ||
+      img.height > 1 << 16)
+    throw util::IoError("tinyjpeg: implausible dimensions");
+  const int quality = r.u8();
+  const auto q = quant_table(quality);
+  img.pixels.assign(img.pixel_count(), 0);
+
+  double freq[kBlock][kBlock];
+  double out[kBlock][kBlock];
+  for (int by = 0; by < img.height; by += kBlock) {
+    for (int bx = 0; bx < img.width; bx += kBlock) {
+      for (auto& row : freq) std::fill(std::begin(row), std::end(row), 0.0);
+      int i = 0;
+      for (;;) {
+        const int tok = get_signed(r);
+        if (tok == 0) break;  // end of block
+        if (tok < 0) {
+          i += -tok - 1;  // zero run
+          const int coef = get_signed(r);
+          if (i >= 64) throw util::IoError("tinyjpeg: coefficient overrun");
+          const int zz = kZigzag[static_cast<std::size_t>(i)];
+          freq[zz / kBlock][zz % kBlock] =
+              coef * q[static_cast<std::size_t>(zz)];
+          ++i;
+        } else {
+          throw util::IoError("tinyjpeg: corrupt token stream");
+        }
+      }
+      dct_inverse(freq, out);
+      for (int y = 0; y < kBlock; ++y)
+        for (int x = 0; x < kBlock; ++x) {
+          const int dx = bx + x, dy = by + y;
+          if (dx >= img.width || dy >= img.height) continue;
+          img.pixels[static_cast<std::size_t>(dy) *
+                         static_cast<std::size_t>(img.width) +
+                     static_cast<std::size_t>(dx)] = static_cast<std::uint8_t>(
+              std::clamp(out[x][y] + 128.0, 0.0, 255.0));
+        }
+    }
+  }
+  return img;
+}
+
+Image crop_and_subsample(const Image& img) {
+  // Centre crop with 32% of the area (side factor sqrt(0.32)), then keep
+  // every third pixel of each row.
+  const double side = std::sqrt(0.32);
+  const int cw = std::max(static_cast<int>(img.width * side), 1);
+  const int ch = std::max(static_cast<int>(img.height * side), 1);
+  const int x0 = (img.width - cw) / 2;
+  const int y0 = (img.height - ch) / 2;
+
+  Image out;
+  out.width = (cw + 2) / 3;
+  out.height = ch;
+  out.pixels.reserve(out.pixel_count());
+  for (int y = 0; y < ch; ++y)
+    for (int x = 0; x < cw; x += 3) out.pixels.push_back(img.at(x0 + x, y0 + y));
+  return out;
+}
+
+double mean_abs_error(const Image& a, const Image& b) {
+  if (a.width != b.width || a.height != b.height)
+    throw util::UsageError("mean_abs_error: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i)
+    sum += std::abs(static_cast<int>(a.pixels[i]) - static_cast<int>(b.pixels[i]));
+  return a.pixels.empty() ? 0.0 : sum / static_cast<double>(a.pixels.size());
+}
+
+}  // namespace workloads

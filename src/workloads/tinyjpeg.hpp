@@ -1,0 +1,68 @@
+// tinyjpeg: a real (small) lossy image codec standing in for libjpeg in the
+// paper's thumbnail demonstration application.
+//
+// JPEG-like structure: 8x8 block DCT -> uniform quantization -> zigzag ->
+// run-length + varint entropy coding. Grayscale only. The data
+// transformations are real (decode(encode(x)) is a close approximation of
+// x), while the *time* cost of the work is charged to the simulated machine
+// via the CostModel so timing experiments are host-independent (DESIGN.md,
+// substitution table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace workloads {
+
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels;  // row-major, 1 byte per pixel
+
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+};
+
+/// Deterministic synthetic photo: smooth gradients plus soft random blobs
+/// (compresses like a natural image: mostly low-frequency energy).
+Image generate_image(std::uint64_t seed, int width, int height);
+
+/// Encode with quality in [1, 100] (higher = larger, more faithful).
+std::vector<std::uint8_t> encode(const Image& img, int quality = 75);
+
+/// Decode; throws util::IoError on malformed input.
+Image decode(const std::vector<std::uint8_t>& bytes);
+
+/// The thumbnail transformation from the paper's assignment: crop the
+/// centre 32% of the pixel array, then keep every third pixel of each row.
+Image crop_and_subsample(const Image& img);
+
+/// Mean absolute reconstruction error (tests bound codec loss with it).
+double mean_abs_error(const Image& a, const Image& b);
+
+/// Virtual-seconds cost model for the pipeline stages, calibrated so the
+/// paper's 1058-file runs land at the right order of magnitude (Sec. III-E).
+struct CostModel {
+  double decode_per_pixel = 2.0e-6;   ///< decompress + crop + subsample
+  double encode_per_pixel = 0.4e-6;   ///< recompress the (smaller) thumbnail
+  double io_per_byte = 4.0e-9;        ///< PI_MAIN's disk read/write
+
+  [[nodiscard]] double decode_cost(std::size_t pixels) const {
+    return decode_per_pixel * static_cast<double>(pixels);
+  }
+  [[nodiscard]] double encode_cost(std::size_t pixels) const {
+    return encode_per_pixel * static_cast<double>(pixels);
+  }
+  [[nodiscard]] double io_cost(std::size_t bytes) const {
+    return io_per_byte * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace workloads

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "jumpshot/render.hpp"
+#include "jumpshot/stats.hpp"
+
+namespace {
+
+// Two ranks with very different busy times -> visible imbalance.
+clog2::File imbalanced_trace() {
+  clog2::File f;
+  f.nranks = 2;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "Work", "gray", ""});
+  f.records.emplace_back(clog2::StateDef{2, 20, 21, "PI_Read", "red", ""});
+  f.records.emplace_back(clog2::EventRec{0.0, 0, 10, ""});
+  f.records.emplace_back(clog2::EventRec{9.0, 0, 11, ""});
+  f.records.emplace_back(clog2::EventRec{0.0, 1, 20, ""});
+  f.records.emplace_back(clog2::EventRec{1.0, 1, 21, ""});
+  return f;
+}
+
+TEST(StatsRender, ProducesBarsAndImbalance) {
+  const auto file = slog2::convert(imbalanced_trace());
+  jumpshot::StatsRenderOptions opts;
+  opts.title = "lab stats";
+  const std::string svg = jumpshot::render_stats_svg(file, opts);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("lab stats"), std::string::npos);
+  // Imbalance = max/mean = 9 / 5 = 1.8.
+  EXPECT_NE(svg.find("1.800"), std::string::npos);
+  // Both category colours appear as bars.
+  EXPECT_NE(svg.find("#808080"), std::string::npos);  // gray
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);  // red
+  // Category legend names.
+  EXPECT_NE(svg.find("Work"), std::string::npos);
+  EXPECT_NE(svg.find("PI_Read"), std::string::npos);
+}
+
+TEST(StatsRender, WindowRestriction) {
+  const auto file = slog2::convert(imbalanced_trace());
+  jumpshot::StatsRenderOptions opts;
+  opts.t0 = 0.0;
+  opts.t1 = 1.0;  // both ranks busy exactly 1 s here -> balanced
+  const std::string svg = jumpshot::render_stats_svg(file, opts);
+  EXPECT_NE(svg.find("= 1.000"), std::string::npos);
+}
+
+TEST(StatsRender, EmptyWindowStillRenders) {
+  const auto file = slog2::convert(imbalanced_trace());
+  jumpshot::StatsRenderOptions opts;
+  opts.t0 = 100.0;
+  opts.t1 = 200.0;
+  const std::string svg = jumpshot::render_stats_svg(file, opts);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(StatsRender, RankNames) {
+  const auto file = slog2::convert(imbalanced_trace());
+  jumpshot::StatsRenderOptions opts;
+  opts.rank_names = {"PI_MAIN", "Worker"};
+  const std::string svg = jumpshot::render_stats_svg(file, opts);
+  EXPECT_NE(svg.find("PI_MAIN"), std::string::npos);
+  EXPECT_NE(svg.find("Worker"), std::string::npos);
+}
+
+}  // namespace

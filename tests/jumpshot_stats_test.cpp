@@ -1,0 +1,168 @@
+#include "jumpshot/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// A trace with known structure:
+//   rank 0: Outer [0, 10] containing Inner [2, 5]
+//   rank 1: Outer [1, 4]
+//   solo Mark at t=3 (rank 0) and t=6 (rank 1)
+//   one message rank0 -> rank1 (t 3.5 -> 4.5)
+clog2::File known_trace() {
+  clog2::File f;
+  f.nranks = 2;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "Outer", "gray", ""});
+  f.records.emplace_back(clog2::StateDef{2, 20, 21, "Inner", "red", ""});
+  f.records.emplace_back(clog2::EventDef{30, "Mark", "yellow", ""});
+  f.records.emplace_back(clog2::EventRec{0.0, 0, 10, ""});
+  f.records.emplace_back(clog2::EventRec{1.0, 1, 10, ""});
+  f.records.emplace_back(clog2::EventRec{2.0, 0, 20, ""});
+  f.records.emplace_back(clog2::EventRec{3.0, 0, 30, ""});
+  clog2::MsgRec send;
+  send.timestamp = 3.5;
+  send.rank = 0;
+  send.kind = clog2::MsgRec::Kind::kSend;
+  send.partner = 1;
+  send.tag = 9;
+  send.size = 256;
+  f.records.emplace_back(send);
+  f.records.emplace_back(clog2::EventRec{4.0, 1, 11, ""});
+  clog2::MsgRec recv = send;
+  recv.timestamp = 4.5;
+  recv.rank = 1;
+  recv.kind = clog2::MsgRec::Kind::kRecv;
+  recv.partner = 0;
+  f.records.emplace_back(recv);
+  f.records.emplace_back(clog2::EventRec{5.0, 0, 21, ""});
+  f.records.emplace_back(clog2::EventRec{6.0, 1, 30, ""});
+  f.records.emplace_back(clog2::EventRec{10.0, 0, 11, ""});
+  return f;
+}
+
+const jumpshot::LegendEntry* find(const std::vector<jumpshot::LegendEntry>& es,
+                                  const std::string& name) {
+  for (const auto& e : es)
+    if (e.category.name == name) return &e;
+  return nullptr;
+}
+
+TEST(Legend, CountsInclusiveExclusive) {
+  const auto file = slog2::convert(known_trace());
+  ASSERT_TRUE(file.stats.clean());
+  const auto entries = jumpshot::legend(file);
+
+  const auto* outer = find(entries, "Outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  // Inclusive: (10-0) + (4-1) = 13; exclusive: 13 - nested Inner (3) = 10.
+  EXPECT_NEAR(outer->inclusive, 13.0, 1e-9);
+  EXPECT_NEAR(outer->exclusive, 10.0, 1e-9);
+
+  const auto* inner = find(entries, "Inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 1u);
+  EXPECT_NEAR(inner->inclusive, 3.0, 1e-9);
+  EXPECT_NEAR(inner->exclusive, 3.0, 1e-9);  // nothing nested inside it
+
+  const auto* mark = find(entries, "Mark");
+  ASSERT_NE(mark, nullptr);
+  EXPECT_EQ(mark->count, 2u);
+  EXPECT_DOUBLE_EQ(mark->inclusive, 0.0);
+
+  const auto* arrow = find(entries, "message");
+  ASSERT_NE(arrow, nullptr);
+  EXPECT_EQ(arrow->count, 1u);
+}
+
+TEST(Legend, SortModes) {
+  const auto file = slog2::convert(known_trace());
+  const auto by_count = jumpshot::legend(file, jumpshot::LegendSort::kByCount);
+  for (std::size_t i = 1; i < by_count.size(); ++i)
+    EXPECT_GE(by_count[i - 1].count, by_count[i].count);
+  const auto by_incl = jumpshot::legend(file, jumpshot::LegendSort::kByInclusive);
+  for (std::size_t i = 1; i < by_incl.size(); ++i)
+    EXPECT_GE(by_incl[i - 1].inclusive, by_incl[i].inclusive);
+  const auto by_excl = jumpshot::legend(file, jumpshot::LegendSort::kByExclusive);
+  for (std::size_t i = 1; i < by_excl.size(); ++i)
+    EXPECT_GE(by_excl[i - 1].exclusive, by_excl[i].exclusive);
+}
+
+TEST(Legend, SiblingsDoNotSubtractFromEachOther) {
+  // Two sequential (non-nested) Inner states inside one Outer.
+  clog2::File f;
+  f.nranks = 1;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "Outer", "gray", ""});
+  f.records.emplace_back(clog2::StateDef{2, 20, 21, "Inner", "red", ""});
+  for (auto [t, id] : std::initializer_list<std::pair<double, int>>{
+           {0.0, 10}, {1.0, 20}, {2.0, 21}, {3.0, 20}, {5.0, 21}, {10.0, 11}}) {
+    f.records.emplace_back(clog2::EventRec{t, 0, id, ""});
+  }
+  const auto file = slog2::convert(f);
+  const auto entries = jumpshot::legend(file);
+  const auto* outer = find(entries, "Outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_NEAR(outer->inclusive, 10.0, 1e-9);
+  EXPECT_NEAR(outer->exclusive, 10.0 - 1.0 - 2.0, 1e-9);
+  const auto* inner = find(entries, "Inner");
+  EXPECT_NEAR(inner->inclusive, 3.0, 1e-9);
+  EXPECT_NEAR(inner->exclusive, 3.0, 1e-9);
+}
+
+TEST(Legend, TextRendering) {
+  const auto file = slog2::convert(known_trace());
+  const auto text = jumpshot::legend_to_text(jumpshot::legend(file));
+  EXPECT_NE(text.find("Outer"), std::string::npos);
+  EXPECT_NE(text.find("incl"), std::string::npos);
+}
+
+TEST(WindowStats, ClipsToWindow) {
+  const auto file = slog2::convert(known_trace());
+  // Window [2, 5]: rank0 Outer contributes 3 s, Inner 3 s; rank1 Outer 2 s.
+  const auto ws = jumpshot::window_stats(file, 2.0, 5.0);
+  ASSERT_EQ(ws.ranks.size(), 2u);
+  double rank0 = 0, rank1 = 0;
+  for (const auto& [cat, secs] : ws.ranks[0].state_time) rank0 += secs;
+  for (const auto& [cat, secs] : ws.ranks[1].state_time) rank1 += secs;
+  EXPECT_NEAR(rank0, 3.0 + 3.0, 1e-9);
+  EXPECT_NEAR(rank1, 2.0, 1e-9);
+}
+
+TEST(WindowStats, ArrowsCounted) {
+  const auto file = slog2::convert(known_trace());
+  const auto ws = jumpshot::window_stats(file, 0.0, 10.0);
+  EXPECT_EQ(ws.ranks[0].arrows_out, 1u);
+  EXPECT_EQ(ws.ranks[0].arrows_in, 0u);
+  EXPECT_EQ(ws.ranks[1].arrows_in, 1u);
+}
+
+TEST(WindowStats, ImbalanceDetectsSkew) {
+  // Rank 0 busy 13 s (Outer 10 + nested Inner 3), rank 1 busy 3 s:
+  // imbalance = max / mean = 13 / 8.
+  const auto file = slog2::convert(known_trace());
+  const auto ws = jumpshot::window_stats(file, 0.0, 10.0);
+  EXPECT_NEAR(ws.imbalance(), 13.0 / 8.0, 1e-9);
+  EXPECT_GT(ws.imbalance(), 1.2);
+}
+
+TEST(WindowStats, BalancedLoadsNearOne) {
+  clog2::File f;
+  f.nranks = 3;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "Work", "gray", ""});
+  for (int r = 0; r < 3; ++r) {
+    f.records.emplace_back(clog2::EventRec{0.0, r, 10, ""});
+    f.records.emplace_back(clog2::EventRec{5.0, r, 11, ""});
+  }
+  const auto file = slog2::convert(f);
+  const auto ws = jumpshot::window_stats(file, 0.0, 5.0);
+  EXPECT_NEAR(ws.imbalance(), 1.0, 1e-9);
+}
+
+TEST(WindowStats, EmptyWindow) {
+  const auto file = slog2::convert(known_trace());
+  const auto ws = jumpshot::window_stats(file, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(ws.imbalance(), 1.0);
+  for (const auto& r : ws.ranks) EXPECT_DOUBLE_EQ(r.total_state_time(), 0.0);
+}
+
+}  // namespace

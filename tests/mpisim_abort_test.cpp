@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "mpisim/world.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::World;
+
+World::Config cfg(int n) {
+  World::Config c;
+  c.nprocs = n;
+  c.time_scale = 0.0;
+  c.watchdog_seconds = 20.0;
+  return c;
+}
+
+TEST(Abort, WakesBlockedReceivers) {
+  World w(cfg(3));
+  const auto result = w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.abort(77);  // never returns
+    }
+    // Ranks 1, 2 block forever; abort must wake them.
+    int v = 0;
+    c.recv(0, 99, &v, sizeof v);
+    ADD_FAILURE() << "recv returned after abort";
+    return 0;
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.abort_code, 77);
+}
+
+TEST(Abort, WakesBarrier) {
+  World w(cfg(3));
+  const auto result = w.run([](Comm& c) {
+    if (c.rank() == 2) c.abort(5);
+    c.barrier();  // 0 and 1 wait here; 2 never arrives
+    return 0;
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.abort_code, 5);
+}
+
+TEST(Abort, SendAfterAbortThrows) {
+  World w(cfg(2));
+  std::atomic<bool> second_send_threw{false};
+  const auto result = w.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.abort(1);
+    } else {
+      // Wait for the abort to land, then try to send.
+      for (int i = 0; i < 1000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        try {
+          int v = 0;
+          c.send(0, 1, &v, sizeof v);
+        } catch (const mpisim::AbortedError&) {
+          second_send_threw = true;
+          throw;
+        }
+      }
+    }
+    return 0;
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_TRUE(second_send_threw.load());
+}
+
+TEST(Abort, UncaughtExceptionAbortsWorldAndRethrows) {
+  World w(cfg(3));
+  EXPECT_THROW(
+      w.run([](Comm& c) -> int {
+        if (c.rank() == 1) throw std::logic_error("rank 1 crashed");
+        int v = 0;
+        c.recv(1, 0, &v, sizeof v);  // others block; crash must free them
+        return 0;
+      }),
+      std::logic_error);
+}
+
+TEST(Abort, WatchdogBreaksDeadlock) {
+  World::Config c = cfg(2);
+  c.watchdog_seconds = 0.2;
+  World w(c);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      w.run([](Comm& comm) {
+        // Classic head-to-head deadlock: both ranks receive first.
+        int v = 0;
+        comm.recv(1 - comm.rank(), 0, &v, sizeof v);
+        return 0;
+      }),
+      mpisim::TimeoutError);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(dt, 5.0);  // terminated promptly, not hung
+}
+
+TEST(Abort, CleanRunNotAborted) {
+  World w(cfg(2));
+  const auto result = w.run([](Comm&) { return 0; });
+  EXPECT_FALSE(result.aborted);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(Abort, ComputeInterruptedByAbort) {
+  World::Config c = cfg(2);
+  c.cpu_cores = 1;
+  c.time_scale = 1.0;
+  World w(c);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = w.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      comm.abort(9);
+    }
+    comm.compute(0.05);   // rank 1 holds the core...
+    comm.compute(100.0);  // ...then would sleep for 100 s without the abort
+    return 0;
+  });
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.abort_code, 9);
+  EXPECT_LT(dt, 10.0);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "mpisim/clock.hpp"
+#include "mpisim/world.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::VirtualClock;
+using mpisim::World;
+
+TEST(Clock, NoDriftMeansAllRanksAgree) {
+  VirtualClock clk(4, 0.0, 0.0, 1);
+  const double t = clk.true_time();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(clk.to_local(r, t), t, 1e-12);
+  }
+}
+
+TEST(Clock, RankZeroIsReference) {
+  VirtualClock clk(4, 0.5, 1e-3, 99);
+  EXPECT_DOUBLE_EQ(clk.offset(0), 0.0);
+  EXPECT_DOUBLE_EQ(clk.skew(0), 0.0);
+}
+
+TEST(Clock, DriftBoundsRespected) {
+  const double max_off = 0.25, max_skew = 1e-4;
+  VirtualClock clk(16, max_off, max_skew, 7);
+  for (int r = 1; r < 16; ++r) {
+    EXPECT_LE(std::abs(clk.offset(r)), max_off);
+    EXPECT_LE(std::abs(clk.skew(r)), max_skew);
+  }
+}
+
+TEST(Clock, DriftIsDeterministicInSeed) {
+  VirtualClock a(8, 0.1, 1e-4, 42);
+  VirtualClock b(8, 0.1, 1e-4, 42);
+  VirtualClock c(8, 0.1, 1e-4, 43);
+  bool any_differs = false;
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(a.offset(r), b.offset(r));
+    EXPECT_DOUBLE_EQ(a.skew(r), b.skew(r));
+    if (a.offset(r) != c.offset(r)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Clock, LocalModelIsOffsetPlusSkew) {
+  VirtualClock clk(2, 0.5, 1e-2, 3);
+  const double t = 2.0;
+  EXPECT_NEAR(clk.to_local(1, t), t * (1.0 + clk.skew(1)) + clk.offset(1), 1e-12);
+}
+
+TEST(Clock, MonotonicWithinRank) {
+  VirtualClock clk(2, 0.3, 1e-4, 5);
+  double prev = clk.now(1);
+  for (int i = 0; i < 100; ++i) {
+    const double t = clk.now(1);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Clock, WtimeAdvances) {
+  World::Config c;
+  c.nprocs = 1;
+  c.time_scale = 0.0;
+  World w(c);
+  w.run([](Comm& comm) {
+    const double t0 = comm.wtime();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double t1 = comm.wtime();
+    EXPECT_GT(t1, t0);
+    EXPECT_GE(t1 - t0, 0.004);
+    return 0;
+  });
+}
+
+TEST(Clock, InjectedDriftVisibleThroughComm) {
+  World::Config c;
+  c.nprocs = 2;
+  c.time_scale = 0.0;
+  c.clock_max_offset = 0.5;
+  c.seed = 11;
+  World w(c);
+  const double off1 = w.clock().offset(1);
+  ASSERT_NE(off1, 0.0);
+  w.run([off1](Comm& comm) {
+    if (comm.rank() == 1) {
+      const double local = comm.wtime();
+      const double truth = comm.true_time();
+      // local ≈ truth + offset (skew is zero here)
+      EXPECT_NEAR(local - truth, off1, 1e-3);
+    }
+    return 0;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "mpisim/cpu.hpp"
+#include "mpisim/world.hpp"
+
+namespace {
+
+using mpisim::CpuModel;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+TEST(Cpu, ZeroScaleIsFree) {
+  CpuModel cpu(1, 0.0);
+  const double dt = wall_seconds([&] { cpu.execute(100.0); });
+  EXPECT_LT(dt, 0.05);
+  EXPECT_DOUBLE_EQ(cpu.total_charged(), 100.0);
+}
+
+TEST(Cpu, ScaledSleepDuration) {
+  CpuModel cpu(1, 0.01);  // 1 virtual s = 10 ms wall
+  const double dt = wall_seconds([&] { cpu.execute(2.0); });
+  EXPECT_GE(dt, 0.018);
+  EXPECT_LT(dt, 0.5);
+}
+
+TEST(Cpu, ParallelSpeedupWithEnoughCores) {
+  // 4 tasks x 20 ms on 4 cores should take ~20 ms, not ~80 ms.
+  CpuModel cpu(4, 1.0);
+  const double dt = wall_seconds([&] {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i) ts.emplace_back([&] { cpu.execute(0.02); });
+    for (auto& t : ts) t.join();
+  });
+  EXPECT_LT(dt, 0.06);
+}
+
+TEST(Cpu, SerializationWhenOversubscribed) {
+  // 4 tasks x 20 ms on 1 core must take ~80 ms: core tokens serialize.
+  CpuModel cpu(1, 1.0);
+  const double dt = wall_seconds([&] {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i) ts.emplace_back([&] { cpu.execute(0.02); });
+    for (auto& t : ts) t.join();
+  });
+  EXPECT_GE(dt, 0.07);
+}
+
+TEST(Cpu, DisplacementShape) {
+  // The paper's native-log rank displaces a worker: K compute-bound tasks on
+  // K cores run at full speed, but an extra occupant slows them down. Use a
+  // busy interval large enough to dominate thread-startup noise on a loaded
+  // CI box.
+  const double busy = 0.05;
+  CpuModel full(2, 1.0);
+  const double without_extra = wall_seconds([&] {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 2; ++i) ts.emplace_back([&] { full.execute(busy); });
+    for (auto& t : ts) t.join();
+  });
+
+  CpuModel contended(2, 1.0);
+  const double with_extra = wall_seconds([&] {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 3; ++i) ts.emplace_back([&] { contended.execute(busy); });
+    for (auto& t : ts) t.join();
+  });
+  // Ideal: 0.05 s vs 0.10 s. Accept generous noise either way.
+  EXPECT_GT(with_extra, without_extra * 1.4);
+  EXPECT_GE(with_extra, 0.09);
+}
+
+TEST(Cpu, TotalChargedAccumulates) {
+  CpuModel cpu(2, 0.0);
+  cpu.execute(1.5);
+  cpu.execute(2.5);
+  EXPECT_DOUBLE_EQ(cpu.total_charged(), 4.0);
+}
+
+TEST(Cpu, NegativeCostRejected) {
+  CpuModel cpu(1, 0.0);
+  EXPECT_THROW(cpu.execute(-1.0), util::UsageError);
+}
+
+TEST(Cpu, ZeroCoresRejected) { EXPECT_THROW(CpuModel(0, 1.0), util::UsageError); }
+
+TEST(Cpu, ShutdownReleasesWaiters) {
+  CpuModel cpu(1, 1.0);
+  std::thread hog([&] { cpu.execute(0.5); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread waiter([&] { cpu.execute(10.0); });  // would block for a long time
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cpu.shutdown();
+  waiter.join();  // must return promptly after shutdown
+  hog.join();
+  SUCCEED();
+}
+
+}  // namespace

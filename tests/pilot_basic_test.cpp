@@ -1,0 +1,347 @@
+// Pilot lifecycle + point-to-point I/O across the whole type/format matrix.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+namespace {
+
+// Shared fixtures for work functions (plain C function pointers can't
+// capture; Pilot programs traditionally use globals for channels).
+PI_CHANNEL* g_to_worker = nullptr;
+PI_CHANNEL* g_from_worker = nullptr;
+std::vector<PI_CHANNEL*> g_to;
+std::vector<PI_CHANNEL*> g_from;
+
+std::vector<std::string> base_args() { return {"pilot-test", "-piwatchdog=20"}; }
+
+TEST(PilotLifecycle, MinimalProgram) {
+  const auto res = pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    EXPECT_NE(PI_MAIN, nullptr);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_EQ(res.status, 0);
+  EXPECT_FALSE(res.aborted);
+}
+
+TEST(PilotLifecycle, ConfigureStripsPilotArgs) {
+  pilot::run({"prog", "-pisvc=j", "user1", "-picheck=3", "user2", "-piwatchdog=20"},
+             [](int argc, char** argv) {
+               PI_Configure(&argc, &argv);
+               EXPECT_EQ(argc, 3);
+               EXPECT_STREQ(argv[1], "user1");
+               EXPECT_STREQ(argv[2], "user2");
+               PI_StartAll();
+               PI_StopMain(0);
+               return 0;
+             });
+}
+
+TEST(PilotLifecycle, ApiBeforeConfigureFails) {
+  EXPECT_THROW(pilot::run(base_args(),
+                          [](int, char**) {
+                            PI_StartAll();
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotLifecycle, CreateAfterStartFails) {
+  EXPECT_THROW(pilot::run(base_args(),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_StartAll();
+                            PI_CreateChannel(PI_MAIN, PI_MAIN);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotLifecycle, IoBeforeStartFails) {
+  EXPECT_THROW(pilot::run(base_args(),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            int v = 0;
+                            PI_Read(nullptr, "%d", &v);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotLifecycle, ProcessBudgetEnforced) {
+  EXPECT_THROW(
+      pilot::run({"prog", "-pinp=2", "-piwatchdog=20"},
+                 [](int argc, char** argv) {
+                   PI_Configure(&argc, &argv);  // budget: main + 1 worker
+                   PI_CreateProcess([](int, void*) { return 0; }, 0, nullptr);
+                   PI_CreateProcess([](int, void*) { return 0; }, 1, nullptr);
+                   return 0;
+                 }),
+      pilot::PilotError);
+}
+
+TEST(PilotLifecycle, DefaultNames) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* p = PI_CreateProcess([](int, void*) { return 0; }, 0, nullptr);
+    PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, p);
+    PI_CHANNEL* chans[] = {c};
+    PI_BUNDLE* b = PI_CreateBundle(PI_BROADCAST, chans, 1);
+    EXPECT_STREQ(PI_GetName(PI_MAIN), "PI_MAIN");
+    EXPECT_STREQ(PI_GetName(p), "P1");
+    EXPECT_STREQ(PI_GetName(c), "C1");
+    EXPECT_STREQ(PI_GetName(b), "B1");
+    PI_SetName(p, "Decomp");
+    EXPECT_STREQ(PI_GetName(p), "Decomp");
+    EXPECT_EQ(PI_GetBundleSize(b), 1);
+    EXPECT_EQ(PI_GetBundleChannel(b, 0), c);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(PilotLifecycle, ExitCodesCollected) {
+  const auto res = pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_CreateProcess([](int index, void*) { return index * 7; }, 3, nullptr);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_EQ(res.exit_codes.size(), 2u);
+  EXPECT_EQ(res.exit_codes[1], 21);
+}
+
+// --- point-to-point round trips ------------------------------------------------
+
+int echo_scalars_worker(int, void*) {
+  char c = 0;
+  int d = 0;
+  unsigned u = 0;
+  long ld = 0;
+  unsigned long lu = 0;
+  long long lld = 0;
+  unsigned long long llu = 0;
+  float f = 0;
+  double lf = 0;
+  PI_Read(g_to_worker, "%c %d %u %ld %lu %lld %llu %f %lf", &c, &d, &u, &ld, &lu,
+          &lld, &llu, &f, &lf);
+  PI_Write(g_from_worker, "%c %d %u %ld %lu %lld %llu %f %lf", c, d, u, ld, lu, lld,
+           llu, f, lf);
+  return 0;
+}
+
+TEST(PilotIO, AllScalarTypesRoundTrip) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(echo_scalars_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+
+    PI_Write(g_to_worker, "%c %d %u %ld %lu %lld %llu %f %lf", 'x', -42, 42u,
+             -123456789L, 123456789UL, -987654321012345LL, 987654321012345ULL,
+             1.5f, 2.25);
+    char c;
+    int d;
+    unsigned u;
+    long ld;
+    unsigned long lu;
+    long long lld;
+    unsigned long long llu;
+    float f;
+    double lf;
+    PI_Read(g_from_worker, "%c %d %u %ld %lu %lld %llu %f %lf", &c, &d, &u, &ld,
+            &lu, &lld, &llu, &f, &lf);
+    EXPECT_EQ(c, 'x');
+    EXPECT_EQ(d, -42);
+    EXPECT_EQ(u, 42u);
+    EXPECT_EQ(ld, -123456789L);
+    EXPECT_EQ(lu, 123456789UL);
+    EXPECT_EQ(lld, -987654321012345LL);
+    EXPECT_EQ(llu, 987654321012345ULL);
+    EXPECT_FLOAT_EQ(f, 1.5f);
+    EXPECT_DOUBLE_EQ(lf, 2.25);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int sum_array_worker(int, void*) {
+  // The paper's lab2 pattern: read length, then the data with %*d.
+  int myshare = 0;
+  PI_Read(g_to_worker, "%d", &myshare);
+  std::vector<int> buff(static_cast<std::size_t>(myshare));
+  PI_Read(g_to_worker, "%*d", myshare, buff.data());
+  long sum = 0;
+  for (int v : buff) sum += v;
+  PI_Write(g_from_worker, "%ld", sum);
+  return 0;
+}
+
+TEST(PilotIO, StarArraysLab2Pattern) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(sum_array_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+
+    std::vector<int> numbers(1000);
+    long expect = 0;
+    for (int i = 0; i < 1000; ++i) {
+      numbers[static_cast<std::size_t>(i)] = i;
+      expect += i;
+    }
+    PI_Write(g_to_worker, "%d", 1000);
+    PI_Write(g_to_worker, "%*d", 1000, numbers.data());
+    long sum = 0;
+    PI_Read(g_from_worker, "%ld", &sum);
+    EXPECT_EQ(sum, expect);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int caret_worker(int, void*) {
+  // V2.1: single call receives length + malloc'd array.
+  int myshare = 0;
+  int* buff = nullptr;
+  PI_Read(g_to_worker, "%^d", &myshare, &buff);
+  long sum = 0;
+  for (int i = 0; i < myshare; ++i) sum += buff[i];
+  std::free(buff);
+  PI_Write(g_from_worker, "%d %ld", myshare, sum);
+  return 0;
+}
+
+TEST(PilotIO, CaretAutoAllocation) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(caret_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+
+    std::vector<int> data = {5, 10, 15, 20};
+    PI_Write(g_to_worker, "%^d", 4, data.data());
+    int n = 0;
+    long sum = 0;
+    PI_Read(g_from_worker, "%d %ld", &n, &sum);
+    EXPECT_EQ(n, 4);
+    EXPECT_EQ(sum, 50);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int fixed_and_bytes_worker(int, void*) {
+  double xs[8];
+  unsigned char blob[16];
+  PI_Read(g_to_worker, "%8lf %16b", xs, blob);
+  double total = 0;
+  for (double x : xs) total += x;
+  PI_Write(g_from_worker, "%lf %16b", total, blob);
+  return 0;
+}
+
+TEST(PilotIO, FixedArraysAndBytes) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(fixed_and_bytes_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+
+    double xs[8];
+    for (int i = 0; i < 8; ++i) xs[i] = i + 0.5;
+    unsigned char blob[16];
+    for (int i = 0; i < 16; ++i) blob[i] = static_cast<unsigned char>(0xF0 + i);
+    PI_Write(g_to_worker, "%8lf %16b", xs, blob);
+    double total = 0;
+    unsigned char echo[16];
+    PI_Read(g_from_worker, "%lf %16b", &total, echo);
+    EXPECT_DOUBLE_EQ(total, 8 * 0.5 + 28.0);
+    EXPECT_EQ(std::memcmp(echo, blob, 16), 0);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int zero_len_worker(int, void*) {
+  int n = -1;
+  int* buf = nullptr;
+  PI_Read(g_to_worker, "%^d", &n, &buf);
+  std::free(buf);
+  PI_Write(g_from_worker, "%d", n);
+  return 0;
+}
+
+TEST(PilotIO, ZeroLengthArray) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(zero_len_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+    PI_Write(g_to_worker, "%*d", 0, static_cast<int*>(nullptr));
+    int n = -1;
+    PI_Read(g_from_worker, "%d", &n);
+    EXPECT_EQ(n, 0);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int multi_spec_worker(int, void*) {
+  // "%d %100f" really is two messages: read them with two separate calls.
+  int n = 0;
+  PI_Read(g_to_worker, "%d", &n);
+  float xs[100];
+  PI_Read(g_to_worker, "%100f", xs);
+  PI_Write(g_from_worker, "%f", xs[99]);
+  return 0;
+}
+
+TEST(PilotIO, EachSpecifierIsItsOwnMessage) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(multi_spec_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+    float xs[100];
+    for (int i = 0; i < 100; ++i) xs[i] = static_cast<float>(i);
+    PI_Write(g_to_worker, "%d %100f", 100, xs);  // one call, two messages
+    float last = 0;
+    PI_Read(g_from_worker, "%f", &last);
+    EXPECT_FLOAT_EQ(last, 99.0f);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(PilotIO, StartEndTime) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_StartAll();
+    const double t0 = PI_StartTime();
+    EXPECT_GE(t0, 0.0);
+    const double dt = PI_EndTime();
+    EXPECT_GE(dt, 0.0);
+    EXPECT_LT(dt, 5.0);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// PI_Broadcast / PI_Scatter / PI_Gather / PI_Reduce / PI_Select family.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+namespace {
+
+constexpr int kWorkers = 4;
+PI_CHANNEL* g_down[kWorkers];  // main -> worker i
+PI_CHANNEL* g_up[kWorkers];    // worker i -> main
+PI_BUNDLE* g_up_bundle = nullptr;
+
+std::vector<std::string> base_args() { return {"pilot-test", "-piwatchdog=20"}; }
+
+// Each worker: read a broadcast value + its scatter slice, reply with sums.
+int bcast_scatter_worker(int index, void*) {
+  int base = 0;
+  PI_Read(g_down[index], "%d", &base);
+  int slice[3];
+  PI_Read(g_down[index], "%3d", slice);
+  PI_Write(g_up[index], "%d", base + slice[0] + slice[1] + slice[2]);
+  return 0;
+}
+
+TEST(PilotCollectives, BroadcastScatterGather) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(bcast_scatter_worker, i, nullptr);
+      g_down[i] = PI_CreateChannel(PI_MAIN, w);
+      g_up[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_BUNDLE* bcast = PI_CreateBundle(PI_BROADCAST, g_down, kWorkers);
+    // A channel may belong to several bundles with different usages in this
+    // reproduction; real Pilot also allows reuse across collective calls.
+    PI_CHANNEL* down2[kWorkers];
+    PI_CHANNEL* up2[kWorkers];
+    for (int i = 0; i < kWorkers; ++i) {
+      down2[i] = g_down[i];
+      up2[i] = g_up[i];
+    }
+    PI_BUNDLE* scat = PI_CreateBundle(PI_SCATTER, down2, kWorkers);
+    PI_BUNDLE* gath = PI_CreateBundle(PI_GATHER, up2, kWorkers);
+    PI_StartAll();
+
+    PI_Broadcast(bcast, "%d", 1000);
+    int all[kWorkers * 3];
+    for (int i = 0; i < kWorkers * 3; ++i) all[i] = i;
+    PI_Scatter(scat, "%3d", all);
+
+    int sums[kWorkers];
+    PI_Gather(gath, "%d", sums);
+    for (int i = 0; i < kWorkers; ++i) {
+      const int expect = 1000 + (3 * i) + (3 * i + 1) + (3 * i + 2);
+      EXPECT_EQ(sums[i], expect) << "worker " << i;
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int contribute_worker(int index, void*) {
+  PI_Write(g_up[index], "%d", index + 1);
+  double xs[2] = {index * 1.0, index * 10.0};
+  PI_Write(g_up[index], "%2lf", xs);
+  return 0;
+}
+
+TEST(PilotCollectives, ReduceSumAndArrays) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(contribute_worker, i, nullptr);
+      g_up[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    g_up_bundle = PI_CreateBundle(PI_REDUCE, g_up, kWorkers);
+    PI_StartAll();
+
+    int total = -1;
+    PI_Reduce(g_up_bundle, PI_SUM, "%d", &total);
+    EXPECT_EQ(total, 1 + 2 + 3 + 4);
+
+    double maxes[2];
+    PI_Reduce(g_up_bundle, PI_MAX, "%2lf", maxes);
+    EXPECT_DOUBLE_EQ(maxes[0], 3.0);
+    EXPECT_DOUBLE_EQ(maxes[1], 30.0);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int slow_then_write_worker(int index, void*) {
+  // Worker 2 writes immediately; everyone else waits for a nudge that
+  // never comes before main's select.
+  if (index == 2) {
+    PI_Write(g_up[index], "%d", 222);
+  } else {
+    int nudge = 0;
+    PI_Read(g_down[index], "%d", &nudge);
+    PI_Write(g_up[index], "%d", index);
+  }
+  return 0;
+}
+
+TEST(PilotCollectives, SelectFindsReadyChannel) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(slow_then_write_worker, i, nullptr);
+      g_down[i] = PI_CreateChannel(PI_MAIN, w);
+      g_up[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_BUNDLE* sel = PI_CreateBundle(PI_SELECT_B, g_up, kWorkers);
+    PI_StartAll();
+
+    const int ready = PI_Select(sel);
+    EXPECT_EQ(ready, 2);
+    EXPECT_EQ(PI_ChannelHasData(g_up[ready]), 1);
+    int v = 0;
+    PI_Read(PI_GetBundleChannel(sel, ready), "%d", &v);
+    EXPECT_EQ(v, 222);
+
+    // Unblock the rest and drain.
+    for (int i = 0; i < kWorkers; ++i) {
+      if (i == 2) continue;
+      PI_Write(g_down[i], "%d", 1);
+      int got = -1;
+      PI_Read(g_up[i], "%d", &got);
+      EXPECT_EQ(got, i);
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+int quiet_worker(int index, void*) {
+  int nudge = 0;
+  PI_Read(g_down[index], "%d", &nudge);
+  PI_Write(g_up[index], "%d", index);
+  return 0;
+}
+
+TEST(PilotCollectives, TrySelectNonBlocking) {
+  pilot::run(base_args(), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(quiet_worker, i, nullptr);
+      g_down[i] = PI_CreateChannel(PI_MAIN, w);
+      g_up[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_BUNDLE* sel = PI_CreateBundle(PI_SELECT_B, g_up, kWorkers);
+    PI_StartAll();
+
+    // Nothing written yet: TrySelect must return -1 without blocking,
+    // ChannelHasData must say no.
+    EXPECT_EQ(PI_TrySelect(sel), -1);
+    EXPECT_EQ(PI_ChannelHasData(g_up[0]), 0);
+
+    for (int i = 0; i < kWorkers; ++i) PI_Write(g_down[i], "%d", 1);
+    for (int i = 0; i < kWorkers; ++i) {
+      const int ready = PI_Select(sel);
+      int v = -1;
+      PI_Read(g_up[ready], "%d", &v);
+      EXPECT_EQ(v, ready);
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(PilotCollectives, BundleEndpointValidation) {
+  EXPECT_THROW(
+      pilot::run(base_args(),
+                 [](int argc, char** argv) {
+                   PI_Configure(&argc, &argv);
+                   PI_PROCESS* a =
+                       PI_CreateProcess([](int, void*) { return 0; }, 0, nullptr);
+                   PI_PROCESS* b =
+                       PI_CreateProcess([](int, void*) { return 0; }, 1, nullptr);
+                   // Broadcast bundle needs a common writer; these differ.
+                   PI_CHANNEL* c1 = PI_CreateChannel(PI_MAIN, a);
+                   PI_CHANNEL* c2 = PI_CreateChannel(a, b);
+                   PI_CHANNEL* chans[] = {c1, c2};
+                   PI_CreateBundle(PI_BROADCAST, chans, 2);
+                   return 0;
+                 }),
+      pilot::PilotError);
+}
+
+TEST(PilotCollectives, UsageMismatchRejected) {
+  EXPECT_THROW(
+      pilot::run(base_args(),
+                 [](int argc, char** argv) {
+                   PI_Configure(&argc, &argv);
+                   PI_PROCESS* w =
+                       PI_CreateProcess([](int, void*) { return 0; }, 0, nullptr);
+                   PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+                   PI_CHANNEL* chans[] = {c};
+                   PI_BUNDLE* b = PI_CreateBundle(PI_GATHER, chans, 1);
+                   PI_StartAll();
+                   PI_Broadcast(b, "%d", 1);  // wrong verb for this bundle
+                   PI_StopMain(0);
+                   return 0;
+                 }),
+      pilot::PilotError);
+}
+
+TEST(PilotCollectives, DuplicateChannelRejected) {
+  EXPECT_THROW(
+      pilot::run(base_args(),
+                 [](int argc, char** argv) {
+                   PI_Configure(&argc, &argv);
+                   PI_PROCESS* w =
+                       PI_CreateProcess([](int, void*) { return 0; }, 0, nullptr);
+                   PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+                   PI_CHANNEL* chans[] = {c, c};
+                   PI_CreateBundle(PI_BROADCAST, chans, 2);
+                   return 0;
+                 }),
+      pilot::PilotError);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// PI_CopyChannels: duplicate a channel array (optionally reversed) to build
+// independent bundles — real Pilot's idiom for reusing a topology.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+namespace {
+
+constexpr int kWorkers = 3;
+PI_CHANNEL* g_down[kWorkers];
+PI_CHANNEL** g_down_copy = nullptr;
+PI_CHANNEL** g_up = nullptr;  // REVERSE copies of down
+
+int copy_worker(int index, void*) {
+  int a = 0, b = 0;
+  PI_Read(g_down[index], "%d", &a);            // original
+  PI_Read(g_down_copy[index], "%d", &b);       // independent copy
+  PI_Write(g_up[index], "%d", a * 10 + b);     // reversed copy: worker -> main
+  return 0;
+}
+
+TEST(CopyChannels, SameAndReverseCopiesWork) {
+  pilot::run({"prog", "-piwatchdog=20"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(copy_worker, i, nullptr);
+      g_down[i] = PI_CreateChannel(PI_MAIN, w);
+    }
+    g_down_copy = PI_CopyChannels(PI_SAME, g_down, kWorkers);
+    g_up = PI_CopyChannels(PI_REVERSE, g_down, kWorkers);
+
+    // Copies are distinct channels with the expected endpoints.
+    for (int i = 0; i < kWorkers; ++i) {
+      EXPECT_NE(g_down_copy[i], g_down[i]);
+      EXPECT_STRNE(PI_GetName(g_down_copy[i]), PI_GetName(g_down[i]));
+    }
+
+    PI_BUNDLE* gather = PI_CreateBundle(PI_GATHER, g_up, kWorkers);
+    PI_StartAll();
+
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_Write(g_down[i], "%d", i + 1);
+      PI_Write(g_down_copy[i], "%d", i + 4);
+    }
+    int results[kWorkers];
+    PI_Gather(gather, "%d", results);
+    for (int i = 0; i < kWorkers; ++i)
+      EXPECT_EQ(results[i], (i + 1) * 10 + (i + 4));
+
+    PI_StopMain(0);
+    std::free(g_down_copy);
+    std::free(g_up);
+    return 0;
+  });
+}
+
+TEST(CopyChannels, OnlyDuringConfigPhase) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(
+                                [](int, void*) { return 0; }, 0, nullptr);
+                            PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+                            PI_CHANNEL* chans[] = {c};
+                            PI_StartAll();
+                            PI_CopyChannels(PI_SAME, chans, 1);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(CopyChannels, RejectsBadArguments) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_CopyChannels(PI_SAME, nullptr, 3);
+                            return 0;
+                          }),
+               pilot::PilotError);
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(
+                                [](int, void*) { return 0; }, 0, nullptr);
+                            PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+                            PI_CHANNEL* chans[] = {c};
+                            PI_CopyChannels(static_cast<PI_COPYDIR>(9), chans, 1);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+}  // namespace

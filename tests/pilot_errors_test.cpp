@@ -1,0 +1,218 @@
+// Error-checking levels: ownership checks (level 1), reader/writer format
+// matching (level 2), pointer validity (level 3) — the paper's V3.0
+// command-line selectable checking.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+namespace {
+
+PI_CHANNEL* g_to_worker = nullptr;
+
+std::vector<std::string> args_with_check(int level) {
+  return {"pilot-test", "-picheck=" + std::to_string(level), "-piwatchdog=20"};
+}
+
+int idle_worker(int, void*) { return 0; }
+
+int read_int_worker(int, void*) {
+  int v = 0;
+  PI_Read(g_to_worker, "%d", &v);
+  return 0;
+}
+
+int read_float_worker(int, void*) {
+  float v = 0;
+  PI_Read(g_to_worker, "%f", &v);
+  return 0;
+}
+
+int read_double_worker(int, void*) {
+  double v = 0;
+  PI_Read(g_to_worker, "%lf", &v);
+  return 0;
+}
+
+TEST(PilotChecks, WrongWriterRejectedAtLevel1) {
+  EXPECT_THROW(pilot::run(args_with_check(1),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w =
+                                PI_CreateProcess(read_int_worker, 0, nullptr);
+                            // Channel writer is the worker, not PI_MAIN.
+                            g_to_worker = PI_CreateChannel(w, PI_MAIN);
+                            PI_StartAll();
+                            PI_Write(g_to_worker, "%d", 1);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, WrongReaderRejectedAtLevel1) {
+  EXPECT_THROW(pilot::run(args_with_check(1),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w =
+                                PI_CreateProcess(idle_worker, 0, nullptr);
+                            PI_CHANNEL* c = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            int v;
+                            PI_Read(c, "%d", &v);  // PI_MAIN is the writer side
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, FormatMismatchCaughtAtLevel2) {
+  // Writer sends %d, reader asks %f: same byte size, so only the level-2
+  // signature check can catch it.
+  EXPECT_THROW(pilot::run(args_with_check(2),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w =
+                                PI_CreateProcess(read_float_worker, 0, nullptr);
+                            g_to_worker = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            PI_Write(g_to_worker, "%d", 7);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, FormatMismatchUndetectedAtLevel1WhenSizesMatch) {
+  // Same program at level 1: bytes reinterpret silently (the hazard the
+  // level-2 checking exists to catch).
+  const auto res = pilot::run(args_with_check(1), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(read_float_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    PI_StartAll();
+    static_assert(sizeof(int) == sizeof(float));
+    PI_Write(g_to_worker, "%d", 7);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(res.aborted);
+}
+
+TEST(PilotChecks, SizeMismatchAlwaysCaught) {
+  // %d (4 bytes) read as %lf (8): the wire size check fires at any level.
+  EXPECT_THROW(pilot::run(args_with_check(0),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w =
+                                PI_CreateProcess(read_double_worker, 0, nullptr);
+                            g_to_worker = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            PI_Write(g_to_worker, "%d", 7);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, ArrayLengthMismatchCaught) {
+  EXPECT_THROW(pilot::run(args_with_check(1),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(
+                                [](int, void*) {
+                                  int xs[5];
+                                  PI_Read(g_to_worker, "%5d", xs);
+                                  return 0;
+                                },
+                                0, nullptr);
+                            g_to_worker = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            int xs[3] = {1, 2, 3};
+                            PI_Write(g_to_worker, "%3d", xs);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, NullPointerCaughtAtLevel3) {
+  EXPECT_THROW(pilot::run(args_with_check(3),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(idle_worker, 0, nullptr);
+                            g_to_worker = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            PI_Write(g_to_worker, "%4d", static_cast<int*>(nullptr));
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, NullChannelAlwaysRejected) {
+  EXPECT_THROW(pilot::run(args_with_check(0),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_StartAll();
+                            PI_Write(nullptr, "%d", 1);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, BadFormatStringRejected) {
+  EXPECT_THROW(pilot::run(args_with_check(1),
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(idle_worker, 0, nullptr);
+                            g_to_worker = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            PI_Write(g_to_worker, "%q", 1);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(PilotChecks, ErrorMessagesCarrySourceLocation) {
+  try {
+    pilot::run(args_with_check(1), [](int argc, char** argv) {
+      PI_Configure(&argc, &argv);
+      PI_StartAll();
+      PI_Write(nullptr, "%d", 1);
+      PI_StopMain(0);
+      return 0;
+    });
+    FAIL() << "expected PilotError";
+  } catch (const pilot::PilotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pilot_errors_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("PI_Write"), std::string::npos) << what;
+  }
+}
+
+TEST(PilotChecks, AbortTerminatesEveryone) {
+  const auto res = pilot::run(args_with_check(1), [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(
+        [](int, void*) -> int {
+          int v;
+          PI_Read(g_to_worker, "%d", &v);  // blocks forever
+          return 0;
+        },
+        0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    PI_StartAll();
+    PI_Abort(42, "giving up");  // never returns
+    ADD_FAILURE() << "PI_Abort returned";
+    return 0;
+  });
+  EXPECT_TRUE(res.aborted);
+  EXPECT_EQ(res.abort_code, 42);
+}
+
+}  // namespace

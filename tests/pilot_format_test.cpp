@@ -1,0 +1,111 @@
+#include "pilot/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pilot::CountKind;
+using pilot::FormatSpec;
+using pilot::parse_format;
+using pilot::ValueType;
+
+TEST(Format, ScalarTypes) {
+  const auto specs = parse_format("%c %d %u %ld %lu %lld %llu %f %lf");
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].type, ValueType::kChar);
+  EXPECT_EQ(specs[1].type, ValueType::kInt);
+  EXPECT_EQ(specs[2].type, ValueType::kUnsigned);
+  EXPECT_EQ(specs[3].type, ValueType::kLong);
+  EXPECT_EQ(specs[4].type, ValueType::kUnsignedLong);
+  EXPECT_EQ(specs[5].type, ValueType::kLongLong);
+  EXPECT_EQ(specs[6].type, ValueType::kUnsignedLongLong);
+  EXPECT_EQ(specs[7].type, ValueType::kFloat);
+  EXPECT_EQ(specs[8].type, ValueType::kDouble);
+  for (const auto& s : specs) EXPECT_EQ(s.count, CountKind::kScalar);
+}
+
+TEST(Format, PaperExampleTwoMessages) {
+  // The paper: "%d %100f" sends two MPI messages.
+  const auto specs = parse_format("%d %100f");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].count, CountKind::kScalar);
+  EXPECT_EQ(specs[1].count, CountKind::kFixed);
+  EXPECT_EQ(specs[1].fixed_count, 100u);
+  EXPECT_EQ(specs[1].type, ValueType::kFloat);
+}
+
+TEST(Format, StarAndCaret) {
+  const auto specs = parse_format("%*d %^lf");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].count, CountKind::kStar);
+  EXPECT_EQ(specs[1].count, CountKind::kCaret);
+  EXPECT_EQ(specs[1].type, ValueType::kDouble);
+}
+
+TEST(Format, BytesNeedCount) {
+  EXPECT_NO_THROW(parse_format("%16b"));
+  EXPECT_NO_THROW(parse_format("%*b"));
+  EXPECT_THROW(parse_format("%b"), pilot::FormatError);
+}
+
+TEST(Format, Signatures) {
+  EXPECT_EQ(parse_format("%d")[0].signature(), "d");
+  EXPECT_EQ(parse_format("%100f")[0].signature(), "100f");
+  EXPECT_EQ(parse_format("%*lld")[0].signature(), "*lld");
+  EXPECT_EQ(parse_format("%^lf")[0].signature(), "^lf");
+}
+
+TEST(Format, SignatureRoundTrip) {
+  for (const char* fmt : {"%d", "%c", "%u", "%ld", "%lu", "%lld", "%llu", "%f",
+                          "%lf", "%7d", "%*f", "%^d", "%32b"}) {
+    const auto spec = parse_format(fmt)[0];
+    const auto again = parse_format("%" + spec.signature())[0];
+    EXPECT_EQ(again.type, spec.type) << fmt;
+    EXPECT_EQ(again.count, spec.count) << fmt;
+    EXPECT_EQ(again.fixed_count, spec.fixed_count) << fmt;
+  }
+}
+
+TEST(Format, ElementSizes) {
+  EXPECT_EQ(parse_format("%d")[0].element_size(), sizeof(int));
+  EXPECT_EQ(parse_format("%lf")[0].element_size(), sizeof(double));
+  EXPECT_EQ(parse_format("%8b")[0].element_size(), 1u);
+}
+
+TEST(Format, RejectsGarbage) {
+  EXPECT_THROW(parse_format(""), pilot::FormatError);
+  EXPECT_THROW(parse_format("   "), pilot::FormatError);
+  EXPECT_THROW(parse_format("%x"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%l"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%lx"), pilot::FormatError);
+  EXPECT_THROW(parse_format("d"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%d items"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%0d"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%9999999999d"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%"), pilot::FormatError);
+  EXPECT_THROW(parse_format("%*"), pilot::FormatError);
+}
+
+TEST(Format, WhitespaceFlexible) {
+  EXPECT_EQ(parse_format("%d%d").size(), 2u);
+  EXPECT_EQ(parse_format("  %d   %f ").size(), 2u);
+}
+
+TEST(Format, Compatibility) {
+  using pilot::specs_compatible;
+  const auto spec = [](const char* f) { return parse_format(f)[0]; };
+  // Same type, both arrays: compatible even across count kinds (lengths are
+  // validated at read time against the wire).
+  EXPECT_TRUE(specs_compatible(spec("%100d"), spec("%*d")));
+  EXPECT_TRUE(specs_compatible(spec("%*d"), spec("%^d")));
+  EXPECT_TRUE(specs_compatible(spec("%d"), spec("%d")));
+  // Type mismatches.
+  EXPECT_FALSE(specs_compatible(spec("%d"), spec("%f")));
+  EXPECT_FALSE(specs_compatible(spec("%ld"), spec("%lld")));
+  EXPECT_FALSE(specs_compatible(spec("%u"), spec("%d")));
+  // Scalar vs array.
+  EXPECT_FALSE(specs_compatible(spec("%d"), spec("%*d")));
+  EXPECT_FALSE(specs_compatible(spec("%5f"), spec("%f")));
+}
+
+}  // namespace

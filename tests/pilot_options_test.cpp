@@ -1,0 +1,122 @@
+#include "pilot/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+    argv = ptrs.data();
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** argv = nullptr;
+};
+
+pilot::Options parse(std::vector<std::string> args, int* argc_out = nullptr) {
+  args.insert(args.begin(), "prog");
+  Argv a(std::move(args));
+  char** argv = a.argv;
+  int argc = a.argc;
+  auto opts = pilot::Options::parse(&argc, &argv);
+  if (argc_out) *argc_out = argc;
+  return opts;
+}
+
+TEST(Options, Defaults) {
+  const auto o = parse({});
+  EXPECT_FALSE(o.svc_calls);
+  EXPECT_FALSE(o.svc_deadlock);
+  EXPECT_FALSE(o.svc_jumpshot);
+  EXPECT_FALSE(o.robust_log);
+  EXPECT_EQ(o.check_level, 1);
+  EXPECT_EQ(o.np, 0);
+  EXPECT_EQ(o.out_dir, ".");
+  EXPECT_EQ(o.log_basename, "pilot");
+  EXPECT_FALSE(o.needs_service_rank());
+}
+
+TEST(Options, ServiceLetters) {
+  const auto o = parse({"-pisvc=cdj"});
+  EXPECT_TRUE(o.svc_calls);
+  EXPECT_TRUE(o.svc_deadlock);
+  EXPECT_TRUE(o.svc_jumpshot);
+  EXPECT_TRUE(o.needs_service_rank());
+}
+
+TEST(Options, ServiceCombinable) {
+  // The paper: "Options can be combined, e.g., -pisvc=cj".
+  const auto o = parse({"-pisvc=c", "-pisvc=j"});
+  EXPECT_TRUE(o.svc_calls);
+  EXPECT_TRUE(o.svc_jumpshot);
+  EXPECT_FALSE(o.svc_deadlock);
+}
+
+TEST(Options, UnknownServiceLetterRejected) {
+  EXPECT_THROW(parse({"-pisvc=x"}), util::UsageError);
+}
+
+TEST(Options, CheckLevels) {
+  EXPECT_EQ(parse({"-picheck=0"}).check_level, 0);
+  EXPECT_EQ(parse({"-picheck=3"}).check_level, 3);
+  EXPECT_THROW(parse({"-picheck=4"}), util::UsageError);
+  EXPECT_THROW(parse({"-picheck=abc"}), util::UsageError);
+}
+
+TEST(Options, SimKnobs) {
+  const auto o = parse({"-pisim-cores=7", "-pisim-scale=0.25",
+                        "-pisim-latency=0.001", "-pisim-drift=0.1",
+                        "-pisim-skew=0.0001", "-pisim-clockres=0.001",
+                        "-pisim-seed=99", "-pisim-bandwidth=1000000"});
+  EXPECT_EQ(o.sim_cores, 7u);
+  EXPECT_DOUBLE_EQ(o.sim_scale, 0.25);
+  EXPECT_DOUBLE_EQ(o.sim_latency, 0.001);
+  EXPECT_DOUBLE_EQ(o.sim_drift, 0.1);
+  EXPECT_DOUBLE_EQ(o.sim_skew, 0.0001);
+  EXPECT_DOUBLE_EQ(o.sim_clockres, 0.001);
+  EXPECT_EQ(o.sim_seed, 99u);
+  EXPECT_DOUBLE_EQ(o.sim_bandwidth, 1000000.0);
+}
+
+TEST(Options, PathsAndNames) {
+  const auto o = parse({"-piout=/tmp/logs", "-piname=run7"});
+  EXPECT_EQ(o.clog2_path(), "/tmp/logs/run7.clog2");
+  EXPECT_EQ(o.native_log_path(), "/tmp/logs/run7.log");
+  EXPECT_EQ(o.spill_base(), "/tmp/logs/run7");
+}
+
+TEST(Options, RobustFlag) {
+  EXPECT_TRUE(parse({"-pirobust"}).robust_log);
+}
+
+TEST(Options, UserArgsSurvive) {
+  int argc = 0;
+  parse({"-pisvc=j", "user1", "-picheck=2", "--app-flag", "-pinp=4"}, &argc);
+  EXPECT_EQ(argc, 3);  // prog + user1 + --app-flag
+}
+
+TEST(Options, UnknownPilotOptionRejected) {
+  EXPECT_THROW(parse({"-pityop=1"}), util::UsageError);
+  EXPECT_THROW(parse({"-pisvcx=c"}), util::UsageError);
+}
+
+TEST(Options, NegativeValuesRejected) {
+  EXPECT_THROW(parse({"-pinp=-3"}), util::UsageError);
+  EXPECT_THROW(parse({"-pisim-scale=-1"}), util::UsageError);
+  EXPECT_THROW(parse({"-pispread=-0.5"}), util::UsageError);
+}
+
+TEST(Options, LastValueWins) {
+  EXPECT_EQ(parse({"-picheck=1", "-picheck=3"}).check_level, 3);
+}
+
+}  // namespace

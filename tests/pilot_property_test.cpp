@@ -1,0 +1,234 @@
+// Property-style sweeps: randomized traffic through Pilot channels checked
+// against locally computed oracles, across seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+constexpr int kWorkers = 3;
+constexpr int kRounds = 25;
+
+PI_CHANNEL* g_down[kWorkers];
+PI_CHANNEL* g_up[kWorkers];
+std::uint64_t g_seed = 0;
+
+// Protocol: each round main sends a type tag, then a payload of that type;
+// the worker echoes back a checksum. Exercises every scalar and array path
+// of the varargs engine with random values.
+enum TypeTag : int {
+  kTagInt,
+  kTagDouble,
+  kTagChar,
+  kTagLongLong,
+  kTagIntArray,
+  kTagDoubleArray,
+  kTagBytes,
+  kTagCount_,
+};
+
+double checksum_int_array(const int* xs, int n) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+int property_worker(int index, void*) {
+  for (int round = 0; round < kRounds; ++round) {
+    int tag = 0;
+    PI_Read(g_down[index], "%d", &tag);
+    double checksum = 0;
+    switch (tag) {
+      case kTagInt: {
+        int v;
+        PI_Read(g_down[index], "%d", &v);
+        checksum = v;
+        break;
+      }
+      case kTagDouble: {
+        double v;
+        PI_Read(g_down[index], "%lf", &v);
+        checksum = v;
+        break;
+      }
+      case kTagChar: {
+        char v;
+        PI_Read(g_down[index], "%c", &v);
+        checksum = v;
+        break;
+      }
+      case kTagLongLong: {
+        long long v;
+        PI_Read(g_down[index], "%lld", &v);
+        checksum = static_cast<double>(v);
+        break;
+      }
+      case kTagIntArray: {
+        int n;
+        int* xs = nullptr;
+        PI_Read(g_down[index], "%^d", &n, &xs);
+        checksum = checksum_int_array(xs, n);
+        std::free(xs);
+        break;
+      }
+      case kTagDoubleArray: {
+        double xs[16];
+        PI_Read(g_down[index], "%16lf", xs);
+        for (double x : xs) checksum += x;
+        break;
+      }
+      case kTagBytes: {
+        int n;
+        unsigned char* xs = nullptr;
+        PI_Read(g_down[index], "%^b", &n, &xs);
+        for (int i = 0; i < n; ++i) checksum += xs[i];
+        std::free(xs);
+        break;
+      }
+      default:
+        return 1;
+    }
+    PI_Write(g_up[index], "%lf", checksum);
+  }
+  return 0;
+}
+
+class RandomTraffic : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 97));
+
+TEST_P(RandomTraffic, EveryFormatPathChecksOut) {
+  g_seed = GetParam();
+  pilot::run({"prop", "-picheck=3", "-piwatchdog=30"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(property_worker, i, nullptr);
+      g_down[i] = PI_CreateChannel(PI_MAIN, w);
+      g_up[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_StartAll();
+
+    util::SplitMix64 rng(g_seed);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kWorkers; ++i) {
+        const int tag = static_cast<int>(rng.below(kTagCount_));
+        PI_Write(g_down[i], "%d", tag);
+        double expect = 0;
+        switch (tag) {
+          case kTagInt: {
+            const int v = static_cast<int>(rng.range(-1000000, 1000000));
+            PI_Write(g_down[i], "%d", v);
+            expect = v;
+            break;
+          }
+          case kTagDouble: {
+            const double v = rng.uniform(-1e6, 1e6);
+            PI_Write(g_down[i], "%lf", v);
+            expect = v;
+            break;
+          }
+          case kTagChar: {
+            const char v = static_cast<char>(rng.range(1, 126));
+            PI_Write(g_down[i], "%c", v);
+            expect = v;
+            break;
+          }
+          case kTagLongLong: {
+            const long long v = rng.range(-4000000000LL, 4000000000LL);
+            PI_Write(g_down[i], "%lld", v);
+            expect = static_cast<double>(v);
+            break;
+          }
+          case kTagIntArray: {
+            const int n = static_cast<int>(rng.below(50));
+            std::vector<int> xs(static_cast<std::size_t>(n));
+            for (auto& x : xs) x = static_cast<int>(rng.range(-100, 100));
+            PI_Write(g_down[i], "%*d", n, xs.data());
+            expect = checksum_int_array(xs.data(), n);
+            break;
+          }
+          case kTagDoubleArray: {
+            double xs[16];
+            for (double& x : xs) {
+              x = rng.uniform(-10, 10);
+              expect += x;
+            }
+            PI_Write(g_down[i], "%16lf", xs);
+            break;
+          }
+          case kTagBytes: {
+            const int n = static_cast<int>(1 + rng.below(200));
+            std::vector<unsigned char> xs(static_cast<std::size_t>(n));
+            for (auto& x : xs) {
+              x = static_cast<unsigned char>(rng.below(256));
+              expect += x;
+            }
+            PI_Write(g_down[i], "%*b", n, xs.data());
+            break;
+          }
+          default: break;
+        }
+        double got = 0;
+        PI_Read(g_up[i], "%lf", &got);
+        EXPECT_DOUBLE_EQ(got, expect) << "seed=" << g_seed << " round=" << round
+                                      << " worker=" << i << " tag=" << tag;
+      }
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+// Token ring: each worker adds its index and forwards; after N laps the
+// token's value is fully determined.
+constexpr int kRing = 5;
+PI_CHANNEL* g_ring[kRing + 1];  // ring[i]: node i-1 -> node i (0 = main->first)
+PI_CHANNEL* g_ring_back = nullptr;
+
+int ring_worker(int index, void*) {
+  constexpr int kLaps = 10;
+  for (int lap = 0; lap < kLaps; ++lap) {
+    long token = 0;
+    PI_Read(g_ring[index], "%ld", &token);
+    token += index + 1;
+    if (index == kRing - 1) {
+      PI_Write(g_ring_back, "%ld", token);
+    } else {
+      PI_Write(g_ring[index + 1], "%ld", token);
+    }
+  }
+  return 0;
+}
+
+TEST(RingTopology, TokenAccumulatesDeterministically) {
+  pilot::run({"ring", "-piwatchdog=30"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    std::vector<PI_PROCESS*> nodes;
+    for (int i = 0; i < kRing; ++i)
+      nodes.push_back(PI_CreateProcess(ring_worker, i, nullptr));
+    g_ring[0] = PI_CreateChannel(PI_MAIN, nodes[0]);
+    for (int i = 1; i < kRing; ++i)
+      g_ring[i] = PI_CreateChannel(nodes[static_cast<std::size_t>(i - 1)],
+                                   nodes[static_cast<std::size_t>(i)]);
+    g_ring_back = PI_CreateChannel(nodes[kRing - 1], PI_MAIN);
+    PI_StartAll();
+
+    long token = 0;
+    constexpr int kLaps = 10;
+    for (int lap = 0; lap < kLaps; ++lap) {
+      PI_Write(g_ring[0], "%ld", token);
+      PI_Read(g_ring_back, "%ld", &token);
+    }
+    // Each lap adds 1+2+...+kRing = kRing*(kRing+1)/2.
+    EXPECT_EQ(token, static_cast<long>(kLaps) * kRing * (kRing + 1) / 2);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Service event wire codec + extra lifecycle misuse cases.
+#include <gtest/gtest.h>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "pilot/service.hpp"
+#include "util/bytebuf.hpp"
+
+namespace {
+
+TEST(ServiceCodec, EncodingsAreDistinctAndNonEmpty) {
+  const auto call = pilot::Service::encode_call("P1 PI_Write C2 a.c:10");
+  const auto write = pilot::Service::encode_write(3);
+  const auto wait = pilot::Service::encode_wait({1, 2, 3}, "a.c:10", "P1");
+  const auto consume = pilot::Service::encode_consume(3, 2);
+  const auto resume = pilot::Service::encode_resume();
+  const auto done = pilot::Service::encode_done();
+
+  for (const auto* msg : {&call, &write, &wait, &consume, &resume, &done})
+    EXPECT_FALSE(msg->empty());
+  // Kind bytes must differ across all message types.
+  EXPECT_NE(call[0], write[0]);
+  EXPECT_NE(write[0], wait[0]);
+  EXPECT_NE(wait[0], consume[0]);
+  EXPECT_NE(consume[0], resume[0]);
+  EXPECT_NE(resume[0], done[0]);
+}
+
+TEST(ServiceCodec, WaitCarriesChannelsSiteAndName) {
+  const auto bytes = pilot::Service::encode_wait({7, 9}, "lab2.c:17", "Alice");
+  util::ByteReader r(bytes);
+  (void)r.u8();  // kind
+  EXPECT_EQ(r.u32(), 2u);
+  EXPECT_EQ(r.i32(), 7);
+  EXPECT_EQ(r.i32(), 9);
+  EXPECT_EQ(r.str(), "lab2.c:17");
+  EXPECT_EQ(r.str(), "Alice");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ServiceCodec, ConsumeCarriesChannelAndCount) {
+  const auto bytes = pilot::Service::encode_consume(5, 12);
+  util::ByteReader r(bytes);
+  (void)r.u8();
+  EXPECT_EQ(r.i32(), 5);
+  EXPECT_EQ(r.u32(), 12u);
+  EXPECT_TRUE(r.at_end());
+}
+
+// --- extra lifecycle misuse --------------------------------------------------
+
+PI_CHANNEL* g_chan = nullptr;
+
+TEST(Lifecycle, StopMainFromWorkerRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_CreateProcess(
+                                [](int, void*) {
+                                  PI_StopMain(0);  // only PI_MAIN may
+                                  return 0;
+                                },
+                                0, nullptr);
+                            PI_StartAll();
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(Lifecycle, StartAllTwiceRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_StartAll();
+                            PI_StartAll();
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(Lifecycle, ConfigureTwiceRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_Configure(&argc, &argv);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(Lifecycle, IoAfterStopMainRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_PROCESS* w = PI_CreateProcess(
+                                [](int, void*) { return 0; }, 0, nullptr);
+                            g_chan = PI_CreateChannel(PI_MAIN, w);
+                            PI_StartAll();
+                            PI_StopMain(0);
+                            PI_Write(g_chan, "%d", 1);  // the world is gone
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(Lifecycle, WorkerCallingStartTimeWorks) {
+  const auto res = pilot::run({"prog", "-piwatchdog=20"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_CreateProcess(
+        [](int, void*) {
+          PI_StartTime();
+          const double dt = PI_EndTime();
+          EXPECT_GE(dt, 0.0);
+          return 0;
+        },
+        0, nullptr);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(res.aborted);
+}
+
+}  // namespace

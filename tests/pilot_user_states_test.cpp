@@ -1,0 +1,126 @@
+// Custom user states (PI_DefineState / PI_StateBegin / PI_StateEnd) —
+// MPE's "customized logging" surfaced through Pilot.
+#include <gtest/gtest.h>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "slog2/slog2.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+PI_CHANNEL* g_to_worker = nullptr;
+PI_CHANNEL* g_from_worker = nullptr;
+int g_phase1 = -1;
+int g_phase2 = -1;
+
+int annotated_worker(int, void*) {
+  int v = 0;
+  PI_Read(g_to_worker, "%d", &v);
+
+  PI_StateBegin(g_phase1);
+  PI_Compute(0.0);  // "preprocessing"
+  PI_StateEnd(g_phase1);
+
+  PI_StateBegin(g_phase2);
+  PI_StateBegin(g_phase1);  // nested annotation
+  PI_StateEnd(g_phase1);
+  PI_StateEnd(g_phase2);
+
+  PI_Write(g_from_worker, "%d", v);
+  return 0;
+}
+
+TEST(UserStates, AppearInTheVisualLogWithNesting) {
+  util::TempDir dir;
+  const auto res = pilot::run(
+      {"prog", "-pisvc=j", "-piout=" + dir.path().string(), "-piwatchdog=30"},
+      [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        g_phase1 = PI_DefineState("Preprocess", "SkyBlue");
+        g_phase2 = PI_DefineState("Solve", "Orchid");
+        PI_PROCESS* w = PI_CreateProcess(annotated_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 1);
+        int v = 0;
+        PI_Read(g_from_worker, "%d", &v);
+        PI_StopMain(0);
+        return 0;
+      });
+  EXPECT_FALSE(res.aborted);
+
+  const auto slog = slog2::convert(clog2::read_file(dir.file("pilot.clog2")));
+  EXPECT_TRUE(slog.stats.clean()) << slog2::to_text(slog);
+
+  std::size_t preprocess = 0, solve = 0;
+  int nested_preprocess_depth = -1;
+  slog.visit_window(
+      slog.t_min, slog.t_max,
+      [&](const slog2::StateDrawable& s) {
+        const auto* cat = slog.category(s.category_id);
+        if (!cat) return;
+        if (cat->name == "Preprocess") {
+          ++preprocess;
+          nested_preprocess_depth = std::max(nested_preprocess_depth, s.depth);
+          EXPECT_EQ(cat->color, "SkyBlue");
+        }
+        if (cat->name == "Solve") ++solve;
+      },
+      nullptr, nullptr);
+  EXPECT_EQ(preprocess, 2u);
+  EXPECT_EQ(solve, 1u);
+  // Second Preprocess sits inside Solve inside Compute: depth 2.
+  EXPECT_EQ(nested_preprocess_depth, 2);
+}
+
+TEST(UserStates, DefineRequiresConfigPhase) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_StartAll();
+                            PI_DefineState("late", "red");
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(UserStates, UnknownColorRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_DefineState("x", "not-a-colour");
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(UserStates, InvalidHandleRejected) {
+  EXPECT_THROW(pilot::run({"prog", "-piwatchdog=20"},
+                          [](int argc, char** argv) {
+                            PI_Configure(&argc, &argv);
+                            PI_StartAll();
+                            PI_StateBegin(7);
+                            PI_StopMain(0);
+                            return 0;
+                          }),
+               pilot::PilotError);
+}
+
+TEST(UserStates, NoOpWithoutJumpshotLogging) {
+  // Instrumented programs must run unchanged when logging is off.
+  const auto res = pilot::run({"prog", "-piwatchdog=20"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    const int h = PI_DefineState("Phase", "teal");
+    PI_StartAll();
+    PI_StateBegin(h);
+    PI_StateEnd(h);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(res.aborted);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Adversarial conversion inputs: randomized ill-behaved traces (orphan
+// halves, unbalanced state events, unknown IDs) must never crash or lose
+// accounting — conservation properties tie outputs to inputs exactly.
+#include <gtest/gtest.h>
+
+#include "slog2/slog2.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+struct Tally {
+  std::uint64_t starts = 0;
+  std::uint64_t ends = 0;
+  std::uint64_t solos = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t unknowns = 0;
+};
+
+// Random garbage stream: event/msg records drawn with no structural
+// discipline whatsoever.
+std::pair<clog2::File, Tally> adversarial_trace(std::uint64_t seed, int n) {
+  util::SplitMix64 rng(seed);
+  clog2::File f;
+  f.nranks = 3;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "S", "red", ""});
+  f.records.emplace_back(clog2::EventDef{30, "E", "yellow", ""});
+
+  Tally tally;
+  double t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.uniform(0, 1e-3);
+    const int rank = static_cast<int>(rng.below(3));
+    switch (rng.below(6)) {
+      case 0:
+        f.records.emplace_back(clog2::EventRec{t, rank, 10, "x"});
+        ++tally.starts;
+        break;
+      case 1:
+        f.records.emplace_back(clog2::EventRec{t, rank, 11, ""});
+        ++tally.ends;
+        break;
+      case 2:
+        f.records.emplace_back(clog2::EventRec{t, rank, 30, "solo"});
+        ++tally.solos;
+        break;
+      case 3: {
+        clog2::MsgRec m;
+        m.timestamp = t;
+        m.rank = rank;
+        m.kind = clog2::MsgRec::Kind::kSend;
+        m.partner = (rank + 1) % 3;
+        m.tag = static_cast<int>(rng.below(4));
+        m.size = 8;
+        f.records.emplace_back(m);
+        ++tally.sends;
+        break;
+      }
+      case 4: {
+        clog2::MsgRec m;
+        m.timestamp = t;
+        m.rank = rank;
+        m.kind = clog2::MsgRec::Kind::kRecv;
+        m.partner = (rank + 2) % 3;
+        m.tag = static_cast<int>(rng.below(4));
+        m.size = 8;
+        f.records.emplace_back(m);
+        ++tally.recvs;
+        break;
+      }
+      default:
+        f.records.emplace_back(clog2::EventRec{t, rank, 999, ""});
+        ++tally.unknowns;
+        break;
+    }
+  }
+  return {std::move(f), tally};
+}
+
+class Adversarial : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Adversarial, ::testing::Values(1, 7, 13, 42, 99));
+
+TEST_P(Adversarial, ConversionConservesEveryInput) {
+  const auto [trace, tally] = adversarial_trace(GetParam(), 600);
+  std::vector<std::string> warnings;
+  const auto out = slog2::convert(trace, {}, &warnings);
+
+  // State accounting: every start either pairs with an end or is counted
+  // unclosed; every end either closes a state or is counted unmatched.
+  EXPECT_EQ(out.stats.total_states, tally.starts);
+  EXPECT_EQ(out.stats.total_states,
+            (tally.ends - out.stats.unmatched_state_ends) + out.stats.unclosed_states);
+
+  // Message accounting: arrows + unmatched halves = inputs.
+  EXPECT_EQ(out.stats.total_arrows + out.stats.unmatched_sends, tally.sends);
+  EXPECT_EQ(out.stats.total_arrows + out.stats.unmatched_recvs, tally.recvs);
+
+  EXPECT_EQ(out.stats.total_events, tally.solos);
+  EXPECT_EQ(out.stats.unknown_event_ids, tally.unknowns);
+
+  // Warning messages are capped, never unbounded.
+  EXPECT_LE(warnings.size(), 50u);
+
+  // The damaged trace still serializes and parses.
+  const auto back = slog2::parse(slog2::serialize(out));
+  EXPECT_EQ(back.stats.total_states, out.stats.total_states);
+  EXPECT_EQ(back.stats.unclosed_states, out.stats.unclosed_states);
+}
+
+TEST_P(Adversarial, NavigatorHandlesDamagedTraces) {
+  const auto [trace, tally] = adversarial_trace(GetParam() + 1000, 400);
+  slog2::ConvertOptions opts;
+  opts.frame_size = 2048;
+  const auto out = slog2::convert(trace, opts);
+  slog2::Navigator nav(slog2::serialize(out));
+  std::size_t states = 0;
+  nav.visit_window(nav.t_min(), nav.t_max(),
+                   [&](const slog2::StateDrawable&) { ++states; }, nullptr, nullptr);
+  EXPECT_EQ(states, out.stats.total_states);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// End-to-end through the installed CLI binaries: generate a trace with a
+// real Pilot program, then drive pilot-clog2print / pilot-clog2toslog2 /
+// pilot-slog2print / pilot-jumpshot / pilot-logsalvage exactly as a user
+// would. Tool paths are injected by CMake (PILOT_TOOL_DIR).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "util/fs.hpp"
+
+#ifndef PILOT_TOOL_DIR
+#error "PILOT_TOOL_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string tool(const std::string& name) {
+  return std::string(PILOT_TOOL_DIR) + "/" + name;
+}
+
+int run_cmd(const std::string& cmd, std::string* out = nullptr) {
+  const std::string with_capture = cmd + " > /tmp/pilot_tool_test.out 2>&1";
+  const int rc = std::system(with_capture.c_str());
+  if (out) *out = util::read_text_file("/tmp/pilot_tool_test.out");
+  return rc;
+}
+
+PI_CHANNEL* g_to_worker = nullptr;
+PI_CHANNEL* g_from_worker = nullptr;
+
+int echo_worker(int, void*) {
+  int v = 0;
+  PI_Read(g_to_worker, "%d", &v);
+  PI_Write(g_from_worker, "%d", v * 3);
+  return 0;
+}
+
+void make_trace(const util::TempDir& dir, const std::string& extra = "") {
+  std::vector<std::string> args = {"prog", "-pisvc=j",
+                                   "-piout=" + dir.path().string(),
+                                   "-piwatchdog=30"};
+  if (!extra.empty()) args.push_back(extra);
+  const auto res = pilot::run(args, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(echo_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+    PI_Write(g_to_worker, "%d", 14);
+    int v = 0;
+    PI_Read(g_from_worker, "%d", &v);
+    EXPECT_EQ(v, 42);
+    PI_StopMain(0);
+    return 0;
+  });
+  ASSERT_FALSE(res.aborted);
+}
+
+TEST(Tools, FullPipeline) {
+  util::TempDir dir;
+  make_trace(dir);
+  const std::string clog = dir.file("pilot.clog2").string();
+  const std::string slog = dir.file("pilot.slog2").string();
+  const std::string svg = dir.file("view.svg").string();
+
+  std::string out;
+  // clog2print shows the raw records.
+  ASSERT_EQ(run_cmd(tool("pilot-clog2print") + " " + clog, &out), 0) << out;
+  EXPECT_NE(out.find("PI_Read"), std::string::npos);
+  EXPECT_NE(out.find("msg t="), std::string::npos);
+
+  // Conversion succeeds cleanly (exit 0 = no warnings).
+  ASSERT_EQ(run_cmd(tool("pilot-clog2toslog2") + " " + clog, &out), 0) << out;
+  EXPECT_NE(out.find("drawables"), std::string::npos);
+
+  // slog2print summarizes the converted file.
+  ASSERT_EQ(run_cmd(tool("pilot-slog2print") + " " + slog, &out), 0) << out;
+  EXPECT_NE(out.find("SLOG-2"), std::string::npos);
+
+  // The viewer renders and prints the legend.
+  ASSERT_EQ(run_cmd(tool("pilot-jumpshot") + " " + slog + " --out=" + svg, &out), 0)
+      << out;
+  EXPECT_NE(out.find("incl"), std::string::npos) << out;  // legend table
+  EXPECT_NE(util::read_text_file(svg).find("<svg"), std::string::npos);
+
+  // Search and window statistics modes.
+  ASSERT_EQ(run_cmd(tool("pilot-jumpshot") + " " + slog + " --search=PI_Write", &out),
+            0);
+  EXPECT_NE(out.find("hit(s)"), std::string::npos);
+  ASSERT_EQ(run_cmd(tool("pilot-jumpshot") + " " + slog + " --stats", &out), 0);
+  EXPECT_NE(out.find("imbalance"), std::string::npos);
+
+  // Statistics picture.
+  const std::string statsvg = dir.file("stats.svg").string();
+  ASSERT_EQ(
+      run_cmd(tool("pilot-jumpshot") + " " + slog + " --statsvg=" + statsvg, &out), 0);
+  EXPECT_NE(util::read_text_file(statsvg).find("imbalance"), std::string::npos);
+
+  // Combined HTML report.
+  const std::string report = dir.file("report.html").string();
+  ASSERT_EQ(run_cmd(tool("pilot-report") + " " + slog + " --out=" + report, &out), 0)
+      << out;
+  const std::string html = util::read_text_file(report);
+  EXPECT_NE(html.find("<html>"), std::string::npos);
+  EXPECT_NE(html.find("Timeline"), std::string::npos);
+  EXPECT_NE(html.find("Duration statistics"), std::string::npos);
+  EXPECT_NE(html.find("PI_Read"), std::string::npos);
+}
+
+TEST(Tools, BadInputsFailGracefully) {
+  util::TempDir dir;
+  util::write_file(dir.file("junk.clog2"), std::string("this is not a trace"));
+  std::string out;
+  EXPECT_NE(run_cmd(tool("pilot-clog2print") + " " + dir.file("junk.clog2").string(),
+                    &out),
+            0);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  EXPECT_NE(run_cmd(tool("pilot-jumpshot") + " /nonexistent.slog2", &out), 0);
+}
+
+int salvage_abort_worker(int, void*) {
+  int v = 0;
+  PI_Read(g_to_worker, "%d", &v);
+  PI_Abort(3, "crash for salvage test");
+  return 0;
+}
+
+TEST(Tools, LogSalvageAfterAbort) {
+  util::TempDir dir;
+  const auto res = pilot::run(
+      {"prog", "-pisvc=j", "-pirobust", "-piout=" + dir.path().string(),
+       "-piwatchdog=30"},
+      [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* w = PI_CreateProcess(salvage_abort_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 1);
+        int v = 0;
+        PI_Read(g_from_worker, "%d", &v);  // abort wakes us
+        PI_StopMain(0);
+        return 0;
+      });
+  ASSERT_TRUE(res.aborted);
+
+  std::string out;
+  const std::string base = (dir.path() / "pilot").string();
+  ASSERT_EQ(run_cmd(tool("pilot-logsalvage") + " " + base, &out), 0) << out;
+  EXPECT_NE(out.find("salvaged"), std::string::npos);
+  ASSERT_EQ(run_cmd(tool("pilot-clog2print") + " " + base + ".salvaged.clog2", &out),
+            0);
+  EXPECT_NE(out.find("PI_Write"), std::string::npos);
+}
+
+}  // namespace

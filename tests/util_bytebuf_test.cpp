@@ -1,0 +1,122 @@
+#include "util/bytebuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+TEST(ByteBuf, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i8(-5);
+  w.i16(-1234);
+  w.i32(-123456789);
+  w.i64(-1234567890123456789LL);
+  w.f64(3.14159265358979);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i8(), -5);
+  EXPECT_EQ(r.i16(), -1234);
+  EXPECT_EQ(r.i32(), -123456789);
+  EXPECT_EQ(r.i64(), -1234567890123456789LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuf, RoundTripSpecialDoubles) {
+  ByteWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::min());
+  w.f64(std::numeric_limits<double>::max());
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::min());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::max());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ByteBuf, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(ByteBuf, Strings) {
+  ByteWriter w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string("emb\0edded", 9));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string("emb\0edded", 9));
+}
+
+TEST(ByteBuf, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(1234);
+  ByteReader r(w.bytes().data(), 3);  // one byte short
+  EXPECT_THROW(r.u32(), util::IoError);
+}
+
+TEST(ByteBuf, TruncatedStringThrows) {
+  ByteWriter w;
+  w.str("hello world");
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 4);
+  ByteReader r(bytes);
+  EXPECT_THROW(r.str(), util::IoError);
+}
+
+TEST(ByteBuf, PatchU32) {
+  ByteWriter w;
+  w.u32(0);  // placeholder
+  w.str("payload");
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), w.size());
+  EXPECT_EQ(r.str(), "payload");
+}
+
+TEST(ByteBuf, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u16(1);
+  EXPECT_THROW(w.patch_u32(0, 5), util::UsageError);
+}
+
+TEST(ByteBuf, SeekAndRemaining) {
+  ByteWriter w;
+  w.u32(7);
+  w.u32(9);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.seek(4);
+  EXPECT_EQ(r.u32(), 9u);
+  EXPECT_THROW(r.seek(100), util::IoError);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(ArgParser, KeyValueAndFlags) {
+  util::ArgParser p({"prog", "--workers=5", "--verbose", "input.c"});
+  EXPECT_EQ(p.program(), "prog");
+  EXPECT_EQ(p.get_int_or("workers", 0), 5);
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("quiet"));
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "input.c");
+}
+
+TEST(ArgParser, Defaults) {
+  util::ArgParser p({"prog"});
+  EXPECT_EQ(p.get_or("name", "fallback"), "fallback");
+  EXPECT_EQ(p.get_int_or("n", 42), 42);
+  EXPECT_DOUBLE_EQ(p.get_double_or("scale", 0.5), 0.5);
+}
+
+TEST(ArgParser, DoubleParsing) {
+  util::ArgParser p({"prog", "--scale=0.25"});
+  EXPECT_DOUBLE_EQ(p.get_double_or("scale", 1.0), 0.25);
+}
+
+TEST(ArgParser, BadIntegerThrows) {
+  util::ArgParser p({"prog", "--n=abc"});
+  EXPECT_THROW(static_cast<void>(p.get_int_or("n", 0)), util::UsageError);
+}
+
+TEST(ArgParser, UnusedKeysDetectsTypos) {
+  util::ArgParser p({"prog", "--workres=5", "--out=x"});
+  (void)p.get("out");
+  const auto unused = p.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "workres");
+}
+
+// Helper building a mutable argv like main() receives.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+    argv = ptrs.data();
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** argv = nullptr;
+};
+
+TEST(StripArgs, RemovesPilotOptionsInPlace) {
+  Argv a({"prog", "-pisvc=cj", "user-arg", "-pisvc=d"});
+  char** argv = a.argv;
+  int argc = a.argc;
+  const auto taken = util::strip_args_with_prefix(&argc, &argv, "-pisvc=");
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0], "cj");
+  EXPECT_EQ(taken[1], "d");
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "prog");
+  EXPECT_STREQ(argv[1], "user-arg");
+}
+
+TEST(StripArgs, LeavesProgramNameAlone) {
+  // argv[0] must never be stripped even if it happens to match.
+  Argv a({"-pisvc=weird-binary-name", "-pisvc=c"});
+  char** argv = a.argv;
+  int argc = a.argc;
+  const auto taken = util::strip_args_with_prefix(&argc, &argv, "-pisvc=");
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0], "c");
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(StripArgs, NoMatches) {
+  Argv a({"prog", "x", "y"});
+  char** argv = a.argv;
+  int argc = a.argc;
+  const auto taken = util::strip_args_with_prefix(&argc, &argv, "-picheck=");
+  EXPECT_TRUE(taken.empty());
+  EXPECT_EQ(argc, 3);
+}
+
+TEST(StripArgs, NullSafe) {
+  int argc = 0;
+  const auto taken = util::strip_args_with_prefix(&argc, nullptr, "-x=");
+  EXPECT_TRUE(taken.empty());
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include "util/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace {
+
+TEST(Color, PaperPaletteIsKnown) {
+  // Every colour named by the paper's visual design must resolve.
+  for (const char* name : {"red", "green", "ForestGreen", "IndianRed", "bisque",
+                           "gray", "yellow", "white"}) {
+    EXPECT_TRUE(util::is_known_color(name)) << name;
+  }
+}
+
+TEST(Color, LookupIsCaseInsensitive) {
+  EXPECT_EQ(util::color_by_name("ForestGreen"), util::color_by_name("forestgreen"));
+  EXPECT_EQ(util::color_by_name("RED"), util::color_by_name("red"));
+}
+
+TEST(Color, KnownValues) {
+  EXPECT_EQ(util::color_by_name("red").to_hex(), "#ff0000");
+  EXPECT_EQ(util::color_by_name("forestgreen").to_hex(), "#228b22");
+  EXPECT_EQ(util::color_by_name("indianred").to_hex(), "#cd5c5c");
+  EXPECT_EQ(util::color_by_name("bisque").to_hex(), "#ffe4c4");
+}
+
+TEST(Color, UnknownNameThrows) {
+  EXPECT_THROW(util::color_by_name("notacolor"), util::UsageError);
+  EXPECT_FALSE(util::is_known_color("notacolor"));
+}
+
+TEST(Color, HexRoundTrip) {
+  const util::Color c = util::color_from_hex("#a1B2c3");
+  EXPECT_EQ(c.r, 0xA1);
+  EXPECT_EQ(c.g, 0xB2);
+  EXPECT_EQ(c.b, 0xC3);
+  EXPECT_EQ(c.to_hex(), "#a1b2c3");
+}
+
+TEST(Color, BadHexThrows) {
+  EXPECT_THROW(util::color_from_hex("a1b2c3"), util::UsageError);
+  EXPECT_THROW(util::color_from_hex("#xyzxyz"), util::UsageError);
+  EXPECT_THROW(util::color_from_hex("#fff"), util::UsageError);
+}
+
+TEST(Color, Luminance) {
+  EXPECT_GT(util::luminance(util::color_by_name("white")), 250.0);
+  EXPECT_LT(util::luminance(util::color_by_name("black")), 5.0);
+  // Yellow reads as bright, navy as dark: drives label-contrast choices.
+  EXPECT_GT(util::luminance(util::color_by_name("yellow")),
+            util::luminance(util::color_by_name("navy")));
+}
+
+}  // namespace

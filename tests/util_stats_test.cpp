@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+TEST(Stats, MedianOdd) { EXPECT_DOUBLE_EQ(util::median({3, 1, 2}), 2.0); }
+
+TEST(Stats, MedianEven) { EXPECT_DOUBLE_EQ(util::median({4, 1, 3, 2}), 2.5); }
+
+TEST(Stats, MedianSingleton) { EXPECT_DOUBLE_EQ(util::median({42}), 42.0); }
+
+TEST(Stats, MedianEmptyThrows) {
+  EXPECT_THROW(util::median({}), util::UsageError);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(util::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(util::variance({5.0}), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 100.0);
+  EXPECT_NEAR(util::percentile(xs, 50), 50.5, 1e-9);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  util::SplitMix64 rng(7);
+  std::vector<double> xs;
+  util::RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), util::mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), util::variance(xs), 1e-9);
+}
+
+TEST(Stats, RunningMinMax) {
+  util::RunningStats rs;
+  rs.add(3);
+  rs.add(-1);
+  rs.add(10);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+}  // namespace

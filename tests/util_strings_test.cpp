@@ -1,0 +1,65 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = util::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmpty) {
+  const auto parts = util::split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(util::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("   "), "");
+  EXPECT_EQ(util::trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(util::join({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(util::starts_with("-pisvc=cj", "-pisvc="));
+  EXPECT_FALSE(util::starts_with("-pi", "-pisvc="));
+  EXPECT_TRUE(util::ends_with("trace.slog2", ".slog2"));
+  EXPECT_FALSE(util::ends_with("x", ".slog2"));
+}
+
+TEST(Strings, XmlEscape) {
+  EXPECT_EQ(util::xml_escape(R"(<a & "b">)"), "&lt;a &amp; &quot;b&quot;&gt;");
+  EXPECT_EQ(util::xml_escape("plain"), "plain");
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(util::strprintf("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(util::strprintf("%s", ""), "");
+}
+
+TEST(Strings, TruncateBytes) {
+  // The MPE popup-text limit the paper mentions is 40 bytes.
+  const std::string long_text(100, 'a');
+  EXPECT_EQ(util::truncate_bytes(long_text, 40).size(), 40u);
+  EXPECT_EQ(util::truncate_bytes("short", 40), "short");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(util::human_seconds(3.21), "3.210 s");
+  EXPECT_EQ(util::human_seconds(0.00123), "1.230 ms");
+  EXPECT_EQ(util::human_seconds(45.6e-6), "45.600 us");
+  EXPECT_EQ(util::human_seconds(12e-9), "12.0 ns");
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// End-to-end runs of the two demonstration applications (small sizes, costs
+// free) — correctness of the pipelines themselves, independent of timing.
+#include <gtest/gtest.h>
+
+#include "slog2/slog2.hpp"
+#include "util/fs.hpp"
+#include "workloads/collision_app.hpp"
+#include "workloads/thumbnail_app.hpp"
+
+namespace {
+
+namespace wt = workloads::thumbnail;
+namespace wc = workloads::collisions;
+
+wt::Config fast_thumbnail(int files, int workers) {
+  wt::Config cfg;
+  cfg.files = files;
+  cfg.workers = workers;
+  cfg.image_size = 32;
+  cfg.costs.decode_per_pixel = 0;  // timing-free for unit tests
+  cfg.costs.encode_per_pixel = 0;
+  cfg.costs.io_per_byte = 0;
+  cfg.pilot_args = {"-piwatchdog=30"};
+  return cfg;
+}
+
+TEST(ThumbnailApp, ProcessesEveryFile) {
+  const auto stats = wt::run_app(fast_thumbnail(25, 3));
+  EXPECT_FALSE(stats.run.aborted);
+  EXPECT_EQ(stats.files_out, 25u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+  // Thumbnails are much smaller than the inputs.
+  EXPECT_LT(stats.bytes_out, stats.bytes_in);
+  // Decoded thumbnails stay faithful (codec loss only).
+  EXPECT_LT(stats.thumb_mean_error, 8.0);
+}
+
+TEST(ThumbnailApp, SingleWorkerStillCorrect) {
+  const auto stats = wt::run_app(fast_thumbnail(10, 1));
+  EXPECT_EQ(stats.files_out, 10u);
+}
+
+TEST(ThumbnailApp, WithJumpshotLogProducesCleanTrace) {
+  util::TempDir dir;
+  auto cfg = fast_thumbnail(12, 3);
+  cfg.pilot_args.push_back("-pisvc=j");
+  cfg.pilot_args.push_back("-piout=" + dir.path().string());
+  const auto stats = wt::run_app(cfg);
+  EXPECT_EQ(stats.files_out, 12u);
+
+  // The paper's robustness claim (Fig. 1): thousands of Pilot calls convert
+  // with zero errors.
+  const auto slog = slog2::convert(clog2::read_file(dir.file("pilot.clog2")));
+  EXPECT_TRUE(slog.stats.clean()) << slog2::to_text(slog);
+  EXPECT_GT(slog.stats.total_arrows, 12u * 3);  // >=3 hops per file + control
+  EXPECT_EQ(slog.nranks, 1 + 1 + 3);            // main + C + 3 workers
+}
+
+wc::AppConfig fast_collision(wc::Variant v, int workers) {
+  wc::AppConfig cfg;
+  cfg.variant = v;
+  cfg.workers = workers;
+  cfg.records = 5000;
+  cfg.query_rounds = 3;
+  cfg.costs.parse_per_byte = 0;  // timing-free for unit tests
+  cfg.costs.query_per_record = 0;
+  cfg.pilot_args = {"-piwatchdog=30"};
+  return cfg;
+}
+
+class CollisionVariants
+    : public ::testing::TestWithParam<std::tuple<wc::Variant, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CollisionVariants,
+    ::testing::Combine(::testing::Values(wc::Variant::kFixed,
+                                         wc::Variant::kInstanceA,
+                                         wc::Variant::kInstanceB),
+                       ::testing::Values(1, 3, 5)));
+
+TEST_P(CollisionVariants, AllVariantsComputeCorrectAnswers) {
+  // The student programs were "not bugs in the sense of causing incorrect
+  // results" — every variant must produce the right answers; only the
+  // timing differs.
+  const auto [variant, workers] = GetParam();
+  const auto stats = wc::run_app(fast_collision(variant, workers));
+  EXPECT_FALSE(stats.run.aborted);
+  EXPECT_TRUE(stats.correct())
+      << wc::variant_name(variant) << " totals=" << stats.totals.total
+      << " oracle=" << stats.oracle.total;
+  EXPECT_EQ(stats.totals.total, 5000u);
+}
+
+TEST(CollisionApp, PhaseTimesReported) {
+  const auto stats = wc::run_app(fast_collision(wc::Variant::kFixed, 2));
+  EXPECT_GE(stats.read_phase_seconds, 0.0);
+  EXPECT_GE(stats.query_phase_seconds, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include "workloads/collisions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace wc = workloads::collisions;
+
+TEST(Collisions, GenerateDeterministic) {
+  const auto a = wc::generate(1, 100);
+  const auto b = wc::generate(1, 100);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].year, b[i].year);
+    EXPECT_EQ(a[i].severity, b[i].severity);
+  }
+}
+
+TEST(Collisions, FieldRangesPlausible) {
+  for (const auto& r : wc::generate(2, 2000)) {
+    EXPECT_GE(r.year, 1999);
+    EXPECT_LE(r.year, 2017);
+    EXPECT_GE(r.month, 1);
+    EXPECT_LE(r.month, 12);
+    EXPECT_GE(r.severity, 1);
+    EXPECT_LE(r.severity, 3);
+    EXPECT_GE(r.vehicles, 1);
+    EXPECT_GE(r.persons, r.vehicles);
+    EXPECT_GE(r.region, 0);
+    EXPECT_LE(r.region, 12);
+  }
+}
+
+TEST(Collisions, SeverityDistributionSkewed) {
+  wc::QueryResult q = wc::run_queries(wc::generate(3, 20000));
+  // Fatal collisions are rare; property damage dominates (like real data).
+  EXPECT_LT(q.by_severity[1], q.by_severity[2]);
+  EXPECT_LT(q.by_severity[2], q.by_severity[3]);
+}
+
+TEST(Collisions, CsvRoundTripWholeFile) {
+  const auto records = wc::generate(4, 500);
+  const std::string csv = wc::to_csv(records);
+  const auto parsed = wc::parse_chunk(csv, 0, csv.size());
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].year, records[i].year);
+    EXPECT_EQ(parsed[i].month, records[i].month);
+    EXPECT_EQ(parsed[i].severity, records[i].severity);
+    EXPECT_EQ(parsed[i].vehicles, records[i].vehicles);
+    EXPECT_EQ(parsed[i].persons, records[i].persons);
+    EXPECT_EQ(parsed[i].region, records[i].region);
+    EXPECT_EQ(parsed[i].weather, records[i].weather);
+  }
+}
+
+// The core property behind the assignment: partitioning the byte range into
+// touching chunks parses every record exactly once, wherever the cuts land.
+class ChunkPartition : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ChunkPartition,
+                         ::testing::Values(1, 2, 3, 4, 7, 13));
+
+TEST_P(ChunkPartition, ChunksCoverExactlyOnce) {
+  const int workers = GetParam();
+  const auto records = wc::generate(5, 997);  // odd count on purpose
+  const std::string csv = wc::to_csv(records);
+
+  const wc::QueryResult oracle = wc::run_queries(records);
+  wc::QueryResult merged;
+  const std::size_t per = csv.size() / static_cast<std::size_t>(workers);
+  for (int i = 0; i < workers; ++i) {
+    const std::size_t begin = static_cast<std::size_t>(i) * per;
+    const std::size_t end =
+        i == workers - 1 ? csv.size() : static_cast<std::size_t>(i + 1) * per;
+    merged.merge(wc::run_queries(wc::parse_chunk(csv, begin, end)));
+  }
+  EXPECT_EQ(merged, oracle);
+}
+
+TEST(Collisions, MergeMatchesSequential) {
+  const auto records = wc::generate(6, 1000);
+  wc::QueryResult whole = wc::run_queries(records);
+  wc::QueryResult split;
+  std::vector<wc::Record> a(records.begin(), records.begin() + 400);
+  std::vector<wc::Record> b(records.begin() + 400, records.end());
+  split.merge(wc::run_queries(a));
+  split.merge(wc::run_queries(b));
+  EXPECT_EQ(split, whole);
+  EXPECT_EQ(whole.total, 1000u);
+}
+
+TEST(Collisions, ChunkBeyondEofEmpty) {
+  const std::string csv = wc::to_csv(wc::generate(7, 10));
+  EXPECT_TRUE(wc::parse_chunk(csv, csv.size() + 5, csv.size() + 10).empty());
+}
+
+TEST(Collisions, MalformedLinesSkipped) {
+  std::string csv = "year,month,severity,vehicles,persons,region,weather\n";
+  csv += "2001,5,2,1,2,3,4\n";
+  csv += "garbage line that is not a record\n";
+  csv += "2002,6,3,2,3,4,5\n";
+  const auto parsed = wc::parse_chunk(csv, 0, csv.size());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].year, 2001);
+  EXPECT_EQ(parsed[1].year, 2002);
+}
+
+TEST(Collisions, CostModelMatchesPaperRate) {
+  // Instance B reads 316 MB in ~11 s -> about 28 MB/s.
+  const wc::CostModel costs;
+  const double t = costs.parse_cost(316ull * 1024 * 1024);
+  EXPECT_NEAR(t, 11.3, 1.0);
+}
+
+}  // namespace

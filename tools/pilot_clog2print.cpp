@@ -1,0 +1,31 @@
+// pilot-clog2print: dump a CLOG-2 trace as text — the paper's preferred way
+// to diagnose problems with log contents before conversion (Section II-A).
+#include <cstdio>
+#include <exception>
+
+#include "clog2/clog2.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr, "usage: %s <trace.clog2>\n", args.program().c_str());
+    return 2;
+  }
+  const auto file = clog2::read_file(args.positional()[0]);
+  std::fputs(clog2::to_text(file).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,41 @@
+// pilot-logsalvage: recover an MPE trace after PI_Abort, from the per-rank
+// spill files written by robust mode (-pisvc=j -pirobust). Implements the
+// paper's stated future work ("it would be better if the MPE log could be
+// finalized in all cases").
+#include <cstdio>
+#include <exception>
+
+#include "mpe/mpe.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <spill-base> [--out=salvaged.clog2]\n"
+                 "  <spill-base> is the -piout/-piname base, e.g. ./pilot\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const std::string base = args.positional()[0];
+  const std::string out = args.get_or("out", base + ".salvaged.clog2");
+
+  const auto file = mpe::salvage(base);
+  clog2::write_file(out, file);
+  std::printf("salvaged %zu record(s) from %d rank(s) -> %s\n",
+              file.records.size(), file.nranks, out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

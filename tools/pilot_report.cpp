@@ -1,0 +1,115 @@
+// pilot-report: one self-contained HTML page per trace — full timeline,
+// duration-statistics picture, legend table, and conversion diagnostics.
+// The artifact an instructor can drop on a course page (the paper's lesson:
+// students need the log's value demonstrated to adopt the tool).
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "jumpshot/render.hpp"
+#include "jumpshot/stats.hpp"
+#include "util/cli.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::string html_escape(const std::string& s) { return util::xml_escape(s); }
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.slog2> [--out=report.html] [--title=TEXT]\n"
+                 "       [--t0=S] [--t1=S] [--width=PX]\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const auto file = slog2::read_file(args.positional()[0]);
+  const std::string out = args.get_or("out", "report.html");
+  const std::string title = args.get_or("title", args.positional()[0]);
+
+  jumpshot::RenderOptions ropts;
+  ropts.t0 = args.get_double_or("t0", ropts.t0);
+  ropts.t1 = args.get_double_or("t1", ropts.t1);
+  ropts.width = static_cast<int>(args.get_int_or("width", 1200));
+  ropts.title = title;
+  for (const auto& k : args.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", k.c_str());
+    return 2;
+  }
+
+  jumpshot::StatsRenderOptions sopts;
+  sopts.t0 = ropts.t0;
+  sopts.t1 = ropts.t1;
+  sopts.width = ropts.width;
+  sopts.title = title + " — duration statistics";
+
+  const auto entries = jumpshot::legend(file, jumpshot::LegendSort::kByInclusive);
+
+  std::string html;
+  html += "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>\n";
+  html += "<title>" + html_escape(title) + "</title>\n";
+  html +=
+      "<style>body{font-family:sans-serif;background:#18181d;color:#ddd;"
+      "margin:2em} h1,h2{font-weight:normal} table{border-collapse:collapse;"
+      "font-family:monospace} td,th{padding:2px 12px;text-align:right;"
+      "border-bottom:1px solid #333} td:first-child,th:first-child"
+      "{text-align:left} .warn{color:#e6a23c}</style></head><body>\n";
+  html += "<h1>" + html_escape(title) + "</h1>\n";
+  html += util::strprintf(
+      "<p>%d timelines, span %s; %llu states, %llu events, %llu message "
+      "arrows in %llu frames (depth %d).</p>\n",
+      file.nranks, util::human_seconds(file.t_max - file.t_min).c_str(),
+      static_cast<unsigned long long>(file.stats.total_states),
+      static_cast<unsigned long long>(file.stats.total_events),
+      static_cast<unsigned long long>(file.stats.total_arrows),
+      static_cast<unsigned long long>(file.stats.frames), file.stats.tree_depth);
+  if (!file.stats.clean()) {
+    html += util::strprintf(
+        "<p class='warn'>conversion diagnostics: %llu unmatched sends, %llu "
+        "unmatched receives, %llu unmatched state ends, %llu unclosed states, "
+        "%llu Equal Drawables, %llu unknown event ids.</p>\n",
+        static_cast<unsigned long long>(file.stats.unmatched_sends),
+        static_cast<unsigned long long>(file.stats.unmatched_recvs),
+        static_cast<unsigned long long>(file.stats.unmatched_state_ends),
+        static_cast<unsigned long long>(file.stats.unclosed_states),
+        static_cast<unsigned long long>(file.stats.equal_drawables),
+        static_cast<unsigned long long>(file.stats.unknown_event_ids));
+  }
+
+  html += "<h2>Timeline</h2>\n" + jumpshot::render_svg(file, ropts) + "\n";
+  html += "<h2>Duration statistics</h2>\n" + jumpshot::render_stats_svg(file, sopts) +
+          "\n";
+
+  html += "<h2>Legend</h2>\n<table><tr><th>name</th><th>kind</th><th>count</th>"
+          "<th>inclusive</th><th>exclusive</th></tr>\n";
+  for (const auto& e : entries) {
+    const char* kind = e.category.kind == slog2::CategoryKind::kState   ? "state"
+                       : e.category.kind == slog2::CategoryKind::kEvent ? "event"
+                                                                        : "arrow";
+    html += util::strprintf(
+        "<tr><td>%s</td><td>%s</td><td>%llu</td><td>%s</td><td>%s</td></tr>\n",
+        html_escape(e.category.name).c_str(), kind,
+        static_cast<unsigned long long>(e.count),
+        util::human_seconds(e.inclusive).c_str(),
+        util::human_seconds(e.exclusive).c_str());
+  }
+  html += "</table>\n</body></html>\n";
+
+  util::write_file(out, html);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

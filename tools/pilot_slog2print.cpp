@@ -1,0 +1,33 @@
+// pilot-slog2print: structural summary (and optional full drawable dump) of
+// an SLOG-2 file.
+#include <cstdio>
+#include <exception>
+
+#include "slog2/slog2.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr, "usage: %s <trace.slog2> [--drawables]\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const bool drawables = args.has("drawables");
+  const auto file = slog2::read_file(args.positional()[0]);
+  std::fputs(slog2::to_text(file, drawables).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
