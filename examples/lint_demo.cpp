@@ -1,0 +1,60 @@
+// lint_demo: a deliberately smelly topology for the pre-run linter.
+//
+//   ./lint_demo -pilint -picheck=0
+//
+// prints the PLxx findings (self-loop channel, isolated process) and exits
+// with status 1 before any process runs. -picheck=0 is needed because the
+// runtime itself rejects self-loop channels at the default check level.
+// Running it normally with -pisvc=a instead finishes the (tiny) execution
+// and then reports the usage findings: the spare channel is never used.
+#include <cstdio>
+
+#include "pilot/pi.hpp"
+
+namespace {
+
+PI_CHANNEL* to_worker;
+PI_CHANNEL* from_worker;
+
+int worker(int, void*) {
+  int v = 0;
+  PI_Read(to_worker, "%d", &v);
+  PI_Write(from_worker, "%d", v + 1);
+  return 0;
+}
+
+int loner(int, void*) {
+  return 0;  // no channels at all: the linter flags it as isolated
+}
+
+}  // namespace
+
+int main(int argc, char* argv[]) {
+  PI_Configure(&argc, &argv);
+
+  PI_PROCESS* w = PI_CreateProcess(worker, 0, nullptr);
+  PI_SetName(w, "Worker");
+  to_worker = PI_CreateChannel(PI_MAIN, w);
+  from_worker = PI_CreateChannel(w, PI_MAIN);
+
+  PI_PROCESS* idle = PI_CreateProcess(loner, 0, nullptr);
+  PI_SetName(idle, "Loner");
+
+  PI_CHANNEL* self = PI_CreateChannel(w, w);  // PL01: reader == writer
+  PI_SetName(self, "SelfLoop");
+  (void)self;
+
+  PI_CHANNEL* spare = PI_CreateChannel(PI_MAIN, w);  // PU01 when run fully
+  PI_SetName(spare, "Spare");
+  (void)spare;
+
+  PI_StartAll();
+
+  PI_Write(to_worker, "%d", 1);
+  int v = 0;
+  PI_Read(from_worker, "%d", &v);
+  std::printf("[main] worker replied %d\n", v);
+
+  PI_StopMain(0);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "analyze/diagnostics.hpp"
+
+#include <filesystem>
+
+#include "util/strings.hpp"
+
+namespace analyze {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void Report::add(std::string id, Severity sev, std::string message,
+                 std::string subject, std::string file, int line) {
+  Diagnostic d;
+  d.id = std::move(id);
+  d.severity = sev;
+  d.message = std::move(message);
+  d.subject = std::move(subject);
+  d.file = std::move(file);
+  d.line = line;
+  diagnostics_.push_back(std::move(d));
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& d : other.diagnostics_) diagnostics_.push_back(d);
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::size_t Report::finding_count() const {
+  return count(Severity::kWarning) + count(Severity::kError);
+}
+
+bool Report::has(const std::string& id) const {
+  for (const auto& d : diagnostics_)
+    if (d.id == id) return true;
+  return false;
+}
+
+std::vector<Diagnostic> Report::with_id(const std::string& id) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_)
+    if (d.id == id) out.push_back(d);
+  return out;
+}
+
+std::string Report::to_text() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += severity_name(d.severity);
+    out += " ";
+    out += d.id;
+    if (!d.subject.empty() || !d.file.empty()) {
+      out += " [";
+      out += d.subject;
+      if (!d.file.empty()) {
+        if (!d.subject.empty()) out += " at ";
+        out += util::strprintf(
+            "%s:%d", std::filesystem::path(d.file).filename().string().c_str(),
+            d.line);
+      }
+      out += "]";
+    }
+    out += ": " + d.message + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += util::strprintf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const auto& d = diagnostics_[i];
+    if (i > 0) out += ",";
+    out += util::strprintf(
+        "\n  {\"id\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\", "
+        "\"subject\": \"%s\", \"file\": \"%s\", \"line\": %d}",
+        json_escape(d.id).c_str(), severity_name(d.severity),
+        json_escape(d.message).c_str(), json_escape(d.subject).c_str(),
+        json_escape(d.file).c_str(), d.line);
+  }
+  out += diagnostics_.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace analyze

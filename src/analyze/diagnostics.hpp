@@ -1,0 +1,57 @@
+// pilot-analyze: the shared diagnostics engine behind the topology linter
+// and the offline trace checker. A Diagnostic carries a stable ID (PLxx /
+// PUxx / TCxxx, see docs/ANALYZE.md), a severity, a one-line message, and —
+// when the finding maps to a source construct — the file:line captured by
+// the PI_* macro layer. Reports render as pretty text (for stderr) or as a
+// machine-readable JSON array (for tooling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analyze {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string id;       ///< stable code, e.g. "PL01", "TC203"
+  Severity severity = Severity::kWarning;
+  std::string message;  ///< human-readable, single line
+  std::string subject;  ///< entity concerned ("C3", "W2", "B1", "rank 4")
+  std::string file;     ///< source file of the construct ("" = not known)
+  int line = 0;
+};
+
+class Report {
+public:
+  void add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void add(std::string id, Severity sev, std::string message,
+           std::string subject = {}, std::string file = {}, int line = 0);
+  /// Append every diagnostic of `other`.
+  void merge(const Report& other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t size() const { return diagnostics_.size(); }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  /// Number of diagnostics at kWarning or above (the "findings" that make
+  /// lint/tracecheck exit non-zero; notes are informational).
+  [[nodiscard]] std::size_t finding_count() const;
+  [[nodiscard]] bool has(const std::string& id) const;
+  /// All diagnostics with the given ID (tests assert on these).
+  [[nodiscard]] std::vector<Diagnostic> with_id(const std::string& id) const;
+
+  /// Pretty multi-line rendering: "error PL01 [C3 at demo.c:12]: ...".
+  [[nodiscard]] std::string to_text() const;
+  /// JSON array of objects with keys id/severity/message/subject/file/line.
+  [[nodiscard]] std::string to_json() const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace analyze

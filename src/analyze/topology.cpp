@@ -1,0 +1,212 @@
+#include "analyze/topology.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace analyze {
+
+const char* bundle_usage_name(BundleUsage u) {
+  switch (u) {
+    case BundleUsage::kBroadcast: return "PI_BROADCAST";
+    case BundleUsage::kScatter: return "PI_SCATTER";
+    case BundleUsage::kGather: return "PI_GATHER";
+    case BundleUsage::kReduce: return "PI_REDUCE";
+    case BundleUsage::kSelect: return "PI_SELECT_B";
+  }
+  return "?";
+}
+
+bool signatures_compatible(const std::string& writer, const std::string& reader) {
+  auto split = [](const std::string& sig) {
+    std::size_t i = 0;
+    bool array = false;
+    while (i < sig.size() &&
+           (sig[i] == '*' || sig[i] == '^' || (sig[i] >= '0' && sig[i] <= '9'))) {
+      array = true;
+      ++i;
+    }
+    return std::pair<bool, std::string>(array, sig.substr(i));
+  };
+  const auto [w_array, w_type] = split(writer);
+  const auto [r_array, r_type] = split(reader);
+  return w_array == r_array && w_type == r_type;
+}
+
+namespace {
+
+const ProcessInfo* find_process(const Topology& topo, int rank) {
+  for (const auto& p : topo.processes)
+    if (p.rank == rank) return &p;
+  return nullptr;
+}
+
+std::string proc_label(const Topology& topo, int rank) {
+  const ProcessInfo* p = find_process(topo, rank);
+  return p != nullptr ? p->name : util::strprintf("rank %d", rank);
+}
+
+}  // namespace
+
+Report lint_topology(const Topology& topo) {
+  Report rep;
+
+  // PL01: reader == writer (a write would block forever on itself — or the
+  // matching read can never be reached; either way the channel is a
+  // self-deadlock waiting to happen).
+  for (const auto& c : topo.channels) {
+    if (c.writer == c.reader)
+      rep.add("PL01", Severity::kError,
+              util::strprintf("channel %s connects process %s to itself; a "
+                              "process cannot be both writer and reader of "
+                              "one channel",
+                              c.name.c_str(), proc_label(topo, c.writer).c_str()),
+              c.name, c.site.file, c.site.line);
+  }
+
+  // PL02: process with no channel attached — it can never communicate, so
+  // with more than one process declared it is dead weight (or a missing
+  // PI_CreateChannel). PI_MAIN (rank 0) is exempt: a coordinator that only
+  // wires up the others and waits in PI_StopMain is a legitimate pattern.
+  if (topo.processes.size() > 1) {
+    std::set<int> connected;
+    for (const auto& c : topo.channels) {
+      connected.insert(c.writer);
+      connected.insert(c.reader);
+    }
+    for (const auto& p : topo.processes) {
+      if (p.rank == 0) continue;
+      if (!connected.contains(p.rank))
+        rep.add("PL02", Severity::kWarning,
+                util::strprintf("process %s has no channels; it cannot "
+                                "communicate with the rest of the program",
+                                p.name.c_str()),
+                p.name, p.site.file, p.site.line);
+    }
+  }
+
+  for (const auto& b : topo.bundles) {
+    // PL05: empty bundle.
+    if (b.channel_ids.empty()) {
+      rep.add("PL05", Severity::kError,
+              util::strprintf("bundle %s has no channels", b.name.c_str()),
+              b.name, b.site.file, b.site.line);
+      continue;
+    }
+
+    // Resolve member channels; PL06 for dangling references.
+    std::vector<const ChannelInfo*> members;
+    bool dangling = false;
+    for (int id : b.channel_ids) {
+      const ChannelInfo* found = nullptr;
+      for (const auto& c : topo.channels)
+        if (c.id == id) found = &c;
+      if (found == nullptr) {
+        rep.add("PL06", Severity::kError,
+                util::strprintf("bundle %s references unknown channel id %d",
+                                b.name.c_str(), id),
+                b.name, b.site.file, b.site.line);
+        dangling = true;
+      } else {
+        members.push_back(found);
+      }
+    }
+    if (dangling || members.empty()) continue;
+
+    // PL04: all channels of a bundle must share the collective's common
+    // endpoint — the writer for broadcast/scatter, the reader for
+    // gather/reduce/select. Mixed directions make the collective undefined.
+    const bool common_is_writer =
+        b.usage == BundleUsage::kBroadcast || b.usage == BundleUsage::kScatter;
+    const int common =
+        common_is_writer ? members.front()->writer : members.front()->reader;
+    for (const ChannelInfo* c : members) {
+      const int endpoint = common_is_writer ? c->writer : c->reader;
+      if (endpoint != common) {
+        rep.add("PL04", Severity::kError,
+                util::strprintf(
+                    "bundle %s (%s) mixes directions: channel %s has %s %s "
+                    "but the bundle's common endpoint is %s",
+                    b.name.c_str(), bundle_usage_name(b.usage), c->name.c_str(),
+                    common_is_writer ? "writer" : "reader",
+                    proc_label(topo, endpoint).c_str(),
+                    proc_label(topo, common).c_str()),
+                b.name, b.site.file, b.site.line);
+        break;
+      }
+    }
+
+    // PL03: duplicate far endpoints in a selector bundle. Two channels from
+    // the same writer are legal but make PI_Select's answer ambiguous to
+    // act on — usually a copy-paste error in the channel array.
+    if (b.usage == BundleUsage::kSelect) {
+      std::map<int, const ChannelInfo*> far_seen;
+      for (const ChannelInfo* c : members) {
+        auto [it, inserted] = far_seen.try_emplace(c->writer, c);
+        if (!inserted)
+          rep.add("PL03", Severity::kWarning,
+                  util::strprintf(
+                      "selector bundle %s has two channels from writer %s "
+                      "(%s and %s); selection between them is arbitrary",
+                      b.name.c_str(), proc_label(topo, c->writer).c_str(),
+                      it->second->name.c_str(), c->name.c_str()),
+                  b.name, b.site.file, b.site.line);
+      }
+    }
+  }
+
+  return rep;
+}
+
+Report lint_usage(const Topology& topo) {
+  Report rep;
+  for (const auto& c : topo.channels) {
+    if (c.writes == 0 && c.reads == 0) {
+      rep.add("PU01", Severity::kWarning,
+              util::strprintf("channel %s was never used (no writes, no reads)",
+                              c.name.c_str()),
+              c.name, c.site.file, c.site.line);
+      continue;
+    }
+    if (c.reads == 0) {
+      rep.add("PU02", Severity::kWarning,
+              util::strprintf("channel %s was written %llu time(s) but never "
+                              "read; the messages were lost",
+                              c.name.c_str(),
+                              static_cast<unsigned long long>(c.writes)),
+              c.name, c.site.file, c.site.line);
+    } else if (c.writes == 0) {
+      rep.add("PU03", Severity::kWarning,
+              util::strprintf("channel %s was read but never written; the "
+                              "reader can only have blocked",
+                              c.name.c_str()),
+              c.name, c.site.file, c.site.line);
+    } else if (c.writes > c.reads) {
+      rep.add("PU04", Severity::kWarning,
+              util::strprintf("channel %s has %llu unconsumed message(s) "
+                              "(%llu written, %llu read)",
+                              c.name.c_str(),
+                              static_cast<unsigned long long>(c.writes - c.reads),
+                              static_cast<unsigned long long>(c.writes),
+                              static_cast<unsigned long long>(c.reads)),
+              c.name, c.site.file, c.site.line);
+    }
+
+    // PU05: every observed writer signature must be deliverable into every
+    // observed reader signature. This mirrors -picheck=2 but works at any
+    // check level, because the signatures were recorded, not enforced.
+    for (const auto& w : c.write_sigs)
+      for (const auto& r : c.read_sigs)
+        if (!signatures_compatible(w, r))
+          rep.add("PU05", Severity::kWarning,
+                  util::strprintf("channel %s: writer used \"%%%s\" but reader "
+                                  "asked for \"%%%s\"",
+                                  c.name.c_str(), w.c_str(), r.c_str()),
+                  c.name, c.site.file, c.site.line);
+  }
+  return rep;
+}
+
+}  // namespace analyze

@@ -16,22 +16,27 @@ CpuModel::CpuModel(unsigned cores, double time_scale)
 void CpuModel::execute(double virtual_seconds) {
   if (virtual_seconds < 0.0)
     throw util::UsageError("CpuModel::execute: negative cost");
-  {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return shutdown_ || busy_ < cores_; });
-    if (shutdown_) return;
-    ++busy_;
-    charged_ += virtual_seconds;
-  }
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return shutdown_ || busy_ < cores_; });
+  if (shutdown_) return;
+  ++busy_;
+  charged_ += virtual_seconds;
   if (virtual_seconds > 0.0 && time_scale_ > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(virtual_seconds * time_scale_));
+    // Wait, don't sleep_for: shutdown() (i.e. abort) must be able to cut a
+    // long charged compute short, or an aborted job blocks until the longest
+    // in-flight kernel runs out. The mutex is released while waiting, so
+    // other ranks still contend for cores normally.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(virtual_seconds * time_scale_));
+    cv_.wait_until(lk, deadline, [&] { return shutdown_; });
   }
-  {
-    std::lock_guard lk(mu_);
-    --busy_;
-  }
-  cv_.notify_one();
+  --busy_;
+  lk.unlock();
+  // notify_all, not notify_one: core-waiters and interruptible sleepers share
+  // the condition variable, and a single wake could land on a sleeper that
+  // ignores it, stranding a waiter.
+  cv_.notify_all();
 }
 
 double CpuModel::total_charged() const {

@@ -3,6 +3,7 @@
 // names, which PI_SetName may assign any time for nicer logs).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ public:
   void* arg2 = nullptr;
   WorkFunc work = nullptr;  ///< null for PI_MAIN
   std::string name;         ///< default "P<rank>"; PI_SetName overrides
+  /// PI_CreateProcess call site (null file for PI_MAIN); the analyze
+  /// service points its diagnostics here.
+  const char* src_file = nullptr;
+  int src_line = 0;
 };
 
 class Channel {
@@ -27,6 +32,17 @@ public:
   Process* from = nullptr;
   Process* to = nullptr;
   std::string name;  ///< default "C<id>"
+  const char* src_file = nullptr;  ///< PI_CreateChannel call site
+  int src_line = 0;
+
+  // Traffic counters for the analyze service ('a'): messages and distinct
+  // format signatures per side. The writer thread touches writes/write_sigs
+  // and the reader thread reads/read_sigs, so no locking is needed; the
+  // world join at PI_StopMain publishes them to the linter.
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::vector<std::string> write_sigs;
+  std::vector<std::string> read_sigs;
 };
 
 class Bundle {
@@ -39,6 +55,8 @@ public:
   /// collective): 'from' for broadcast/scatter, 'to' for gather/reduce/
   /// select.
   Process* common = nullptr;
+  const char* src_file = nullptr;  ///< PI_CreateBundle call site
+  int src_line = 0;
 };
 
 }  // namespace pilot

@@ -44,6 +44,8 @@ LogViz::LogViz(mpisim::World& world, mpe::Logger::Options opts)
   logger_.define_event(ev_utility_, "Utility", PI_COLOR_UTILITY);
   ev_user_log_ = logger_.get_event_number();
   logger_.define_event(ev_user_log_, "PI_Log", PI_COLOR_UTILITY);
+  ev_wait_ = logger_.get_event_number();
+  logger_.define_event(ev_wait_, "Wait", PI_COLOR_UTILITY);
 }
 
 int LogViz::define_user_state(const std::string& name, const std::string& color) {
@@ -99,6 +101,11 @@ void LogViz::user_log(mpisim::Comm& comm, const CallSite& site,
                       const std::string& text) {
   logger_.log_event(comm, ev_user_log_,
                     util::strprintf("L%d %s", site.line, text.c_str()));
+}
+
+void LogViz::wait_on(mpisim::Comm& comm, const Channel& chan) {
+  logger_.log_event(comm, ev_wait_,
+                    util::strprintf("C%d<-R%d", chan.id, chan.from->rank));
 }
 
 void LogViz::configure_phase(mpisim::Comm& comm, double t_begin, double t_end) {

@@ -61,6 +61,11 @@ public:
                const std::string& result);
   /// PI_Log free-text bubble.
   void user_log(mpisim::Comm& comm, const CallSite& site, const std::string& text);
+  /// "Wait" bubble logged at the entry of a blocking read-family call, one
+  /// per awaited channel ("C3<-R2" = channel 3, writer rank 2). Only
+  /// emitted under the analyze service (-pisvc=a); pilot-tracecheck builds
+  /// the post-mortem wait-for graph from these.
+  void wait_on(mpisim::Comm& comm, const Channel& chan);
 
   // --- administrative states ---------------------------------------------------
   /// Configuration Phase rectangle on rank 0 (bisque), logged retroactively
@@ -94,6 +99,7 @@ private:
   int ev_write_info_ = 0;
   int ev_utility_ = 0;
   int ev_user_log_ = 0;
+  int ev_wait_ = 0;
   mpe::Logger logger_;
 };
 

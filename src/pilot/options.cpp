@@ -35,12 +35,13 @@ Options Options::parse(int* argc, char*** argv) {
        util::strip_args_with_prefix(argc, argv, "-pisvc=")) {
     for (char c : letters) {
       switch (c) {
+        case 'a': opts.svc_analyze = true; break;
         case 'c': opts.svc_calls = true; break;
         case 'd': opts.svc_deadlock = true; break;
         case 'j': opts.svc_jumpshot = true; break;
         default:
           throw util::UsageError(util::strprintf(
-              "-pisvc: unknown service letter '%c' (valid: c, d, j)", c));
+              "-pisvc: unknown service letter '%c' (valid: a, c, d, j)", c));
       }
     }
   }
@@ -48,6 +49,12 @@ Options Options::parse(int* argc, char*** argv) {
   // Bare flag: "-pirobust" (prefix match also strips it).
   if (!util::strip_args_with_prefix(argc, argv, "-pirobust").empty())
     opts.robust_log = true;
+
+  // Bare flag: "-pilint" — topology lint only, then exit (implies 'a').
+  if (!util::strip_args_with_prefix(argc, argv, "-pilint").empty()) {
+    opts.lint_only = true;
+    opts.svc_analyze = true;
+  }
 
   if (auto v = util::strip_args_with_prefix(argc, argv, "-picheck="); !v.empty()) {
     const long long level = parse_int("-picheck", v.back());

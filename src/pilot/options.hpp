@@ -13,6 +13,11 @@ struct Options {
   bool svc_calls = false;     ///< 'c': native call log on a dedicated rank
   bool svc_deadlock = false;  ///< 'd': deadlock detector on the same rank
   bool svc_jumpshot = false;  ///< 'j': MPE logging -> CLOG-2 (the paper)
+  bool svc_analyze = false;   ///< 'a': topology/usage lint + Wait trace events
+
+  /// -pilint: run the topology lint only (implies 'a') and exit before the
+  /// execution phase starts; exit status 1 when there are findings.
+  bool lint_only = false;
 
   /// -pirobust (with 'j'): spill MPE records to per-rank files as they are
   /// logged so the trace survives PI_Abort — the paper's stated future

@@ -19,10 +19,15 @@
 //   }
 //
 // Command-line services (stripped by PI_Configure):
-//   -pisvc=LETTERS   c = native call log (uses an extra rank, like the
+//   -pisvc=LETTERS   a = analyze service: topology lint at PI_StartAll,
+//                        usage lint at PI_StopMain, and (with 'j') "Wait"
+//                        trace events for pilot-tracecheck (docs/ANALYZE.md),
+//                        c = native call log (uses an extra rank, like the
 //                        paper's measurement), d = deadlock detector
 //                        (same extra rank), j = MPE/Jumpshot log (the
 //                        paper's contribution; writes a CLOG-2 file)
+//   -pilint          run the topology lint only and exit before the
+//                        execution phase (status 1 when it finds anything)
 //   -picheck=N       error-check level 0..3 (2 adds reader/writer format
 //                        matching, 3 adds pointer validity checks)
 //   -pinp=N          simulated "mpirun -np N" bound on processes

@@ -139,6 +139,8 @@ Process* Runtime::create_process(const CallSite& site, WorkFunc work, int index,
   p->arg2 = arg2;
   p->work = work;
   p->name = "P" + std::to_string(new_rank);
+  p->src_file = site.file;
+  p->src_line = site.line;
   return p;
 }
 
@@ -146,7 +148,10 @@ Channel* Runtime::create_channel(const CallSite& site, Process* from, Process* t
   require_phase(site, Phase::kConfig, "PI_CreateChannel");
   if (from == nullptr || to == nullptr)
     fail(site, "PI_CreateChannel: endpoint is null");
-  if (from == to)
+  // A self-loop channel is always a bug, but at -picheck=0 it is allowed to
+  // exist so the topology linter (-pisvc=a / -pilint) can diagnose it
+  // instead of the construction call aborting the program.
+  if (from == to && opts_.check_level >= 1)
     fail(site, "PI_CreateChannel: a channel needs two distinct processes");
   channels_.push_back(Channel{});
   Channel* c = &channels_.back();
@@ -154,6 +159,8 @@ Channel* Runtime::create_channel(const CallSite& site, Process* from, Process* t
   c->from = from;
   c->to = to;
   c->name = "C" + std::to_string(c->id);
+  c->src_file = site.file;
+  c->src_line = site.line;
   return c;
 }
 
@@ -197,6 +204,8 @@ Bundle* Runtime::create_bundle(const CallSite& site, PI_BUNUSE usage,
   b->channels = std::move(members);
   b->common = common;
   b->name = "B" + std::to_string(b->id);
+  b->src_file = site.file;
+  b->src_line = site.line;
   return b;
 }
 
@@ -274,6 +283,46 @@ void Runtime::state_end(const CallSite& site, int handle) {
   if (logviz_) logviz_->end_user_state(c, handle);
 }
 
+analyze::Topology Runtime::build_topology() const {
+  analyze::Topology topo;
+  for (const auto& p : processes_) {
+    analyze::ProcessInfo pi;
+    pi.rank = p.rank;
+    pi.name = p.name;
+    if (p.src_file != nullptr) pi.site = {p.src_file, p.src_line};
+    topo.processes.push_back(std::move(pi));
+  }
+  for (const auto& c : channels_) {
+    analyze::ChannelInfo ci;
+    ci.id = c.id;
+    ci.writer = c.from->rank;
+    ci.reader = c.to->rank;
+    ci.name = c.name;
+    if (c.src_file != nullptr) ci.site = {c.src_file, c.src_line};
+    ci.writes = c.writes;
+    ci.reads = c.reads;
+    ci.write_sigs = c.write_sigs;
+    ci.read_sigs = c.read_sigs;
+    topo.channels.push_back(std::move(ci));
+  }
+  for (const auto& b : bundles_) {
+    analyze::BundleInfo bi;
+    bi.id = b.id;
+    bi.name = b.name;
+    switch (b.usage) {
+      case PI_BROADCAST: bi.usage = analyze::BundleUsage::kBroadcast; break;
+      case PI_SCATTER: bi.usage = analyze::BundleUsage::kScatter; break;
+      case PI_GATHER: bi.usage = analyze::BundleUsage::kGather; break;
+      case PI_REDUCE: bi.usage = analyze::BundleUsage::kReduce; break;
+      case PI_SELECT_B: bi.usage = analyze::BundleUsage::kSelect; break;
+    }
+    for (const Channel* c : b.channels) bi.channel_ids.push_back(c->id);
+    if (b.src_file != nullptr) bi.site = {b.src_file, b.src_line};
+    topo.bundles.push_back(std::move(bi));
+  }
+  return topo;
+}
+
 std::vector<std::string> Runtime::rank_names() const {
   std::vector<std::string> names;
   names.reserve(processes_.size() + 1);
@@ -288,6 +337,19 @@ void Runtime::start_all(const CallSite& site) {
   require_phase(site, Phase::kConfig, "PI_StartAll");
   if (tls_process != main_)
     fail(site, "PI_StartAll must be called by the configuring (main) thread");
+
+  if (opts_.svc_analyze) {
+    run_info_.lint = analyze::lint_topology(build_topology());
+    if (!run_info_.lint.empty())
+      std::fprintf(stderr, "pilot-analyze (topology):\n%s",
+                   run_info_.lint.to_text().c_str());
+    if (opts_.lint_only) {
+      const std::size_t findings = run_info_.lint.finding_count();
+      std::fprintf(stderr, "pilot-lint: %zu finding(s), exiting before the "
+                           "execution phase\n", findings);
+      std::exit(findings > 0 ? 1 : 0);
+    }
+  }
 
   const int compute_ranks = static_cast<int>(processes_.size());
   const int nranks = compute_ranks + (opts_.needs_service_rank() ? 1 : 0);
@@ -399,6 +461,13 @@ void Runtime::stop_main(const CallSite& site, int status) {
   if (service_) {
     run_info_.deadlock = service_->deadlock_detected();
     run_info_.deadlock_report = service_->deadlock_report();
+  }
+  if (opts_.svc_analyze) {
+    // The world join above published every rank's traffic counters.
+    const analyze::Report usage = analyze::lint_usage(build_topology());
+    if (!usage.empty())
+      std::fprintf(stderr, "pilot-analyze (usage):\n%s", usage.to_text().c_str());
+    run_info_.lint.merge(usage);
   }
   phase_ = Phase::kDone;
 }
@@ -550,6 +619,7 @@ RunResult run(const std::vector<std::string>& args,
     res.deadlock_report = info.deadlock_report;
     res.mpe_wrapup_seconds = info.mpe_wrapup_seconds;
     res.exit_codes = info.exit_codes;
+    res.lint = info.lint;
   }
   return res;
 }

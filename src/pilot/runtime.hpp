@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/topology.hpp"
 #include "mpisim/world.hpp"
 #include "pilot/entities.hpp"
 #include "pilot/errors.hpp"
@@ -101,6 +102,9 @@ public:
     std::string deadlock_report;
     double mpe_wrapup_seconds = 0.0;  ///< MPE finish cost (rank-0 clock)
     std::vector<int> exit_codes;
+    /// Analyze-service findings (-pisvc=a): topology lint from PI_StartAll
+    /// plus usage lint from PI_StopMain. Empty without the service.
+    analyze::Report lint;
   };
   [[nodiscard]] const RunInfo& run_info() const { return run_info_; }
   [[nodiscard]] const Options& options() const { return opts_; }
@@ -109,6 +113,10 @@ public:
 
   /// Rank names (for the renderer's Y axis), in rank order.
   [[nodiscard]] std::vector<std::string> rank_names() const;
+
+  /// Snapshot of the entity graph (plus traffic counters once the run is
+  /// over) in the analyze library's plain form.
+  [[nodiscard]] analyze::Topology build_topology() const;
 
 private:
   enum class Phase { kPreConfig, kConfig, kRunning, kDone };
@@ -185,6 +193,7 @@ struct RunResult {
   std::string deadlock_report;
   double mpe_wrapup_seconds = 0.0;
   std::vector<int> exit_codes;
+  analyze::Report lint;  ///< analyze-service findings (-pisvc=a)
 };
 
 /// Run a Pilot program (its "main") under a fresh runtime with the given

@@ -30,6 +30,14 @@ std::vector<std::uint8_t> stage_scalar(T v) {
   return out;
 }
 
+// Analyze-service traffic recording: remember each side's distinct format
+// signatures (only one thread ever touches a given side's vector).
+void note_sig(std::vector<std::string>& sigs, const std::string& sig) {
+  for (const auto& s : sigs)
+    if (s == sig) return;
+  if (sigs.size() < 8) sigs.push_back(sig);
+}
+
 }  // namespace
 
 std::vector<Runtime::ParsedArg> Runtime::parse_write_args(const CallSite& site,
@@ -289,6 +297,10 @@ void Runtime::write(const CallSite& site, Channel* chan, const char* fmt,
   const auto args = parse_write_args(site, fmt, ap);
   for (const auto& arg : args) {
     const auto wire = build_wire(arg);
+    if (opts_.svc_analyze) {
+      ++chan->writes;
+      note_sig(chan->write_sigs, arg.spec.signature());
+    }
     if (logviz_) {
       logviz_->write_info(c, *chan, arg.count, first_value_string(arg));
       logviz_->arrow_send(c, chan->to->rank, chan->id, wire.size());
@@ -317,8 +329,13 @@ void Runtime::read(const CallSite& site, Channel* chan, const char* fmt,
 
   const auto args = parse_read_args(site, fmt, ap);
   svc_wait({chan->id}, site);
+  if (logviz_ && opts_.svc_analyze) logviz_->wait_on(c, *chan);
   std::uint32_t consumed = 0;
   for (const auto& arg : args) {
+    if (opts_.svc_analyze) {
+      ++chan->reads;
+      note_sig(chan->read_sigs, arg.spec.signature());
+    }
     auto [st, wire] = c.recv_any_size(chan->from->rank, chan->id);
     const double arrival = c.wtime();
     deliver_wire(site, *chan, arg, wire);
@@ -367,6 +384,10 @@ void Runtime::broadcast(const CallSite& site, Bundle* b, const char* fmt,
     for (std::size_t i = 0; i < b->channels.size(); ++i) {
       if (i > 0) arrow_spread_sleep(opts_.arrow_spread);
       Channel* chan = b->channels[i];
+      if (opts_.svc_analyze) {
+        ++chan->writes;
+        note_sig(chan->write_sigs, arg.spec.signature());
+      }
       if (logviz_) logviz_->arrow_send(c, chan->to->rank, chan->id, wire.size());
       svc_write_event(chan->id);
       c.send(chan->to->rank, chan->id, wire.data(), wire.size());
@@ -423,6 +444,10 @@ void Runtime::scatter(const CallSite& site, Bundle* b, const char* fmt,
       Channel* chan = b->channels[i];
       slice.data = src + i * per_receiver * elem;
       const auto wire = build_wire(slice);
+      if (opts_.svc_analyze) {
+        ++chan->writes;
+        note_sig(chan->write_sigs, slice.spec.signature());
+      }
       if (logviz_) {
         if (i == 0) logviz_->write_info(c, *chan, per_receiver,
                                         first_value_string(slice));
@@ -465,6 +490,8 @@ void Runtime::gather(const CallSite& site, Bundle* b, const char* fmt,
   ids.reserve(b->channels.size());
   for (const Channel* chan : b->channels) ids.push_back(chan->id);
   svc_wait(ids, site);
+  if (logviz_ && opts_.svc_analyze)
+    for (const Channel* chan : b->channels) logviz_->wait_on(c, *chan);
 
   for (const FormatSpec& spec : specs) {
     if (spec.count == CountKind::kCaret)
@@ -487,6 +514,10 @@ void Runtime::gather(const CallSite& site, Bundle* b, const char* fmt,
     for (std::size_t i = 0; i < b->channels.size(); ++i) {
       Channel* chan = b->channels[i];
       slot.dest = dst + i * per_sender * elem;
+      if (opts_.svc_analyze) {
+        ++chan->reads;
+        note_sig(chan->read_sigs, slot.spec.signature());
+      }
       auto [st, wire] = c.recv_any_size(chan->from->rank, chan->id);
       const double arrival = c.wtime();
       deliver_wire(site, *chan, slot, wire);
@@ -530,6 +561,8 @@ void Runtime::reduce(const CallSite& site, Bundle* b, PI_REDOP op, const char* f
   ids.reserve(b->channels.size());
   for (const Channel* chan : b->channels) ids.push_back(chan->id);
   svc_wait(ids, site);
+  if (logviz_ && opts_.svc_analyze)
+    for (const Channel* chan : b->channels) logviz_->wait_on(c, *chan);
 
   for (const FormatSpec& spec : specs) {
     if (spec.count == CountKind::kCaret)
@@ -582,6 +615,10 @@ void Runtime::reduce(const CallSite& site, Bundle* b, PI_REDOP op, const char* f
     slot.dest = contribution.data();
     for (std::size_t i = 0; i < b->channels.size(); ++i) {
       Channel* chan = b->channels[i];
+      if (opts_.svc_analyze) {
+        ++chan->reads;
+        note_sig(chan->read_sigs, slot.spec.signature());
+      }
       auto [st, wire] = c.recv_any_size(chan->from->rank, chan->id);
       const double arrival = c.wtime();
       deliver_wire(site, *chan, slot, wire);
@@ -622,6 +659,8 @@ int Runtime::select(const CallSite& site, Bundle* b) {
   ids.reserve(b->channels.size());
   for (const Channel* chan : b->channels) ids.push_back(chan->id);
   svc_wait(ids, site);
+  if (logviz_ && opts_.svc_analyze)
+    for (const Channel* chan : b->channels) logviz_->wait_on(c, *chan);
 
   int ready = -1;
   for (int spin = 0; ready < 0; ++spin) {

@@ -25,7 +25,13 @@ enum class Kind : std::uint8_t {
 
 Service::Service(const Options& opts, std::vector<ChannelMeta> channels,
                  std::vector<std::string> rank_names)
-    : opts_(opts), channels_(std::move(channels)), rank_names_(std::move(rank_names)) {}
+    : opts_(opts), channels_(std::move(channels)), rank_names_(std::move(rank_names)) {
+  if (opts_.svc_calls) {
+    log_.open(opts_.native_log_path(), std::ios::trunc);
+    if (!log_)
+      throw PilotError("cannot open native log file: " + opts_.native_log_path());
+  }
+}
 
 std::vector<std::uint8_t> Service::encode_call(const std::string& text) {
   util::ByteWriter w;
@@ -141,13 +147,6 @@ bool Service::check_deadlock() {
 }
 
 int Service::run(mpisim::Comm& comm) {
-  std::ofstream log;
-  if (opts_.svc_calls) {
-    log.open(opts_.native_log_path(), std::ios::trunc);
-    if (!log)
-      throw PilotError("cannot open native log file: " + opts_.native_log_path());
-  }
-
   const int peers = comm.size() - 1;
   while (static_cast<int>(done_.size()) < peers) {
     auto [st, bytes] = comm.recv_any_size(mpisim::kAnySource, kTagService);
@@ -157,11 +156,11 @@ int Service::run(mpisim::Comm& comm) {
       case Kind::kCall: {
         const std::string text = r.str();
         ++calls_logged_;
-        if (log.is_open()) {
+        if (log_.is_open()) {
           // Stamped with the *service's* arrival clock — the timestamp
           // inaccuracy the paper's Section I criticizes in the native log.
-          log << util::strprintf("%.9f %s\n", comm.wtime(), text.c_str());
-          log.flush();
+          log_ << util::strprintf("%.9f %s\n", comm.wtime(), text.c_str());
+          log_.flush();
         }
         // The disk write and formatting occupy this rank's core.
         comm.compute(opts_.native_log_cost);
@@ -182,9 +181,9 @@ int Service::run(mpisim::Comm& comm) {
         waiting_[st.source] = std::move(info);
         if (check_deadlock()) {
           std::fputs(report_.c_str(), stderr);
-          if (log.is_open()) {
-            log << report_;
-            log.flush();
+          if (log_.is_open()) {
+            log_ << report_;
+            log_.flush();
           }
           comm.abort(kDeadlockAbortCode);  // never returns
         }
@@ -208,9 +207,9 @@ int Service::run(mpisim::Comm& comm) {
         // A rank exiting can strand blocked readers: re-check.
         if (opts_.svc_deadlock && check_deadlock()) {
           std::fputs(report_.c_str(), stderr);
-          if (log.is_open()) {
-            log << report_;
-            log.flush();
+          if (log_.is_open()) {
+            log_ << report_;
+            log_.flush();
           }
           comm.abort(kDeadlockAbortCode);
         }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -84,6 +85,12 @@ private:
   std::set<int> done_;
   std::string report_;
   std::uint64_t calls_logged_ = 0;
+
+  // Opened in the constructor — on the main thread, before the rank threads
+  // exist — so the native log file is on disk no matter how early an abort
+  // kills the service rank. The log's "survives PI_Abort" guarantee would
+  // otherwise race the service thread's startup.
+  std::ofstream log_;
 };
 
 }  // namespace pilot

@@ -1,0 +1,375 @@
+// Topology / usage linter unit tests (hand-built Topology snapshots for
+// every PLxx / PUxx diagnostic, positive and negative), plus in-process
+// pilot runs with -pisvc=a asserting the findings surface in RunResult.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/topology.hpp"
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+
+namespace {
+
+using analyze::BundleInfo;
+using analyze::BundleUsage;
+using analyze::ChannelInfo;
+using analyze::ProcessInfo;
+using analyze::Severity;
+using analyze::Topology;
+
+ProcessInfo proc(int rank, const std::string& name) {
+  ProcessInfo p;
+  p.rank = rank;
+  p.name = name;
+  p.site = {"demo.c", 10 + rank};
+  return p;
+}
+
+ChannelInfo chan(int id, int writer, int reader) {
+  ChannelInfo c;
+  c.id = id;
+  c.writer = writer;
+  c.reader = reader;
+  c.name = "C" + std::to_string(id);
+  c.site = {"demo.c", 100 + id};
+  return c;
+}
+
+BundleInfo bundle(int id, BundleUsage usage, std::vector<int> channel_ids) {
+  BundleInfo b;
+  b.id = id;
+  b.usage = usage;
+  b.name = "B" + std::to_string(id);
+  b.channel_ids = std::move(channel_ids);
+  b.site = {"demo.c", 200 + id};
+  return b;
+}
+
+/// Main + two workers, main->W1->W2 pipeline; structurally clean.
+Topology clean_topology() {
+  Topology t;
+  t.processes = {proc(0, "PI_MAIN"), proc(1, "W1"), proc(2, "W2")};
+  t.channels = {chan(1, 0, 1), chan(2, 1, 2)};
+  return t;
+}
+
+// --- lint_topology -----------------------------------------------------------
+
+TEST(LintTopology, CleanTopologyHasNoFindings) {
+  const auto rep = analyze::lint_topology(clean_topology());
+  EXPECT_TRUE(rep.empty()) << rep.to_text();
+}
+
+TEST(LintTopology, SelfLoopChannelIsError) {
+  Topology t = clean_topology();
+  t.channels.push_back(chan(3, 2, 2));  // W2 -> W2
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL01")) << rep.to_text();
+  const auto diags = rep.with_id("PL01");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].subject, "C3");
+  EXPECT_EQ(diags[0].file, "demo.c");
+  EXPECT_EQ(diags[0].line, 103);
+  EXPECT_NE(diags[0].message.find("itself"), std::string::npos);
+}
+
+TEST(LintTopology, IsolatedProcessIsWarning) {
+  Topology t = clean_topology();
+  t.processes.push_back(proc(3, "Loner"));
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL02")) << rep.to_text();
+  const auto diags = rep.with_id("PL02");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_EQ(diags[0].subject, "Loner");
+}
+
+TEST(LintTopology, CoordinatorMainWithoutChannelsIsClean) {
+  // PI_MAIN that only wires up workers and waits in PI_StopMain (the
+  // deadlock_demo shape) is fine — PL02 is for worker processes.
+  Topology t;
+  t.processes = {proc(0, "PI_MAIN"), proc(1, "W1"), proc(2, "W2")};
+  t.channels = {chan(1, 1, 2)};
+  EXPECT_TRUE(analyze::lint_topology(t).empty());
+}
+
+TEST(LintTopology, SingleProcessProgramIsNotIsolated) {
+  // A program that never calls PI_CreateProcess has just PI_MAIN and no
+  // channels — legal, if pointless; must stay silent.
+  Topology t;
+  t.processes = {proc(0, "PI_MAIN")};
+  EXPECT_TRUE(analyze::lint_topology(t).empty());
+}
+
+TEST(LintTopology, SelectorWithDistinctWritersIsClean) {
+  Topology t = clean_topology();
+  t.channels = {chan(1, 1, 0), chan(2, 2, 0)};  // W1->main, W2->main
+  t.bundles = {bundle(1, BundleUsage::kSelect, {1, 2})};
+  EXPECT_TRUE(analyze::lint_topology(t).empty());
+}
+
+TEST(LintTopology, SelectorWithDuplicateWriterIsWarning) {
+  Topology t = clean_topology();
+  t.channels = {chan(1, 1, 0), chan(2, 1, 0)};  // both from W1
+  t.bundles = {bundle(1, BundleUsage::kSelect, {1, 2})};
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL03")) << rep.to_text();
+  EXPECT_EQ(rep.with_id("PL03")[0].severity, Severity::kWarning);
+}
+
+TEST(LintTopology, MixedDirectionGatherIsError) {
+  Topology t = clean_topology();
+  // A gather bundle's common endpoint is the reader; here channel 2 reads
+  // into W2 instead of main.
+  t.channels = {chan(1, 1, 0), chan(2, 1, 2)};
+  t.bundles = {bundle(1, BundleUsage::kGather, {1, 2})};
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL04")) << rep.to_text();
+  EXPECT_EQ(rep.with_id("PL04")[0].severity, Severity::kError);
+}
+
+TEST(LintTopology, MixedDirectionBroadcastIsError) {
+  Topology t = clean_topology();
+  // Broadcast's common endpoint is the writer; channel 2 is written by W1.
+  t.channels = {chan(1, 0, 1), chan(2, 1, 2)};
+  t.bundles = {bundle(1, BundleUsage::kBroadcast, {1, 2})};
+  EXPECT_TRUE(analyze::lint_topology(t).has("PL04"));
+}
+
+TEST(LintTopology, ConsistentBroadcastIsClean) {
+  Topology t = clean_topology();
+  t.bundles = {bundle(1, BundleUsage::kBroadcast, {1})};
+  t.channels = {chan(1, 0, 1), chan(2, 0, 2)};
+  t.bundles = {bundle(1, BundleUsage::kBroadcast, {1, 2})};
+  EXPECT_TRUE(analyze::lint_topology(t).empty());
+}
+
+TEST(LintTopology, EmptyBundleIsError) {
+  Topology t = clean_topology();
+  t.bundles = {bundle(1, BundleUsage::kGather, {})};
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL05")) << rep.to_text();
+  EXPECT_EQ(rep.with_id("PL05")[0].severity, Severity::kError);
+}
+
+TEST(LintTopology, DanglingChannelReferenceIsError) {
+  Topology t = clean_topology();
+  t.bundles = {bundle(1, BundleUsage::kGather, {1, 99})};
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL06")) << rep.to_text();
+  EXPECT_NE(rep.with_id("PL06")[0].message.find("99"), std::string::npos);
+}
+
+// --- lint_usage --------------------------------------------------------------
+
+TEST(LintUsage, BalancedTrafficIsClean) {
+  Topology t = clean_topology();
+  for (auto& c : t.channels) {
+    c.writes = 5;
+    c.reads = 5;
+    c.write_sigs = {"d"};
+    c.read_sigs = {"d"};
+  }
+  EXPECT_TRUE(analyze::lint_usage(t).empty());
+}
+
+TEST(LintUsage, NeverUsedChannel) {
+  Topology t = clean_topology();  // all counters zero
+  const auto rep = analyze::lint_usage(t);
+  EXPECT_EQ(rep.with_id("PU01").size(), 2u) << rep.to_text();
+  EXPECT_FALSE(rep.has("PU02"));  // PU01 subsumes the others
+  EXPECT_FALSE(rep.has("PU03"));
+}
+
+TEST(LintUsage, WrittenNeverRead) {
+  Topology t = clean_topology();
+  t.channels[0].writes = 3;
+  t.channels[1].writes = 1;
+  t.channels[1].reads = 1;
+  const auto rep = analyze::lint_usage(t);
+  const auto diags = rep.with_id("PU02");
+  ASSERT_EQ(diags.size(), 1u) << rep.to_text();
+  EXPECT_EQ(diags[0].subject, "C1");
+  EXPECT_NE(diags[0].message.find("3"), std::string::npos);
+}
+
+TEST(LintUsage, ReadNeverWritten) {
+  Topology t = clean_topology();
+  t.channels[0].reads = 1;
+  t.channels[1].writes = 1;
+  t.channels[1].reads = 1;
+  const auto rep = analyze::lint_usage(t);
+  ASSERT_EQ(rep.with_id("PU03").size(), 1u) << rep.to_text();
+  EXPECT_EQ(rep.with_id("PU03")[0].subject, "C1");
+}
+
+TEST(LintUsage, UnconsumedMessages) {
+  Topology t = clean_topology();
+  t.channels[0].writes = 7;
+  t.channels[0].reads = 4;
+  t.channels[1].writes = 2;
+  t.channels[1].reads = 2;
+  const auto rep = analyze::lint_usage(t);
+  const auto diags = rep.with_id("PU04");
+  ASSERT_EQ(diags.size(), 1u) << rep.to_text();
+  EXPECT_NE(diags[0].message.find("3 unconsumed"), std::string::npos);
+}
+
+TEST(LintUsage, SignatureMismatch) {
+  Topology t = clean_topology();
+  t.channels[0].writes = 1;
+  t.channels[0].reads = 1;
+  t.channels[0].write_sigs = {"d"};
+  t.channels[0].read_sigs = {"lf"};
+  t.channels[1].writes = 1;
+  t.channels[1].reads = 1;
+  t.channels[1].write_sigs = {"*d"};
+  t.channels[1].read_sigs = {"4d"};  // both arrays of int: compatible
+  const auto rep = analyze::lint_usage(t);
+  const auto diags = rep.with_id("PU05");
+  ASSERT_EQ(diags.size(), 1u) << rep.to_text();
+  EXPECT_EQ(diags[0].subject, "C1");
+}
+
+TEST(Signatures, Compatibility) {
+  EXPECT_TRUE(analyze::signatures_compatible("d", "d"));
+  EXPECT_TRUE(analyze::signatures_compatible("lu", "lu"));
+  EXPECT_TRUE(analyze::signatures_compatible("*d", "*d"));
+  EXPECT_TRUE(analyze::signatures_compatible("4d", "*d"));   // array either way
+  EXPECT_TRUE(analyze::signatures_compatible("^b", "12b"));  // alloc'd array
+  EXPECT_FALSE(analyze::signatures_compatible("d", "u"));
+  EXPECT_FALSE(analyze::signatures_compatible("d", "*d"));   // scalar vs array
+  EXPECT_FALSE(analyze::signatures_compatible("lld", "ld"));
+  EXPECT_FALSE(analyze::signatures_compatible("f", "lf"));
+}
+
+// --- in-process runs with -pisvc=a ------------------------------------------
+
+PI_CHANNEL* g_to_worker = nullptr;
+PI_CHANNEL* g_from_worker = nullptr;
+PI_CHANNEL* g_spare = nullptr;
+
+int echo_worker(int, void*) {
+  int v = 0;
+  PI_Read(g_to_worker, "%d", &v);
+  PI_Write(g_from_worker, "%d", v + 1);
+  return 0;
+}
+
+int unsigned_echo_worker(int, void*) {
+  unsigned v = 0;
+  PI_Read(g_to_worker, "%u", &v);
+  PI_Write(g_from_worker, "%u", v);
+  return 0;
+}
+
+TEST(AnalyzeService, CleanProgramHasNoFindings) {
+  const auto res =
+      pilot::run({"prog", "-pisvc=a", "-piwatchdog=20"}, [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* w = PI_CreateProcess(echo_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 1);
+        int v = 0;
+        PI_Read(g_from_worker, "%d", &v);
+        EXPECT_EQ(v, 2);
+        PI_StopMain(0);
+        return 0;
+      });
+  EXPECT_FALSE(res.aborted);
+  EXPECT_TRUE(res.lint.empty()) << res.lint.to_text();
+}
+
+TEST(AnalyzeService, NeverReadChannelIsFlagged) {
+  const auto res =
+      pilot::run({"prog", "-pisvc=a", "-piwatchdog=20"}, [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* w = PI_CreateProcess(echo_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        g_spare = PI_CreateChannel(PI_MAIN, w);
+        PI_SetName(g_spare, "Spare");
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 1);
+        PI_Write(g_spare, "%d", 99);  // nobody ever reads this
+        int v = 0;
+        PI_Read(g_from_worker, "%d", &v);
+        PI_StopMain(0);
+        return 0;
+      });
+  EXPECT_FALSE(res.aborted);
+  ASSERT_TRUE(res.lint.has("PU02")) << res.lint.to_text();
+  EXPECT_EQ(res.lint.with_id("PU02")[0].subject, "Spare");
+  // The recorded call site is this test file.
+  EXPECT_NE(res.lint.with_id("PU02")[0].file.find("analyze_lint_test"),
+            std::string::npos);
+}
+
+TEST(AnalyzeService, SelfLoopSurvivesToLinterAtCheckLevelZero) {
+  const auto res = pilot::run(
+      {"prog", "-pisvc=a", "-picheck=0", "-piwatchdog=20"},
+      [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* w = PI_CreateProcess(echo_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        PI_CHANNEL* self = PI_CreateChannel(w, w);
+        PI_SetName(self, "SelfLoop");
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 1);
+        int v = 0;
+        PI_Read(g_from_worker, "%d", &v);
+        PI_StopMain(0);
+        return 0;
+      });
+  EXPECT_FALSE(res.aborted);
+  ASSERT_TRUE(res.lint.has("PL01")) << res.lint.to_text();
+  EXPECT_EQ(res.lint.with_id("PL01")[0].subject, "SelfLoop");
+  EXPECT_TRUE(res.lint.has("PU01"));  // and it was never used
+}
+
+TEST(AnalyzeService, SignatureMismatchAcrossRun) {
+  // Writer sends %d, reader asks for %u — slips through -picheck=1 (which
+  // only validates counts) but the usage linter records both signatures.
+  const auto res = pilot::run(
+      {"prog", "-pisvc=a", "-picheck=1", "-piwatchdog=20"},
+      [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        PI_PROCESS* w = PI_CreateProcess(unsigned_echo_worker, 0, nullptr);
+        g_to_worker = PI_CreateChannel(PI_MAIN, w);
+        g_from_worker = PI_CreateChannel(w, PI_MAIN);
+        PI_StartAll();
+        PI_Write(g_to_worker, "%d", 5);
+        unsigned v = 0;
+        PI_Read(g_from_worker, "%u", &v);
+        PI_StopMain(0);
+        return 0;
+      });
+  EXPECT_FALSE(res.aborted);
+  ASSERT_TRUE(res.lint.has("PU05")) << res.lint.to_text();
+}
+
+TEST(AnalyzeService, OffByDefault) {
+  const auto res = pilot::run({"prog", "-piwatchdog=20"}, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(echo_worker, 0, nullptr);
+    g_to_worker = PI_CreateChannel(PI_MAIN, w);
+    g_from_worker = PI_CreateChannel(w, PI_MAIN);
+    g_spare = PI_CreateChannel(PI_MAIN, w);  // smelly, but service is off
+    PI_StartAll();
+    PI_Write(g_to_worker, "%d", 1);
+    int v = 0;
+    PI_Read(g_from_worker, "%d", &v);
+    PI_StopMain(0);
+    return 0;
+  });
+  EXPECT_FALSE(res.aborted);
+  EXPECT_TRUE(res.lint.empty());
+}
+
+}  // namespace

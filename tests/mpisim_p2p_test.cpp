@@ -257,10 +257,16 @@ TEST(P2P, MessageLatencyGivesArrowsDuration) {
   World w(c);
   w.run([](Comm& comm) {
     if (comm.rank() == 0) {
+      int ready = 0;
+      comm.recv(1, 2, &ready, sizeof ready);
       int v = 1;
       comm.send(1, 1, &v, sizeof v);
     } else {
+      // Handshake first so the timed send happens causally after t0 — without
+      // it, this thread starting >latency after rank 0's send measures ~0.
       const double t0 = comm.true_time();
+      int ready = 7;
+      comm.send(0, 2, &ready, sizeof ready);
       int v = 0;
       comm.recv(0, 1, &v, sizeof v);
       const double dt = comm.true_time() - t0;

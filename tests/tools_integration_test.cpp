@@ -4,14 +4,22 @@
 // would. Tool paths are injected by CMake (PILOT_TOOL_DIR).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 
 #include "pilot/pi.hpp"
 #include "pilot/runtime.hpp"
 #include "util/fs.hpp"
+#include "workloads/collision_app.hpp"
 
 #ifndef PILOT_TOOL_DIR
 #error "PILOT_TOOL_DIR must be defined by the build"
+#endif
+#ifndef PILOT_EXAMPLE_DIR
+#error "PILOT_EXAMPLE_DIR must be defined by the build"
 #endif
 
 namespace {
@@ -20,11 +28,26 @@ std::string tool(const std::string& name) {
   return std::string(PILOT_TOOL_DIR) + "/" + name;
 }
 
+std::string example(const std::string& name) {
+  return std::string(PILOT_EXAMPLE_DIR) + "/" + name;
+}
+
 int run_cmd(const std::string& cmd, std::string* out = nullptr) {
-  const std::string with_capture = cmd + " > /tmp/pilot_tool_test.out 2>&1";
+  // Unique per process: ctest runs tests from this binary concurrently, and a
+  // shared capture path lets parallel tests clobber each other's output.
+  static const std::string capture =
+      "/tmp/pilot_tool_test." + std::to_string(::getpid()) + ".out";
+  const std::string with_capture = cmd + " > " + capture + " 2>&1";
   const int rc = std::system(with_capture.c_str());
-  if (out) *out = util::read_text_file("/tmp/pilot_tool_test.out");
+  if (out) *out = util::read_text_file(capture);
+  std::filesystem::remove(capture);
   return rc;
+}
+
+/// Exit status of the command (-1 if it did not exit normally).
+int run_status(const std::string& cmd, std::string* out = nullptr) {
+  const int rc = run_cmd(cmd, out);
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
 }
 
 PI_CHANNEL* g_to_worker = nullptr;
@@ -118,6 +141,106 @@ TEST(Tools, BadInputsFailGracefully) {
             0);
   EXPECT_NE(out.find("error"), std::string::npos);
   EXPECT_NE(run_cmd(tool("pilot-jumpshot") + " /nonexistent.slog2", &out), 0);
+}
+
+TEST(Tools, TruncatedTracesFailWithClearErrors) {
+  util::TempDir dir;
+  make_trace(dir);
+  const std::string clog = dir.file("pilot.clog2").string();
+  std::string out;
+  ASSERT_EQ(run_cmd(tool("pilot-clog2toslog2") + " " + clog, &out), 0) << out;
+  const std::string slog = dir.file("pilot.slog2").string();
+
+  // Chop both files in half; the printers must name the file and fail.
+  for (const std::string& path : {clog, slog}) {
+    const std::string whole = util::read_text_file(path);
+    ASSERT_GT(whole.size(), 16u);
+    util::write_file(dir.file("cut" + std::filesystem::path(path).extension().string()),
+                     whole.substr(0, whole.size() / 2));
+  }
+  EXPECT_EQ(run_status(tool("pilot-clog2print") + " " +
+                           dir.file("cut.clog2").string(), &out), 1);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("cut.clog2"), std::string::npos) << out;
+
+  EXPECT_EQ(run_status(tool("pilot-slog2print") + " " +
+                           dir.file("cut.slog2").string(), &out), 1);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+  EXPECT_NE(out.find("cut.slog2"), std::string::npos) << out;
+}
+
+TEST(Tools, TraceCheckEndToEnd) {
+  namespace wc = workloads::collisions;
+  util::TempDir dir_a;
+  util::TempDir dir_fixed;
+
+  wc::AppConfig cfg;
+  cfg.workers = 3;
+  cfg.records = 5000;
+  cfg.query_rounds = 3;
+  cfg.costs.parse_per_byte = 0;  // TC202 is structural; no timing needed
+  cfg.costs.query_per_record = 0;
+  cfg.variant = wc::Variant::kInstanceA;
+  cfg.pilot_args = {"-piwatchdog=30", "-pisvc=j",
+                    "-piout=" + dir_a.path().string()};
+  ASSERT_FALSE(wc::run_app(cfg).run.aborted);
+  cfg.variant = wc::Variant::kFixed;
+  cfg.pilot_args.back() = "-piout=" + dir_fixed.path().string();
+  ASSERT_FALSE(wc::run_app(cfg).run.aborted);
+
+  // Instance A: findings -> exit 1, TC202 named in the text report.
+  std::string out;
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " " +
+                           dir_a.file("pilot.clog2").string(), &out), 1);
+  EXPECT_NE(out.find("TC202"), std::string::npos) << out;
+  EXPECT_NE(out.find("finding(s)"), std::string::npos) << out;
+
+  // --json mode emits the same findings machine-readably.
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --json " +
+                           dir_a.file("pilot.clog2").string(), &out), 1);
+  EXPECT_NE(out.find("\"id\": \"TC202\""), std::string::npos) << out;
+
+  // The fixed variant is clean -> exit 0. A generous --min-stall keeps
+  // scheduler noise on loaded machines out of this exit-code check.
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --min-stall=0.5 " +
+                           dir_fixed.file("pilot.clog2").string(), &out), 0)
+      << out;
+  EXPECT_NE(out.find("0 finding(s)"), std::string::npos) << out;
+
+  // Usage and input errors -> exit 2.
+  EXPECT_EQ(run_status(tool("pilot-tracecheck"), &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --bogus " +
+                           dir_a.file("pilot.clog2").string(), &out), 2);
+  EXPECT_NE(out.find("unknown option"), std::string::npos) << out;
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " /nonexistent.clog2", &out), 2);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+}
+
+TEST(Tools, TraceCheckSilentOnCleanLab2Trace) {
+  util::TempDir dir;
+  std::string out;
+  ASSERT_EQ(run_status(example("lab2") + " -pisvc=j -piout=" +
+                           dir.path().string(), &out), 0) << out;
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " " +
+                           dir.file("pilot.clog2").string(), &out), 0) << out;
+  EXPECT_NE(out.find("0 finding(s)"), std::string::npos) << out;
+}
+
+TEST(Tools, PilintCleanExampleExitsZero) {
+  std::string out;
+  EXPECT_EQ(run_status(example("quickstart") + " -pilint", &out), 0) << out;
+  // It linted and exited before the execution phase — no program output.
+  EXPECT_NE(out.find("pilot-lint"), std::string::npos) << out;
+  EXPECT_EQ(out.find("CSP"), std::string::npos) << out;
+}
+
+TEST(Tools, PilintFlagsSmellyExample) {
+  std::string out;
+  EXPECT_EQ(run_status(example("lint_demo") + " -pilint -picheck=0", &out), 1)
+      << out;
+  EXPECT_NE(out.find("PL01"), std::string::npos) << out;  // self-loop channel
+  EXPECT_NE(out.find("PL02"), std::string::npos) << out;  // isolated process
 }
 
 int salvage_abort_worker(int, void*) {

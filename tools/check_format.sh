@@ -1,0 +1,44 @@
+#!/bin/sh
+# Check (default) or fix (--fix) formatting of all first-party C++ sources
+# against the repo's .clang-format. Skips gracefully when clang-format is
+# not installed, so the rest of CI still runs in minimal containers.
+#
+# Usage: tools/check_format.sh [--fix] [clang-format binary]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode=check
+if [ "${1:-}" = "--fix" ]; then
+  mode=fix
+  shift
+fi
+CLANG_FORMAT="${1:-${CLANG_FORMAT:-clang-format}}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping format check" >&2
+  exit 0
+fi
+
+files=$(find src tools examples tests bench \
+  -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+
+if [ "$mode" = "fix" ]; then
+  # shellcheck disable=SC2086
+  "$CLANG_FORMAT" -i $files
+  echo "check_format: formatted $(echo "$files" | wc -l) file(s)"
+  exit 0
+fi
+
+bad=0
+for f in $files; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f" >&2
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "check_format: run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: all files clean"

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Configure, build, and test the whole tree under UndefinedBehaviorSanitizer
+# (the cmake preset "sanitize-undefined"). Any UB report fails the run.
+#
+# Usage: tools/ci_sanitize.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset sanitize-undefined
+cmake --build --preset sanitize-undefined -j "$(nproc)"
+
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --preset sanitize-undefined "$@"

@@ -14,7 +14,16 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s <trace.clog2>\n", args.program().c_str());
     return 2;
   }
-  const auto file = clog2::read_file(args.positional()[0]);
+  const std::string& path = args.positional()[0];
+  clog2::File file;
+  try {
+    file = clog2::read_file(path);
+  } catch (const std::exception& e) {
+    // Truncated or corrupt traces must fail loudly with the file named —
+    // a half-printed dump is worse than no dump.
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
   std::fputs(clog2::to_text(file).c_str(), stdout);
   return 0;
 }

@@ -16,7 +16,14 @@ int run(int argc, char** argv) {
     return 2;
   }
   const bool drawables = args.has("drawables");
-  const auto file = slog2::read_file(args.positional()[0]);
+  const std::string& path = args.positional()[0];
+  slog2::File file;
+  try {
+    file = slog2::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
   std::fputs(slog2::to_text(file, drawables).c_str(), stdout);
   return 0;
 }
