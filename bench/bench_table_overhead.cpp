@@ -31,7 +31,8 @@ struct ConfigResult {
   std::vector<double> wrapup;
 };
 
-ConfigResult run_config(int workers, const std::string& svc, int check, int reps) {
+ConfigResult run_config(int workers, const std::string& svc, int check, int reps,
+                        bool record = false) {
   workloads::thumbnail::Config cfg;
   cfg.files = kFiles;
   // The paper runs a fixed "mpirun -np": with native logging enabled the
@@ -59,6 +60,10 @@ ConfigResult run_config(int workers, const std::string& svc, int check, int reps
       "-piwatchdog=300",
   };
   if (!svc.empty()) cfg.pilot_args.push_back("-pisvc=" + svc);
+  if (record)
+    cfg.pilot_args.push_back(
+        "-pirecord=" + (bench::out_dir() /
+                        util::strprintf("overhead_%dw.prl", workers)).string());
 
   ConfigResult out;
   for (int r = 0; r < reps; ++r) {
@@ -89,23 +94,28 @@ int main(int argc, char** argv) {
     const char* label;
     const char* svc;
     int check;
+    bool record;
     const char* paper5;
     const char* paper10;
   };
   const Row rows[] = {
-      {"no logging, check 0", "", 0, "-", "-"},
-      {"no logging, check 3", "", 3, "30.97 s [0.24]", "14.42 s [1.40]"},
-      {"MPE log (j), check 3", "j", 3, "30.03 s [0.23]", "14.42 s [0.87]"},
-      {"native log (c), check 3", "c", 3, "40.64 s", "16.2 s"},
+      {"no logging, check 0", "", 0, false, "-", "-"},
+      {"no logging, check 3", "", 3, false, "30.97 s [0.24]", "14.42 s [1.40]"},
+      {"MPE log (j), check 3", "j", 3, false, "30.03 s [0.23]", "14.42 s [0.87]"},
+      {"native log (c), check 3", "c", 3, false, "40.64 s", "16.2 s"},
+      // Not in the paper: the replay recorder (-pirecord) on top of the
+      // native log, to quantify the .prl capture cost.
+      {"native log + record", "c", 3, true, "-", "-"},
   };
 
   std::printf("%-26s %-22s %-22s %-18s %-12s\n", "configuration", "5 workers",
               "10 workers", "paper (5w)", "paper (10w)");
   double base5 = 0, base10 = 0, mpe5 = 0, mpe10 = 0, nat5 = 0, nat10 = 0;
+  double rec5 = 0, rec10 = 0;
   std::vector<double> wrap5, wrap10;
   for (const Row& row : rows) {
-    const auto r5 = run_config(5, row.svc, row.check, reps);
-    const auto r10 = run_config(10, row.svc, row.check, reps);
+    const auto r5 = run_config(5, row.svc, row.check, reps, row.record);
+    const auto r10 = run_config(10, row.svc, row.check, reps, row.record);
     std::printf("%-26s %-22s %-22s %-18s %-12s\n", row.label,
                 bench::median_var(r5.seconds).c_str(),
                 bench::median_var(r10.seconds).c_str(), row.paper5, row.paper10);
@@ -119,9 +129,13 @@ int main(int argc, char** argv) {
       wrap5 = r5.wrapup;
       wrap10 = r10.wrapup;
     }
-    if (row.svc == std::string("c")) {
+    if (row.svc == std::string("c") && !row.record) {
       nat5 = util::median(r5.seconds);
       nat10 = util::median(r10.seconds);
+    }
+    if (row.record) {
+      rec5 = util::median(r5.seconds);
+      rec10 = util::median(r10.seconds);
     }
   }
 
@@ -149,5 +163,10 @@ int main(int argc, char** argv) {
         "displacing one of 5 workers hurts more than one of 10 (paper's shape)");
   check(util::median(wrap5) < 5.0 && util::median(wrap10) < 5.0,
         "MPE wrap-up stays bearable (a few simulated seconds at most)");
+  check(rec5 < nat5 * 1.10 && rec10 < nat10 * 1.10,
+        util::strprintf("replay recording (-pirecord) nearly free on top of "
+                        "the native log (%+.1f%% / %+.1f%%)",
+                        100 * (rec5 - nat5) / nat5,
+                        100 * (rec10 - nat10) / nat10));
   return 0;
 }

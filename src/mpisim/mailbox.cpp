@@ -1,5 +1,6 @@
 #include "mpisim/mailbox.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 
@@ -14,6 +15,7 @@ Status status_of(const Envelope& e) {
   st.tag = e.tag;
   st.count = e.payload.size();
   st.send_time = e.send_time;
+  st.pair_seq = e.pair_seq;
   return st;
 }
 }  // namespace
@@ -77,6 +79,54 @@ Status Mailbox::probe(int src, int tag, const std::atomic<bool>& aborted,
     }
     return status_of(queue_[i]);
   }
+}
+
+std::size_t Mailbox::find_exact(int src, std::uint64_t pair_seq) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i)
+    if (queue_[i].src == src && queue_[i].pair_seq == pair_seq) return i;
+  return kNpos;
+}
+
+std::size_t Mailbox::wait_exact(std::unique_lock<std::mutex>& lk, int src,
+                                std::uint64_t pair_seq,
+                                std::chrono::steady_clock::time_point deadline,
+                                const std::atomic<bool>& aborted, int abort_code) {
+  for (;;) {
+    if (aborted.load(std::memory_order_acquire))
+      throw AbortedError(abort_code, "replay receive interrupted by abort");
+    const std::size_t i = find_exact(src, pair_seq);
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return i != kNpos && queue_[i].deliver_at <= now ? i : kNpos;
+    if (i == kNpos) {
+      cv_.wait_until(lk, deadline);
+      continue;
+    }
+    if (queue_[i].deliver_at > now) {
+      cv_.wait_until(lk, std::min(queue_[i].deliver_at, deadline));
+      continue;
+    }
+    return i;
+  }
+}
+
+std::optional<Envelope> Mailbox::receive_exact(
+    int src, std::uint64_t pair_seq, std::chrono::steady_clock::time_point deadline,
+    const std::atomic<bool>& aborted, int abort_code) {
+  std::unique_lock lk(mu_);
+  const std::size_t i = wait_exact(lk, src, pair_seq, deadline, aborted, abort_code);
+  if (i == kNpos) return std::nullopt;
+  Envelope out = std::move(queue_[i]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  return out;
+}
+
+std::optional<Status> Mailbox::probe_exact(
+    int src, std::uint64_t pair_seq, std::chrono::steady_clock::time_point deadline,
+    const std::atomic<bool>& aborted, int abort_code) {
+  std::unique_lock lk(mu_);
+  const std::size_t i = wait_exact(lk, src, pair_seq, deadline, aborted, abort_code);
+  if (i == kNpos) return std::nullopt;
+  return status_of(queue_[i]);
 }
 
 std::optional<Status> Mailbox::try_probe(int src, int tag) {

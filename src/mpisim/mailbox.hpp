@@ -28,6 +28,9 @@ struct Envelope {
   double send_time = 0.0;  ///< sender-local clock at post time
   std::chrono::steady_clock::time_point deliver_at;
   std::uint64_t seq = 0;  ///< global post order, for deterministic debugging
+  /// Per-(src, dst) send counter, 0-based. Unlike `seq` this is stable
+  /// across runs, so it is the message identity replay logs record.
+  std::uint64_t pair_seq = 0;
 };
 
 class Mailbox {
@@ -43,6 +46,20 @@ public:
   /// Blocking probe: like receive but leaves the message queued.
   Status probe(int src, int tag, const std::atomic<bool>& aborted, int abort_code);
 
+  /// Replay enforcement: wait for the *specific* message (src, pair_seq) to
+  /// become deliverable, then remove and return it. Returns nullopt if the
+  /// deadline passes first (the recorded sender never sent it — a replay
+  /// divergence, diagnosed by the caller).
+  std::optional<Envelope> receive_exact(int src, std::uint64_t pair_seq,
+                                        std::chrono::steady_clock::time_point deadline,
+                                        const std::atomic<bool>& aborted,
+                                        int abort_code);
+
+  /// receive_exact without consuming the message.
+  std::optional<Status> probe_exact(int src, std::uint64_t pair_seq,
+                                    std::chrono::steady_clock::time_point deadline,
+                                    const std::atomic<bool>& aborted, int abort_code);
+
   /// Non-blocking probe.
   std::optional<Status> try_probe(int src, int tag);
 
@@ -55,6 +72,13 @@ public:
 private:
   // Index of first match in post order, or npos. Caller holds mu_.
   [[nodiscard]] std::size_t find_match(int src, int tag) const;
+  // Index of the exact (src, pair_seq) message, or npos. Caller holds mu_.
+  [[nodiscard]] std::size_t find_exact(int src, std::uint64_t pair_seq) const;
+  // Shared wait loop for receive_exact/probe_exact. Caller holds mu_ via lk.
+  std::size_t wait_exact(std::unique_lock<std::mutex>& lk, int src,
+                         std::uint64_t pair_seq,
+                         std::chrono::steady_clock::time_point deadline,
+                         const std::atomic<bool>& aborted, int abort_code);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,62 @@
+// Record/replay hook interface for the substrate's nondeterministic
+// decisions. The simulator calls out here — it never depends on the replay
+// engine itself (src/replay/ implements this interface and the Pilot
+// runtime wires it into World::Config).
+//
+// What is nondeterministic at this layer:
+//   * which queued envelope a wildcard receive/probe matches (identified by
+//     sender rank + the per-(src,dst) sequence number stamped on send),
+//   * the order ranks arrive at a barrier.
+// Receives with a fully specified (source, tag) are deterministic by the
+// non-overtaking rule and are not reported.
+//
+// Contract: every method is called on the acting rank's own thread, so an
+// implementation may keep per-rank state lock-free. record_barrier /
+// replay_barrier are called with the World's barrier mutex held — an
+// implementation must not call back into the World.
+#pragma once
+
+#include <cstdint>
+
+namespace mpisim {
+
+class ReplayHook {
+public:
+  /// Identity of one matched message: who sent it and which of that
+  /// sender's messages *to this receiver* it was (0-based, stamped by the
+  /// sender at post time). Stable across runs, unlike arrival order.
+  struct Match {
+    int src = 0;
+    std::uint64_t pair_seq = 0;
+  };
+
+  virtual ~ReplayHook() = default;
+
+  /// false = record mode (record_* is called after each decision);
+  /// true = replay mode (replay_* is consulted before each decision).
+  [[nodiscard]] virtual bool replaying() const = 0;
+
+  // --- record mode ---------------------------------------------------------
+  virtual void record_recv(int rank, const Match& m) = 0;
+  virtual void record_probe(int rank, const Match& m) = 0;
+  virtual void record_barrier(int rank, int position) = 0;
+
+  // --- replay mode ---------------------------------------------------------
+  /// Next recorded decision for `rank`; throws the engine's divergence
+  /// error when the log is exhausted or the next event is of another kind.
+  virtual Match replay_recv(int rank) = 0;
+  virtual Match replay_probe(int rank) = 0;
+  virtual int replay_barrier(int rank) = 0;
+
+  /// How long replay enforcement may wait for the recorded message/arrival
+  /// before declaring divergence.
+  [[nodiscard]] virtual double timeout_seconds() const = 0;
+
+  /// The recorded decision did not materialize in time (message never
+  /// arrived, barrier slot never reached). `what` is a short operation name
+  /// ("receive", "probe", "barrier"). Must throw.
+  [[noreturn]] virtual void replay_failed(int rank, const char* what,
+                                          const Match& m) = 0;
+};
+
+}  // namespace mpisim

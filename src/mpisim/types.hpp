@@ -57,6 +57,9 @@ struct Status {
   int tag = kAnyTag;         ///< actual message tag
   std::size_t count = 0;     ///< payload size in bytes
   double send_time = 0.0;    ///< sender's clock when the message was posted
+  /// Index of this message among all the sender posted to this receiver
+  /// (0-based). The run-stable identity record/replay logs use.
+  std::uint64_t pair_seq = 0;
 };
 
 /// Thrown out of any blocked/blocking substrate call once the world has

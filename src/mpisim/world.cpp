@@ -29,6 +29,10 @@ World::World(Config cfg)
   mailboxes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
   for (int r = 0; r < cfg_.nprocs; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  const std::size_t pairs =
+      static_cast<std::size_t>(cfg_.nprocs) * static_cast<std::size_t>(cfg_.nprocs);
+  pair_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) pair_seq_[i].store(0);
 }
 
 World::~World() {
@@ -173,6 +177,11 @@ void Comm::send(int dst, int tag, const void* data, std::size_t n) {
                      static_cast<const std::uint8_t*>(data) + n);
   env.send_time = wtime();
   env.seq = world_->send_seq_.fetch_add(1, std::memory_order_relaxed);
+  env.pair_seq =
+      world_->pair_seq_[static_cast<std::size_t>(rank_) *
+                            static_cast<std::size_t>(world_->nprocs()) +
+                        static_cast<std::size_t>(dst)]
+          .fetch_add(1, std::memory_order_relaxed);
 
   double delay = world_->cfg_.msg_latency;
   if (world_->cfg_.msg_bandwidth > 0.0)
@@ -184,10 +193,35 @@ void Comm::send(int dst, int tag, const void* data, std::size_t n) {
   world_->mailbox(dst).post(std::move(env));
 }
 
+namespace {
+std::chrono::steady_clock::time_point replay_deadline(const ReplayHook& hook) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(hook.timeout_seconds()));
+}
+}  // namespace
+
+Envelope Comm::fetch_envelope(int src, int tag) {
+  ReplayHook* hook = world_->cfg_.replay;
+  Mailbox& mb = world_->mailbox(rank_);
+  const bool wildcard = src == kAnySource || tag == kAnyTag;
+  if (hook != nullptr && wildcard && hook->replaying()) {
+    const ReplayHook::Match m = hook->replay_recv(rank_);
+    auto env = mb.receive_exact(m.src, m.pair_seq, replay_deadline(*hook),
+                                world_->aborted_, world_->abort_code_.load());
+    if (!env) hook->replay_failed(rank_, "receive", m);
+    if ((src != kAnySource && env->src != src) || (tag != kAnyTag && env->tag != tag))
+      hook->replay_failed(rank_, "receive-filter", m);
+    return std::move(*env);
+  }
+  Envelope env = mb.receive(src, tag, world_->aborted_, world_->abort_code_.load());
+  if (hook != nullptr && wildcard) hook->record_recv(rank_, {env.src, env.pair_seq});
+  return env;
+}
+
 Status Comm::recv(int src, int tag, void* buf, std::size_t cap) {
   if (src != kAnySource) world_->check_rank(src, "recv");
-  Envelope env = world_->mailbox(rank_).receive(src, tag, world_->aborted_,
-                                                world_->abort_code_.load());
+  Envelope env = fetch_envelope(src, tag);
   if (env.payload.size() > cap)
     throw util::UsageError(util::strprintf(
         "recv: message from rank %d tag %d is %zu bytes but buffer holds %zu",
@@ -200,26 +234,40 @@ Status Comm::recv(int src, int tag, void* buf, std::size_t cap) {
   st.tag = env.tag;
   st.count = env.payload.size();
   st.send_time = env.send_time;
+  st.pair_seq = env.pair_seq;
   return st;
 }
 
 std::pair<Status, std::vector<std::uint8_t>> Comm::recv_any_size(int src, int tag) {
   if (src != kAnySource) world_->check_rank(src, "recv_any_size");
-  Envelope env = world_->mailbox(rank_).receive(src, tag, world_->aborted_,
-                                                world_->abort_code_.load());
+  Envelope env = fetch_envelope(src, tag);
   world_->delivered_.fetch_add(1, std::memory_order_relaxed);
   Status st;
   st.source = env.src;
   st.tag = env.tag;
   st.count = env.payload.size();
   st.send_time = env.send_time;
+  st.pair_seq = env.pair_seq;
   return {st, std::move(env.payload)};
 }
 
 Status Comm::probe(int src, int tag) {
   if (src != kAnySource) world_->check_rank(src, "probe");
-  return world_->mailbox(rank_).probe(src, tag, world_->aborted_,
-                                      world_->abort_code_.load());
+  ReplayHook* hook = world_->cfg_.replay;
+  Mailbox& mb = world_->mailbox(rank_);
+  const bool wildcard = src == kAnySource || tag == kAnyTag;
+  if (hook != nullptr && wildcard && hook->replaying()) {
+    const ReplayHook::Match m = hook->replay_probe(rank_);
+    auto st = mb.probe_exact(m.src, m.pair_seq, replay_deadline(*hook),
+                             world_->aborted_, world_->abort_code_.load());
+    if (!st) hook->replay_failed(rank_, "probe", m);
+    if ((src != kAnySource && st->source != src) || (tag != kAnyTag && st->tag != tag))
+      hook->replay_failed(rank_, "probe-filter", m);
+    return *st;
+  }
+  Status st = mb.probe(src, tag, world_->aborted_, world_->abort_code_.load());
+  if (hook != nullptr && wildcard) hook->record_probe(rank_, {st.source, st.pair_seq});
+  return st;
 }
 
 std::optional<Status> Comm::iprobe(int src, int tag) {
@@ -231,8 +279,30 @@ std::optional<Status> Comm::iprobe(int src, int tag) {
 
 void Comm::barrier() {
   World& w = *world_;
+  ReplayHook* hook = w.cfg_.replay;
   std::unique_lock lk(w.barrier_mu_);
   const std::uint64_t my_generation = w.barrier_generation_;
+  if (hook != nullptr) {
+    if (hook->replaying()) {
+      // Wait for this rank's recorded arrival slot. Recorded positions form
+      // a permutation of 0..nprocs-1 per barrier instance, so every waiter
+      // eventually gets its turn (or the deadline names the divergence).
+      const int pos = hook->replay_barrier(rank_);
+      const auto deadline = replay_deadline(*hook);
+      w.barrier_cv_.wait_until(lk, deadline, [&] {
+        return w.aborted_.load(std::memory_order_acquire) ||
+               w.barrier_waiting_ == pos;
+      });
+      if (w.aborted_.load(std::memory_order_acquire))
+        throw AbortedError(w.abort_code_.load(), "barrier interrupted by abort");
+      if (w.barrier_waiting_ != pos)
+        hook->replay_failed(
+            rank_, "barrier",
+            {pos, static_cast<std::uint64_t>(w.barrier_waiting_)});
+    } else {
+      hook->record_barrier(rank_, w.barrier_waiting_);
+    }
+  }
   if (++w.barrier_waiting_ == w.nprocs()) {
     w.barrier_waiting_ = 0;
     ++w.barrier_generation_;
@@ -240,6 +310,8 @@ void Comm::barrier() {
     w.barrier_cv_.notify_all();
     return;
   }
+  // Replaying peers block on the arrival count, not just the generation.
+  if (hook != nullptr && hook->replaying()) w.barrier_cv_.notify_all();
   w.barrier_cv_.wait(lk, [&] {
     return w.barrier_generation_ != my_generation ||
            w.aborted_.load(std::memory_order_acquire);

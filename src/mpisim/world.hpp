@@ -29,6 +29,7 @@
 #include "mpisim/clock.hpp"
 #include "mpisim/cpu.hpp"
 #include "mpisim/mailbox.hpp"
+#include "mpisim/replay_hook.hpp"
 #include "mpisim/types.hpp"
 
 namespace mpisim {
@@ -88,6 +89,9 @@ private:
   friend class World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
+  /// Shared receive path: consults the replay hook for wildcard matches.
+  Envelope fetch_envelope(int src, int tag);
+
   World* world_;
   int rank_;
   std::uint64_t collective_seq_ = 0;  // per-rank; identical across ranks by
@@ -116,6 +120,9 @@ public:
     std::uint64_t seed = 1;
     /// Backstop: abort the job after this much wall time (0 = no watchdog).
     double watchdog_seconds = 60.0;
+    /// Record/replay hook for nondeterministic decisions (wildcard receive
+    /// matching, barrier arrival order). Not owned; must outlive the World.
+    ReplayHook* replay = nullptr;
   };
 
   /// Abort code reported when the watchdog fires.
@@ -189,6 +196,7 @@ private:
   std::atomic<int> abort_code_{0};
   std::atomic<bool> timed_out_{false};
   std::atomic<std::uint64_t> send_seq_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pair_seq_;  // [src * nprocs + dst]
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<bool> ran_{false};
   std::atomic<int> ranks_done_{0};

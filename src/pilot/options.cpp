@@ -46,12 +46,38 @@ Options Options::parse(int* argc, char*** argv) {
     }
   }
 
-  // Bare flag: "-pirobust" (prefix match also strips it).
-  if (!util::strip_args_with_prefix(argc, argv, "-pirobust").empty())
+  // Record/replay. Validated in the same pass as -pisvc=: empty paths and
+  // contradictory modes fail here, not at PI_StartAll.
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pirecord="); !v.empty()) {
+    if (v.back().empty()) throw util::UsageError("-pirecord: expects a file path");
+    opts.record_path = v.back();
+  }
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pireplay-timeout=");
+      !v.empty())
+    opts.replay_timeout = parse_double("-pireplay-timeout", v.back());
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pireplay="); !v.empty()) {
+    if (v.back().empty()) throw util::UsageError("-pireplay: expects a file path");
+    opts.replay_path = v.back();
+  }
+  if (!opts.record_path.empty() && !opts.replay_path.empty())
+    throw util::UsageError(
+        "-pirecord and -pireplay are mutually exclusive: a run either records "
+        "a replay log or is driven by one");
+
+  // Bare flag: "-pirobust". Exact match only — "-pirobustX" must be rejected
+  // as a typo below, not silently accepted by the prefix strip.
+  for (const std::string& rest :
+       util::strip_args_with_prefix(argc, argv, "-pirobust")) {
+    if (!rest.empty())
+      throw util::UsageError("unrecognized Pilot option: -pirobust" + rest);
     opts.robust_log = true;
+  }
 
   // Bare flag: "-pilint" — topology lint only, then exit (implies 'a').
-  if (!util::strip_args_with_prefix(argc, argv, "-pilint").empty()) {
+  for (const std::string& rest :
+       util::strip_args_with_prefix(argc, argv, "-pilint")) {
+    if (!rest.empty())
+      throw util::UsageError("unrecognized Pilot option: -pilint" + rest);
     opts.lint_only = true;
     opts.svc_analyze = true;
   }

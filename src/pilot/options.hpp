@@ -24,6 +24,17 @@ struct Options {
   /// work, implemented here. Recover with mpe::salvage / pilot-logsalvage.
   bool robust_log = false;
 
+  // --- record/replay (-pirecord= / -pireplay=) ------------------------------
+  /// -pirecord=FILE: append every nondeterministic decision (wildcard
+  /// matches, select branches, barrier order) to a .prl replay log.
+  std::string record_path;
+  /// -pireplay=FILE: enforce the decisions recorded in FILE; divergence
+  /// raises an RP-series diagnostic. Mutually exclusive with -pirecord.
+  std::string replay_path;
+  /// -pireplay-timeout=SECONDS: how long replay enforcement waits for a
+  /// recorded message/branch before declaring divergence.
+  double replay_timeout = 5.0;
+
   // --- checking (-picheck=N) ------------------------------------------------
   /// 0 = phase checks only; 1 = full API-abuse checks (default);
   /// 2 = + reader/writer format matching; 3 = + pointer validity.

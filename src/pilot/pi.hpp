@@ -35,6 +35,14 @@
 //   -piname=BASE     log file base name (default "pilot")
 //   -pispread=SEC    arrow-spread delay between collective sends
 //                        (the paper's 1 ms usleep fix; default 0)
+//   -pirecord=FILE   record every nondeterministic decision (wildcard
+//                        matches, select branches, barrier order) to a
+//                        .prl replay log (docs/REPLAY.md)
+//   -pireplay=FILE   re-run under the decisions recorded in FILE;
+//                        divergence aborts with an RP diagnostic naming
+//                        the rank and call site
+//   -pireplay-timeout=SEC  how long replay waits for a recorded outcome
+//                        before declaring divergence (default 5)
 //   -pisim-...       simulated-machine knobs (cores, scale, latency,
 //                        bandwidth, drift, skew, clockres, seed)
 //

@@ -68,6 +68,18 @@ void Runtime::teardown() {
     if (run_info_.deadlock_report.empty())
       run_info_.deadlock_report = service_->deadlock_report();
   }
+  if (replay_) {
+    // A partial recording of an aborted run still replays up to the abort;
+    // saving is best-effort here (teardown must not throw).
+    if (replay_->mode() == replay::Engine::Mode::kRecord) {
+      try {
+        replay_->save();
+      } catch (...) {
+      }
+    }
+    run_info_.replay = replay_->report();
+    run_info_.replay_diverged = run_info_.replay_diverged || replay_->diverged();
+  }
   tls_process = nullptr;
 }
 
@@ -355,6 +367,15 @@ void Runtime::start_all(const CallSite& site) {
   const int nranks = compute_ranks + (opts_.needs_service_rank() ? 1 : 0);
   service_rank_ = opts_.needs_service_rank() ? nranks - 1 : -1;
 
+  // Record/replay engine. Both construction (RP07: corrupt log) and
+  // begin_run (RP05: rank count changed) fail fast here, before any rank
+  // thread exists.
+  if (!opts_.record_path.empty())
+    replay_ = replay::Engine::make_recorder(opts_.record_path);
+  else if (!opts_.replay_path.empty())
+    replay_ = replay::Engine::make_replayer(opts_.replay_path, opts_.replay_timeout);
+  if (replay_) replay_->begin_run(nranks);
+
   mpisim::World::Config cfg;
   cfg.nprocs = nranks;
   cfg.cpu_cores =
@@ -366,6 +387,7 @@ void Runtime::start_all(const CallSite& site) {
   cfg.clock_max_skew = opts_.sim_skew;
   cfg.seed = opts_.sim_seed;
   cfg.watchdog_seconds = opts_.watchdog;
+  cfg.replay = replay_.get();
 
   const double config_duration = std::chrono::duration<double>(
                                      std::chrono::steady_clock::now() - config_epoch_)
@@ -461,6 +483,14 @@ void Runtime::stop_main(const CallSite& site, int status) {
   if (service_) {
     run_info_.deadlock = service_->deadlock_detected();
     run_info_.deadlock_report = service_->deadlock_report();
+  }
+  if (replay_) {
+    if (replay_->mode() == replay::Engine::Mode::kRecord)
+      replay_->save();
+    else
+      replay_->finish();  // RP06 warning when recorded events went unused
+    run_info_.replay = replay_->report();
+    run_info_.replay_diverged = replay_->diverged();
   }
   if (opts_.svc_analyze) {
     // The world join above published every rank's traffic counters.
@@ -605,13 +635,25 @@ RunResult run(const std::vector<std::string>& args,
     res.aborted = true;
     res.abort_code = e.code();
     res.status = e.code();
+  } catch (const replay::DivergenceError& e) {
+    // Fail-fast divergence on the main thread (RP05/RP07 at PI_StartAll, or
+    // a mid-run divergence in one of PI_MAIN's own operations).
+    res.replay_diverged = true;
+    res.replay.add(e.diagnostic());
+    res.status = 1;
   } catch (...) {
-    Runtime::uninstall();  // dtor tears the world down
+    // Join the rank threads before moving g_runtime: their reads of the
+    // installed pointer must happen-before the uninstall() write.
+    if (Runtime* cur = Runtime::current()) cur->teardown();
+    Runtime::uninstall();
     throw;
   }
 
+  // Teardown first (joins any still-running world, harvesting abort state):
+  // rank threads read g_runtime via Runtime::require(), so they must be
+  // joined before uninstall() writes it.
+  if (Runtime* cur = Runtime::current()) cur->teardown();
   if (auto rt = Runtime::uninstall()) {
-    rt->teardown();  // join any still-running world, harvest abort state
     const auto& info = rt->run_info();
     res.aborted = res.aborted || info.aborted;
     if (res.abort_code == 0) res.abort_code = info.abort_code;
@@ -620,6 +662,11 @@ RunResult run(const std::vector<std::string>& args,
     res.mpe_wrapup_seconds = info.mpe_wrapup_seconds;
     res.exit_codes = info.exit_codes;
     res.lint = info.lint;
+    // The engine's own report is authoritative when it exists (it includes
+    // every divergence seen on any rank); the catch above only covers the
+    // case where the engine never came to life (corrupt .prl).
+    if (!info.replay.empty()) res.replay = info.replay;
+    res.replay_diverged = res.replay_diverged || info.replay_diverged;
   }
   return res;
 }

@@ -22,6 +22,7 @@
 #include "analyze/topology.hpp"
 #include "mpisim/world.hpp"
 #include "pilot/entities.hpp"
+#include "replay/engine.hpp"
 #include "pilot/errors.hpp"
 #include "pilot/format.hpp"
 #include "pilot/logviz.hpp"
@@ -105,6 +106,10 @@ public:
     /// Analyze-service findings (-pisvc=a): topology lint from PI_StartAll
     /// plus usage lint from PI_StopMain. Empty without the service.
     analyze::Report lint;
+    /// Replay divergence diagnostics (-pireplay=): RP-series findings, plus
+    /// the RP06 unused-events warning. Empty without replay.
+    analyze::Report replay;
+    bool replay_diverged = false;
   };
   [[nodiscard]] const RunInfo& run_info() const { return run_info_; }
   [[nodiscard]] const Options& options() const { return opts_; }
@@ -164,6 +169,11 @@ private:
   /// stop_main share it).
   void finalize_rank(mpisim::Comm& c);
 
+  /// Replay enforcement: spin until `chan` has data, or raise RP04 via the
+  /// engine once its timeout elapses without the recorded outcome.
+  void wait_channel_ready(mpisim::Comm& c, const Channel& chan, int subject_id,
+                          int branch, const CallSite& site);
+
   int dispatch_rank(mpisim::Comm& c);
 
   Options opts_;
@@ -179,6 +189,7 @@ private:
   std::unique_ptr<mpisim::World> world_;
   std::unique_ptr<LogViz> logviz_;
   std::unique_ptr<Service> service_;
+  std::unique_ptr<replay::Engine> replay_;
   int service_rank_ = -1;
 
   RunInfo run_info_;
@@ -193,7 +204,9 @@ struct RunResult {
   std::string deadlock_report;
   double mpe_wrapup_seconds = 0.0;
   std::vector<int> exit_codes;
-  analyze::Report lint;  ///< analyze-service findings (-pisvc=a)
+  analyze::Report lint;    ///< analyze-service findings (-pisvc=a)
+  analyze::Report replay;  ///< replay divergence findings (-pireplay=)
+  bool replay_diverged = false;
 };
 
 /// Run a Pilot program (its "main") under a fresh runtime with the given

@@ -640,6 +640,25 @@ void Runtime::reduce(const CallSite& site, Bundle* b, PI_REDOP op, const char* f
 
 // --- select family -----------------------------------------------------------------
 
+void Runtime::wait_channel_ready(mpisim::Comm& c, const Channel& chan,
+                                 int subject_id, int branch,
+                                 const CallSite& site) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(replay_->timeout_seconds()));
+  for (int spin = 0; !c.iprobe(chan.from->rank, chan.id); ++spin) {
+    if (std::chrono::steady_clock::now() >= deadline)
+      replay_->branch_never_ready(c.rank(), subject_id, branch, site.file,
+                                  site.line);
+    if (spin < 200) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
 int Runtime::select(const CallSite& site, Bundle* b) {
   require_phase(site, Phase::kRunning, "PI_Select");
   if (b == nullptr) fail(site, "PI_Select: bundle is null");
@@ -663,22 +682,33 @@ int Runtime::select(const CallSite& site, Bundle* b) {
     for (const Channel* chan : b->channels) logviz_->wait_on(c, *chan);
 
   int ready = -1;
-  for (int spin = 0; ready < 0; ++spin) {
-    for (std::size_t i = 0; i < b->channels.size(); ++i) {
-      const Channel* chan = b->channels[i];
-      if (c.iprobe(chan->from->rank, chan->id)) {
-        ready = static_cast<int>(i);
-        break;
+  if (replay_ && replay_->replaying()) {
+    // Enforce the recorded branch: wait for exactly that channel, however
+    // the probe timing falls this run.
+    ready = replay_->replay_select(c.rank(), b->id,
+                                   static_cast<int>(b->channels.size()),
+                                   site.file, site.line);
+    const Channel* chan = b->channels[static_cast<std::size_t>(ready)];
+    wait_channel_ready(c, *chan, b->id, ready, site);
+  } else {
+    for (int spin = 0; ready < 0; ++spin) {
+      for (std::size_t i = 0; i < b->channels.size(); ++i) {
+        const Channel* chan = b->channels[i];
+        if (c.iprobe(chan->from->rank, chan->id)) {
+          ready = static_cast<int>(i);
+          break;
+        }
+      }
+      if (ready < 0) {
+        // Stay responsive while data is imminent, then back off politely.
+        if (spin < 200) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
-    if (ready < 0) {
-      // Stay responsive while data is imminent, then back off politely.
-      if (spin < 200) {
-        std::this_thread::yield();
-      } else {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      }
-    }
+    if (replay_) replay_->record_select(c.rank(), b->id, ready);
   }
   svc_resume();
   // A state like PI_Read, but no arrival bubble: no message is consumed
@@ -701,12 +731,24 @@ int Runtime::try_select(const CallSite& site, Bundle* b) {
   mpisim::Comm& c = comm(site, "PI_TrySelect");
 
   int ready = -1;
-  for (std::size_t i = 0; i < b->channels.size(); ++i) {
-    const Channel* chan = b->channels[i];
-    if (c.iprobe(chan->from->rank, chan->id)) {
-      ready = static_cast<int>(i);
-      break;
+  if (replay_ && replay_->replaying()) {
+    ready = replay_->replay_try_select(c.rank(), b->id,
+                                       static_cast<int>(b->channels.size()),
+                                       site.file, site.line);
+    // A recorded hit must be a hit again; a recorded miss is simply a miss
+    // (not probing at all keeps the observable outcome identical).
+    if (ready >= 0)
+      wait_channel_ready(c, *b->channels[static_cast<std::size_t>(ready)],
+                         b->id, ready, site);
+  } else {
+    for (std::size_t i = 0; i < b->channels.size(); ++i) {
+      const Channel* chan = b->channels[i];
+      if (c.iprobe(chan->from->rank, chan->id)) {
+        ready = static_cast<int>(i);
+        break;
+      }
     }
+    if (replay_) replay_->record_try_select(c.rank(), b->id, ready);
   }
   svc_call_line(site, util::strprintf("PI_TrySelect %s -> %d", b->name.c_str(), ready));
   if (logviz_)
@@ -723,7 +765,14 @@ int Runtime::channel_has_data(const CallSite& site, Channel* chan) {
                                me->name.c_str(), chan->name.c_str()));
   mpisim::Comm& c = comm(site, "PI_ChannelHasData");
 
-  const int has = c.iprobe(chan->from->rank, chan->id) ? 1 : 0;
+  int has = 0;
+  if (replay_ && replay_->replaying()) {
+    has = replay_->replay_has_data(c.rank(), chan->id, site.file, site.line);
+    if (has == 1) wait_channel_ready(c, *chan, chan->id, has, site);
+  } else {
+    has = c.iprobe(chan->from->rank, chan->id) ? 1 : 0;
+    if (replay_) replay_->record_has_data(c.rank(), chan->id, has);
+  }
   svc_call_line(site, util::strprintf("PI_ChannelHasData %s -> %d",
                                       chan->name.c_str(), has));
   if (logviz_)

@@ -1,0 +1,163 @@
+#include "replay/crosscheck.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace replay {
+
+namespace {
+
+/// Replace every floating-point literal ("3.14", "1.2e-05") with '#' so
+/// time-derived popup texts compare equal across runs. Integers survive
+/// ("ready=2" is a recorded decision, not a time).
+std::string mask_floats(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const bool digit = std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+    if (!digit) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    std::size_t j = i;
+    while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+    bool is_float = false;
+    if (j < text.size() && text[j] == '.') {
+      std::size_t k = j + 1;
+      while (k < text.size() && std::isdigit(static_cast<unsigned char>(text[k])))
+        ++k;
+      if (k > j + 1) {
+        is_float = true;
+        j = k;
+        if (j < text.size() && (text[j] == 'e' || text[j] == 'E')) {
+          std::size_t m = j + 1;
+          if (m < text.size() && (text[m] == '+' || text[m] == '-')) ++m;
+          std::size_t d = m;
+          while (d < text.size() && std::isdigit(static_cast<unsigned char>(text[d])))
+            ++d;
+          if (d > m) j = d;
+        }
+      }
+    }
+    if (is_float) {
+      out.push_back('#');
+    } else {
+      out.append(text, i, j - i);
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_fingerprint(const clog2::File& file) {
+  // Definitions carry no rank and are written in a fixed order; per-rank
+  // record order survives the time merge (it is a stable sort), so the
+  // projection below is run-stable whenever every nondeterministic decision
+  // was the same.
+  std::string defs;
+  std::map<int, std::string> per_rank;
+  for (const auto& rec : file.records) {
+    if (const auto* e = std::get_if<clog2::EventDef>(&rec)) {
+      defs += util::strprintf("eventdef %d %s %s %s\n", e->event_id,
+                              e->name.c_str(), e->color.c_str(), e->format.c_str());
+    } else if (const auto* s = std::get_if<clog2::StateDef>(&rec)) {
+      defs += util::strprintf("statedef %d %d %d %s %s %s\n", s->state_id,
+                              s->start_event_id, s->end_event_id, s->name.c_str(),
+                              s->color.c_str(), s->format.c_str());
+    } else if (const auto* c = std::get_if<clog2::ConstDef>(&rec)) {
+      defs += util::strprintf("constdef %s %lld\n", c->name.c_str(),
+                              static_cast<long long>(c->value));
+    } else if (const auto* ev = std::get_if<clog2::EventRec>(&rec)) {
+      per_rank[ev->rank] += util::strprintf(
+          "event %d %s\n", ev->event_id, mask_floats(ev->text).c_str());
+    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
+      per_rank[m->rank] += util::strprintf(
+          "msg %s partner=%d tag=%d size=%u\n",
+          m->kind == clog2::MsgRec::Kind::kSend ? "send" : "recv", m->partner,
+          m->tag, m->size);
+    } else if (const auto* sy = std::get_if<clog2::SyncRec>(&rec)) {
+      per_rank[sy->rank] += "sync\n";
+    }
+  }
+
+  // The comment embeds the log basename (run metadata, not event order), so
+  // it stays out of the fingerprint.
+  std::string out = util::strprintf("nranks %d\n# defs\n%s", file.nranks,
+                                    defs.c_str());
+  for (const auto& [rank, body] : per_rank)
+    out += util::strprintf("# rank %d\n%s", rank, body.c_str());
+  return out;
+}
+
+analyze::Report cross_check(const clog2::File& trace, const Log& log) {
+  analyze::Report rep;
+  if (trace.nranks != log.nranks()) {
+    rep.add("RP20", analyze::Severity::kError,
+            util::strprintf("trace has %d rank(s) but the replay log has %d — "
+                            "they are not from the same run",
+                            trace.nranks, log.nranks()));
+    return rep;
+  }
+
+  // The PI_Select end event carries the chosen branch as "ready=N".
+  std::int32_t select_end_id = 0;
+  bool have_select_def = false;
+  for (const auto& rec : trace.records) {
+    if (const auto* s = std::get_if<clog2::StateDef>(&rec)) {
+      if (s->name == "PI_Select") {
+        select_end_id = s->end_event_id;
+        have_select_def = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> trace_selects(
+      static_cast<std::size_t>(trace.nranks < 0 ? 0 : trace.nranks));
+  if (have_select_def) {
+    for (const auto& rec : trace.records) {
+      const auto* ev = std::get_if<clog2::EventRec>(&rec);
+      if (ev == nullptr || ev->event_id != select_end_id) continue;
+      if (ev->rank < 0 || ev->rank >= trace.nranks) continue;
+      int branch = -1;
+      if (std::sscanf(ev->text.c_str(), "ready=%d", &branch) == 1)
+        trace_selects[static_cast<std::size_t>(ev->rank)].push_back(branch);
+    }
+  }
+
+  for (int rank = 0; rank < log.nranks(); ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    std::vector<int> logged;
+    for (const Event& e : log.per_rank[r])
+      if (e.kind == EventKind::kSelect) logged.push_back(e.b);
+    const auto& traced = trace_selects[r];
+    if (logged.size() != traced.size()) {
+      rep.add("RP21", analyze::Severity::kError,
+              util::strprintf("rank %d performed %zu PI_Select(s) in the trace "
+                              "but the replay log recorded %zu",
+                              rank, traced.size(), logged.size()),
+              util::strprintf("rank %d", rank));
+      continue;
+    }
+    for (std::size_t i = 0; i < logged.size(); ++i) {
+      if (logged[i] != traced[i]) {
+        rep.add("RP22", analyze::Severity::kError,
+                util::strprintf("rank %d select #%zu chose branch %d in the "
+                                "trace but branch %d was recorded",
+                                rank, i, traced[i], logged[i]),
+                util::strprintf("rank %d", rank));
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace replay

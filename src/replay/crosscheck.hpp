@@ -1,0 +1,31 @@
+// Replay-aware trace utilities:
+//
+//   * trace_fingerprint — a determinism fingerprint of a CLOG-2 trace: the
+//     per-rank projection of its records with timestamps (and any embedded
+//     floating-point text, e.g. PI_StartTime popups) masked out. Two runs
+//     with identical nondeterministic decisions produce identical
+//     fingerprints even though wall-clock timestamps differ; the replay
+//     determinism tests and pilot-tracecheck --replay both build on it.
+//
+//   * cross_check — check a CLOG-2 trace against the .prl log of the same
+//     run (pilot-tracecheck --replay=FILE): the trace's per-rank PI_Select
+//     outcomes (the "ready=N" end-state popups) must agree with the log's
+//     recorded select branches. RP2x diagnostics:
+//       RP20  trace and log disagree on the rank count
+//       RP21  a rank's select count differs between trace and log
+//       RP22  a rank's i-th select chose a different branch than recorded
+#pragma once
+
+#include <string>
+
+#include "analyze/diagnostics.hpp"
+#include "clog2/clog2.hpp"
+#include "replay/prl.hpp"
+
+namespace replay {
+
+std::string trace_fingerprint(const clog2::File& file);
+
+analyze::Report cross_check(const clog2::File& trace, const Log& log);
+
+}  // namespace replay

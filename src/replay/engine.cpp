@@ -1,0 +1,262 @@
+#include "replay/engine.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/strings.hpp"
+
+namespace replay {
+
+namespace {
+
+std::string site_suffix(const char* file, int line) {
+  if (file == nullptr) return "";
+  const std::filesystem::path p(file);
+  return util::strprintf(" at %s:%d", p.filename().string().c_str(), line);
+}
+
+}  // namespace
+
+Engine::Engine(Mode mode, std::string path, double timeout_seconds)
+    : mode_(mode), path_(std::move(path)), timeout_seconds_(timeout_seconds) {}
+
+std::unique_ptr<Engine> Engine::make_recorder(std::string path) {
+  return std::unique_ptr<Engine>(new Engine(Mode::kRecord, std::move(path), 0.0));
+}
+
+std::unique_ptr<Engine> Engine::make_replayer(std::string path,
+                                              double timeout_seconds) {
+  auto engine = std::unique_ptr<Engine>(
+      new Engine(Mode::kReplay, std::move(path), timeout_seconds));
+  try {
+    engine->log_ = read_file(engine->path_);
+  } catch (const util::IoError& e) {
+    throw DivergenceError(analyze::Diagnostic{
+        "RP07", analyze::Severity::kError,
+        util::strprintf("replay log %s is unreadable: %s", engine->path_.c_str(),
+                        e.what()),
+        {}, {}, 0});
+  }
+  return engine;
+}
+
+void Engine::begin_run(int nranks) {
+  if (mode_ == Mode::kRecord) {
+    log_.per_rank.assign(static_cast<std::size_t>(nranks), {});
+    return;
+  }
+  cursor_.assign(static_cast<std::size_t>(nranks), 0);
+  if (log_.nranks() != nranks)
+    diverge({"RP05", analyze::Severity::kError,
+             util::strprintf("replay log %s was recorded with %d rank(s) but this "
+                             "run has %d — the program topology changed",
+                             path_.c_str(), log_.nranks(), nranks),
+             "topology", {}, 0});
+}
+
+analyze::Report Engine::report() const {
+  std::lock_guard lk(report_mu_);
+  return report_;
+}
+
+void Engine::save() const {
+  if (mode_ != Mode::kRecord) return;
+  write_file(path_, log_);
+}
+
+std::size_t Engine::finish() {
+  if (mode_ != Mode::kReplay) return 0;
+  std::size_t leftover = 0;
+  for (std::size_t r = 0; r < log_.per_rank.size(); ++r)
+    if (r < cursor_.size()) leftover += log_.per_rank[r].size() - cursor_[r];
+  if (leftover > 0 && !diverged()) {
+    analyze::Diagnostic d{
+        "RP06", analyze::Severity::kWarning,
+        util::strprintf("replay finished with %zu recorded event(s) unused — the "
+                        "program performed fewer nondeterministic operations "
+                        "than the log %s holds",
+                        leftover, path_.c_str()),
+        {}, {}, 0};
+    std::fprintf(stderr, "pilot-replay: warning %s: %s\n", d.id.c_str(),
+                 d.message.c_str());
+    std::lock_guard lk(report_mu_);
+    report_.add(std::move(d));
+  }
+  return leftover;
+}
+
+std::string Engine::rank_pos(int rank) const {
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t at = r < cursor_.size() ? cursor_[r] : 0;
+  const std::size_t total =
+      r < log_.per_rank.size() ? log_.per_rank[r].size() : 0;
+  return util::strprintf("rank %d, log position %zu/%zu", rank, at, total);
+}
+
+void Engine::diverge(analyze::Diagnostic d) {
+  diverged_.store(true, std::memory_order_release);
+  std::fprintf(stderr, "pilot-replay divergence %s [%s%s%s]: %s\n", d.id.c_str(),
+               d.subject.c_str(), d.file.empty() ? "" : " at ",
+               d.file.empty()
+                   ? ""
+                   : util::strprintf("%s:%d", d.file.c_str(), d.line).c_str(),
+               d.message.c_str());
+  {
+    std::lock_guard lk(report_mu_);
+    report_.add(d);
+  }
+  throw DivergenceError(std::move(d));
+}
+
+// --- record mode ---------------------------------------------------------------
+
+void Engine::record(int rank, Event e) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (r >= log_.per_rank.size())
+    throw util::Error(util::strprintf(
+        "replay engine: record for rank %d before begin_run sized the log", rank));
+  log_.per_rank[r].push_back(e);
+}
+
+void Engine::record_recv(int rank, const Match& m) {
+  record(rank, Event{EventKind::kRecvMatch, m.src, 0, m.pair_seq});
+}
+
+void Engine::record_probe(int rank, const Match& m) {
+  record(rank, Event{EventKind::kProbeMatch, m.src, 0, m.pair_seq});
+}
+
+void Engine::record_barrier(int rank, int position) {
+  record(rank, Event{EventKind::kBarrier, position, 0, 0});
+}
+
+void Engine::record_select(int rank, int bundle_id, int branch) {
+  record(rank, Event{EventKind::kSelect, bundle_id, branch, 0});
+}
+
+void Engine::record_try_select(int rank, int bundle_id, int branch) {
+  record(rank, Event{EventKind::kTrySelect, bundle_id, branch, 0});
+}
+
+void Engine::record_has_data(int rank, int channel_id, int outcome) {
+  record(rank, Event{EventKind::kHasData, channel_id, outcome, 0});
+}
+
+// --- replay mode ---------------------------------------------------------------
+
+Event Engine::next(int rank, EventKind kind, int expected_a, const char* file,
+                   int line) {
+  const auto r = static_cast<std::size_t>(rank);
+  const auto& events = log_.per_rank[r];
+  if (cursor_[r] >= events.size())
+    diverge({"RP01", analyze::Severity::kError,
+             util::strprintf("replay log exhausted: the program performs a %s%s "
+                             "but no recorded events remain (%s)",
+                             kind_name(kind), site_suffix(file, line).c_str(),
+                             rank_pos(rank).c_str()),
+             util::strprintf("rank %d", rank), file ? file : "", line});
+  const Event e = events[cursor_[r]];
+  if (e.kind != kind || (expected_a >= 0 && e.a != expected_a))
+    diverge({"RP02", analyze::Severity::kError,
+             util::strprintf("recorded/actual operation mismatch: log holds %s "
+                             "(a=%d) but the program performs %s (a=%d)%s (%s)",
+                             kind_name(e.kind), e.a, kind_name(kind), expected_a,
+                             site_suffix(file, line).c_str(),
+                             rank_pos(rank).c_str()),
+             util::strprintf("rank %d", rank), file ? file : "", line});
+  ++cursor_[r];
+  return e;
+}
+
+mpisim::ReplayHook::Match Engine::replay_recv(int rank) {
+  const Event e = next(rank, EventKind::kRecvMatch, -1, nullptr, 0);
+  return {e.a, e.seq};
+}
+
+mpisim::ReplayHook::Match Engine::replay_probe(int rank) {
+  const Event e = next(rank, EventKind::kProbeMatch, -1, nullptr, 0);
+  return {e.a, e.seq};
+}
+
+int Engine::replay_barrier(int rank) {
+  const Event e = next(rank, EventKind::kBarrier, -1, nullptr, 0);
+  if (e.a < 0 || e.a >= log_.nranks())
+    diverge({"RP05", analyze::Severity::kError,
+             util::strprintf("recorded barrier arrival position %d is outside "
+                             "[0,%d) — the log does not fit this topology (%s)",
+                             e.a, log_.nranks(), rank_pos(rank).c_str()),
+             util::strprintf("rank %d", rank), {}, 0});
+  return e.a;
+}
+
+void Engine::replay_failed(int rank, const char* what, const Match& m) {
+  const std::string subject = util::strprintf("rank %d", rank);
+  const std::string w(what);
+  if (w == "receive-filter" || w == "probe-filter")
+    diverge({"RP02", analyze::Severity::kError,
+             util::strprintf("recorded message (from rank %d, pair seq %llu) does "
+                             "not match the source/tag filter of this %s (%s)",
+                             m.src, static_cast<unsigned long long>(m.pair_seq),
+                             w == "receive-filter" ? "receive" : "probe",
+                             rank_pos(rank).c_str()),
+             subject, {}, 0});
+  if (w == "barrier")
+    diverge({"RP03", analyze::Severity::kError,
+             util::strprintf("recorded barrier arrival position %d was never "
+                             "reached within %.1f s (stuck at %llu waiter(s); %s)",
+                             m.src, timeout_seconds_,
+                             static_cast<unsigned long long>(m.pair_seq),
+                             rank_pos(rank).c_str()),
+             subject, {}, 0});
+  diverge({"RP03", analyze::Severity::kError,
+           util::strprintf("recorded message for this %s (from rank %d, pair seq "
+                           "%llu) never arrived within %.1f s — the recorded "
+                           "sender diverged or never sent it (%s)",
+                           what, m.src,
+                           static_cast<unsigned long long>(m.pair_seq),
+                           timeout_seconds_, rank_pos(rank).c_str()),
+           subject, {}, 0});
+}
+
+int Engine::replay_select(int rank, int bundle_id, int nbranches, const char* file,
+                          int line) {
+  const Event e = next(rank, EventKind::kSelect, bundle_id, file, line);
+  if (e.b < 0 || e.b >= nbranches)
+    diverge({"RP05", analyze::Severity::kError,
+             util::strprintf("recorded PI_Select branch %d is outside [0,%d) of "
+                             "bundle B%d — the bundle changed since recording (%s)",
+                             e.b, nbranches, bundle_id, rank_pos(rank).c_str()),
+             util::strprintf("rank %d", rank), file ? file : "", line});
+  return e.b;
+}
+
+int Engine::replay_try_select(int rank, int bundle_id, int nbranches,
+                              const char* file, int line) {
+  const Event e = next(rank, EventKind::kTrySelect, bundle_id, file, line);
+  if (e.b < -1 || e.b >= nbranches)
+    diverge({"RP05", analyze::Severity::kError,
+             util::strprintf("recorded PI_TrySelect branch %d is outside [-1,%d) "
+                             "of bundle B%d — the bundle changed since recording "
+                             "(%s)",
+                             e.b, nbranches, bundle_id, rank_pos(rank).c_str()),
+             util::strprintf("rank %d", rank), file ? file : "", line});
+  return e.b;
+}
+
+int Engine::replay_has_data(int rank, int channel_id, const char* file, int line) {
+  const Event e = next(rank, EventKind::kHasData, channel_id, file, line);
+  return e.b;
+}
+
+void Engine::branch_never_ready(int rank, int bundle_id, int branch,
+                                const char* file, int line) {
+  diverge({"RP04", analyze::Severity::kError,
+           util::strprintf("recorded branch %d of bundle B%d never became ready "
+                           "within %.1f s — the recorded writer diverged or "
+                           "never wrote (%s)",
+                           branch, bundle_id, timeout_seconds_,
+                           rank_pos(rank).c_str()),
+           util::strprintf("rank %d", rank), file ? file : "", line});
+}
+
+}  // namespace replay

@@ -1,0 +1,135 @@
+// The record/replay engine. One Engine exists per recorded or replayed run;
+// the Pilot runtime owns it, hands it to mpisim via World::Config::replay
+// (wildcard receives, probes, barriers) and calls the select-family methods
+// itself from the PI_Select/PI_TrySelect/PI_ChannelHasData paths, where the
+// source file:line is known.
+//
+// Record mode appends each rank's decisions to a per-rank stream (each rank
+// only ever touches its own stream, so recording is lock-free) and save()
+// writes the .prl file. Replay mode loads a .prl and hands decisions back
+// in order; any mismatch between the log and reality raises a
+// DivergenceError carrying an RP-series analyze::Diagnostic:
+//
+//   RP01  replay log exhausted (the program performs more nondeterministic
+//         operations than were recorded)
+//   RP02  recorded/actual operation kind or subject mismatch (the program
+//         reached a different operation than the log expects)
+//   RP03  the recorded message never arrived within the replay timeout
+//         (recorded sender never sent / barrier slot never reached)
+//   RP04  the recorded select branch / probe outcome never became ready
+//   RP05  the log does not fit the program's topology (rank count, branch
+//         out of range) — detected fail-fast at PI_StartAll where possible
+//   RP06  trailing unused events at the end of a completed replay (warning:
+//         the program performed fewer operations than were recorded)
+//   RP07  corrupt or truncated .prl file
+//
+// All divergence diagnostics are also collected in report() so the Pilot
+// runtime can surface them through RunInfo even when the thrown error is
+// swallowed by the abort path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "mpisim/replay_hook.hpp"
+#include "replay/prl.hpp"
+#include "util/error.hpp"
+
+namespace replay {
+
+class DivergenceError : public util::Error {
+public:
+  explicit DivergenceError(analyze::Diagnostic d)
+      : util::Error(d.id + ": " + d.message), diagnostic_(std::move(d)) {}
+  [[nodiscard]] const analyze::Diagnostic& diagnostic() const { return diagnostic_; }
+
+private:
+  analyze::Diagnostic diagnostic_;
+};
+
+class Engine : public mpisim::ReplayHook {
+public:
+  enum class Mode { kRecord, kReplay };
+
+  /// Record mode: decisions accumulate until save().
+  static std::unique_ptr<Engine> make_recorder(std::string path);
+  /// Replay mode: loads `path` now; corrupt/truncated logs raise a
+  /// DivergenceError with an RP07 diagnostic.
+  static std::unique_ptr<Engine> make_replayer(std::string path,
+                                               double timeout_seconds);
+
+  /// Called once the rank count of the run is known, before the world
+  /// starts. Record mode sizes the per-rank streams; replay mode verifies
+  /// the log matches (RP05 otherwise).
+  void begin_run(int nranks);
+
+  /// Replay only: true once any rank diverged.
+  [[nodiscard]] bool diverged() const {
+    return diverged_.load(std::memory_order_acquire);
+  }
+  /// Divergence diagnostics (and the RP06 completion warning) so far.
+  [[nodiscard]] analyze::Report report() const;
+
+  /// Record mode: write the .prl (throws util::IoError on I/O failure).
+  void save() const;
+  /// Replay mode, call after a *completed* run: adds an RP06 warning when
+  /// recorded events were left unused. Returns the number left.
+  std::size_t finish();
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const Log& log() const { return log_; }
+
+  // --- mpisim::ReplayHook --------------------------------------------------
+  [[nodiscard]] bool replaying() const override { return mode_ == Mode::kReplay; }
+  void record_recv(int rank, const Match& m) override;
+  void record_probe(int rank, const Match& m) override;
+  void record_barrier(int rank, int position) override;
+  Match replay_recv(int rank) override;
+  Match replay_probe(int rank) override;
+  int replay_barrier(int rank) override;
+  [[nodiscard]] double timeout_seconds() const override { return timeout_seconds_; }
+  [[noreturn]] void replay_failed(int rank, const char* what,
+                                  const Match& m) override;
+
+  // --- Pilot select family (called from the runtime with the call site) ----
+  void record_select(int rank, int bundle_id, int branch);
+  void record_try_select(int rank, int bundle_id, int branch);
+  void record_has_data(int rank, int channel_id, int outcome);
+  /// Recorded branch for this PI_Select; RP01/RP02 on log mismatch, RP05
+  /// when the branch is outside [0, nbranches).
+  int replay_select(int rank, int bundle_id, int nbranches, const char* file,
+                    int line);
+  int replay_try_select(int rank, int bundle_id, int nbranches, const char* file,
+                        int line);
+  int replay_has_data(int rank, int channel_id, const char* file, int line);
+  /// The recorded branch never became ready within the timeout (RP04).
+  [[noreturn]] void branch_never_ready(int rank, int bundle_id, int branch,
+                                       const char* file, int line);
+
+private:
+  Engine(Mode mode, std::string path, double timeout_seconds);
+
+  void record(int rank, Event e);
+  /// Next event for `rank`, which must be of `kind` with subject `a`
+  /// (RP01/RP02 otherwise). Advances the cursor.
+  Event next(int rank, EventKind kind, int expected_a, const char* file, int line);
+  [[noreturn]] void diverge(analyze::Diagnostic d);
+  [[nodiscard]] std::string rank_pos(int rank) const;
+
+  Mode mode_;
+  std::string path_;
+  double timeout_seconds_;
+  Log log_;
+  std::vector<std::size_t> cursor_;  // replay: next event index per rank
+  std::atomic<bool> diverged_{false};
+  mutable std::mutex report_mu_;
+  analyze::Report report_;
+};
+
+}  // namespace replay

@@ -1,0 +1,144 @@
+#include "replay/prl.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/bytebuf.hpp"
+#include "util/strings.hpp"
+
+namespace replay {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'R', 'L', '1'};
+
+bool valid_kind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(EventKind::kRecvMatch) &&
+         k <= static_cast<std::uint8_t>(EventKind::kBarrier);
+}
+
+}  // namespace
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRecvMatch: return "recv";
+    case EventKind::kProbeMatch: return "probe";
+    case EventKind::kSelect: return "select";
+    case EventKind::kTrySelect: return "tryselect";
+    case EventKind::kHasData: return "hasdata";
+    case EventKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::size_t Log::total_events() const {
+  std::size_t n = 0;
+  for (const auto& v : per_rank) n += v.size();
+  return n;
+}
+
+std::vector<std::uint8_t> serialize(const Log& log) {
+  util::ByteWriter w;
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(log.version);
+  w.u32(static_cast<std::uint32_t>(log.per_rank.size()));
+  for (const auto& events : log.per_rank) {
+    w.u64(events.size());
+    for (const Event& e : events) {
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.i32(e.a);
+      w.i32(e.b);
+      w.u64(e.seq);
+    }
+  }
+  return w.take();
+}
+
+Log parse(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  const std::uint8_t* magic = r.take(sizeof kMagic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw util::IoError("not a .prl replay log (bad magic)");
+  Log log;
+  log.version = r.u32();
+  if (log.version != kFormatVersion)
+    throw util::IoError(util::strprintf(".prl version %u unsupported (expected %u)",
+                                        log.version, kFormatVersion));
+  const std::uint32_t nranks = r.u32();
+  log.per_rank.resize(nranks);
+  for (std::uint32_t rank = 0; rank < nranks; ++rank) {
+    const std::uint64_t count = r.u64();
+    auto& events = log.per_rank[rank];
+    events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Event e;
+      const std::uint8_t k = r.u8();
+      if (!valid_kind(k))
+        throw util::IoError(util::strprintf(
+            ".prl: unknown event kind %u (rank %u, event %llu)", k, rank,
+            static_cast<unsigned long long>(i)));
+      e.kind = static_cast<EventKind>(k);
+      e.a = r.i32();
+      e.b = r.i32();
+      e.seq = r.u64();
+      events.push_back(e);
+    }
+  }
+  if (!r.at_end())
+    throw util::IoError(util::strprintf(".prl: %zu trailing byte(s) after the last "
+                                        "rank section", r.remaining()));
+  return log;
+}
+
+void write_file(const std::filesystem::path& path, const Log& log) {
+  const auto bytes = serialize(log);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("cannot open for writing: " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw util::IoError("write failed: " + path.string());
+}
+
+Log read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open: " + path.string());
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return parse(bytes);
+}
+
+std::string to_text(const Log& log) {
+  std::string out = util::strprintf(".prl version %u, %d rank(s), %zu event(s)\n",
+                                    log.version, log.nranks(), log.total_events());
+  for (int rank = 0; rank < log.nranks(); ++rank) {
+    const auto& events = log.per_rank[static_cast<std::size_t>(rank)];
+    out += util::strprintf("rank %d: %zu event(s)\n", rank, events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      switch (e.kind) {
+        case EventKind::kRecvMatch:
+        case EventKind::kProbeMatch:
+          out += util::strprintf("  [%zu] %s from rank %d (pair seq %llu)\n", i,
+                                 kind_name(e.kind), e.a,
+                                 static_cast<unsigned long long>(e.seq));
+          break;
+        case EventKind::kSelect:
+        case EventKind::kTrySelect:
+          out += util::strprintf("  [%zu] %s bundle B%d -> branch %d\n", i,
+                                 kind_name(e.kind), e.a, e.b);
+          break;
+        case EventKind::kHasData:
+          out += util::strprintf("  [%zu] %s channel C%d -> %d\n", i,
+                                 kind_name(e.kind), e.a, e.b);
+          break;
+        case EventKind::kBarrier:
+          out += util::strprintf("  [%zu] %s arrival position %d\n", i,
+                                 kind_name(e.kind), e.a);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace replay

@@ -1,0 +1,72 @@
+// The .prl replay-log format: the compact binary record of every
+// nondeterministic decision a Pilot/mpisim run made, written by
+// -pirecord=<file> and consumed by -pireplay=<file> (see docs/REPLAY.md).
+//
+// A log is a per-rank stream of events in program order:
+//   kRecvMatch / kProbeMatch  which envelope a wildcard receive/probe
+//                             matched: sender rank + per-(src,dst) sequence
+//   kSelect / kTrySelect      which branch the PI_Select family returned
+//   kHasData                  a PI_ChannelHasData outcome
+//   kBarrier                  this rank's arrival position at a barrier
+//
+// Layout (all little-endian, via util::ByteWriter):
+//   magic   "PRL1"
+//   u32     version (kFormatVersion)
+//   u32     nranks
+//   per rank: u64 count, then count * { u8 kind, i32 a, i32 b, u64 seq }
+// Trailing bytes after the last rank section are an error, as is any
+// truncation (util::IoError), matching the CLOG-2 reader's strictness.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace replay {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class EventKind : std::uint8_t {
+  kRecvMatch = 1,   ///< a=src, seq=pair_seq
+  kProbeMatch = 2,  ///< a=src, seq=pair_seq
+  kSelect = 3,      ///< a=bundle id, b=branch index
+  kTrySelect = 4,   ///< a=bundle id, b=branch index (-1 = nothing ready)
+  kHasData = 5,     ///< a=channel id, b=outcome (0/1)
+  kBarrier = 6,     ///< a=arrival position (0-based)
+};
+
+/// Human-readable kind name ("recv", "select", ...).
+const char* kind_name(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kRecvMatch;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::uint64_t seq = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+struct Log {
+  std::uint32_t version = kFormatVersion;
+  /// per_rank[r] = rank r's decisions in program order.
+  std::vector<std::vector<Event>> per_rank;
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(per_rank.size()); }
+  [[nodiscard]] std::size_t total_events() const;
+
+  bool operator==(const Log&) const = default;
+};
+
+std::vector<std::uint8_t> serialize(const Log& log);
+/// Throws util::IoError on bad magic, truncation, or trailing garbage.
+Log parse(const std::vector<std::uint8_t>& bytes);
+
+void write_file(const std::filesystem::path& path, const Log& log);
+Log read_file(const std::filesystem::path& path);
+
+/// Human-readable dump (the pilot-replayprint tool).
+std::string to_text(const Log& log);
+
+}  // namespace replay

@@ -119,4 +119,32 @@ TEST(Options, LastValueWins) {
   EXPECT_EQ(parse({"-picheck=1", "-picheck=3"}).check_level, 3);
 }
 
+TEST(Options, RecordReplayPaths) {
+  auto o = parse({"-pirecord=/tmp/run.prl"});
+  EXPECT_EQ(o.record_path, "/tmp/run.prl");
+  EXPECT_TRUE(o.replay_path.empty());
+
+  o = parse({"-pireplay=/tmp/run.prl", "-pireplay-timeout=2.5"});
+  EXPECT_EQ(o.replay_path, "/tmp/run.prl");
+  EXPECT_DOUBLE_EQ(o.replay_timeout, 2.5);
+  EXPECT_TRUE(o.record_path.empty());
+}
+
+TEST(Options, RecordReplayValidated) {
+  EXPECT_THROW(parse({"-pirecord="}), util::UsageError);
+  EXPECT_THROW(parse({"-pireplay="}), util::UsageError);
+  EXPECT_THROW(parse({"-pirecord=a.prl", "-pireplay=b.prl"}), util::UsageError);
+  EXPECT_THROW(parse({"-pireplay-timeout=-1"}), util::UsageError);
+  EXPECT_THROW(parse({"-pireplay-timeout=soon"}), util::UsageError);
+}
+
+TEST(Options, BareFlagTyposRejected) {
+  // "-pirobust"/"-pilint" are exact-match flags: a trailing typo must fail
+  // loudly like any other unknown -pi option, not be silently accepted.
+  EXPECT_THROW(parse({"-pirobustly"}), util::UsageError);
+  EXPECT_THROW(parse({"-pilinty"}), util::UsageError);
+  EXPECT_TRUE(parse({"-pirobust"}).robust_log);
+  EXPECT_TRUE(parse({"-pilint"}).lint_only);
+}
+
 }  // namespace

@@ -1,0 +1,646 @@
+// Record/replay (-pirecord / -pireplay): the .prl format, divergence
+// detection (RP01..RP07), the trace cross-check (RP20..RP22), and the
+// headline property — two replays of one .prl produce byte-identical
+// per-rank event sequences (timestamps excluded), for a PI_Select task
+// farm and for both buggy collision-query instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clog2/clog2.hpp"
+#include "mpisim/world.hpp"
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "replay/crosscheck.hpp"
+#include "replay/engine.hpp"
+#include "replay/prl.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "workloads/collision_app.hpp"
+
+namespace {
+
+using replay::Event;
+using replay::EventKind;
+
+// --- .prl format -------------------------------------------------------------
+
+replay::Log sample_log() {
+  replay::Log log;
+  log.per_rank.resize(2);
+  log.per_rank[0].push_back({EventKind::kRecvMatch, 1, 0, 7});
+  log.per_rank[0].push_back({EventKind::kSelect, 3, 2, 0});
+  log.per_rank[1].push_back({EventKind::kBarrier, 0, 0, 0});
+  log.per_rank[1].push_back({EventKind::kHasData, 5, 1, 0});
+  log.per_rank[1].push_back({EventKind::kTrySelect, 3, -1, 0});
+  log.per_rank[1].push_back({EventKind::kProbeMatch, 0, 0, 12});
+  return log;
+}
+
+TEST(Prl, SerializeParseRoundtrip) {
+  const replay::Log log = sample_log();
+  EXPECT_EQ(replay::parse(replay::serialize(log)), log);
+  EXPECT_EQ(log.nranks(), 2);
+  EXPECT_EQ(log.total_events(), 6u);
+}
+
+TEST(Prl, FileRoundtripAndTextDump) {
+  util::TempDir dir;
+  const auto path = dir.file("sample.prl");
+  replay::write_file(path, sample_log());
+  EXPECT_EQ(replay::read_file(path), sample_log());
+
+  const std::string text = replay::to_text(sample_log());
+  EXPECT_NE(text.find("recv"), std::string::npos);
+  EXPECT_NE(text.find("select"), std::string::npos);
+  EXPECT_NE(text.find("barrier"), std::string::npos);
+  EXPECT_NE(text.find("2 rank(s)"), std::string::npos);
+}
+
+TEST(Prl, RejectsBadMagic) {
+  auto bytes = replay::serialize(sample_log());
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(replay::parse(bytes), util::IoError);
+}
+
+TEST(Prl, RejectsTruncationAtEveryLength) {
+  const auto bytes = replay::serialize(sample_log());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    EXPECT_THROW(replay::parse(cut), util::IoError) << "prefix length " << n;
+  }
+}
+
+TEST(Prl, RejectsTrailingGarbage) {
+  auto bytes = replay::serialize(sample_log());
+  bytes.push_back(0);
+  EXPECT_THROW(replay::parse(bytes), util::IoError);
+}
+
+TEST(Prl, RejectsUnknownEventKind) {
+  replay::Log log = sample_log();
+  auto bytes = replay::serialize(log);
+  // First event byte sits right after magic+version+nranks+count.
+  bytes[4 + 4 + 4 + 8] = 99;
+  EXPECT_THROW(replay::parse(bytes), util::IoError);
+}
+
+// --- mpisim-level enforcement (wildcard receives, barriers) ------------------
+
+TEST(ReplayMpisim, WildcardReceiveOrderEnforcedAgainstSkew) {
+  util::TempDir dir;
+  const auto prl = dir.file("wild.prl");
+
+  // Record: rank 2 is slowed, so rank 1 almost surely matches first.
+  std::vector<int> recorded;
+  {
+    auto eng = replay::Engine::make_recorder(prl.string());
+    eng->begin_run(3);
+    mpisim::World::Config cfg;
+    cfg.nprocs = 3;
+    cfg.replay = eng.get();
+    mpisim::World w(cfg);
+    w.run([&](mpisim::Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < 2; ++i) {
+          int v = 0;
+          const auto st = c.recv(mpisim::kAnySource, 7, &v, sizeof v);
+          recorded.push_back(st.source);
+        }
+      } else {
+        if (c.rank() == 2)
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const int v = c.rank();
+        c.send(0, 7, &v, sizeof v);
+      }
+      return 0;
+    });
+    eng->save();
+  }
+  ASSERT_EQ(recorded.size(), 2u);
+
+  // Replay with the skew reversed: matches must still follow the log.
+  std::vector<int> replayed;
+  auto eng = replay::Engine::make_replayer(prl.string(), 5.0);
+  eng->begin_run(3);
+  mpisim::World::Config cfg;
+  cfg.nprocs = 3;
+  cfg.replay = eng.get();
+  mpisim::World w(cfg);
+  w.run([&](mpisim::Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        const auto st = c.recv(mpisim::kAnySource, 7, &v, sizeof v);
+        replayed.push_back(st.source);
+      }
+    } else {
+      if (c.rank() == 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const int v = c.rank();
+      c.send(0, 7, &v, sizeof v);
+    }
+    return 0;
+  });
+  EXPECT_EQ(replayed, recorded);
+  EXPECT_FALSE(eng->diverged());
+  EXPECT_EQ(eng->finish(), 0u);
+}
+
+TEST(ReplayMpisim, BarrierArrivalOrderRecordedAndReplayed) {
+  util::TempDir dir;
+  const auto prl = dir.file("barrier.prl");
+  {
+    auto eng = replay::Engine::make_recorder(prl.string());
+    eng->begin_run(3);
+    mpisim::World::Config cfg;
+    cfg.nprocs = 3;
+    cfg.replay = eng.get();
+    mpisim::World w(cfg);
+    w.run([&](mpisim::Comm& c) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5 * c.rank()));
+      c.barrier();
+      return 0;
+    });
+    eng->save();
+  }
+
+  const replay::Log log = replay::read_file(prl);
+  ASSERT_EQ(log.nranks(), 3);
+  std::vector<int> positions;
+  for (const auto& events : log.per_rank) {
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::kBarrier);
+    positions.push_back(events[0].a);
+  }
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions, (std::vector<int>{0, 1, 2}));
+
+  // Replay with the sleep order reversed still completes: each rank enters
+  // the barrier in its recorded slot.
+  auto eng = replay::Engine::make_replayer(prl.string(), 5.0);
+  eng->begin_run(3);
+  mpisim::World::Config cfg;
+  cfg.nprocs = 3;
+  cfg.replay = eng.get();
+  mpisim::World w(cfg);
+  const auto result = w.run([&](mpisim::Comm& c) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * (2 - c.rank())));
+    c.barrier();
+    return 0;
+  });
+  EXPECT_FALSE(result.aborted);
+  EXPECT_FALSE(eng->diverged());
+  EXPECT_EQ(eng->finish(), 0u);
+}
+
+TEST(ReplayMpisim, MissingRecordedMessageRaisesRP03) {
+  util::TempDir dir;
+  const auto prl = dir.file("silent.prl");
+  {
+    auto eng = replay::Engine::make_recorder(prl.string());
+    eng->begin_run(2);
+    mpisim::World::Config cfg;
+    cfg.nprocs = 2;
+    cfg.replay = eng.get();
+    mpisim::World w(cfg);
+    w.run([&](mpisim::Comm& c) {
+      if (c.rank() == 0) {
+        int v = 0;
+        c.recv(mpisim::kAnySource, 7, &v, sizeof v);
+      } else {
+        const int v = 1;
+        c.send(0, 7, &v, sizeof v);
+      }
+      return 0;
+    });
+    eng->save();
+  }
+
+  // Replay where the recorded sender never sends: the recorded match can
+  // never materialize, so rank 0 times out into RP03.
+  auto eng = replay::Engine::make_replayer(prl.string(), 0.2);
+  eng->begin_run(2);
+  mpisim::World::Config cfg;
+  cfg.nprocs = 2;
+  cfg.replay = eng.get();
+  mpisim::World w(cfg);
+  EXPECT_THROW(w.run([&](mpisim::Comm& c) {
+                 if (c.rank() == 0) {
+                   int v = 0;
+                   c.recv(mpisim::kAnySource, 7, &v, sizeof v);
+                 }
+                 return 0;
+               }),
+               replay::DivergenceError);
+  EXPECT_TRUE(eng->diverged());
+  EXPECT_TRUE(eng->report().has("RP03")) << eng->report().to_text();
+}
+
+// --- a PI_Select task farm with deliberately racy completion order -----------
+
+constexpr int kFarmWorkers = 3;
+constexpr int kFarmTasks = 4;  // per worker
+
+PI_CHANNEL* g_farm_results[kFarmWorkers];
+PI_BUNDLE* g_farm_bundle = nullptr;
+
+int farm_worker(int index, void*) {
+  for (int t = 0; t < kFarmTasks; ++t) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds((index * 37 + t * 13) % 150));
+    PI_Write(g_farm_results[index], "%d", index * 100 + t);
+  }
+  return 0;
+}
+
+/// Runs the farm; `order` (optional) collects (branch, value) per select.
+pilot::RunResult run_farm(std::vector<std::string> extra,
+                          std::vector<int>* order = nullptr) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=30"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [order](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* ws[kFarmWorkers];
+    for (int i = 0; i < kFarmWorkers; ++i)
+      ws[i] = PI_CreateProcess(farm_worker, i, nullptr);
+    for (int i = 0; i < kFarmWorkers; ++i)
+      g_farm_results[i] = PI_CreateChannel(ws[i], PI_MAIN);
+    g_farm_bundle = PI_CreateBundle(PI_SELECT_B, g_farm_results, kFarmWorkers);
+    PI_StartAll();
+    for (int n = 0; n < kFarmWorkers * kFarmTasks; ++n) {
+      const int ready = PI_Select(g_farm_bundle);
+      int v = 0;
+      PI_Read(g_farm_results[ready], "%d", &v);
+      if (order) order->push_back(ready * 1000 + v);
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+std::string fingerprint(const std::filesystem::path& clog2_path) {
+  return replay::trace_fingerprint(clog2::read_file(clog2_path));
+}
+
+TEST(ReplayPilot, SelectFarmReplaysAreByteIdentical) {
+  util::TempDir dir;
+  const std::string prl = dir.file("farm.prl").string();
+  const std::string out = "-piout=" + dir.path().string();
+
+  const auto rec = run_farm({"-pisvc=cj", out, "-piname=rec", "-pirecord=" + prl});
+  ASSERT_FALSE(rec.aborted);
+
+  std::vector<int> order1, order2;
+  const auto r1 =
+      run_farm({"-pisvc=cj", out, "-piname=rep1", "-pireplay=" + prl}, &order1);
+  const auto r2 =
+      run_farm({"-pisvc=cj", out, "-piname=rep2", "-pireplay=" + prl}, &order2);
+  ASSERT_FALSE(r1.aborted);
+  ASSERT_FALSE(r2.aborted);
+  EXPECT_FALSE(r1.replay_diverged) << r1.replay.to_text();
+  EXPECT_FALSE(r2.replay_diverged) << r2.replay.to_text();
+
+  // The select outcomes are forced, so both replays consume the farm's
+  // results in the exact recorded order...
+  EXPECT_EQ(order1, order2);
+  // ...and the visual logs agree event-for-event once timestamps are masked
+  // — including with the record run itself.
+  const std::string f_rec = fingerprint(dir.file("rec.clog2"));
+  const std::string f1 = fingerprint(dir.file("rep1.clog2"));
+  const std::string f2 = fingerprint(dir.file("rep2.clog2"));
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f_rec, f1);
+
+  // The recorded log itself holds the farm's select decisions.
+  const replay::Log log = replay::read_file(prl);
+  std::size_t selects = 0;
+  for (const auto& events : log.per_rank)
+    for (const Event& e : events)
+      if (e.kind == EventKind::kSelect) ++selects;
+  EXPECT_EQ(selects, static_cast<std::size_t>(kFarmWorkers * kFarmTasks));
+}
+
+TEST(ReplayPilot, CollisionQueryBothInstancesReplayDeterministically) {
+  namespace wc = workloads::collisions;
+  for (const auto variant : {wc::Variant::kInstanceA, wc::Variant::kInstanceB}) {
+    SCOPED_TRACE(wc::variant_name(variant));
+    util::TempDir dir;
+    const std::string prl = dir.file("run.prl").string();
+
+    wc::AppConfig cfg;
+    cfg.variant = variant;
+    cfg.workers = 3;
+    cfg.records = 3000;
+    cfg.query_rounds = 2;
+    cfg.costs.parse_per_byte = 0;
+    cfg.costs.query_per_record = 0;
+    const std::string out = "-piout=" + dir.path().string();
+
+    cfg.pilot_args = {"-piwatchdog=30", "-pisvc=cj", out, "-piname=rec",
+                      "-pirecord=" + prl};
+    const auto rec = wc::run_app(cfg);
+    ASSERT_FALSE(rec.run.aborted);
+    ASSERT_TRUE(rec.correct());
+
+    std::vector<std::string> fps;
+    for (const std::string name : {"rep1", "rep2"}) {
+      cfg.pilot_args = {"-piwatchdog=30", "-pisvc=cj", out, "-piname=" + name,
+                        "-pireplay=" + prl};
+      const auto rep = wc::run_app(cfg);
+      ASSERT_FALSE(rep.run.aborted);
+      EXPECT_FALSE(rep.run.replay_diverged) << rep.run.replay.to_text();
+      ASSERT_TRUE(rep.correct());
+      fps.push_back(fingerprint(dir.file(name + ".clog2")));
+    }
+    EXPECT_EQ(fps[0], fps[1]);
+    EXPECT_EQ(fps[0], fingerprint(dir.file("rec.clog2")));
+  }
+}
+
+// --- RP divergence diagnostics at the Pilot level ----------------------------
+
+PI_CHANNEL* g_poll_chan = nullptr;
+
+int poll_writer(int, void*) {
+  PI_Write(g_poll_chan, "%d", 42);
+  return 0;
+}
+
+/// One worker writes one value; PI_MAIN polls PI_ChannelHasData `polls`
+/// times, then reads. Each poll is one recorded nondeterministic event.
+pilot::RunResult run_poller(int polls, std::vector<std::string> extra) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=30"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [polls](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(poll_writer, 0, nullptr);
+    g_poll_chan = PI_CreateChannel(w, PI_MAIN);
+    PI_StartAll();
+    for (int i = 0; i < polls; ++i) PI_ChannelHasData(g_poll_chan);
+    int v = 0;
+    PI_Read(g_poll_chan, "%d", &v);
+    EXPECT_EQ(v, 42);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(ReplayDivergence, ExtraOperationRaisesRP01) {
+  util::TempDir dir;
+  const std::string prl = dir.file("short.prl").string();
+  ASSERT_FALSE(run_poller(1, {"-pirecord=" + prl}).aborted);
+
+  const auto res = run_poller(2, {"-pireplay=" + prl});
+  EXPECT_TRUE(res.replay_diverged);
+  ASSERT_TRUE(res.replay.has("RP01")) << res.replay.to_text();
+  const auto diags = res.replay.with_id("RP01");
+  const auto& d = diags.front();
+  EXPECT_NE(d.file.find("pilot_replay_test.cpp"), std::string::npos);
+  EXPECT_GT(d.line, 0);
+}
+
+TEST(ReplayDivergence, FewerOperationsWarnRP06ButComplete) {
+  util::TempDir dir;
+  const std::string prl = dir.file("long.prl").string();
+  ASSERT_FALSE(run_poller(2, {"-pirecord=" + prl}).aborted);
+
+  const auto res = run_poller(1, {"-pireplay=" + prl});
+  EXPECT_FALSE(res.aborted);
+  EXPECT_FALSE(res.replay_diverged);
+  ASSERT_TRUE(res.replay.has("RP06")) << res.replay.to_text();
+  EXPECT_EQ(res.replay.count(analyze::Severity::kError), 0u);
+}
+
+std::atomic<bool> g_use_try_select{false};
+PI_CHANNEL* g_sel_chan[1];
+PI_BUNDLE* g_sel_bundle = nullptr;
+
+int sel_writer(int, void*) {
+  PI_Write(g_sel_chan[0], "%d", 7);
+  return 0;
+}
+
+pilot::RunResult run_selector(std::vector<std::string> extra) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=30"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    PI_PROCESS* w = PI_CreateProcess(sel_writer, 0, nullptr);
+    g_sel_chan[0] = PI_CreateChannel(w, PI_MAIN);
+    g_sel_bundle = PI_CreateBundle(PI_SELECT_B, g_sel_chan, 1);
+    PI_StartAll();
+    if (g_use_try_select) {
+      PI_TrySelect(g_sel_bundle);
+    } else {
+      PI_Select(g_sel_bundle);
+    }
+    int v = 0;
+    PI_Read(g_sel_chan[0], "%d", &v);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(ReplayDivergence, DifferentOperationKindRaisesRP02) {
+  util::TempDir dir;
+  const std::string prl = dir.file("kind.prl").string();
+  g_use_try_select = false;
+  ASSERT_FALSE(run_selector({"-pirecord=" + prl}).aborted);
+
+  g_use_try_select = true;
+  const auto res = run_selector({"-pireplay=" + prl});
+  g_use_try_select = false;
+  EXPECT_TRUE(res.replay_diverged);
+  ASSERT_TRUE(res.replay.has("RP02")) << res.replay.to_text();
+  const auto diags = res.replay.with_id("RP02");
+  const auto& d = diags.front();
+  EXPECT_NE(d.file.find("pilot_replay_test.cpp"), std::string::npos);
+  EXPECT_GT(d.line, 0);
+}
+
+std::atomic<int> g_active_writer{0};
+PI_CHANNEL* g_gate_chan[2];
+PI_BUNDLE* g_gate_bundle = nullptr;
+
+int gated_worker(int index, void*) {
+  if (index == g_active_writer.load()) PI_Write(g_gate_chan[index], "%d", index);
+  return 0;
+}
+
+pilot::RunResult run_gated(std::vector<std::string> extra) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=30"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < 2; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(gated_worker, i, nullptr);
+      g_gate_chan[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    g_gate_bundle = PI_CreateBundle(PI_SELECT_B, g_gate_chan, 2);
+    PI_StartAll();
+    const int ready = PI_Select(g_gate_bundle);
+    int v = 0;
+    PI_Read(g_gate_chan[ready], "%d", &v);
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(ReplayDivergence, RecordedBranchNeverReadyRaisesRP04) {
+  util::TempDir dir;
+  const std::string prl = dir.file("gate.prl").string();
+  g_active_writer = 0;
+  ASSERT_FALSE(run_gated({"-pirecord=" + prl}).aborted);
+
+  // The modified program: only worker 1 ever writes, so the recorded
+  // branch 0 can never become ready.
+  g_active_writer = 1;
+  const auto res = run_gated({"-pireplay=" + prl, "-pireplay-timeout=0.2"});
+  g_active_writer = 0;
+  EXPECT_TRUE(res.replay_diverged);
+  ASSERT_TRUE(res.replay.has("RP04")) << res.replay.to_text();
+  const auto diags = res.replay.with_id("RP04");
+  const auto& d = diags.front();
+  EXPECT_NE(d.file.find("pilot_replay_test.cpp"), std::string::npos);
+  EXPECT_GT(d.line, 0);
+}
+
+std::atomic<int> g_noop_runs{0};
+
+int noop_worker(int, void*) {
+  ++g_noop_runs;
+  return 0;
+}
+
+pilot::RunResult run_noops(int workers, std::vector<std::string> extra) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=30"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [workers](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < workers; ++i) PI_CreateProcess(noop_worker, i, nullptr);
+    PI_StartAll();
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+TEST(ReplayDivergence, TopologyMismatchFailsFastWithRP05) {
+  util::TempDir dir;
+  const std::string prl = dir.file("topo.prl").string();
+  ASSERT_FALSE(run_noops(3, {"-pirecord=" + prl}).aborted);
+
+  g_noop_runs = 0;
+  const auto res = run_noops(2, {"-pireplay=" + prl});
+  EXPECT_TRUE(res.replay_diverged);
+  ASSERT_TRUE(res.replay.has("RP05")) << res.replay.to_text();
+  // Fail-fast at PI_StartAll: no work function ever launched.
+  EXPECT_EQ(g_noop_runs.load(), 0);
+}
+
+TEST(ReplayDivergence, CorruptLogRaisesRP07) {
+  util::TempDir dir;
+  const auto garbage = dir.file("garbage.prl");
+  util::write_file(garbage, std::string("not a prl file"));
+
+  try {
+    replay::Engine::make_replayer(garbage.string(), 1.0);
+    FAIL() << "corrupt .prl accepted";
+  } catch (const replay::DivergenceError& e) {
+    EXPECT_EQ(e.diagnostic().id, "RP07");
+  }
+
+  // Through the runtime: the run fails before any thread starts.
+  g_noop_runs = 0;
+  const auto res = run_noops(1, {"-pireplay=" + garbage.string()});
+  EXPECT_TRUE(res.replay_diverged);
+  EXPECT_TRUE(res.replay.has("RP07")) << res.replay.to_text();
+  EXPECT_EQ(g_noop_runs.load(), 0);
+
+  // A truncated but genuine log is RP07 too.
+  const std::string good = dir.file("good.prl").string();
+  ASSERT_FALSE(run_noops(1, {"-pirecord=" + good}).aborted);
+  const auto bytes = util::read_file(good);
+  ASSERT_GT(bytes.size(), 4u);
+  const auto cut = dir.file("cut.prl");
+  util::write_file(cut, std::vector<std::uint8_t>(
+                            bytes.begin(), bytes.end() - 3));
+  const auto res2 = run_noops(1, {"-pireplay=" + cut.string()});
+  EXPECT_TRUE(res2.replay_diverged);
+  EXPECT_TRUE(res2.replay.has("RP07")) << res2.replay.to_text();
+}
+
+// --- trace/log cross-check (pilot-tracecheck --replay) -----------------------
+
+TEST(CrossCheck, CleanRunAgreesWithItsOwnLog) {
+  util::TempDir dir;
+  const std::string prl = dir.file("farm.prl").string();
+  const auto rec = run_farm({"-pisvc=cj", "-piout=" + dir.path().string(),
+                             "-piname=rec", "-pirecord=" + prl});
+  ASSERT_FALSE(rec.aborted);
+
+  const auto trace = clog2::read_file(dir.file("rec.clog2"));
+  const auto log = replay::read_file(prl);
+  const auto rep = replay::cross_check(trace, log);
+  EXPECT_EQ(rep.finding_count(), 0u) << rep.to_text();
+}
+
+TEST(CrossCheck, DetectsTamperedAndMismatchedLogs) {
+  util::TempDir dir;
+  const std::string prl = dir.file("farm.prl").string();
+  const auto rec = run_farm({"-pisvc=cj", "-piout=" + dir.path().string(),
+                             "-piname=rec", "-pirecord=" + prl});
+  ASSERT_FALSE(rec.aborted);
+  const auto trace = clog2::read_file(dir.file("rec.clog2"));
+  const replay::Log original = replay::read_file(prl);
+
+  // Flip one recorded select branch -> RP22.
+  {
+    replay::Log tampered = original;
+    bool flipped = false;
+    for (auto& events : tampered.per_rank) {
+      for (Event& e : events)
+        if (e.kind == EventKind::kSelect) {
+          e.b = (e.b + 1) % kFarmWorkers;
+          flipped = true;
+          break;
+        }
+      if (flipped) break;
+    }
+    ASSERT_TRUE(flipped);
+    EXPECT_TRUE(replay::cross_check(trace, tampered).has("RP22"));
+  }
+
+  // Drop one recorded select -> RP21 (count disagreement).
+  {
+    replay::Log tampered = original;
+    bool dropped = false;
+    for (auto& events : tampered.per_rank) {
+      for (std::size_t i = 0; i < events.size(); ++i)
+        if (events[i].kind == EventKind::kSelect) {
+          events.erase(events.begin() + static_cast<long>(i));
+          dropped = true;
+          break;
+        }
+      if (dropped) break;
+    }
+    ASSERT_TRUE(dropped);
+    EXPECT_TRUE(replay::cross_check(trace, tampered).has("RP21"));
+  }
+
+  // A log for a different topology -> RP20.
+  {
+    replay::Log tampered = original;
+    tampered.per_rank.emplace_back();
+    EXPECT_TRUE(replay::cross_check(trace, tampered).has("RP20"));
+  }
+}
+
+}  // namespace

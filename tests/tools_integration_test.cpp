@@ -10,8 +10,11 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "clog2/clog2.hpp"
 #include "pilot/pi.hpp"
 #include "pilot/runtime.hpp"
+#include "replay/crosscheck.hpp"
+#include "replay/prl.hpp"
 #include "util/fs.hpp"
 #include "workloads/collision_app.hpp"
 
@@ -276,6 +279,119 @@ TEST(Tools, LogSalvageAfterAbort) {
   ASSERT_EQ(run_cmd(tool("pilot-clog2print") + " " + base + ".salvaged.clog2", &out),
             0);
   EXPECT_NE(out.find("PI_Write"), std::string::npos);
+}
+
+// --- record/replay (-pirecord / -pireplay, pilot-replayprint) ----------------
+
+/// The lines of a tracecheck --json report whose finding has the given ID.
+std::vector<std::string> json_findings(const std::string& json,
+                                       const std::string& id) {
+  std::vector<std::string> hits;
+  std::size_t pos = 0;
+  while ((pos = json.find('\n', pos)) != std::string::npos) {
+    const std::size_t end = json.find('\n', pos + 1);
+    const std::string line = json.substr(pos + 1, end - pos - 1);
+    if (line.find("\"id\": \"" + id + "\"") != std::string::npos)
+      hits.push_back(line);
+    pos += 1;
+  }
+  return hits;
+}
+
+TEST(Tools, ReplayReproducesInstanceABugIdentically) {
+  util::TempDir dir;
+  const std::string prl = dir.file("run.prl").string();
+  const std::string base = example("collision_query") +
+      " --variant=a --workers=3 --records=5000 --rounds=3"
+      " -pisvc=cj -piwatchdog=30 -piout=" + dir.path().string();
+
+  std::string out;
+  ASSERT_EQ(run_status(base + " -piname=rec -pirecord=" + prl, &out), 0) << out;
+
+  // Three replays of the buggy run: identical CLOG-2 event orderings
+  // (timestamps excluded) and the identical TC202 serialized-fan-in finding.
+  std::vector<std::string> fingerprints;
+  std::vector<std::vector<std::string>> tc202;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "rep" + std::to_string(i);
+    ASSERT_EQ(run_status(base + " -piname=" + name + " -pireplay=" + prl, &out),
+              0) << out;
+    const std::string clog = dir.file(name + ".clog2").string();
+    fingerprints.push_back(
+        replay::trace_fingerprint(clog2::read_file(clog)));
+    EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --json " + clog, &out), 1);
+    tc202.push_back(json_findings(out, "TC202"));
+    EXPECT_FALSE(tc202.back().empty()) << out;
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[1], fingerprints[2]);
+  EXPECT_EQ(tc202[0], tc202[1]);
+  EXPECT_EQ(tc202[1], tc202[2]);
+}
+
+TEST(Tools, ReplayPrintDumpsAndRejectsCorruptInput) {
+  util::TempDir dir;
+  const std::string prl = dir.file("farm.prl").string();
+  std::string out;
+  ASSERT_EQ(run_status(example("select_farm") + " -piout=" + dir.path().string() +
+                           " -pirecord=" + prl, &out), 0) << out;
+
+  ASSERT_EQ(run_status(tool("pilot-replayprint") + " " + prl, &out), 0) << out;
+  EXPECT_NE(out.find("select"), std::string::npos);
+  EXPECT_NE(out.find("rank"), std::string::npos);
+
+  // Usage -> 2; unreadable/corrupt input -> 1 (like clog2print/slog2print).
+  EXPECT_EQ(run_status(tool("pilot-replayprint"), &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  EXPECT_EQ(run_status(tool("pilot-replayprint") + " /nonexistent.prl", &out), 1);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+
+  const auto bytes = util::read_file(prl);
+  ASSERT_GT(bytes.size(), 8u);
+  const auto cut = dir.file("cut.prl");
+  util::write_file(cut, std::vector<std::uint8_t>(bytes.begin(),
+                                                  bytes.end() - 5));
+  EXPECT_EQ(run_status(tool("pilot-replayprint") + " " + cut.string(), &out), 1);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
+}
+
+TEST(Tools, TraceCheckReplayCrossCheck) {
+  util::TempDir dir;
+  const std::string prl = dir.file("farm.prl").string();
+  std::string out;
+  ASSERT_EQ(run_status(example("select_farm") + " -pisvc=cj -piout=" +
+                           dir.path().string() + " -pirecord=" + prl, &out), 0)
+      << out;
+  const std::string clog = dir.file("pilot.clog2").string();
+
+  // A trace checked against its own log agrees.
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --replay=" + prl + " " +
+                           clog, &out), 0) << out;
+  EXPECT_NE(out.find("0 finding(s)"), std::string::npos) << out;
+
+  // Tamper with one recorded select branch: the cross-check flags RP22.
+  replay::Log log = replay::read_file(prl);
+  bool flipped = false;
+  for (auto& events : log.per_rank) {
+    for (auto& e : events)
+      if (e.kind == replay::EventKind::kSelect) {
+        e.b = e.b == 0 ? 1 : 0;
+        flipped = true;
+        break;
+      }
+    if (flipped) break;
+  }
+  ASSERT_TRUE(flipped);
+  const auto tampered = dir.file("tampered.prl");
+  replay::write_file(tampered, log);
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --replay=" +
+                           tampered.string() + " " + clog, &out), 1) << out;
+  EXPECT_NE(out.find("RP22"), std::string::npos) << out;
+
+  // Unreadable replay log -> usage/input error.
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --replay=/nonexistent.prl " +
+                           clog, &out), 2);
+  EXPECT_NE(out.find("error"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Configure, build, and test the whole tree under UndefinedBehaviorSanitizer
-# (the cmake preset "sanitize-undefined"). Any UB report fails the run.
+# (the cmake preset "sanitize-undefined"), then run the record/replay tests
+# under ThreadSanitizer ("sanitize-thread") — the replay engine coordinates
+# every rank thread, so its tests are the highest-value TSan targets.
+# Any sanitizer report fails the run.
 #
 # Usage: tools/ci_sanitize.sh [extra ctest args...]
 set -eu
@@ -12,3 +15,9 @@ cmake --build --preset sanitize-undefined -j "$(nproc)"
 
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --preset sanitize-undefined "$@"
+
+cmake --preset sanitize-thread
+cmake --build --preset sanitize-thread -j "$(nproc)" \
+  --target pilot_replay_test mpisim_test
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --preset sanitize-thread -R 'Replay|Prl|CrossCheck|Mpisim' "$@"

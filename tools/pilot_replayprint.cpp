@@ -1,0 +1,51 @@
+// pilot-replayprint: dump and validate .prl replay logs (from -pirecord=).
+//
+// Prints every recorded nondeterministic decision per rank in program
+// order. A corrupt or truncated file is reported on stderr and exits 1,
+// matching pilot-clog2print / pilot-slog2print.
+//
+// Exit status: 0 = ok, 1 = unreadable/corrupt input, 2 = bad usage.
+#include <cstdio>
+#include <exception>
+
+#include "replay/prl.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <replay.prl>\n"
+                 "exit status: 0 ok, 1 unreadable input, 2 usage error\n",
+                 args.program().c_str());
+    return 2;
+  }
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  const std::string& path = args.positional()[0];
+  replay::Log log;
+  try {
+    log = replay::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::fputs(replay::to_text(log).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

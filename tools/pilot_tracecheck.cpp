@@ -13,6 +13,8 @@
 #include <exception>
 
 #include "analyze/tracecheck.hpp"
+#include "replay/crosscheck.hpp"
+#include "replay/prl.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -21,9 +23,11 @@ int run(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   if (args.positional().size() != 1 || args.has("help")) {
     std::fprintf(stderr,
-                 "usage: %s <trace.clog2> [--json]\n"
+                 "usage: %s <trace.clog2> [--json] [--replay=FILE.prl]\n"
                  "           [--stall-fraction=F] [--min-stall=SECONDS] "
                  "[--min-rounds=N]\n"
+                 "--replay cross-checks the trace against a .prl replay log\n"
+                 "(RP20-RP22 findings on disagreement).\n"
                  "exit status: 0 clean, 1 findings, 2 usage/input error\n",
                  args.program().c_str());
     return 2;
@@ -35,6 +39,7 @@ int run(int argc, char** argv) {
   opts.min_serialized_rounds = static_cast<int>(
       args.get_int_or("min-rounds", opts.min_serialized_rounds));
   const bool json = args.has("json");
+  const std::string replay_path = args.get_or("replay", "");
   for (const auto& key : args.unused_keys()) {
     std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
     return 2;
@@ -49,7 +54,17 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  const analyze::Report rep = analyze::check_trace(file, opts);
+  analyze::Report rep = analyze::check_trace(file, opts);
+  if (!replay_path.empty()) {
+    replay::Log log;
+    try {
+      log = replay::read_file(replay_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", replay_path.c_str(), e.what());
+      return 2;
+    }
+    rep.merge(replay::cross_check(file, log));
+  }
   if (json) {
     std::fprintf(stdout, "%s\n", rep.to_json().c_str());
   } else {
