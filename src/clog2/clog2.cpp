@@ -156,7 +156,10 @@ File parse(const std::vector<std::uint8_t>& bytes) {
   file.nranks = r.i32();
   if (file.nranks < 0) throw util::IoError("clog2: negative rank count");
   file.comment = r.str();
-  const std::uint64_t nrecords = r.u64();
+  // Smallest record on disk is a kind byte plus payload; validating the
+  // count against the remaining bytes turns a corrupted count field into a
+  // parse error instead of a giant reserve().
+  const std::size_t nrecords = r.checked_count(r.u64(), 2);
   file.records.reserve(nrecords);
   for (std::uint64_t i = 0; i < nrecords; ++i)
     file.records.push_back(read_record(r));

@@ -1,0 +1,132 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+#include "util/strings.hpp"
+
+namespace fault {
+
+namespace {
+
+const char* kind_name(Injector::Fired::Kind k) {
+  switch (k) {
+    case Injector::Fired::Kind::kCrashCall: return "crash-call";
+    case Injector::Fired::Kind::kCrashEvent: return "crash-event";
+    case Injector::Fired::Kind::kTrunc: return "trunc-write";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Injector::Injector(Plan plan, int nranks)
+    : plan_(std::move(plan)), nranks_(nranks) {
+  for (const auto& c : plan_.crashes)
+    if (c.rank >= nranks_)
+      throw util::UsageError(util::strprintf(
+          "FJ02: fault plan: crash rank %d out of range (job has %d ranks)",
+          c.rank, nranks_));
+  for (const auto& t : plan_.truncs)
+    if (t.rank >= nranks_)
+      throw util::UsageError(util::strprintf(
+          "FJ02: fault plan: trunc rank %d out of range (job has %d ranks)",
+          t.rank, nranks_));
+  calls_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) calls_[static_cast<std::size_t>(r)].store(0);
+}
+
+void Injector::at_call(int rank, const char* what) {
+  const std::uint64_t n =
+      calls_[static_cast<std::size_t>(rank)].fetch_add(1, std::memory_order_relaxed) +
+      1;
+  for (const auto& c : plan_.crashes) {
+    if (c.rank != rank || c.at != CrashPoint::At::kCall || c.n != n) continue;
+    {
+      std::lock_guard lk(mu_);
+      fired_.push_back({Fired::Kind::kCrashCall, rank, n, what});
+    }
+    throw mpisim::RankKilledError(
+        rank, util::strprintf(
+                  "FJ10: fault injection killed rank %d at substrate call #%llu (%s)",
+                  rank, static_cast<unsigned long long>(n), what));
+  }
+}
+
+double Injector::message_delay(int src, int dst, std::uint64_t pair_seq,
+                               std::size_t bytes) {
+  (void)bytes;
+  if (plan_.delay.prob <= 0.0 || plan_.delay.max_ms <= 0.0) return 0.0;
+  // Seed a private PRNG from the message's run-stable identity so the
+  // decision is independent of when (and on which thread) the send happens.
+  util::SplitMix64 rng(plan_.seed ^
+                       0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(src) + 1) ^
+                       0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(dst) + 1) ^
+                       0x94d049bb133111ebULL * (pair_seq + 1));
+  if (!rng.chance(plan_.delay.prob)) return 0.0;
+  const double d = rng.uniform(0.0, plan_.delay.max_ms / 1000.0);
+  {
+    std::lock_guard lk(mu_);
+    delays_[{src, dst, pair_seq}] = d;
+  }
+  return d;
+}
+
+void Injector::on_logged_record(int rank, std::uint64_t nth) {
+  for (const auto& c : plan_.crashes) {
+    if (c.rank != rank || c.at != CrashPoint::At::kEvent || c.n != nth) continue;
+    {
+      std::lock_guard lk(mu_);
+      fired_.push_back({Fired::Kind::kCrashEvent, rank, nth, "logged-event"});
+    }
+    throw mpisim::RankKilledError(
+        rank, util::strprintf(
+                  "FJ10: fault injection killed rank %d after logged event #%llu",
+                  rank, static_cast<unsigned long long>(nth)));
+  }
+}
+
+std::size_t Injector::spill_write_bytes(int rank, std::uint64_t nth,
+                                        std::size_t nbytes) {
+  for (const auto& t : plan_.truncs) {
+    if (t.rank != rank || t.nth_write != nth) continue;
+    const std::size_t keep = std::min(t.keep_bytes, nbytes);
+    std::lock_guard lk(mu_);
+    fired_.push_back({Fired::Kind::kTrunc, rank, nth,
+                      util::strprintf("kept %zu of %zu bytes", keep, nbytes)});
+    return keep;
+  }
+  return nbytes;
+}
+
+std::vector<Injector::Fired> Injector::fired() const {
+  std::lock_guard lk(mu_);
+  auto out = fired_;
+  std::sort(out.begin(), out.end(), [](const Fired& a, const Fired& b) {
+    return std::tie(a.rank, a.kind, a.n) < std::tie(b.rank, b.kind, b.n);
+  });
+  return out;
+}
+
+std::string Injector::schedule_text() const {
+  std::string out = "# fault schedule\n";
+  out += plan_.to_text();
+  std::lock_guard lk(mu_);
+  for (const auto& [key, d] : delays_)
+    out += util::strprintf("delayed %d->%d #%llu by %.9fs\n", std::get<0>(key),
+                           std::get<1>(key),
+                           static_cast<unsigned long long>(std::get<2>(key)), d);
+  auto fired = fired_;
+  std::sort(fired.begin(), fired.end(), [](const Fired& a, const Fired& b) {
+    return std::tie(a.rank, a.kind, a.n) < std::tie(b.rank, b.kind, b.n);
+  });
+  for (const auto& f : fired)
+    out += util::strprintf("fired %s rank %d #%llu (%s)\n", kind_name(f.kind),
+                           f.rank, static_cast<unsigned long long>(f.n),
+                           f.detail.c_str());
+  return out;
+}
+
+}  // namespace fault

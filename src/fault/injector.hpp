@@ -1,0 +1,82 @@
+// Injector: the seeded, fully deterministic realization of a fault::Plan.
+//
+// It implements mpisim::FaultHook (message jitter + crash-at-Nth-call) and
+// adds the two MPE-logger-level injection points the Pilot runtime wires up
+// (crash-at-Nth-logged-event, spill-write truncation). Every decision is a
+// pure function of (plan, message identity) or a per-rank ordinal counted on
+// that rank's own thread, so the same seed + plan yields a byte-identical
+// fault schedule regardless of thread interleaving — schedule_text() is the
+// artifact chaos tests compare across runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "mpisim/fault_hook.hpp"
+
+namespace fault {
+
+class Injector : public mpisim::FaultHook {
+public:
+  Injector(Plan plan, int nranks);
+
+  // --- mpisim::FaultHook --------------------------------------------------
+  void at_call(int rank, const char* what) override;
+  double message_delay(int src, int dst, std::uint64_t pair_seq,
+                       std::size_t bytes) override;
+  [[nodiscard]] double grace_seconds() const override {
+    return plan_.grace_seconds;
+  }
+
+  // --- MPE-logger injection points (wired by the Pilot runtime) -----------
+  /// Called after `rank` buffered+spilled its `nth` (1-based) instance
+  /// record; throws RankKilledError at a crash=RANK@event:N point, so the
+  /// first N records survive in the spill.
+  void on_logged_record(int rank, std::uint64_t nth);
+
+  /// Spill-write fault: how many of `nbytes` the logger should actually
+  /// write for `rank`'s `nth` (1-based) spill write. Returning less than
+  /// `nbytes` makes the logger truncate the write and permanently break
+  /// that rank's spill stream.
+  std::size_t spill_write_bytes(int rank, std::uint64_t nth, std::size_t nbytes);
+
+  // --- introspection ------------------------------------------------------
+  /// A fault point that actually fired during the run.
+  struct Fired {
+    enum class Kind { kCrashCall, kCrashEvent, kTrunc };
+    Kind kind;
+    int rank = -1;
+    std::uint64_t n = 0;      // the 1-based ordinal it fired at
+    std::string detail;       // e.g. the substrate call name
+  };
+  [[nodiscard]] std::vector<Fired> fired() const;
+
+  /// Deterministic dump of the full fault schedule: the canonical plan text
+  /// followed by every delay decision made, sorted by message identity, and
+  /// every fired crash/truncation point. Two runs with the same seed + plan
+  /// over the same message set produce byte-identical text.
+  [[nodiscard]] std::string schedule_text() const;
+
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+
+private:
+  Plan plan_;
+  int nranks_;
+  // Per-rank ordinals, touched only from that rank's own thread (atomics
+  // guard the cross-thread reads in schedule_text()).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> calls_;
+  // (src, dst, pair_seq) -> delay seconds, for decisions that delayed.
+  mutable std::mutex mu_;
+  std::map<std::tuple<int, int, std::uint64_t>, double> delays_;
+  std::vector<Fired> fired_;
+};
+
+}  // namespace fault

@@ -1,0 +1,176 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace fault {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& clause, const std::string& why) {
+  throw util::UsageError(
+      util::strprintf("FJ01: fault plan: bad clause '%s': %s (see docs/FAULTS.md)",
+                      clause.c_str(), why.c_str()));
+}
+
+std::uint64_t parse_u64(const std::string& clause, std::string_view text) {
+  const std::string s(util::trim(text));
+  if (s.empty() || s[0] == '-') bad(clause, "expected an unsigned integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0')
+    bad(clause, "expected an unsigned integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_num(const std::string& clause, std::string_view text) {
+  const std::string s(util::trim(text));
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0' || s.empty())
+    bad(clause, "expected a number");
+  return v;
+}
+
+int parse_rank(const std::string& clause, std::string_view text) {
+  const std::uint64_t r = parse_u64(clause, text);
+  if (r > 4096) bad(clause, "rank out of range");
+  return static_cast<int>(r);
+}
+
+void parse_clause(Plan& plan, const std::string& clause) {
+  const auto eq = clause.find('=');
+  if (eq == std::string::npos) bad(clause, "expected KEY=VALUE");
+  const std::string key(util::trim(clause.substr(0, eq)));
+  const std::string val(util::trim(clause.substr(eq + 1)));
+  if (val.empty()) bad(clause, "empty value");
+
+  if (key == "seed") {
+    plan.seed = parse_u64(clause, val);
+  } else if (key == "grace") {
+    plan.grace_seconds = parse_num(clause, val);
+    if (plan.grace_seconds < 0.0) bad(clause, "grace must be >= 0");
+  } else if (key == "delay") {
+    const auto parts = util::split(val, ':');
+    if (parts.size() != 2) bad(clause, "expected delay=PROB:MAX_MS");
+    plan.delay.prob = parse_num(clause, parts[0]);
+    plan.delay.max_ms = parse_num(clause, parts[1]);
+    if (plan.delay.prob < 0.0 || plan.delay.prob > 1.0)
+      bad(clause, "probability must be in [0,1]");
+    if (plan.delay.max_ms < 0.0) bad(clause, "jitter bound must be >= 0");
+  } else if (key == "crash") {
+    const auto at = val.find('@');
+    if (at == std::string::npos) bad(clause, "expected crash=RANK@(call|event):N");
+    CrashPoint pt;
+    pt.rank = parse_rank(clause, val.substr(0, at));
+    const auto parts = util::split(val.substr(at + 1), ':');
+    if (parts.size() != 2) bad(clause, "expected crash=RANK@(call|event):N");
+    if (parts[0] == "call")
+      pt.at = CrashPoint::At::kCall;
+    else if (parts[0] == "event")
+      pt.at = CrashPoint::At::kEvent;
+    else
+      bad(clause, "crash point must be 'call' or 'event'");
+    pt.n = parse_u64(clause, parts[1]);
+    if (pt.n == 0) bad(clause, "crash ordinal is 1-based");
+    for (const auto& other : plan.crashes)
+      if (other.rank == pt.rank) bad(clause, "duplicate crash for this rank");
+    plan.crashes.push_back(pt);
+  } else if (key == "trunc") {
+    const auto at = val.find('@');
+    if (at == std::string::npos) bad(clause, "expected trunc=RANK@write:N[:KEEP]");
+    TruncPoint pt;
+    pt.rank = parse_rank(clause, val.substr(0, at));
+    const auto parts = util::split(val.substr(at + 1), ':');
+    if (parts.size() != 2 && parts.size() != 3)
+      bad(clause, "expected trunc=RANK@write:N[:KEEP]");
+    if (parts[0] != "write") bad(clause, "trunc point must be 'write'");
+    pt.nth_write = parse_u64(clause, parts[1]);
+    if (pt.nth_write == 0) bad(clause, "write ordinal is 1-based");
+    if (parts.size() == 3)
+      pt.keep_bytes = static_cast<std::size_t>(parse_u64(clause, parts[2]));
+    for (const auto& other : plan.truncs)
+      if (other.rank == pt.rank) bad(clause, "duplicate trunc for this rank");
+    plan.truncs.push_back(pt);
+  } else {
+    bad(clause, "unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+bool Plan::has_event_crash() const {
+  return std::any_of(crashes.begin(), crashes.end(), [](const CrashPoint& c) {
+    return c.at == CrashPoint::At::kEvent;
+  });
+}
+
+std::string Plan::to_text() const {
+  std::string out = util::strprintf("seed=%llu\n",
+                                    static_cast<unsigned long long>(seed));
+  out += util::strprintf("grace=%g\n", grace_seconds);
+  if (delay.prob > 0.0)
+    out += util::strprintf("delay=%g:%g\n", delay.prob, delay.max_ms);
+  auto crashes_sorted = crashes;
+  std::sort(crashes_sorted.begin(), crashes_sorted.end(),
+            [](const CrashPoint& a, const CrashPoint& b) { return a.rank < b.rank; });
+  for (const auto& c : crashes_sorted)
+    out += util::strprintf("crash=%d@%s:%llu\n", c.rank,
+                           c.at == CrashPoint::At::kCall ? "call" : "event",
+                           static_cast<unsigned long long>(c.n));
+  auto truncs_sorted = truncs;
+  std::sort(truncs_sorted.begin(), truncs_sorted.end(),
+            [](const TruncPoint& a, const TruncPoint& b) { return a.rank < b.rank; });
+  for (const auto& t : truncs_sorted)
+    out += util::strprintf("trunc=%d@write:%llu:%zu\n", t.rank,
+                           static_cast<unsigned long long>(t.nth_write),
+                           t.keep_bytes);
+  return out;
+}
+
+Plan parse_spec(const std::string& spec) {
+  const std::string trimmed(util::trim(spec));
+  if (trimmed.empty())
+    throw util::UsageError("FJ01: fault plan: empty spec (see docs/FAULTS.md)");
+
+  std::vector<std::string> clauses;
+  if (trimmed[0] == '@') {
+    const std::string path = trimmed.substr(1);
+    if (path.empty())
+      throw util::UsageError("FJ01: fault plan: '@' without a plan file path");
+    const std::string text = util::read_text_file(path);
+    for (const auto& raw : util::split(text, '\n')) {
+      std::string line(util::trim(raw));
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line = std::string(util::trim(line.substr(0, hash)));
+      if (!line.empty()) clauses.push_back(line);
+    }
+    if (clauses.empty())
+      throw util::UsageError(util::strprintf(
+          "FJ01: fault plan: '%s' holds no clauses", path.c_str()));
+  } else {
+    // ';' and newline both separate clauses, so to_text() output (one clause
+    // per line) parses straight back.
+    for (const auto& piece : util::split(trimmed, ';')) {
+      for (const auto& raw : util::split(piece, '\n')) {
+        const std::string clause(util::trim(raw));
+        if (!clause.empty()) clauses.push_back(clause);
+      }
+    }
+    if (clauses.empty())
+      throw util::UsageError("FJ01: fault plan: empty spec (see docs/FAULTS.md)");
+  }
+
+  Plan plan;
+  for (const auto& clause : clauses) parse_clause(plan, clause);
+  return plan;
+}
+
+}  // namespace fault

@@ -1,0 +1,69 @@
+// FaultPlan: the parsed form of a `-pifault=SPEC` fault-injection plan.
+//
+// A spec is a `;`-separated list of clauses, or `@FILE` naming a plan file
+// holding one clause per line (blank lines and `#` comments ignored):
+//
+//   seed=U64              PRNG seed for the delay schedule        (default 1)
+//   grace=SECONDS         survivor grace period after a crash     (default 1)
+//   delay=PROB:MAX_MS     delay each message with probability PROB by a
+//                         deterministic jitter in [0, MAX_MS] milliseconds
+//   crash=RANK@call:N     kill RANK at its Nth substrate call (1-based)
+//   crash=RANK@event:N    kill RANK right after its Nth logged MPE record
+//                         (needs -pisvc=j)
+//   trunc=RANK@write:N[:KEEP]
+//                         truncate RANK's Nth spill write to KEEP bytes
+//                         (default 0) and break the stream (needs -pirobust)
+//
+// Parsing is strict: any malformed clause throws util::UsageError with an
+// FJ01 message naming the offending clause. The full grammar and the FJxx
+// diagnostic catalogue live in docs/FAULTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fault {
+
+struct CrashPoint {
+  enum class At { kCall, kEvent };
+  int rank = -1;
+  At at = At::kCall;
+  std::uint64_t n = 0;  // 1-based ordinal of the call / logged record
+};
+
+struct TruncPoint {
+  int rank = -1;
+  std::uint64_t nth_write = 0;  // 1-based ordinal of the spill write
+  std::size_t keep_bytes = 0;   // bytes of that write to let through
+};
+
+struct DelayModel {
+  double prob = 0.0;    // per-message delay probability in [0,1]
+  double max_ms = 0.0;  // jitter bound, milliseconds
+};
+
+struct Plan {
+  std::uint64_t seed = 1;
+  double grace_seconds = 1.0;
+  DelayModel delay;
+  std::vector<CrashPoint> crashes;  // at most one per rank (parser-enforced)
+  std::vector<TruncPoint> truncs;   // at most one per rank (parser-enforced)
+
+  [[nodiscard]] bool empty() const {
+    return delay.prob <= 0.0 && crashes.empty() && truncs.empty();
+  }
+  [[nodiscard]] bool has_event_crash() const;
+  [[nodiscard]] bool has_trunc() const { return !truncs.empty(); }
+
+  /// Canonical one-clause-per-line rendering; parse_spec(to_text()) is the
+  /// identity, and the injector's schedule dump embeds it.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Parse a `-pifault=` spec (or `@FILE` plan file). Throws util::UsageError
+/// (FJ01) on malformed input, util::IoError if the plan file is unreadable.
+Plan parse_spec(const std::string& spec);
+
+}  // namespace fault

@@ -114,6 +114,7 @@ std::string spill_defs_path(const std::string& base) { return base + ".defs.spil
 void Logger::spill_record(int rank, const clog2::Record& rec) {
   if (opts_.spill_base.empty()) return;
   auto& buf = buffers_[static_cast<std::size_t>(rank)];
+  if (buf.spill_broken) return;
   if (!buf.spill) {
     buf.spill = std::make_unique<std::ofstream>(
         spill_rank_path(opts_.spill_base, rank), std::ios::binary | std::ios::trunc);
@@ -122,10 +123,20 @@ void Logger::spill_record(int rank, const clog2::Record& rec) {
   }
   util::ByteWriter w;
   clog2::append_record(w, rec);
+  ++buf.spill_writes;
+  std::size_t keep = w.size();
+  if (opts_.spill_fault)
+    keep = std::min(opts_.spill_fault(rank, buf.spill_writes, w.size()), w.size());
   buf.spill->write(reinterpret_cast<const char*>(w.bytes().data()),
-                   static_cast<std::streamsize>(w.size()));
+                   static_cast<std::streamsize>(keep));
   // Flush per record: the whole point is surviving a sudden death.
   buf.spill->flush();
+  if (keep < w.size() || !*buf.spill) {
+    // Injected or real write failure. Keep the damaged prefix on disk (the
+    // salvager drops the torn tail) and stop spilling; records still buffer
+    // in memory, so a clean finish writes the full trace regardless.
+    buf.spill_broken = true;
+  }
 }
 
 void Logger::write_spill_defs() {
@@ -166,6 +177,7 @@ void Logger::log_event_at(mpisim::Comm& comm, double local_time, int event_id,
   buf.records.emplace_back(
       clog2::EventRec{local_time, comm.rank(), event_id, clip(text)});
   if (!opts_.spill_base.empty()) spill_record(comm.rank(), buf.records.back());
+  record_logged(comm.rank());
 }
 
 void Logger::log_send(mpisim::Comm& comm, int dst, int tag, std::size_t bytes) {
@@ -178,6 +190,7 @@ void Logger::log_send(mpisim::Comm& comm, int dst, int tag, std::size_t bytes) {
   m.size = static_cast<std::uint32_t>(bytes);
   buffers_[static_cast<std::size_t>(comm.rank())].records.emplace_back(m);
   if (!opts_.spill_base.empty()) spill_record(comm.rank(), clog2::Record{m});
+  record_logged(comm.rank());
 }
 
 void Logger::log_receive(mpisim::Comm& comm, int src, int tag, std::size_t bytes) {
@@ -195,6 +208,15 @@ void Logger::log_receive_at(mpisim::Comm& comm, double local_time, int src, int 
   m.size = static_cast<std::uint32_t>(bytes);
   buffers_[static_cast<std::size_t>(comm.rank())].records.emplace_back(m);
   if (!opts_.spill_base.empty()) spill_record(comm.rank(), clog2::Record{m});
+  record_logged(comm.rank());
+}
+
+void Logger::record_logged(int rank) {
+  auto& buf = buffers_[static_cast<std::size_t>(rank)];
+  ++buf.logged;
+  // Fault injection: crash=RANK@event:N fires here, after the record was
+  // buffered and spilled — the first N records are the salvageable prefix.
+  if (opts_.on_record) opts_.on_record(rank, buf.logged);
 }
 
 void Logger::log_sync_clocks(mpisim::Comm& comm) {

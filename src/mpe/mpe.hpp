@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -69,6 +70,18 @@ public:
     /// Costs a buffered write + flush per record instead of MPE's
     /// memory-only append.
     std::string spill_base;
+
+    /// Fault-injection hooks (chaos testing; see src/fault/). `on_record` is
+    /// called after a rank buffers (and spills) its nth instance record
+    /// (1-based, per rank); it may throw to simulate the rank dying — the
+    /// already-spilled prefix is exactly what mpe::salvage recovers.
+    std::function<void(int rank, std::uint64_t nth)> on_record;
+    /// Spill-write fault: how many of the nth spill write's `nbytes` to
+    /// actually write. Returning less truncates the write and permanently
+    /// breaks that rank's spill stream; records still buffer in memory, so
+    /// a clean finish is unaffected and salvage drops the torn tail.
+    std::function<std::size_t(int rank, std::uint64_t nth, std::size_t nbytes)>
+        spill_fault;
   };
 
   Logger(mpisim::World& world, Options opts);
@@ -130,11 +143,15 @@ private:
     std::vector<clog2::Record> records;     // EventRec / MsgRec, local clock
     std::vector<clog2::SyncRec> sync_samples;  // (local, ref) pairs
     std::unique_ptr<std::ofstream> spill;   // robust mode only
+    std::uint64_t logged = 0;        // instance records buffered so far
+    std::uint64_t spill_writes = 0;  // spill writes attempted so far
+    bool spill_broken = false;       // stream hit a (possibly injected) fault
   };
 
   clog2::File merge_all(std::vector<RankBuffer> buffers);
   [[nodiscard]] std::string clip(std::string_view text) const;
   void spill_record(int rank, const clog2::Record& rec);
+  void record_logged(int rank);
   void remove_spill_files();
 
   mpisim::World& world_;

@@ -1,0 +1,61 @@
+// Fault-injection hook: the substrate's second extension seam, the chaos
+// counterpart of ReplayHook. A World configured with a FaultHook consults it
+//
+//   * at entry of every blocking substrate call a rank makes (send, receive,
+//     probe, barrier, compute) — the hook may throw RankKilledError there to
+//     simulate that rank dying mid-run;
+//   * when computing a message's delivery time — the hook adds a deterministic
+//     extra delay (jitter), which can reorder wildcard matches.
+//
+// The World gives an injected crash different semantics from any other
+// exception: the rank is marked dead instead of poisoning the job with
+// first_error_, surviving ranks keep running, and once the hook's grace
+// period expires (or every other rank has finished) the job is torn down
+// with kPeerDeadAbortCode — the simulated analogue of MPI noticing a dead
+// peer. See src/fault/ for the concrete seeded implementation and
+// docs/FAULTS.md for the user-facing story.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mpisim {
+
+/// Thrown by FaultHook::at_call on the victim rank's own thread. Not derived
+/// from AbortedError on purpose: an aborted rank is collateral damage, a
+/// killed rank is the cause.
+class RankKilledError : public util::Error {
+public:
+  RankKilledError(int rank, const std::string& what)
+      : util::Error(what), rank_(rank) {}
+  [[nodiscard]] int rank() const { return rank_; }
+
+private:
+  int rank_;
+};
+
+class FaultHook {
+public:
+  virtual ~FaultHook() = default;
+
+  /// Called on the acting rank's own thread at entry of each substrate call
+  /// (`what` names it: "send", "receive", ...). Throws RankKilledError when
+  /// the schedule kills this rank at this call; otherwise returns.
+  virtual void at_call(int rank, const char* what) = 0;
+
+  /// Extra delivery delay in wall seconds (>= 0) for the message identified
+  /// by its run-stable identity (src, dst, per-pair sequence number). Must
+  /// be a pure function of that identity so the schedule is independent of
+  /// thread interleaving.
+  virtual double message_delay(int src, int dst, std::uint64_t pair_seq,
+                               std::size_t bytes) = 0;
+
+  /// How long surviving ranks may keep running after the first injected
+  /// crash before the World aborts the job with kPeerDeadAbortCode.
+  [[nodiscard]] virtual double grace_seconds() const = 0;
+};
+
+}  // namespace mpisim

@@ -1,5 +1,6 @@
 #include "mpisim/world.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -64,12 +65,37 @@ void World::abort_from(int code) {
   barrier_cv_.notify_all();
 }
 
+void World::kill_rank(int rank) {
+  {
+    std::lock_guard lk(crashed_mu_);
+    crashed_ranks_.push_back(rank);
+    std::sort(crashed_ranks_.begin(), crashed_ranks_.end());
+  }
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  std::int64_t expected = 0;
+  first_crash_ns_.compare_exchange_strong(expected, now_ns);
+  // Count released after the timestamp so the grace reaper never observes a
+  // crash without its clock.
+  crashed_count_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<int> World::crashed_ranks() const {
+  std::lock_guard lk(crashed_mu_);
+  return crashed_ranks_;
+}
+
 void World::spawn_rank(const std::function<int(Comm&)>& fn, int rank) {
   threads_.emplace_back([this, &fn, rank] {
     Comm comm(this, rank);
     TlsCommGuard guard(&comm);
     try {
       exit_codes_[static_cast<std::size_t>(rank)] = fn(comm);
+    } catch (const RankKilledError& e) {
+      // Injected crash: mark the rank dead but do not poison the job —
+      // survivors keep running until the fault hook's grace period expires.
+      kill_rank(e.rank());
     } catch (const AbortedError&) {
       // Expected unwind path once the job is aborted.
     } catch (...) {
@@ -84,15 +110,36 @@ void World::spawn_rank(const std::function<int(Comm&)>& fn, int rank) {
 }
 
 void World::spawn_watchdog(int expected_done) {
-  if (cfg_.watchdog_seconds <= 0.0) return;
-  watchdog_ = std::thread([this, expected_done] {
+  const bool deadline_enabled = cfg_.watchdog_seconds > 0.0;
+  // With a fault hook the watchdog doubles as the dead-peer reaper, so it
+  // runs even when the deadline is disabled.
+  if (!deadline_enabled && cfg_.fault == nullptr) return;
+  watchdog_ = std::thread([this, expected_done, deadline_enabled] {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(cfg_.watchdog_seconds));
     while (!stop_watchdog_.load(std::memory_order_acquire)) {
-      if (ranks_done_.load(std::memory_order_acquire) >= expected_done) return;
-      if (std::chrono::steady_clock::now() >= deadline) {
+      const bool done = ranks_done_.load(std::memory_order_acquire) >= expected_done;
+      const int crashed = crashed_count_.load(std::memory_order_acquire);
+      if (done && crashed == 0) return;
+      if (crashed > 0) {
+        // A killed rank dooms the job. Survivors get the hook's grace period
+        // to flush what they can; once it expires — or once every other rank
+        // has already finished — the dead peer is "detected" and the job is
+        // torn down. Blocked survivors then unwind with AbortedError carrying
+        // kPeerDeadAbortCode, the simulated MPI_Abort-on-dead-peer.
+        const auto first = std::chrono::steady_clock::time_point(
+            std::chrono::nanoseconds(first_crash_ns_.load(std::memory_order_acquire)));
+        const auto grace_end =
+            first + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(cfg_.fault->grace_seconds()));
+        if (done || std::chrono::steady_clock::now() >= grace_end) {
+          abort_from(kPeerDeadAbortCode);
+          return;
+        }
+      }
+      if (deadline_enabled && std::chrono::steady_clock::now() >= deadline) {
         timed_out_.store(true);
         abort_from(kWatchdogAbortCode);
         return;
@@ -104,6 +151,12 @@ void World::spawn_watchdog(int expected_done) {
 
 World::Result World::join_all() {
   for (auto& t : threads_) t.join();
+  // A fault-killed rank always ends the job in an abort, even when every
+  // surviving rank finished cleanly before the reaper fired — a chaos run's
+  // outcome must not depend on how that race falls.
+  if (crashed_count_.load(std::memory_order_acquire) > 0 &&
+      !aborted_.load(std::memory_order_acquire))
+    abort_from(kPeerDeadAbortCode);
   threads_.clear();
   stop_watchdog_.store(true, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
@@ -119,6 +172,7 @@ World::Result World::join_all() {
   result.aborted = aborted_.load();
   result.abort_code = abort_code_.load();
   result.timed_out = false;
+  result.crashed_ranks = crashed_ranks();
   return result;
 }
 
@@ -164,7 +218,12 @@ World::Result World::finish() {
 
 int Comm::size() const { return world_->nprocs(); }
 
+void Comm::fault_check(const char* what) {
+  if (FaultHook* f = world_->cfg_.fault) f->at_call(rank_, what);
+}
+
 void Comm::send(int dst, int tag, const void* data, std::size_t n) {
+  fault_check("send");
   world_->check_rank(dst, "send");
   if (world_->aborted_.load(std::memory_order_acquire))
     throw AbortedError(world_->abort_code_.load(), "send after abort");
@@ -186,6 +245,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t n) {
   double delay = world_->cfg_.msg_latency;
   if (world_->cfg_.msg_bandwidth > 0.0)
     delay += static_cast<double>(n) / world_->cfg_.msg_bandwidth;
+  if (FaultHook* f = world_->cfg_.fault)
+    delay += f->message_delay(rank_, dst, env.pair_seq, n);
   env.deliver_at = std::chrono::steady_clock::now() +
                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(delay));
@@ -202,6 +263,7 @@ std::chrono::steady_clock::time_point replay_deadline(const ReplayHook& hook) {
 }  // namespace
 
 Envelope Comm::fetch_envelope(int src, int tag) {
+  fault_check("receive");
   ReplayHook* hook = world_->cfg_.replay;
   Mailbox& mb = world_->mailbox(rank_);
   const bool wildcard = src == kAnySource || tag == kAnyTag;
@@ -252,6 +314,7 @@ std::pair<Status, std::vector<std::uint8_t>> Comm::recv_any_size(int src, int ta
 }
 
 Status Comm::probe(int src, int tag) {
+  fault_check("probe");
   if (src != kAnySource) world_->check_rank(src, "probe");
   ReplayHook* hook = world_->cfg_.replay;
   Mailbox& mb = world_->mailbox(rank_);
@@ -271,6 +334,7 @@ Status Comm::probe(int src, int tag) {
 }
 
 std::optional<Status> Comm::iprobe(int src, int tag) {
+  fault_check("iprobe");
   if (src != kAnySource) world_->check_rank(src, "iprobe");
   if (world_->aborted_.load(std::memory_order_acquire))
     throw AbortedError(world_->abort_code_.load(), "iprobe after abort");
@@ -278,6 +342,7 @@ std::optional<Status> Comm::iprobe(int src, int tag) {
 }
 
 void Comm::barrier() {
+  fault_check("barrier");
   World& w = *world_;
   ReplayHook* hook = w.cfg_.replay;
   std::unique_lock lk(w.barrier_mu_);
@@ -323,6 +388,7 @@ void Comm::barrier() {
 double Comm::wtime() const { return world_->clock_.now(rank_); }
 double Comm::true_time() const { return world_->clock_.true_time(); }
 void Comm::compute(double virtual_seconds) {
+  fault_check("compute");
   world_->cpu_.execute(virtual_seconds);
   if (world_->aborted_.load(std::memory_order_acquire))
     throw AbortedError(world_->abort_code_.load(), "compute interrupted by abort");

@@ -28,6 +28,7 @@
 
 #include "mpisim/clock.hpp"
 #include "mpisim/cpu.hpp"
+#include "mpisim/fault_hook.hpp"
 #include "mpisim/mailbox.hpp"
 #include "mpisim/replay_hook.hpp"
 #include "mpisim/types.hpp"
@@ -92,6 +93,10 @@ private:
   /// Shared receive path: consults the replay hook for wildcard matches.
   Envelope fetch_envelope(int src, int tag);
 
+  /// Entry hook for fault injection: may throw RankKilledError when the
+  /// configured schedule kills this rank at this call.
+  void fault_check(const char* what);
+
   World* world_;
   int rank_;
   std::uint64_t collective_seq_ = 0;  // per-rank; identical across ranks by
@@ -123,10 +128,16 @@ public:
     /// Record/replay hook for nondeterministic decisions (wildcard receive
     /// matching, barrier arrival order). Not owned; must outlive the World.
     ReplayHook* replay = nullptr;
+    /// Fault-injection hook (message jitter, rank kills). Not owned; must
+    /// outlive the World. See fault_hook.hpp for the crash semantics.
+    FaultHook* fault = nullptr;
   };
 
   /// Abort code reported when the watchdog fires.
   static constexpr int kWatchdogAbortCode = -86;
+  /// Abort code reported when surviving ranks are torn down after a
+  /// fault-injected rank crash (the dead-peer-detected diagnostic).
+  static constexpr int kPeerDeadAbortCode = -99;
 
   explicit World(Config cfg);
   ~World();
@@ -137,7 +148,8 @@ public:
     std::vector<int> exit_codes;  ///< per-rank return values (0 for aborted ranks)
     bool aborted = false;
     int abort_code = 0;
-    bool timed_out = false;  ///< aborted by the watchdog
+    bool timed_out = false;          ///< aborted by the watchdog
+    std::vector<int> crashed_ranks;  ///< ranks killed by fault injection
   };
 
   /// Run the job: every rank executes `fn`. Rethrows the first non-abort
@@ -174,6 +186,15 @@ public:
   /// Comm::abort this does not throw.
   void force_abort(int code) { abort_from(code); }
 
+  /// Mark `rank` as killed by fault injection. Called internally when a
+  /// spawned rank dies of RankKilledError; the host thread calls it too when
+  /// rank 0 (the start() caller) is the victim. Survivors are torn down with
+  /// kPeerDeadAbortCode once the fault hook's grace period expires.
+  void kill_rank(int rank);
+
+  /// Ranks killed by fault injection so far, ascending.
+  [[nodiscard]] std::vector<int> crashed_ranks() const;
+
   /// The Comm of the calling thread, or nullptr outside a rank thread.
   /// Lets C-style layers (the PI_* API) find their context implicitly.
   static Comm* current();
@@ -200,6 +221,13 @@ private:
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<bool> ran_{false};
   std::atomic<int> ranks_done_{0};
+
+  // Fault-injection state: ranks killed by the hook, and when the first one
+  // died (steady-clock ns; the grace reaper keys off it).
+  mutable std::mutex crashed_mu_;
+  std::vector<int> crashed_ranks_;
+  std::atomic<int> crashed_count_{0};
+  std::atomic<std::int64_t> first_crash_ns_{0};
 
   // Thread management shared by run() and start()/finish().
   std::vector<std::thread> threads_;

@@ -64,6 +64,16 @@ Options Options::parse(int* argc, char*** argv) {
         "-pirecord and -pireplay are mutually exclusive: a run either records "
         "a replay log or is driven by one");
 
+  // Fault injection. The plan is parsed (FJ01) here so a malformed spec
+  // fails at PI_Configure; cross-option validation follows below once the
+  // -pisvc letters and -pirobust are known.
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-pifault="); !v.empty()) {
+    if (v.back().empty())
+      throw util::UsageError("-pifault: expects a fault plan (see docs/FAULTS.md)");
+    opts.fault_plan = fault::parse_spec(v.back());
+    opts.fault_enabled = true;
+  }
+
   // Bare flag: "-pirobust". Exact match only — "-pirobustX" must be rejected
   // as a typo below, not silently accepted by the prefix strip.
   for (const std::string& rest :
@@ -116,6 +126,19 @@ Options Options::parse(int* argc, char*** argv) {
     opts.sim_seed = static_cast<std::uint64_t>(parse_int("-pisim-seed", v.back()));
   if (auto v = util::strip_args_with_prefix(argc, argv, "-pinativecost="); !v.empty())
     opts.native_log_cost = parse_double("-pinativecost", v.back());
+
+  // Fault-plan points that live in the MPE logger need the matching
+  // services, or they would silently never fire.
+  if (opts.fault_enabled) {
+    if (opts.fault_plan.has_event_crash() && !opts.svc_jumpshot)
+      throw util::UsageError(
+          "FJ02: -pifault: crash=RANK@event:N counts MPE log records and "
+          "needs -pisvc=j");
+    if (opts.fault_plan.has_trunc() && !(opts.svc_jumpshot && opts.robust_log))
+      throw util::UsageError(
+          "FJ02: -pifault: trunc=RANK@write:N injects spill-stream faults and "
+          "needs -pisvc=j -pirobust");
+  }
 
   // Reject any leftover -pi... argument: a typo should fail loudly, not be
   // silently passed through to the application.

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/plan.hpp"
+
 namespace pilot {
 
 struct Options {
@@ -34,6 +36,13 @@ struct Options {
   /// -pireplay-timeout=SECONDS: how long replay enforcement waits for a
   /// recorded message/branch before declaring divergence.
   double replay_timeout = 5.0;
+
+  // --- fault injection (-pifault=) ------------------------------------------
+  /// -pifault=SPEC (or -pifault=@FILE): seeded deterministic fault plan —
+  /// message jitter, rank crashes, spill-write truncation. Parsed and
+  /// validated at PI_Configure (FJ01/FJ02 on bad input); see docs/FAULTS.md.
+  bool fault_enabled = false;
+  fault::Plan fault_plan;
 
   // --- checking (-picheck=N) ------------------------------------------------
   /// 0 = phase checks only; 1 = full API-abuse checks (default);

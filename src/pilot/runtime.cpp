@@ -52,8 +52,12 @@ void Runtime::teardown() {
   if (world_ && phase_ == Phase::kRunning) {
     // Unblock and join without running the cooperative finalize path (the
     // MPE gather cannot run once the job aborted — the log is lost, as the
-    // paper documents for PI_Abort).
-    if (!world_->is_aborted()) world_->force_abort(-13);
+    // paper documents for PI_Abort). A fault-killed rank gets the dead-peer
+    // code so the outcome matches the reaper path deterministically.
+    if (!world_->is_aborted())
+      world_->force_abort(world_->crashed_ranks().empty()
+                              ? -13
+                              : mpisim::World::kPeerDeadAbortCode);
     try {
       (void)world_->finish();
     } catch (...) {
@@ -80,6 +84,7 @@ void Runtime::teardown() {
     run_info_.replay = replay_->report();
     run_info_.replay_diverged = run_info_.replay_diverged || replay_->diverged();
   }
+  harvest_fault();
   tls_process = nullptr;
 }
 
@@ -376,6 +381,11 @@ void Runtime::start_all(const CallSite& site) {
     replay_ = replay::Engine::make_replayer(opts_.replay_path, opts_.replay_timeout);
   if (replay_) replay_->begin_run(nranks);
 
+  // Fault injection: the injector validates rank bounds against the final
+  // rank count (FJ02) here, before any rank thread exists.
+  if (opts_.fault_enabled)
+    fault_ = std::make_unique<fault::Injector>(opts_.fault_plan, nranks);
+
   mpisim::World::Config cfg;
   cfg.nprocs = nranks;
   cfg.cpu_cores =
@@ -388,6 +398,7 @@ void Runtime::start_all(const CallSite& site) {
   cfg.seed = opts_.sim_seed;
   cfg.watchdog_seconds = opts_.watchdog;
   cfg.replay = replay_.get();
+  cfg.fault = fault_.get();
 
   const double config_duration = std::chrono::duration<double>(
                                      std::chrono::steady_clock::now() - config_epoch_)
@@ -400,6 +411,15 @@ void Runtime::start_all(const CallSite& site) {
     mpe::Logger::Options mpe_opts;
     mpe_opts.comment = "Pilot MPE log (" + opts_.log_basename + ")";
     if (opts_.robust_log) mpe_opts.spill_base = opts_.spill_base();
+    if (fault_) {
+      fault::Injector* inj = fault_.get();
+      mpe_opts.on_record = [inj](int rank, std::uint64_t nth) {
+        inj->on_logged_record(rank, nth);
+      };
+      mpe_opts.spill_fault = [inj](int rank, std::uint64_t nth, std::size_t nbytes) {
+        return inj->spill_write_bytes(rank, nth, nbytes);
+      };
+    }
     logviz_ = std::make_unique<LogViz>(*world_, mpe_opts);
     for (const auto& [name, color] : user_state_defs_)
       logviz_->define_user_state(name, color);
@@ -462,6 +482,57 @@ void Runtime::finalize_rank(mpisim::Comm& c) {
   }
 }
 
+void Runtime::harvest_fault() {
+  if (!fault_) return;
+  run_info_.fault_schedule = fault_->schedule_text();
+  if (world_) run_info_.crashed_ranks = world_->crashed_ranks();
+
+  analyze::Report rep;
+  for (const auto& f : fault_->fired()) {
+    const std::string subject = util::strprintf("rank %d", f.rank);
+    switch (f.kind) {
+      case fault::Injector::Fired::Kind::kCrashCall:
+        rep.add("FJ10", analyze::Severity::kError,
+                util::strprintf(
+                    "fault injection killed rank %d at substrate call #%llu (%s)",
+                    f.rank, static_cast<unsigned long long>(f.n), f.detail.c_str()),
+                subject);
+        break;
+      case fault::Injector::Fired::Kind::kCrashEvent:
+        rep.add("FJ10", analyze::Severity::kError,
+                util::strprintf(
+                    "fault injection killed rank %d after logged event #%llu",
+                    f.rank, static_cast<unsigned long long>(f.n)),
+                subject);
+        break;
+      case fault::Injector::Fired::Kind::kTrunc:
+        rep.add("FJ20", analyze::Severity::kWarning,
+                util::strprintf(
+                    "fault injection truncated rank %d's spill write #%llu (%s); "
+                    "spill stream disabled, salvage keeps the prefix",
+                    f.rank, static_cast<unsigned long long>(f.n), f.detail.c_str()),
+                subject);
+        break;
+    }
+  }
+  if (world_ && world_->abort_code() == mpisim::World::kPeerDeadAbortCode) {
+    std::string names;
+    for (int r : run_info_.crashed_ranks)
+      names += (names.empty() ? "" : ", ") + std::to_string(r);
+    rep.add("FJ11", analyze::Severity::kError,
+            util::strprintf(
+                "surviving ranks aborted after the dead-peer grace period: "
+                "crashed rank(s) %s never rejoined",
+                names.empty() ? "?" : names.c_str()),
+            names.empty() ? "" : ("rank " + names));
+  }
+  // Print once (stop_main and teardown both harvest), mirroring the replay
+  // engine's stderr diagnostics.
+  if (!rep.empty() && run_info_.fault.empty())
+    std::fprintf(stderr, "pilot-fault:\n%s", rep.to_text().c_str());
+  run_info_.fault = rep;
+}
+
 void Runtime::stop_main(const CallSite& site, int status) {
   require_phase(site, Phase::kRunning, "PI_StopMain");
   if (tls_process != main_)
@@ -492,6 +563,7 @@ void Runtime::stop_main(const CallSite& site, int status) {
     run_info_.replay = replay_->report();
     run_info_.replay_diverged = replay_->diverged();
   }
+  harvest_fault();
   if (opts_.svc_analyze) {
     // The world join above published every rank's traffic counters.
     const analyze::Report usage = analyze::lint_usage(build_topology());
@@ -641,6 +713,15 @@ RunResult run(const std::vector<std::string>& args,
     res.replay_diverged = true;
     res.replay.add(e.diagnostic());
     res.status = 1;
+  } catch (const mpisim::RankKilledError& e) {
+    // The fault plan's victim was rank 0 (PI_MAIN) itself. Mark it dead so
+    // teardown below reports the crash like any other; unlike worker kills
+    // there is no grace period — the host thread is gone.
+    res.aborted = true;
+    res.abort_code = mpisim::World::kPeerDeadAbortCode;
+    res.status = mpisim::World::kPeerDeadAbortCode;
+    if (Runtime* cur = Runtime::current())
+      if (auto* w = cur->world()) w->kill_rank(e.rank());
   } catch (...) {
     // Join the rank threads before moving g_runtime: their reads of the
     // installed pointer must happen-before the uninstall() write.
@@ -667,6 +748,9 @@ RunResult run(const std::vector<std::string>& args,
     // case where the engine never came to life (corrupt .prl).
     if (!info.replay.empty()) res.replay = info.replay;
     res.replay_diverged = res.replay_diverged || info.replay_diverged;
+    res.fault = info.fault;
+    res.crashed_ranks = info.crashed_ranks;
+    res.fault_schedule = info.fault_schedule;
   }
   return res;
 }

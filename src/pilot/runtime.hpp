@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analyze/topology.hpp"
+#include "fault/injector.hpp"
 #include "mpisim/world.hpp"
 #include "pilot/entities.hpp"
 #include "replay/engine.hpp"
@@ -110,6 +111,12 @@ public:
     /// the RP06 unused-events warning. Empty without replay.
     analyze::Report replay;
     bool replay_diverged = false;
+    /// Fault-injection outcome (-pifault=): FJ-series diagnostics for every
+    /// fault that fired, the ranks killed, and the deterministic schedule
+    /// dump chaos tests compare across runs. Empty without the option.
+    analyze::Report fault;
+    std::vector<int> crashed_ranks;
+    std::string fault_schedule;
   };
   [[nodiscard]] const RunInfo& run_info() const { return run_info_; }
   [[nodiscard]] const Options& options() const { return opts_; }
@@ -169,6 +176,11 @@ private:
   /// stop_main share it).
   void finalize_rank(mpisim::Comm& c);
 
+  /// Collect fault-injection outcomes (FJ diagnostics, crashed ranks, the
+  /// schedule dump) into run_info(). Idempotent; stop_main and teardown
+  /// both call it.
+  void harvest_fault();
+
   /// Replay enforcement: spin until `chan` has data, or raise RP04 via the
   /// engine once its timeout elapses without the recorded outcome.
   void wait_channel_ready(mpisim::Comm& c, const Channel& chan, int subject_id,
@@ -190,6 +202,7 @@ private:
   std::unique_ptr<LogViz> logviz_;
   std::unique_ptr<Service> service_;
   std::unique_ptr<replay::Engine> replay_;
+  std::unique_ptr<fault::Injector> fault_;
   int service_rank_ = -1;
 
   RunInfo run_info_;
@@ -207,6 +220,9 @@ struct RunResult {
   analyze::Report lint;    ///< analyze-service findings (-pisvc=a)
   analyze::Report replay;  ///< replay divergence findings (-pireplay=)
   bool replay_diverged = false;
+  analyze::Report fault;           ///< fault-injection findings (-pifault=)
+  std::vector<int> crashed_ranks;  ///< ranks killed by fault injection
+  std::string fault_schedule;      ///< deterministic fault-schedule dump
 };
 
 /// Run a Pilot program (its "main") under a fresh runtime with the given

@@ -64,12 +64,16 @@ Log parse(const std::vector<std::uint8_t>& bytes) {
   if (log.version != kFormatVersion)
     throw util::IoError(util::strprintf(".prl version %u unsupported (expected %u)",
                                         log.version, kFormatVersion));
-  const std::uint32_t nranks = r.u32();
+  // Counts come from untrusted bytes: bound them by the remaining input
+  // (each rank needs its 8-byte event count; each event at least its kind
+  // byte) so corruption fails as IoError, not as a huge allocation.
+  const std::uint32_t nranks =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 8));
   log.per_rank.resize(nranks);
   for (std::uint32_t rank = 0; rank < nranks; ++rank) {
-    const std::uint64_t count = r.u64();
+    const std::size_t count = r.checked_count(r.u64(), 1);
     auto& events = log.per_rank[rank];
-    events.reserve(static_cast<std::size_t>(count));
+    events.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
       Event e;
       const std::uint8_t k = r.u8();

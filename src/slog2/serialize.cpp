@@ -36,22 +36,26 @@ Preview read_preview(util::ByteReader& r) {
   Preview pv;
   pv.nbuckets = r.i32();
   pv.arrow_count = r.u32();
-  const std::uint32_t nstate = r.u32();
+  // Bucket/entry counts are untrusted: bound them by the remaining bytes
+  // (smallest per-entry encoding) so corruption is IoError, not bad_alloc.
+  const std::uint32_t nstate =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 8));
   for (std::uint32_t i = 0; i < nstate; ++i) {
     const std::int32_t cat = r.i32();
-    const std::uint32_t n = r.u32();
+    const std::size_t n = r.checked_count(r.u32(), 8);
     auto& buckets = pv.state_occupancy[cat];
     buckets.reserve(n);
-    for (std::uint32_t j = 0; j < n; ++j)
+    for (std::size_t j = 0; j < n; ++j)
       buckets.push_back(static_cast<float>(r.f64()));
   }
-  const std::uint32_t nevent = r.u32();
+  const std::uint32_t nevent =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 8));
   for (std::uint32_t i = 0; i < nevent; ++i) {
     const std::int32_t cat = r.i32();
-    const std::uint32_t n = r.u32();
+    const std::size_t n = r.checked_count(r.u32(), 4);
     auto& buckets = pv.event_counts[cat];
     buckets.reserve(n);
-    for (std::uint32_t j = 0; j < n; ++j) buckets.push_back(r.u32());
+    for (std::size_t j = 0; j < n; ++j) buckets.push_back(r.u32());
   }
   return pv;
 }
@@ -88,9 +92,11 @@ void write_payload(util::ByteWriter& w, const Frame& f) {
 }
 
 void read_payload(util::ByteReader& r, Frame* f) {
-  const std::uint32_t nstates = r.u32();
+  // Drawable counts are untrusted; bound each by the remaining bytes at the
+  // smallest conceivable per-entry size before reserving.
+  const std::size_t nstates = r.checked_count(r.u32(), 4);
   f->states.reserve(nstates);
-  for (std::uint32_t i = 0; i < nstates; ++i) {
+  for (std::size_t i = 0; i < nstates; ++i) {
     StateDrawable s;
     s.category_id = r.i32();
     s.rank = r.i32();
@@ -101,9 +107,9 @@ void read_payload(util::ByteReader& r, Frame* f) {
     s.end_text = r.str();
     f->states.push_back(std::move(s));
   }
-  const std::uint32_t nevents = r.u32();
+  const std::size_t nevents = r.checked_count(r.u32(), 4);
   f->events.reserve(nevents);
-  for (std::uint32_t i = 0; i < nevents; ++i) {
+  for (std::size_t i = 0; i < nevents; ++i) {
     EventDrawable e;
     e.category_id = r.i32();
     e.rank = r.i32();
@@ -111,9 +117,9 @@ void read_payload(util::ByteReader& r, Frame* f) {
     e.text = r.str();
     f->events.push_back(std::move(e));
   }
-  const std::uint32_t narrows = r.u32();
+  const std::size_t narrows = r.checked_count(r.u32(), 4);
   f->arrows.reserve(narrows);
-  for (std::uint32_t i = 0; i < narrows; ++i) {
+  for (std::size_t i = 0; i < narrows; ++i) {
     ArrowDrawable a;
     a.src_rank = r.i32();
     a.dst_rank = r.i32();
@@ -212,7 +218,10 @@ Header read_header(util::ByteReader& r) {
   h.t_min = r.f64();
   h.t_max = r.f64();
   h.frame_size = r.u64();
-  const std::uint32_t ncats = r.u32();
+  // A category is at least id + kind + three length prefixes = 17 bytes, so
+  // a hostile count fails as a parse error before the reserve below.
+  const std::uint32_t ncats =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 17));
   h.categories.reserve(ncats);
   for (std::uint32_t i = 0; i < ncats; ++i) {
     Category c;
@@ -284,7 +293,10 @@ File parse(const std::vector<std::uint8_t>& bytes) {
   file.categories = h.categories;
   file.stats = h.stats;
 
-  const std::uint32_t node_count = r.u32();
+  // A directory entry is at least 44 bytes of fixed fields plus a minimal
+  // preview; checking the count keeps the two reserves below honest.
+  const std::uint32_t node_count =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
   struct NodeMeta {
     double t0, t1;
     std::int32_t depth, left, right;
@@ -323,7 +335,9 @@ File parse(const std::vector<std::uint8_t>& bytes) {
     f->t1 = m.t1;
     f->depth = m.depth;
     f->preview = m.preview;
-    if (m.offset + m.length > blob_len)
+    // Two comparisons, not `offset + length > blob_len`: hostile u64s can
+    // wrap the sum back under the limit.
+    if (m.length > blob_len || m.offset > blob_len - m.length)
       throw util::IoError("slog2: frame payload extent out of range");
     util::ByteReader pr(blob + m.offset, m.length);
     read_payload(pr, f.get());
@@ -368,7 +382,8 @@ void Navigator::load(std::vector<std::uint8_t> bytes) {
   categories_ = h.categories;
   stats_ = h.stats;
 
-  const std::uint32_t node_count = r.u32();
+  const std::uint32_t node_count =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
   directory_.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
     DirEntry e;
@@ -387,7 +402,7 @@ void Navigator::load(std::vector<std::uint8_t> bytes) {
   r.skip(blob_len);
   if (!r.at_end()) throw util::IoError("slog2: trailing bytes after payload blob");
   for (const auto& e : directory_)
-    if (e.offset + e.length > blob_len)
+    if (e.length > blob_len || e.offset > blob_len - e.length)
       throw util::IoError("slog2: frame payload extent out of range");
   decoded_.resize(directory_.size());
 }

@@ -99,15 +99,30 @@ public:
     return std::string(reinterpret_cast<const char*>(p), len);
   }
 
-  /// Borrow `n` raw bytes, advancing the cursor.
+  /// Borrow `n` raw bytes, advancing the cursor. The bound check compares
+  /// against the bytes left (never `pos_ + n`, which a hostile length field
+  /// can wrap past the end of size_t).
   const std::uint8_t* take(std::size_t n) {
-    if (pos_ + n > n_)
+    if (n > n_ - pos_)
       throw IoError("ByteReader: truncated input (want " + std::to_string(n) +
                     " bytes at offset " + std::to_string(pos_) + ", have " +
                     std::to_string(n_ - pos_) + ")");
     const std::uint8_t* p = p_ + pos_;
     pos_ += n;
     return p;
+  }
+
+  /// Validate an element count read from untrusted input: each element
+  /// still needs at least `min_bytes` of input, so a hostile count fails
+  /// here as a parse error instead of as a giant allocation downstream.
+  [[nodiscard]] std::size_t checked_count(std::uint64_t n,
+                                          std::size_t min_bytes = 1) const {
+    const std::size_t floor = min_bytes == 0 ? 1 : min_bytes;
+    if (n > remaining() / floor)
+      throw IoError("ByteReader: element count " + std::to_string(n) +
+                    " exceeds the " + std::to_string(remaining()) +
+                    " bytes of remaining input");
+    return static_cast<std::size_t>(n);
   }
 
   void skip(std::size_t n) { take(n); }

@@ -1,0 +1,501 @@
+// Chaos regression suite for -pifault= (see docs/FAULTS.md): a seed-sweep
+// matrix over {crash, delay, truncate} x {lab2-style sum farm, thumbnail
+// pipeline, collision-query Instance A} asserting the headline properties:
+//
+//   * every run either completes or dies with a named FJxx diagnostic —
+//     never a hang (the watchdog + the ctest per-test timeout enforce it),
+//     and a crashed run always leaves a salvageable robust log;
+//   * same seed + same plan => byte-identical fault schedule and identical
+//     salvaged-trace fingerprints (for the two deterministic apps; the
+//     thumbnail pipeline hands work to "the next available worker", so only
+//     its plan — not its message set — is run-stable);
+//   * a crash-at-event-N salvage is exactly the fault-free run's prefix;
+//   * fault plans compose with -pirecord=/-pireplay=.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <variant>
+#include <vector>
+
+#include "analyze/tracecheck.hpp"
+#include "clog2/clog2.hpp"
+#include "fault/plan.hpp"
+#include "mpe/mpe.hpp"
+#include "mpisim/world.hpp"
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "replay/crosscheck.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+#include "workloads/collision_app.hpp"
+#include "workloads/thumbnail_app.hpp"
+
+namespace {
+
+// --- the lab2-style sum farm (fully deterministic: no selects, no wildcards)
+
+constexpr int kSumWorkers = 3;  // ranks 1..3; PI_MAIN is rank 0
+constexpr int kSumRounds = 4;
+
+PI_CHANNEL* g_sum_to[kSumWorkers];
+PI_CHANNEL* g_sum_from[kSumWorkers];
+
+int sum_worker(int index, void*) {
+  for (int r = 0; r < kSumRounds; ++r) {
+    int base = 0;
+    PI_Read(g_sum_to[index], "%d", &base);
+    int sum = 0;
+    for (int v = 0; v < 100; ++v) sum += base + v;
+    PI_Write(g_sum_from[index], "%d", sum);
+  }
+  return 0;
+}
+
+pilot::RunResult run_sum_raw(std::vector<std::string> args,
+                             long long* total_out = nullptr) {
+  args.insert(args.begin(), "prog");
+  return pilot::run(args, [total_out](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kSumWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(sum_worker, i, nullptr);
+      g_sum_to[i] = PI_CreateChannel(PI_MAIN, w);
+      g_sum_from[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_StartAll();
+    long long total = 0;
+    for (int r = 0; r < kSumRounds; ++r) {
+      for (int i = 0; i < kSumWorkers; ++i)
+        PI_Write(g_sum_to[i], "%d", r * 10 + i);
+      for (int i = 0; i < kSumWorkers; ++i) {
+        int s = 0;
+        PI_Read(g_sum_from[i], "%d", &s);
+        total += s;
+      }
+    }
+    if (total_out) *total_out = total;
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+pilot::RunResult run_sum(std::vector<std::string> extra,
+                         long long* total_out = nullptr) {
+  std::vector<std::string> args = {"-piwatchdog=20", "-pisvc=j", "-pirobust"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return run_sum_raw(std::move(args), total_out);
+}
+
+// --- scenario matrix ---------------------------------------------------------
+
+enum class App { kSum, kThumbnail, kInstanceA };
+enum class Kind { kCrash, kDelay, kTrunc };
+
+const char* app_name(App a) {
+  switch (a) {
+    case App::kSum: return "Sum";
+    case App::kThumbnail: return "Thumbnail";
+    case App::kInstanceA: return "InstanceA";
+  }
+  return "?";
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCrash: return "Crash";
+    case Kind::kDelay: return "Delay";
+    case Kind::kTrunc: return "Trunc";
+  }
+  return "?";
+}
+
+int app_nranks(App a) {
+  // Sum / Instance A: PI_MAIN + 3 workers. Thumbnail: PI_MAIN + the
+  // compressor (rank 1) + 3 decompressors.
+  return a == App::kThumbnail ? 5 : 1 + kSumWorkers;
+}
+
+/// Deterministic per-(kind, seed) plan. Victims are never rank 0 here (the
+/// focused tests below cover killing PI_MAIN); crash ordinals deliberately
+/// overshoot sometimes, so part of the sweep completes fault-free.
+std::string plan_for(App app, Kind kind, int seed) {
+  const int victim = 1 + seed % (app_nranks(app) - 1);
+  switch (kind) {
+    case Kind::kCrash:
+      // Ordinals 1..24 deliberately span three regimes: inside startup
+      // (hollow-but-salvageable log), mid-run, and past the victim's last
+      // call (the crash never fires and the run completes cleanly).
+      return util::strprintf("seed=%d;grace=0.4;crash=%d@%s:%d", seed, victim,
+                             seed % 2 == 1 ? "event" : "call",
+                             1 + (seed * 7) % 24);
+    case Kind::kDelay:
+      return util::strprintf("seed=%d;delay=0.6:2", seed);
+    case Kind::kTrunc:
+      return util::strprintf("seed=%d;trunc=%d@write:%d:%d", seed, victim,
+                             1 + seed % 5, seed % 3);
+  }
+  return "";
+}
+
+pilot::RunResult run_scenario(App app, const util::TempDir& dir,
+                              const std::string& name,
+                              const std::string& plan) {
+  std::vector<std::string> extra = {"-piout=" + dir.path().string(),
+                                    "-piname=" + name, "-pifault=" + plan};
+  switch (app) {
+    case App::kSum:
+      return run_sum(extra);
+    case App::kThumbnail: {
+      workloads::thumbnail::Config cfg;
+      cfg.files = 8;
+      cfg.workers = 3;
+      cfg.image_size = 16;
+      cfg.pilot_args = {"-piwatchdog=20", "-pisvc=j", "-pirobust"};
+      for (auto& a : extra) cfg.pilot_args.push_back(std::move(a));
+      return workloads::thumbnail::run_app(cfg).run;
+    }
+    case App::kInstanceA: {
+      workloads::collisions::AppConfig cfg;
+      cfg.variant = workloads::collisions::Variant::kInstanceA;
+      cfg.workers = 3;
+      cfg.records = 2000;
+      cfg.query_rounds = 2;
+      cfg.costs.parse_per_byte = 0;
+      cfg.costs.query_per_record = 0;
+      cfg.pilot_args = {"-piwatchdog=20", "-pisvc=j", "-pirobust"};
+      for (auto& a : extra) cfg.pilot_args.push_back(std::move(a));
+      return workloads::collisions::run_app(cfg).run;
+    }
+  }
+  return {};
+}
+
+std::size_t instance_count(const clog2::File& f) {
+  return f.count<clog2::EventRec>() + f.count<clog2::MsgRec>();
+}
+
+std::string salvaged_fingerprint(const std::filesystem::path& base) {
+  return replay::trace_fingerprint(mpe::salvage(base.string()));
+}
+
+/// The matrix invariant: completed cleanly, or died as the named dead-peer
+/// abort with FJ diagnostics and a salvageable robust log. Never a watchdog
+/// timeout, never a deadlock, never an unnamed failure.
+void check_one_run(const pilot::RunResult& res, Kind kind,
+                   const std::filesystem::path& base) {
+  EXPECT_NE(res.abort_code, mpisim::World::kWatchdogAbortCode)
+      << "hang: only the watchdog stopped this run";
+  EXPECT_FALSE(res.deadlock) << res.deadlock_report;
+  if (kind != Kind::kCrash) {
+    EXPECT_FALSE(res.aborted) << "delay/trunc faults must never kill a run:\n"
+                              << res.fault.to_text();
+  }
+  if (res.aborted) {
+    EXPECT_EQ(res.abort_code, mpisim::World::kPeerDeadAbortCode);
+    EXPECT_FALSE(res.crashed_ranks.empty());
+    EXPECT_TRUE(res.fault.has("FJ10")) << res.fault.to_text();
+    EXPECT_TRUE(res.fault.has("FJ11")) << res.fault.to_text();
+    // The crashed run's spills always salvage: never a throw, and the result
+    // round-trips through the regular CLOG-2 reader. A crash that lands in
+    // startup (before the clock-sync barrier completes) legitimately leaves
+    // zero instance records — hollow, but salvageable.
+    clog2::File salvaged;
+    ASSERT_NO_THROW(salvaged = mpe::salvage(base.string()))
+        << "unsalvageable log at " << base;
+    ASSERT_NO_THROW(clog2::parse(clog2::serialize(salvaged)));
+  } else {
+    EXPECT_EQ(res.status, 0);
+    EXPECT_FALSE(res.fault.has("FJ10")) << res.fault.to_text();
+    // Clean completion finalizes the full visual log as usual.
+    const auto clog = base.string() + ".clog2";
+    ASSERT_TRUE(std::filesystem::exists(clog)) << clog;
+    EXPECT_GT(instance_count(clog2::read_file(clog)), 0u);
+    if (kind == Kind::kTrunc && res.fault.has("FJ20")) {
+      EXPECT_EQ(res.fault.count(analyze::Severity::kError), 0u)
+          << res.fault.to_text();
+    }
+  }
+}
+
+class ChaosMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ChaosMatrix, CompletesOrDiesNamedAndReproducibly) {
+  const App app = static_cast<App>(std::get<0>(GetParam()));
+  const Kind kind = static_cast<Kind>(std::get<1>(GetParam()));
+  const int seed = std::get<2>(GetParam());
+  const std::string plan = plan_for(app, kind, seed);
+  SCOPED_TRACE("plan: " + plan);
+
+  util::TempDir dir;
+  const auto a = run_scenario(app, dir, "a", plan);
+  check_one_run(a, kind, dir.file("a"));
+  const auto b = run_scenario(app, dir, "b", plan);
+  check_one_run(b, kind, dir.file("b"));
+
+  // The canonical plan heads every schedule dump.
+  const std::string plan_text =
+      "# fault schedule\n" + fault::parse_spec(plan).to_text();
+  EXPECT_TRUE(util::starts_with(a.fault_schedule, plan_text))
+      << a.fault_schedule;
+
+  // Determinism across the re-run. The sum farm and Instance A are fully
+  // deterministic programs, so the whole schedule — and the (salvaged)
+  // trace — must reproduce byte-for-byte. The thumbnail pipeline's message
+  // set is timing-dependent (PI_Select), so for it the invariants above and
+  // the plan prefix are the contract.
+  if (app != App::kThumbnail) {
+    EXPECT_EQ(a.fault_schedule, b.fault_schedule);
+    ASSERT_EQ(a.aborted, b.aborted);
+    if (a.aborted) {
+      EXPECT_EQ(a.crashed_ranks, b.crashed_ranks);
+      EXPECT_EQ(salvaged_fingerprint(dir.file("a")),
+                salvaged_fingerprint(dir.file("b")));
+    } else {
+      EXPECT_EQ(
+          replay::trace_fingerprint(clog2::read_file(dir.file("a.clog2"))),
+          replay::trace_fingerprint(clog2::read_file(dir.file("b.clog2"))));
+    }
+  } else {
+    EXPECT_TRUE(util::starts_with(b.fault_schedule, plan_text))
+        << b.fault_schedule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChaosMatrix,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 3),
+                       ::testing::Range(1, 21)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& p) {
+      return util::strprintf("%s_%s_seed%d",
+                             app_name(static_cast<App>(std::get<0>(p.param))),
+                             kind_name(static_cast<Kind>(std::get<1>(p.param))),
+                             std::get<2>(p.param));
+    });
+
+// --- focused determinism / acceptance properties -----------------------------
+
+TEST(FaultDeterminism, ThreeRunsProduceIdenticalScheduleAndSalvage) {
+  util::TempDir dir;
+  const std::string plan = "seed=5;grace=0.4;crash=2@call:6";
+  std::vector<std::string> schedules, fingerprints;
+  for (const std::string name : {"r0", "r1", "r2"}) {
+    const auto res = run_sum({"-piout=" + dir.path().string(),
+                              "-piname=" + name, "-pifault=" + plan});
+    ASSERT_TRUE(res.aborted);
+    EXPECT_EQ(res.abort_code, mpisim::World::kPeerDeadAbortCode);
+    EXPECT_EQ(res.crashed_ranks, (std::vector<int>{2}));
+    // The survivor diagnostic names the crashed rank.
+    ASSERT_TRUE(res.fault.has("FJ11")) << res.fault.to_text();
+    EXPECT_NE(res.fault.with_id("FJ11").front().message.find("2"),
+              std::string::npos);
+    schedules.push_back(res.fault_schedule);
+    fingerprints.push_back(salvaged_fingerprint(dir.file(name)));
+  }
+  EXPECT_EQ(schedules[0], schedules[1]);
+  EXPECT_EQ(schedules[0], schedules[2]);
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+  EXPECT_NE(schedules[0].find("fired crash-call rank 2 #6"), std::string::npos)
+      << schedules[0];
+}
+
+/// Timestamp-free projection of one rank's instance records (event texts are
+/// dropped: some popups embed wall-clock durations).
+std::vector<std::string> rank_projection(const clog2::File& f, int rank) {
+  std::vector<std::string> out;
+  for (const auto& rec : f.records) {
+    if (const auto* e = std::get_if<clog2::EventRec>(&rec)) {
+      if (e->rank == rank) out.push_back(util::strprintf("e:%d", e->event_id));
+    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
+      if (m->rank == rank)
+        out.push_back(util::strprintf(
+            "m:%s:%d:%d:%u", m->kind == clog2::MsgRec::Kind::kSend ? "s" : "r",
+            m->partner, m->tag, m->size));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> report_ids(const analyze::Report& rep) {
+  std::vector<std::string> ids;
+  for (const auto& d : rep.diagnostics()) ids.push_back(d.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(FaultDeterminism, EventCrashSalvageIsExactlyTheFaultFreePrefix) {
+  util::TempDir dir;
+  constexpr int kVictim = 1;
+  constexpr std::uint64_t kN = 6;  // kill rank 1 after its 6th logged record
+
+  const auto clean = run_sum(
+      {"-piout=" + dir.path().string(), "-piname=clean"});
+  ASSERT_FALSE(clean.aborted);
+  const clog2::File full = clog2::read_file(dir.file("clean.clog2"));
+
+  const auto crashed = run_sum(
+      {"-piout=" + dir.path().string(), "-piname=crash",
+       util::strprintf("-pifault=grace=0.4;crash=%d@event:%llu", kVictim,
+                       static_cast<unsigned long long>(kN))});
+  ASSERT_TRUE(crashed.aborted);
+  const clog2::File salvaged = mpe::salvage(dir.file("crash").string());
+
+  // The victim's salvaged stream is exactly its first N logged records of
+  // the fault-free run; every survivor's stream is a prefix of its own.
+  const auto victim_clean = rank_projection(full, kVictim);
+  const auto victim_salvaged = rank_projection(salvaged, kVictim);
+  ASSERT_EQ(victim_salvaged.size(), kN);
+  ASSERT_GE(victim_clean.size(), kN);
+  EXPECT_TRUE(std::equal(victim_salvaged.begin(), victim_salvaged.end(),
+                         victim_clean.begin()))
+      << "victim stream is not the fault-free prefix";
+  for (int r = 0; r < 1 + kSumWorkers; ++r) {
+    const auto pre = rank_projection(salvaged, r);
+    const auto ref = rank_projection(full, r);
+    ASSERT_LE(pre.size(), ref.size()) << "rank " << r;
+    EXPECT_TRUE(std::equal(pre.begin(), pre.end(), ref.begin()))
+        << "rank " << r << " salvaged stream diverges from the clean run";
+  }
+
+  // pilot-tracecheck's verdict on the salvage equals its verdict on the
+  // fault-free trace truncated to the same per-rank prefix.
+  clog2::File truncated;
+  truncated.nranks = full.nranks;
+  std::vector<std::size_t> budget(static_cast<std::size_t>(full.nranks));
+  for (int r = 0; r < full.nranks; ++r)
+    budget[static_cast<std::size_t>(r)] =
+        rank_projection(salvaged, r).size();
+  for (const auto& rec : full.records) {
+    int rank = -1;
+    if (const auto* e = std::get_if<clog2::EventRec>(&rec)) rank = e->rank;
+    if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) rank = m->rank;
+    if (rank < 0) {
+      if (!std::holds_alternative<clog2::SyncRec>(rec))
+        truncated.records.push_back(rec);  // defs/consts
+      continue;
+    }
+    auto& left = budget[static_cast<std::size_t>(rank)];
+    if (left > 0) {
+      truncated.records.push_back(rec);
+      --left;
+    }
+  }
+  EXPECT_EQ(report_ids(analyze::check_trace(salvaged)),
+            report_ids(analyze::check_trace(truncated)));
+}
+
+TEST(FaultCompose, PlansComposeWithRecordAndReplay) {
+  util::TempDir dir;
+  const std::string prl = dir.file("chaos.prl").string();
+  const std::string plan = "seed=8;grace=0.4;delay=1:2;crash=3@call:7";
+
+  const auto rec = run_sum({"-piout=" + dir.path().string(), "-piname=rec",
+                            "-pifault=" + plan, "-pirecord=" + prl});
+  ASSERT_TRUE(rec.aborted);
+  EXPECT_EQ(rec.crashed_ranks, (std::vector<int>{3}));
+  EXPECT_NE(rec.fault_schedule.find("delayed"), std::string::npos)
+      << rec.fault_schedule;
+
+  const auto rep = run_sum({"-piout=" + dir.path().string(), "-piname=rep",
+                            "-pifault=" + plan, "-pireplay=" + prl});
+  ASSERT_TRUE(rep.aborted);
+  EXPECT_FALSE(rep.replay_diverged) << rep.replay.to_text();
+  EXPECT_EQ(rep.crashed_ranks, rec.crashed_ranks);
+  EXPECT_EQ(rep.fault_schedule, rec.fault_schedule);
+  EXPECT_EQ(salvaged_fingerprint(dir.file("rec")),
+            salvaged_fingerprint(dir.file("rep")));
+}
+
+TEST(FaultRuntime, KillingMainRankIsCleanlyReported) {
+  util::TempDir dir;
+  const auto res = run_sum({"-piout=" + dir.path().string(), "-piname=m",
+                            "-pifault=grace=0.2;crash=0@call:4"});
+  EXPECT_TRUE(res.aborted);
+  EXPECT_EQ(res.abort_code, mpisim::World::kPeerDeadAbortCode);
+  ASSERT_FALSE(res.crashed_ranks.empty());
+  EXPECT_EQ(res.crashed_ranks.front(), 0);
+  ASSERT_TRUE(res.fault.has("FJ10")) << res.fault.to_text();
+  EXPECT_EQ(res.fault.with_id("FJ10").front().subject, "rank 0");
+}
+
+TEST(FaultRuntime, CombinedTruncAndCrashStillSalvages) {
+  util::TempDir dir;
+  const auto res = run_sum(
+      {"-piout=" + dir.path().string(), "-piname=c",
+       "-pifault=grace=0.4;trunc=1@write:3:2;crash=2@call:6"});
+  ASSERT_TRUE(res.aborted);
+  EXPECT_TRUE(res.fault.has("FJ10")) << res.fault.to_text();
+  EXPECT_TRUE(res.fault.has("FJ20")) << res.fault.to_text();
+  const clog2::File salvaged = mpe::salvage(dir.file("c").string());
+  EXPECT_GT(instance_count(salvaged), 0u);
+  // Rank 1's spill tore at its 3rd record write: salvage keeps the 2-record
+  // prefix (instance or sync records alike) and drops the torn tail.
+  std::size_t rank1_records = 0;
+  for (const auto& rec : salvaged.records)
+    std::visit(
+        [&](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, clog2::EventRec> ||
+                        std::is_same_v<T, clog2::MsgRec> ||
+                        std::is_same_v<T, clog2::SyncRec>) {
+            if (r.rank == 1) ++rank1_records;
+          }
+        },
+        rec);
+  EXPECT_EQ(rank1_records, 2u);
+}
+
+TEST(FaultRuntime, IncompatibleOptionsRejectedWithFJ02) {
+  util::TempDir dir;
+  const std::string out = "-piout=" + dir.path().string();
+  // crash@event needs the MPE logger (-pisvc=j).
+  try {
+    run_sum_raw({"-piwatchdog=20", out, "-pifault=crash=1@event:3"});
+    FAIL() << "event crash accepted without -pisvc=j";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ02"), std::string::npos) << e.what();
+  }
+  // trunc needs robust spilling (-pisvc=j -pirobust).
+  try {
+    run_sum_raw({"-piwatchdog=20", "-pisvc=j", out,
+                 "-pifault=trunc=1@write:2"});
+    FAIL() << "trunc accepted without -pirobust";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ02"), std::string::npos) << e.what();
+  }
+  // A victim rank outside the topology is rejected at PI_StartAll.
+  try {
+    run_sum({out, "-piname=oor", "-pifault=crash=9@call:1"});
+    FAIL() << "crash rank 9 accepted in a 4-rank job";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ02"), std::string::npos) << e.what();
+  }
+  // A malformed spec is FJ01 at PI_Configure.
+  try {
+    run_sum({out, "-piname=bad", "-pifault=crash=oops"});
+    FAIL() << "malformed spec accepted";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ01"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultRuntime, DelayedRunStillComputesTheRightAnswer) {
+  util::TempDir dir;
+  long long plain = 0, delayed = 0;
+  ASSERT_FALSE(run_sum({"-piout=" + dir.path().string(), "-piname=p"}, &plain)
+                   .aborted);
+  const auto res = run_sum({"-piout=" + dir.path().string(), "-piname=d",
+                            "-pifault=seed=11;delay=1:3"},
+                           &delayed);
+  ASSERT_FALSE(res.aborted);
+  EXPECT_EQ(plain, delayed);
+  EXPECT_NE(res.fault_schedule.find("delayed"), std::string::npos)
+      << res.fault_schedule;
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+// Adversarial-input tests for the three on-disk formats (CLOG-2, SLOG-2,
+// .prl) and the spill salvager, driven from the checked-in golden corpus in
+// tests/fixtures (regenerate with the `fixtures` target):
+//
+//   * library level: parse() of every truncation length and of single-bit
+//     flips at every byte either succeeds or throws util::Error — never a
+//     crash, never UB (the sanitize presets run this suite too);
+//   * tool level: pilot-clog2print / pilot-slog2print / pilot-replayprint
+//     exit nonzero with a diagnostic exactly when the library rejects the
+//     bytes, and never die on a signal;
+//   * mpe::salvage tolerates torn and corrupted spill streams (that is its
+//     job), and pilot-logsalvage refuses an empty spill set loudly instead
+//     of writing a hollow trace.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "clog2/clog2.hpp"
+#include "mpe/mpe.hpp"
+#include "replay/prl.hpp"
+#include "slog2/slog2.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+#ifndef PILOT_TOOL_DIR
+#error "PILOT_TOOL_DIR must be defined by the build"
+#endif
+#ifndef PILOT_FIXTURE_DIR
+#error "PILOT_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(PILOT_FIXTURE_DIR) / name;
+}
+
+std::string tool(const std::string& name) {
+  return std::string(PILOT_TOOL_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> load(const std::string& name) {
+  const auto bytes = util::read_file(fixture(name));
+  EXPECT_FALSE(bytes.empty()) << "missing fixture " << name
+                              << " (run the `fixtures` target)";
+  return bytes;
+}
+
+/// Exit status of `cmd` with output captured (-1 if killed by a signal —
+/// always a test failure here).
+int run_status(const std::string& cmd, std::string* out = nullptr) {
+  static const std::string capture =
+      "/tmp/pilot_fuzz_test." + std::to_string(::getpid()) + ".out";
+  const int rc = std::system((cmd + " > " + capture + " 2>&1").c_str());
+  if (out) *out = util::read_text_file(capture);
+  std::filesystem::remove(capture);
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+/// parse() under corruption must either succeed or throw util::Error.
+/// Returns true when the bytes parsed cleanly.
+template <typename ParseFn>
+bool parses(const ParseFn& parse, const std::vector<std::uint8_t>& bytes) {
+  try {
+    parse(bytes);
+    return true;
+  } catch (const util::Error&) {
+    return false;
+  }
+  // Anything else (std::bad_alloc from a hostile length field, a raw
+  // std::exception, a sanitizer report) escapes and fails the test.
+}
+
+template <typename ParseFn>
+void fuzz_format(const std::string& name, const ParseFn& parse) {
+  const auto bytes = load(name);
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_TRUE(parses(parse, bytes)) << name << " fixture does not parse";
+
+  // Every truncation length, including the empty file.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    SCOPED_TRACE(name + " truncated to " + std::to_string(n));
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(n));
+    parses(parse, cut);
+  }
+  // Single-bit and whole-byte flips at every position.
+  for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                                  std::uint8_t{0xff}}) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      SCOPED_TRACE(name + ": flip 0x" + std::to_string(mask) + " at byte " +
+                   std::to_string(i));
+      auto mutated = bytes;
+      mutated[i] ^= mask;
+      parses(parse, mutated);
+    }
+  }
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.insert(padded.end(), {0xde, 0xad, 0xbe, 0xef});
+  parses(parse, padded);
+}
+
+TEST(FuzzParsers, Clog2SurvivesTruncationAndBitFlips) {
+  fuzz_format("tiny.clog2",
+              [](const std::vector<std::uint8_t>& b) { clog2::parse(b); });
+  // The fixture must reject every strict prefix: the format carries an
+  // explicit record count and end marker.
+  const auto bytes = load("tiny.clog2");
+  for (std::size_t n = 0; n < bytes.size(); ++n)
+    EXPECT_FALSE(parses(
+        [](const std::vector<std::uint8_t>& b) { clog2::parse(b); },
+        {bytes.begin(), bytes.begin() + static_cast<long>(n)}))
+        << "prefix length " << n << " accepted";
+}
+
+TEST(FuzzParsers, Slog2SurvivesTruncationAndBitFlips) {
+  fuzz_format("tiny.slog2",
+              [](const std::vector<std::uint8_t>& b) { slog2::parse(b); });
+}
+
+TEST(FuzzParsers, PrlSurvivesTruncationAndBitFlips) {
+  fuzz_format("tiny.prl",
+              [](const std::vector<std::uint8_t>& b) { replay::parse(b); });
+  const auto bytes = load("tiny.prl");
+  for (std::size_t n = 0; n < bytes.size(); ++n)
+    EXPECT_FALSE(parses(
+        [](const std::vector<std::uint8_t>& b) { replay::parse(b); },
+        {bytes.begin(), bytes.begin() + static_cast<long>(n)}))
+        << "prefix length " << n << " accepted";
+}
+
+// --- the print tools must track the library's verdict ------------------------
+
+struct ToolCase {
+  const char* fixture_name;
+  const char* tool_name;
+  bool (*lib_ok)(const std::vector<std::uint8_t>&);
+};
+
+void fuzz_tool(const ToolCase& tc) {
+  const auto bytes = load(tc.fixture_name);
+  ASSERT_FALSE(bytes.empty());
+  util::TempDir dir;
+  const auto probe = [&](const std::vector<std::uint8_t>& mutated,
+                         const std::string& label) {
+    const auto path = dir.file("corrupt.bin");
+    util::write_file(path, mutated);
+    std::string out;
+    const int status =
+        run_status(tool(tc.tool_name) + " " + path.string(), &out);
+    ASSERT_GE(status, 0) << tc.tool_name << " died on a signal (" << label
+                         << ")";
+    if (tc.lib_ok(mutated)) {
+      EXPECT_EQ(status, 0) << label << "\n" << out;
+    } else {
+      EXPECT_NE(status, 0) << label << " accepted\n" << out;
+      EXPECT_NE(out.find("error"), std::string::npos)
+          << label << ": no diagnostic printed:\n"
+          << out;
+    }
+  };
+
+  // A spread of truncation lengths (every 7th byte plus the edges) and a
+  // few corrupting flips; the exhaustive sweep is library-level above.
+  std::vector<std::size_t> cuts = {0, 1, bytes.size() / 2, bytes.size() - 1};
+  for (std::size_t n = 0; n < bytes.size(); n += 7) cuts.push_back(n);
+  for (const std::size_t n : cuts)
+    probe({bytes.begin(), bytes.begin() + static_cast<long>(n)},
+          "truncated to " + std::to_string(n));
+  for (const std::size_t i :
+       {std::size_t{0}, bytes.size() / 3, (2 * bytes.size()) / 3,
+        bytes.size() - 1}) {
+    auto mutated = bytes;
+    mutated[i] ^= 0x80;
+    probe(mutated, "bit flip at byte " + std::to_string(i));
+  }
+  probe(bytes, "pristine fixture");
+}
+
+TEST(FuzzTools, Clog2PrintNeverCrashes) {
+  fuzz_tool({"tiny.clog2", "pilot-clog2print",
+             [](const std::vector<std::uint8_t>& b) {
+               return parses(
+                   [](const std::vector<std::uint8_t>& x) { clog2::parse(x); },
+                   b);
+             }});
+}
+
+TEST(FuzzTools, Slog2PrintNeverCrashes) {
+  fuzz_tool({"tiny.slog2", "pilot-slog2print",
+             [](const std::vector<std::uint8_t>& b) {
+               return parses(
+                   [](const std::vector<std::uint8_t>& x) { slog2::parse(x); },
+                   b);
+             }});
+}
+
+TEST(FuzzTools, ReplayPrintNeverCrashes) {
+  fuzz_tool({"tiny.prl", "pilot-replayprint",
+             [](const std::vector<std::uint8_t>& b) {
+               return parses(
+                   [](const std::vector<std::uint8_t>& x) { replay::parse(x); },
+                   b);
+             }});
+}
+
+// --- salvage under corruption ------------------------------------------------
+
+void copy_salvage_fixtures(const util::TempDir& dir, const std::string& base) {
+  for (const char* suffix : {".defs.spill", ".rank0.spill", ".rank1.spill"})
+    std::filesystem::copy_file(
+        fixture("salvage" + std::string(suffix)), dir.file(base + suffix),
+        std::filesystem::copy_options::overwrite_existing);
+}
+
+TEST(FuzzSalvage, ToleratesTornAndCorruptedSpills) {
+  const auto rank0 = load("salvage.rank0.spill");
+  util::TempDir dir;
+  copy_salvage_fixtures(dir, "s");
+  const clog2::File whole = mpe::salvage(dir.file("s").string());
+  const std::size_t whole_count =
+      whole.count<clog2::EventRec>() + whole.count<clog2::MsgRec>();
+  ASSERT_GT(whole_count, 0u);
+
+  // Any torn tail on one rank's stream: salvage keeps the prefix, drops the
+  // tail, and never reports more than the intact stream held.
+  for (std::size_t n = 0; n < rank0.size(); ++n) {
+    SCOPED_TRACE("rank0 spill truncated to " + std::to_string(n));
+    util::write_file(dir.file("s.rank0.spill"),
+                     std::vector<std::uint8_t>(
+                         rank0.begin(), rank0.begin() + static_cast<long>(n)));
+    clog2::File got;
+    ASSERT_NO_THROW(got = mpe::salvage(dir.file("s").string()));
+    EXPECT_LE(got.count<clog2::EventRec>() + got.count<clog2::MsgRec>(),
+              whole_count);
+  }
+  // Bit flips may corrupt a record mid-stream; salvage must still come back
+  // with a File (possibly shorter), never crash.
+  for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                                  std::uint8_t{0xff}}) {
+    for (std::size_t i = 0; i < rank0.size(); ++i) {
+      SCOPED_TRACE("rank0 spill flip 0x" + std::to_string(mask) + " at " +
+                   std::to_string(i));
+      auto mutated = rank0;
+      mutated[i] ^= mask;
+      util::write_file(dir.file("s.rank0.spill"), mutated);
+      try {
+        mpe::salvage(dir.file("s").string());
+      } catch (const util::Error&) {
+        // A corrupted definition/record the salvager cannot skip is allowed
+        // to fail loudly — just never crash or hang.
+      }
+    }
+  }
+}
+
+TEST(FuzzSalvage, LogsalvageToolRefusesEmptyAndAcceptsFixture) {
+  util::TempDir dir;
+  // Genuinely empty spill set: defs present, zero-byte rank streams.
+  copy_salvage_fixtures(dir, "e");
+  util::write_file(dir.file("e.rank0.spill"), std::vector<std::uint8_t>{});
+  util::write_file(dir.file("e.rank1.spill"), std::vector<std::uint8_t>{});
+  std::string out;
+  int status = run_status(
+      tool("pilot-logsalvage") + " " + dir.file("e").string(), &out);
+  EXPECT_EQ(status, 1) << out;
+  EXPECT_NE(out.find("no salvageable records"), std::string::npos) << out;
+  EXPECT_FALSE(std::filesystem::exists(dir.file("e.salvaged.clog2")))
+      << "a hollow trace was written anyway";
+
+  // No spill files at all is an error too (not a success with 0 records).
+  status = run_status(
+      tool("pilot-logsalvage") + " " + dir.file("missing").string(), &out);
+  EXPECT_NE(status, 0) << out;
+
+  // The pristine fixture set salvages fine and round-trips through the
+  // regular reader.
+  copy_salvage_fixtures(dir, "s");
+  status = run_status(tool("pilot-logsalvage") + " " + dir.file("s").string(),
+                      &out);
+  EXPECT_EQ(status, 0) << out;
+  const clog2::File f = clog2::read_file(dir.file("s.salvaged.clog2"));
+  EXPECT_EQ(f.nranks, 2);
+  EXPECT_GT(f.count<clog2::EventRec>() + f.count<clog2::MsgRec>(), 0u);
+}
+
+}  // namespace

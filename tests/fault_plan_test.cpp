@@ -1,0 +1,224 @@
+// fault::Plan / fault::Injector unit tests: the -pifault= grammar (FJ01
+// strictness, @FILE plan files, to_text canonicalization) and the
+// injector's deterministic decisions (seeded delays, crash-at-Nth-call,
+// spill truncation, schedule_text stability).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "mpisim/fault_hook.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using fault::CrashPoint;
+using fault::Injector;
+using fault::Plan;
+using fault::parse_spec;
+
+// --- grammar -----------------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const Plan p =
+      parse_spec("seed=42; grace=0.5; delay=0.25:3; crash=2@call:7; "
+                 "crash=1@event:4; trunc=3@write:2:8");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.grace_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(p.delay.prob, 0.25);
+  EXPECT_DOUBLE_EQ(p.delay.max_ms, 3.0);
+  ASSERT_EQ(p.crashes.size(), 2u);
+  ASSERT_EQ(p.truncs.size(), 1u);
+  EXPECT_EQ(p.truncs[0].rank, 3);
+  EXPECT_EQ(p.truncs[0].nth_write, 2u);
+  EXPECT_EQ(p.truncs[0].keep_bytes, 8u);
+  EXPECT_TRUE(p.has_event_crash());
+  EXPECT_TRUE(p.has_trunc());
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, DefaultsAreBenign) {
+  const Plan p;
+  EXPECT_EQ(p.seed, 1u);
+  EXPECT_DOUBLE_EQ(p.grace_seconds, 1.0);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(FaultPlan, ToTextRoundtripsThroughParse) {
+  const Plan p = parse_spec("crash=2@call:7;delay=1:2.5;seed=9;trunc=1@write:3");
+  const Plan q = parse_spec(p.to_text());
+  EXPECT_EQ(p.to_text(), q.to_text());
+  EXPECT_NE(p.to_text().find("seed=9"), std::string::npos);
+  EXPECT_NE(p.to_text().find("crash=2@call:7"), std::string::npos);
+  EXPECT_NE(p.to_text().find("trunc=1@write:3:0"), std::string::npos);
+}
+
+TEST(FaultPlan, MalformedSpecsRaiseFJ01) {
+  const std::vector<std::string> bad = {
+      "",                      // empty
+      ";;",                    // only separators
+      "bogus",                 // no '='
+      "seed=",                 // empty value
+      "seed=-3",               // negative unsigned
+      "seed=abc",              // not a number
+      "grace=-1",              // negative grace
+      "delay=0.5",             // missing jitter bound
+      "delay=2:1",             // probability > 1
+      "delay=0.5:-4",          // negative jitter
+      "crash=1",               // missing '@'
+      "crash=1@step:3",        // unknown crash point
+      "crash=1@call:0",        // 0 is not a 1-based ordinal
+      "crash=9999999@call:1",  // rank out of range
+      "crash=1@call:2;crash=1@event:3",  // duplicate rank
+      "trunc=1@write:0",       // 0 is not a 1-based ordinal
+      "trunc=1@read:2",        // only 'write' is a trunc point
+      "trunc=1@write:1;trunc=1@write:2",  // duplicate rank
+      "turbo=1",               // unknown key
+  };
+  for (const auto& spec : bad) {
+    try {
+      parse_spec(spec);
+      FAIL() << "accepted: '" << spec << "'";
+    } catch (const util::UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find("FJ01"), std::string::npos)
+          << spec << " -> " << e.what();
+    }
+  }
+}
+
+TEST(FaultPlan, PlanFileWithCommentsAndBlanks) {
+  util::TempDir dir;
+  const auto path = dir.file("plan.txt");
+  util::write_file(path, std::string("# chaos scenario 12\n"
+                                     "seed=12\n"
+                                     "\n"
+                                     "grace=0.25   # short grace\n"
+                                     "crash=2@call:5\n"));
+  const Plan p = parse_spec("@" + path.string());
+  EXPECT_EQ(p.seed, 12u);
+  EXPECT_DOUBLE_EQ(p.grace_seconds, 0.25);
+  ASSERT_EQ(p.crashes.size(), 1u);
+  EXPECT_EQ(p.crashes[0].rank, 2);
+  EXPECT_EQ(p.crashes[0].n, 5u);
+}
+
+TEST(FaultPlan, PlanFileMissingOrEmptyFails) {
+  util::TempDir dir;
+  EXPECT_THROW(parse_spec("@" + dir.file("nope.txt").string()), util::Error);
+  const auto empty = dir.file("empty.txt");
+  util::write_file(empty, std::string("# nothing but comments\n\n"));
+  EXPECT_THROW(parse_spec("@" + empty.string()), util::UsageError);
+  EXPECT_THROW(parse_spec("@"), util::UsageError);
+}
+
+// --- injector ----------------------------------------------------------------
+
+TEST(FaultInjector, RejectsOutOfRangeRanksWithFJ02) {
+  try {
+    Injector(parse_spec("crash=5@call:1"), 4);
+    FAIL() << "crash rank 5 accepted in a 4-rank world";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ02"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(Injector(parse_spec("trunc=4@write:1"), 4), util::UsageError);
+  EXPECT_NO_THROW(Injector(parse_spec("crash=3@call:1"), 4));
+}
+
+TEST(FaultInjector, CrashFiresExactlyAtTheNthCall) {
+  Injector inj(parse_spec("crash=1@call:3"), 2);
+  inj.at_call(0, "send");  // other ranks never fire
+  inj.at_call(1, "send");
+  inj.at_call(1, "receive");
+  try {
+    inj.at_call(1, "barrier");
+    FAIL() << "third call on rank 1 did not fire";
+  } catch (const mpisim::RankKilledError& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_NE(std::string(e.what()).find("FJ10"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("barrier"), std::string::npos);
+  }
+  const auto fired = inj.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Injector::Fired::Kind::kCrashCall);
+  EXPECT_EQ(fired[0].rank, 1);
+  EXPECT_EQ(fired[0].n, 3u);
+}
+
+TEST(FaultInjector, EventCrashFiresAfterTheNthLoggedRecord) {
+  Injector inj(parse_spec("crash=1@event:2"), 2);
+  inj.on_logged_record(0, 1);
+  inj.on_logged_record(1, 1);
+  EXPECT_THROW(inj.on_logged_record(1, 2), mpisim::RankKilledError);
+}
+
+TEST(FaultInjector, DelayIsDeterministicPerMessageIdentity) {
+  const Plan plan = parse_spec("seed=77;delay=1:5");
+  Injector a(plan, 4);
+  Injector b(plan, 4);
+  bool any_positive = false;
+  for (std::uint64_t seq = 0; seq < 32; ++seq) {
+    const double d1 = a.message_delay(0, 1, seq, 64);
+    const double d2 = b.message_delay(0, 1, seq, 64);
+    EXPECT_DOUBLE_EQ(d1, d2) << "pair_seq " << seq;
+    EXPECT_GE(d1, 0.0);
+    EXPECT_LE(d1, 0.005 + 1e-12);  // max_ms=5 -> 5 ms bound
+    any_positive = any_positive || d1 > 0.0;
+  }
+  EXPECT_TRUE(any_positive);
+
+  // A different seed reshuffles the schedule.
+  Injector c(parse_spec("seed=78;delay=1:5"), 4);
+  bool any_diff = false;
+  for (std::uint64_t seq = 0; seq < 32; ++seq)
+    any_diff = any_diff ||
+               std::abs(a.message_delay(0, 1, seq, 64) -
+                        c.message_delay(0, 1, seq, 64)) > 1e-12;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, NoDelayClauseMeansNoJitter) {
+  Injector inj(parse_spec("seed=5;crash=1@call:99"), 2);
+  for (std::uint64_t seq = 0; seq < 8; ++seq)
+    EXPECT_DOUBLE_EQ(inj.message_delay(0, 1, seq, 16), 0.0);
+}
+
+TEST(FaultInjector, TruncationTruncatesExactlyOneWrite) {
+  Injector inj(parse_spec("trunc=0@write:2:4"), 1);
+  EXPECT_EQ(inj.spill_write_bytes(0, 1, 100), 100u);
+  EXPECT_EQ(inj.spill_write_bytes(0, 2, 100), 4u);  // the injected tear
+  EXPECT_EQ(inj.spill_write_bytes(0, 3, 100), 100u);
+  const auto fired = inj.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, Injector::Fired::Kind::kTrunc);
+  EXPECT_EQ(fired[0].n, 2u);
+}
+
+TEST(FaultInjector, ScheduleTextIsByteIdenticalForIdenticalHistories) {
+  const Plan plan = parse_spec("seed=9;delay=0.5:2;crash=1@call:4");
+  const auto drive = [&plan] {
+    Injector inj(plan, 3);
+    for (std::uint64_t seq = 0; seq < 10; ++seq) {
+      inj.message_delay(0, 1, seq, 32);
+      inj.message_delay(2, 1, seq, 32);
+    }
+    for (int i = 0; i < 3; ++i) inj.at_call(2, "send");
+    try {
+      for (int i = 0; i < 4; ++i) inj.at_call(1, "receive");
+    } catch (const mpisim::RankKilledError&) {
+    }
+    return inj.schedule_text();
+  };
+  const std::string s1 = drive();
+  const std::string s2 = drive();
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1.find("# fault schedule"), std::string::npos);
+  EXPECT_NE(s1.find(plan.to_text()), std::string::npos);
+  EXPECT_NE(s1.find("fired"), std::string::npos);
+}
+
+}  // namespace

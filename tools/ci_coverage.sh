@@ -1,0 +1,54 @@
+#!/bin/sh
+# Build with PILOT_COVERAGE=ON, run the test suite, and summarize line
+# coverage for the fault-injection and replay subsystems (the code paths the
+# chaos/fuzz harness exists to exercise).
+#
+# Uses gcovr when available; otherwise falls back to plain gcov and a small
+# awk rollup, so the script works on boxes with only the base toolchain.
+#
+# Usage: tools/ci_coverage.sh [extra ctest args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=build-coverage
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DPILOT_COVERAGE=ON
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" "$@"
+
+if command -v gcovr > /dev/null 2>&1; then
+  gcovr --root . --filter 'src/fault/' --filter 'src/replay/' \
+    --object-directory "$BUILD" --print-summary
+  exit 0
+fi
+
+# gcov fallback: process each instrumented object's notes file and total the
+# per-source "Lines executed" figures for the subsystems of interest.
+echo "gcovr not found; falling back to gcov"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+find "$BUILD" -name '*.gcno' \
+  \( -path '*fault*' -o -path '*replay*' \) | while read -r gcno; do
+  (cd "$TMP" && gcov -n "$gcno" 2> /dev/null || true)
+done > "$TMP/gcov.out"
+
+awk '
+  /^File / {
+    file = $2
+    gsub(/\x27/, "", file)
+  }
+  /^Lines executed:/ && file ~ /src\/(fault|replay)\// {
+    pct = $2; sub(/executed:/, "", pct); sub(/%/, "", pct)
+    n = $4
+    covered[file] = pct * n / 100
+    total[file] = n
+  }
+  END {
+    lines = 0; hit = 0
+    for (f in total) {
+      printf "%6.1f%%  %5d lines  %s\n", 100 * covered[f] / total[f], total[f], f
+      lines += total[f]; hit += covered[f]
+    }
+    if (lines == 0) { print "no coverage data for src/fault or src/replay"; exit 1 }
+    printf "TOTAL  %.1f%% of %d lines (src/fault + src/replay)\n", 100 * hit / lines, lines
+  }' "$TMP/gcov.out"

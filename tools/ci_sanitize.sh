@@ -1,8 +1,9 @@
 #!/bin/sh
 # Configure, build, and test the whole tree under UndefinedBehaviorSanitizer
 # (the cmake preset "sanitize-undefined"), then run the record/replay tests
-# under ThreadSanitizer ("sanitize-thread") — the replay engine coordinates
-# every rank thread, so its tests are the highest-value TSan targets.
+# and the fault-chaos matrix under ThreadSanitizer ("sanitize-thread") — the
+# replay engine and the fault injector both coordinate every rank thread, so
+# their tests are the highest-value TSan targets.
 # Any sanitizer report fails the run.
 #
 # Usage: tools/ci_sanitize.sh [extra ctest args...]
@@ -18,6 +19,7 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 
 cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
-  --target pilot_replay_test mpisim_test
+  --target pilot_replay_test mpisim_test fault_test fault_chaos_test
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --preset sanitize-thread -R 'Replay|Prl|CrossCheck|Mpisim' "$@"
+  ctest --preset sanitize-thread \
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix' "$@"

@@ -1,0 +1,133 @@
+// pilot-genfixtures: (re)generate the golden-trace corpus under
+// tests/fixtures/. Every byte is derived from fixed literals — no live run,
+// no clocks — so the output is bit-stable across machines and reruns, which
+// is what lets the parser fuzz tests and the salvage tests assert against
+// checked-in files instead of regenerating traces at test time.
+//
+//   tiny.clog2            2-rank trace: defs, consts, syncs, a compute state
+//                         per rank, one message pair, one bubble
+//   tiny.slog2            the same trace through the CLOG-2 -> SLOG-2
+//                         converter
+//   tiny.prl              a 2-rank replay log exercising every event kind
+//   salvage.defs.spill    robust-mode spill set for mpe::salvage: the
+//   salvage.rank0.spill   definition stream plus two per-rank record
+//   salvage.rank1.spill   streams (bare CLOG-2 records, no file header)
+//
+// Usage: pilot-genfixtures [outdir]   (default: tests/fixtures)
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+
+#include "clog2/clog2.hpp"
+#include "replay/prl.hpp"
+#include "slog2/slog2.hpp"
+#include "util/bytebuf.hpp"
+#include "util/cli.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+clog2::File make_tiny_clog2() {
+  clog2::File f;
+  f.nranks = 2;
+  f.comment = "golden fixture (pilot-genfixtures)";
+  f.records = {
+      clog2::EventDef{10, "Arrival", "yellow", "Msg: %d"},
+      clog2::StateDef{1, 11, 12, "Compute", "gray", ""},
+      clog2::ConstDef{"nranks", 2},
+      clog2::SyncRec{0, 0.0, 0.0},
+      clog2::SyncRec{1, 0.001, 0.0},
+      clog2::EventRec{0.010, 0, 11, ""},                 // rank 0 compute begin
+      clog2::EventRec{0.012, 1, 11, ""},                 // rank 1 compute begin
+      clog2::MsgRec{0.020, 0, clog2::MsgRec::Kind::kSend, 1, 7, 16},
+      clog2::EventRec{0.024, 1, 10, "Msg: 7"},           // arrival bubble
+      clog2::MsgRec{0.025, 1, clog2::MsgRec::Kind::kRecv, 0, 7, 16},
+      clog2::EventRec{0.030, 1, 12, ""},                 // rank 1 compute end
+      clog2::EventRec{0.032, 0, 12, ""},                 // rank 0 compute end
+      clog2::SyncRec{0, 0.040, 0.040},
+      clog2::SyncRec{1, 0.041, 0.040},
+  };
+  return f;
+}
+
+replay::Log make_tiny_prl() {
+  replay::Log log;
+  log.per_rank = {
+      {
+          {replay::EventKind::kRecvMatch, 1, 0, 0},
+          {replay::EventKind::kSelect, 2, 1, 0},
+          {replay::EventKind::kBarrier, 0, 0, 0},
+      },
+      {
+          {replay::EventKind::kProbeMatch, 0, 0, 0},
+          {replay::EventKind::kTrySelect, 2, -1, 0},
+          {replay::EventKind::kHasData, 3, 1, 0},
+          {replay::EventKind::kBarrier, 1, 0, 0},
+      },
+  };
+  return log;
+}
+
+void write_records(const std::filesystem::path& path,
+                   const std::vector<clog2::Record>& records) {
+  util::ByteWriter w;
+  for (const auto& r : records) clog2::append_record(w, r);
+  util::write_file(path, w.bytes());
+}
+
+void make_salvage_spills(const std::filesystem::path& dir) {
+  write_records(dir / "salvage.defs.spill",
+                {
+                    clog2::EventDef{10, "Arrival", "yellow", "Msg: %d"},
+                    clog2::StateDef{1, 11, 12, "Compute", "gray", ""},
+                });
+  write_records(dir / "salvage.rank0.spill",
+                {
+                    clog2::SyncRec{0, 0.0, 0.0},
+                    clog2::EventRec{0.010, 0, 11, ""},
+                    clog2::MsgRec{0.020, 0, clog2::MsgRec::Kind::kSend, 1, 7, 16},
+                    clog2::EventRec{0.032, 0, 12, ""},
+                });
+  write_records(dir / "salvage.rank1.spill",
+                {
+                    clog2::SyncRec{1, 0.001, 0.0},
+                    clog2::EventRec{0.012, 1, 11, ""},
+                    clog2::EventRec{0.024, 1, 10, "Msg: 7"},
+                    clog2::MsgRec{0.025, 1, clog2::MsgRec::Kind::kRecv, 0, 7, 16},
+                    // No compute-end: rank 1 "died" mid-run, like a real
+                    // salvage scenario.
+                });
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() > 1 || args.has("help")) {
+    std::fprintf(stderr, "usage: %s [outdir]   (default: tests/fixtures)\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const std::filesystem::path dir =
+      args.positional().empty() ? "tests/fixtures" : args.positional()[0];
+  std::filesystem::create_directories(dir);
+
+  const clog2::File tiny = make_tiny_clog2();
+  clog2::write_file(dir / "tiny.clog2", tiny);
+  slog2::write_file(dir / "tiny.slog2", slog2::convert(tiny));
+  replay::write_file(dir / "tiny.prl", make_tiny_prl());
+  make_salvage_spills(dir);
+
+  std::printf("wrote tiny.clog2 tiny.slog2 tiny.prl salvage.*.spill -> %s\n",
+              dir.string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

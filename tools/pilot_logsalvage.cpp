@@ -23,6 +23,14 @@ int run(int argc, char** argv) {
   const std::string out = args.get_or("out", base + ".salvaged.clog2");
 
   const auto file = mpe::salvage(base);
+  // Definitions and the "salvaged" marker alone are not a trace: an empty or
+  // fully-torn spill set must fail loudly, not hand the user a hollow file.
+  const std::size_t instances =
+      file.count<clog2::EventRec>() + file.count<clog2::MsgRec>();
+  if (instances == 0) {
+    std::fprintf(stderr, "error: %s: no salvageable records\n", base.c_str());
+    return 1;
+  }
   clog2::write_file(out, file);
   std::printf("salvaged %zu record(s) from %d rank(s) -> %s\n",
               file.records.size(), file.nranks, out.c_str());
