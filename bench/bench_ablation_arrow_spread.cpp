@@ -78,6 +78,7 @@ int main(int, char**) {
                       });
     return dupes;
   };
+  bench::JsonReport json("ablation_arrow_spread");
   std::uint64_t warn_nospread = 0, warn_spread = 0;
   for (const auto& c : cases) {
     const std::string name = util::strprintf("spread_%g_%g", c.clockres, c.spread);
@@ -106,6 +107,13 @@ int main(int, char**) {
                 static_cast<unsigned long long>(equal_arrows), wall);
     if (c.clockres == 1e-3 && c.spread == 0.0) warn_nospread = equal_arrows;
     if (c.clockres == 1e-3 && c.spread == 0.002) warn_spread = equal_arrows;
+    const std::string key = util::strprintf("clockres_%gms_spread_%gms",
+                                            c.clockres * 1e3, c.spread * 1e3);
+    json.set("equal_drawables_" + key,
+             static_cast<unsigned long long>(slog.stats.equal_drawables));
+    json.set("equal_arrows_" + key,
+             static_cast<unsigned long long>(equal_arrows));
+    json.set("wall_s_" + key, wall);
   }
 
   std::printf("\nShape checks:\n");

@@ -67,6 +67,7 @@ int main(int, char**) {
   struct Case {
     double offset, skew;
   };
+  bench::JsonReport json("ablation_clock_sync");
   bool all_good = true;
   for (const Case c : {Case{0.001, 0.0}, Case{0.01, 0.0}, Case{0.1, 0.0},
                        Case{0.5, 0.0}, Case{0.05, 1e-3}}) {
@@ -84,6 +85,10 @@ int main(int, char**) {
                 s > 0 ? r / s : 0.0);
     // Injected offsets must dominate the raw spread and be mostly removed.
     if (c.offset >= 0.01 && !(s < r / 5)) all_good = false;
+    const std::string key =
+        util::strprintf("offset_%gms_skew_%g", c.offset * 1e3, c.skew);
+    json.set("raw_spread_s_" + key, r);
+    json.set("synced_spread_s_" + key, s);
   }
 
   std::printf("\nSync-round sensitivity (offset 100 ms): min-RTT sampling\n");
@@ -93,6 +98,8 @@ int main(int, char**) {
     for (std::uint64_t seed = 10; seed < 13; ++seed)
       xs.push_back(measure_spread(0.1, 0.0, true, rounds, seed));
     std::printf("%-8d %16s\n", rounds, util::human_seconds(util::median(xs)).c_str());
+    json.set(util::strprintf("synced_spread_s_rounds_%d", rounds),
+             util::median(xs));
   }
 
   std::printf("\nShape checks:\n");

@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
                  "the viewer loads at once)");
 
   const auto trace = synthetic_trace(per_rank, 8);
+  bench::JsonReport json("ablation_frame_size");
+  json.set("states_per_rank", per_rank);
   std::printf("synthetic trace: 8 ranks x %d states\n\n", per_rank);
   std::printf("%-12s %8s %8s %7s %12s %12s %14s\n", "frame size", "frames",
               "leaves", "depth", "file bytes", "convert ms", "zoom query ms");
@@ -89,6 +91,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(slog.stats.frames),
                 static_cast<unsigned long long>(slog.stats.leaf_frames),
                 slog.stats.tree_depth, bytes.size(), convert_ms, query_ms);
+    const std::string key =
+        util::strprintf("%llukib", static_cast<unsigned long long>(fs / 1024));
+    json.set("frames_" + key, static_cast<unsigned long long>(slog.stats.frames));
+    json.set("depth_" + key, slog.stats.tree_depth);
+    json.set("file_bytes_" + key, bytes.size());
+    json.set("convert_ms_" + key, convert_ms);
+    json.set("zoom_query_ms_" + key, query_ms);
     (void)hits;
   }
 

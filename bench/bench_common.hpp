@@ -3,9 +3,12 @@
 // writes its artifacts (SVGs, traces) under ./bench_out/.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -29,6 +32,83 @@ inline void heading(const std::string& title, const std::string& paper_ref) {
 inline std::string median_var(const std::vector<double>& xs) {
   return util::strprintf("%7.2f s [%0.2f]", util::median(xs), util::variance(xs));
 }
+
+/// Machine-readable companion to every bench's human table. Each bench
+/// accumulates its headline numbers here and the destructor writes them to
+/// bench_out/BENCH_<name>.json, so successive runs (and successive PRs)
+/// leave a comparable perf trajectory on disk.
+///
+/// The schema is deliberately flat — one scalar per key — so shell tooling
+/// (tools/ci_bench.sh) can pull a metric out with grep/sed instead of a
+/// JSON parser.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() {
+    try {
+      if (!written_) write();
+    } catch (...) {  // a failed report must not mask the bench's own exit
+    }
+  }
+
+  void set(const std::string& key, double v) {
+    // %.17g round-trips doubles; non-finite values are not valid JSON.
+    fields_.emplace_back(key, std::isfinite(v) ? util::strprintf("%.17g", v)
+                                               : std::string("null"));
+  }
+  void set(const std::string& key, long long v) {
+    fields_.emplace_back(key, util::strprintf("%lld", v));
+  }
+  void set(const std::string& key, unsigned long long v) {
+    fields_.emplace_back(key, util::strprintf("%llu", v));
+  }
+  void set(const std::string& key, int v) { set(key, static_cast<long long>(v)); }
+  void set(const std::string& key, std::size_t v) {
+    set(key, static_cast<unsigned long long>(v));
+  }
+  void set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, quote(v));
+  }
+  void set(const std::string& key, const char* v) { set(key, std::string(v)); }
+
+  /// Writes bench_out/BENCH_<name>.json (one "key": value per line).
+  void write() {
+    const auto path = out_dir() / ("BENCH_" + name_ + ".json");
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    if (!f) throw std::runtime_error("cannot write " + path.string());
+    std::fprintf(f, "{\n  \"bench\": %s", quote(name_).c_str());
+    for (const auto& [k, v] : fields_)
+      std::fprintf(f, ",\n  %s: %s", quote(k).c_str(), v.c_str());
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    written_ = true;
+    std::printf("\nwrote %s\n", path.string().c_str());
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') (out += '\\') += c;
+      else if (c == '\n') out += "\\n";
+      else if (static_cast<unsigned char>(c) < 0x20)
+        out += util::strprintf("\\u%04x", c);
+      else out += c;
+    }
+    return out += '"';
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  bool written_ = false;
+};
 
 /// Simple argv scan for "--key=value" benches (reps overrides etc.).
 inline long long arg_int(int argc, char** argv, const std::string& key,

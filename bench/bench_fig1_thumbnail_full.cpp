@@ -44,6 +44,16 @@ int main(int argc, char** argv) {
   jumpshot::render_to_file(bench::out_dir() / "fig1.svg", slog, opts);
   std::printf("wrote %s\n", (bench::out_dir() / "fig1.svg").string().c_str());
 
+  bench::JsonReport json("fig1_thumbnail_full");
+  json.set("files", files);
+  json.set("nranks", clog.nranks);
+  json.set("clog2_records", clog.records.size());
+  json.set("states", static_cast<unsigned long long>(slog.stats.total_states));
+  json.set("events", static_cast<unsigned long long>(slog.stats.total_events));
+  json.set("arrows", static_cast<unsigned long long>(slog.stats.total_arrows));
+  json.set("warnings", warnings.size());
+  json.set("clean", slog.stats.clean());
+
   std::printf("\nShape checks:\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

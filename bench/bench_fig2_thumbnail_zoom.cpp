@@ -79,6 +79,13 @@ int main(int argc, char** argv) {
               "(paper: red/green tiny vs gray)\n",
               100 * io_fraction);
 
+  bench::JsonReport json("fig2_thumbnail_zoom");
+  json.set("files", files);
+  json.set("wall_s", stats.wall_seconds);
+  json.set("io_fraction", io_fraction);
+  json.set("compute_exclusive_s", compute_excl);
+  json.set("io_inclusive_s", io_incl);
+
   std::printf("\nShape checks:\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

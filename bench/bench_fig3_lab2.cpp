@@ -118,6 +118,13 @@ int main(int, char**) {
   std::printf("arrows: %llu (expected %d: 3 messages per worker)\n",
               static_cast<unsigned long long>(slog.stats.total_arrows), 3 * W);
 
+  bench::JsonReport json("fig3_lab2");
+  json.set("nranks", slog.nranks);
+  json.set("exec_ms", exec_ms);
+  json.set("arrows", static_cast<unsigned long long>(slog.stats.total_arrows));
+  json.set("mpe_wrapup_s", res.mpe_wrapup_seconds);
+  json.set("clean", slog.stats.clean());
+
   std::printf("\nShape checks:\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

@@ -92,6 +92,15 @@ int main(int, char**) {
               (bench::out_dir() / "fig4_instance_a.svg").string().c_str(),
               (bench::out_dir() / "fig4_fixed.svg").string().c_str());
 
+  bench::JsonReport json("fig4_instance_a");
+  json.set("workers", kWorkers);
+  json.set("instance_a_read_s", a.read_s);
+  json.set("instance_a_query_s", a.query_s);
+  json.set("instance_a_overlap", a.overlap);
+  json.set("fixed_read_s", fixed.read_s);
+  json.set("fixed_query_s", fixed.query_s);
+  json.set("fixed_overlap", fixed.overlap);
+
   std::printf("\nShape checks:\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

@@ -75,6 +75,13 @@ int main(int, char**) {
     if (workers == 4) fixed4_read = f.read_s;
   }
 
+  bench::JsonReport json("fig5_instance_b");
+  json.set("instance_b_4w_total_s", b4_total);
+  json.set("instance_b_8w_total_s", b8_total);
+  json.set("instance_b_4w_read_s", b4_read);
+  json.set("fixed_4w_read_s", fixed4_read);
+  json.write();
+
   std::printf("\nShape checks:\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "jumpshot/render.hpp"
 #include "mpe/mpe.hpp"
 #include "pilot/format.hpp"
@@ -151,4 +154,26 @@ BENCHMARK(BM_PilotMessageRoundtrip)->UseManualTime()->Unit(benchmark::kMilliseco
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// bench_out/BENCH_micro_logging.json so this bench leaves the same
+// machine-readable artifact as the others (google-benchmark's native JSON
+// schema rather than bench::JsonReport's flat one).
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out = false;
+  for (const auto& a : args)
+    if (a.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back("--benchmark_out=" +
+                   (bench::out_dir() / "BENCH_micro_logging.json").string());
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argp;
+  for (auto& a : args) argp.push_back(a.data());
+  int ac = static_cast<int>(argp.size());
+  benchmark::Initialize(&ac, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

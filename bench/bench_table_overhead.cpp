@@ -142,6 +142,19 @@ int main(int argc, char** argv) {
   std::printf("\nMPE wrap-up time: %5.2f s (5w)  %5.2f s (10w)   paper: 0.74 / 0.84 s\n",
               util::median(wrap5), util::median(wrap10));
 
+  bench::JsonReport json("table_overhead");
+  json.set("reps", reps);
+  json.set("nolog_5w_s", base5);
+  json.set("nolog_10w_s", base10);
+  json.set("mpe_5w_s", mpe5);
+  json.set("mpe_10w_s", mpe10);
+  json.set("native_5w_s", nat5);
+  json.set("native_10w_s", nat10);
+  json.set("record_5w_s", rec5);
+  json.set("record_10w_s", rec10);
+  json.set("mpe_wrapup_5w_s", util::median(wrap5));
+  json.set("mpe_wrapup_10w_s", util::median(wrap10));
+
   std::printf("\nShape checks (paper's qualitative claims):\n");
   auto check = [](bool ok, const std::string& text) {
     std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", text.c_str());

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "util/fs.hpp"
+#include "util/streamio.hpp"
 #include "util/strings.hpp"
 
 namespace clog2 {
@@ -69,7 +70,12 @@ void append_record(util::ByteWriter& w, const Record& rec) {
       rec);
 }
 
-Record read_record(util::ByteReader& r) {
+namespace {
+
+// Shared by the in-memory ByteReader and the windowed FileByteReader —
+// identical decode logic guarantees identical accept/reject verdicts.
+template <typename Reader>
+Record read_record_any(Reader& r) {
   const auto kind = static_cast<RecordKind>(r.u8());
   switch (kind) {
     case RecordKind::kEventDef: {
@@ -129,6 +135,71 @@ Record read_record(util::ByteReader& r) {
   }
 }
 
+// Header fields up to (and including) the validated record count.
+struct StreamHeader {
+  std::uint32_t version = 0;
+  std::int32_t nranks = 0;
+  std::string comment;
+  std::size_t nrecords = 0;
+};
+
+template <typename Reader>
+StreamHeader read_stream_header(Reader& r) {
+  const std::uint8_t* magic = r.take(kMagic.size());
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw util::IoError("clog2: bad magic (not a CLOG-2 file)");
+  StreamHeader h;
+  h.version = r.u32();
+  if (h.version != kFormatVersion)
+    throw util::IoError(util::strprintf("clog2: unsupported version %u (expected %u)",
+                                        h.version, kFormatVersion));
+  h.nranks = r.i32();
+  if (h.nranks < 0) throw util::IoError("clog2: negative rank count");
+  h.comment = r.str();
+  // Smallest record on disk is a kind byte plus payload; validating the
+  // count against the remaining bytes turns a corrupted count field into a
+  // parse error instead of a giant reserve().
+  h.nrecords = r.checked_count(r.u64(), 2);
+  return h;
+}
+
+void append_record_text(std::string& out, const Record& rec) {
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, EventDef>) {
+          out += util::strprintf("  eventdef id=%d name=\"%s\" color=%s fmt=\"%s\"\n",
+                                 r.event_id, r.name.c_str(), r.color.c_str(),
+                                 r.format.c_str());
+        } else if constexpr (std::is_same_v<T, StateDef>) {
+          out += util::strprintf(
+              "  statedef id=%d start=%d end=%d name=\"%s\" color=%s fmt=\"%s\"\n",
+              r.state_id, r.start_event_id, r.end_event_id, r.name.c_str(),
+              r.color.c_str(), r.format.c_str());
+        } else if constexpr (std::is_same_v<T, ConstDef>) {
+          out += util::strprintf("  constdef %s=%lld\n", r.name.c_str(),
+                                 static_cast<long long>(r.value));
+        } else if constexpr (std::is_same_v<T, EventRec>) {
+          out += util::strprintf("  event t=%.9f rank=%d id=%d text=\"%s\"\n",
+                                 r.timestamp, r.rank, r.event_id, r.text.c_str());
+        } else if constexpr (std::is_same_v<T, MsgRec>) {
+          out += util::strprintf("  msg t=%.9f rank=%d %s partner=%d tag=%d size=%u\n",
+                                 r.timestamp, r.rank,
+                                 r.kind == MsgRec::Kind::kSend ? "send" : "recv",
+                                 r.partner, r.tag, r.size);
+        } else if constexpr (std::is_same_v<T, SyncRec>) {
+          out += util::strprintf("  sync rank=%d local=%.9f ref=%.9f\n", r.rank,
+                                 r.local_time, r.ref_time);
+        }
+      },
+      rec);
+}
+
+}  // namespace
+
+Record read_record(util::ByteReader& r) { return read_record_any(r); }
+
 std::vector<std::uint8_t> serialize(const File& file) {
   util::ByteWriter w;
   w.raw(kMagic.data(), kMagic.size());
@@ -143,26 +214,14 @@ std::vector<std::uint8_t> serialize(const File& file) {
 
 File parse(const std::vector<std::uint8_t>& bytes) {
   util::ByteReader r(bytes);
-  const std::uint8_t* magic = r.take(kMagic.size());
-  for (std::size_t i = 0; i < kMagic.size(); ++i)
-    if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
-      throw util::IoError("clog2: bad magic (not a CLOG-2 file)");
-
+  const StreamHeader h = read_stream_header(r);
   File file;
-  file.version = r.u32();
-  if (file.version != kFormatVersion)
-    throw util::IoError(util::strprintf("clog2: unsupported version %u (expected %u)",
-                                        file.version, kFormatVersion));
-  file.nranks = r.i32();
-  if (file.nranks < 0) throw util::IoError("clog2: negative rank count");
-  file.comment = r.str();
-  // Smallest record on disk is a kind byte plus payload; validating the
-  // count against the remaining bytes turns a corrupted count field into a
-  // parse error instead of a giant reserve().
-  const std::size_t nrecords = r.checked_count(r.u64(), 2);
-  file.records.reserve(nrecords);
-  for (std::uint64_t i = 0; i < nrecords; ++i)
-    file.records.push_back(read_record(r));
+  file.version = h.version;
+  file.nranks = h.nranks;
+  file.comment = h.comment;
+  file.records.reserve(h.nrecords);
+  for (std::uint64_t i = 0; i < h.nrecords; ++i)
+    file.records.push_back(read_record_any(r));
   if (r.u8() != static_cast<std::uint8_t>(RecordKind::kEndLog))
     throw util::IoError("clog2: missing end-of-log marker");
   return file;
@@ -181,38 +240,33 @@ std::string to_text(const File& file) {
   out += util::strprintf("CLOG-2 v%u  ranks=%d  records=%zu  comment=\"%s\"\n",
                          file.version, file.nranks, file.records.size(),
                          file.comment.c_str());
-  for (const auto& rec : file.records) {
-    std::visit(
-        [&](const auto& r) {
-          using T = std::decay_t<decltype(r)>;
-          if constexpr (std::is_same_v<T, EventDef>) {
-            out += util::strprintf("  eventdef id=%d name=\"%s\" color=%s fmt=\"%s\"\n",
-                                   r.event_id, r.name.c_str(), r.color.c_str(),
-                                   r.format.c_str());
-          } else if constexpr (std::is_same_v<T, StateDef>) {
-            out += util::strprintf(
-                "  statedef id=%d start=%d end=%d name=\"%s\" color=%s fmt=\"%s\"\n",
-                r.state_id, r.start_event_id, r.end_event_id, r.name.c_str(),
-                r.color.c_str(), r.format.c_str());
-          } else if constexpr (std::is_same_v<T, ConstDef>) {
-            out += util::strprintf("  constdef %s=%lld\n", r.name.c_str(),
-                                   static_cast<long long>(r.value));
-          } else if constexpr (std::is_same_v<T, EventRec>) {
-            out += util::strprintf("  event t=%.9f rank=%d id=%d text=\"%s\"\n",
-                                   r.timestamp, r.rank, r.event_id, r.text.c_str());
-          } else if constexpr (std::is_same_v<T, MsgRec>) {
-            out += util::strprintf("  msg t=%.9f rank=%d %s partner=%d tag=%d size=%u\n",
-                                   r.timestamp, r.rank,
-                                   r.kind == MsgRec::Kind::kSend ? "send" : "recv",
-                                   r.partner, r.tag, r.size);
-          } else if constexpr (std::is_same_v<T, SyncRec>) {
-            out += util::strprintf("  sync rank=%d local=%.9f ref=%.9f\n", r.rank,
-                                   r.local_time, r.ref_time);
-          }
-        },
-        rec);
-  }
+  for (const auto& rec : file.records) append_record_text(out, rec);
   return out;
+}
+
+void stream_text(const std::filesystem::path& path,
+                 const std::function<void(const std::string&)>& sink) {
+  // Validation pass: decode everything and discard, so a bad file rejects
+  // (with parse()'s verdict) before a single byte of text is emitted.
+  {
+    util::FileByteReader r(path);
+    const StreamHeader h = read_stream_header(r);
+    for (std::uint64_t i = 0; i < h.nrecords; ++i) (void)read_record_any(r);
+    if (r.u8() != static_cast<std::uint8_t>(RecordKind::kEndLog))
+      throw util::IoError("clog2: missing end-of-log marker");
+  }
+  // Printing pass: re-decode through the window, one record in memory at a
+  // time.
+  util::FileByteReader r(path);
+  const StreamHeader h = read_stream_header(r);
+  sink(util::strprintf("CLOG-2 v%u  ranks=%d  records=%zu  comment=\"%s\"\n",
+                       h.version, h.nranks, h.nrecords, h.comment.c_str()));
+  std::string line;
+  for (std::uint64_t i = 0; i < h.nrecords; ++i) {
+    line.clear();
+    append_record_text(line, read_record_any(r));
+    sink(line);
+  }
 }
 
 }  // namespace clog2

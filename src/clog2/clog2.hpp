@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -116,5 +117,15 @@ File read_file(const std::filesystem::path& path);
 
 /// Human-readable dump (the clog2print tool).
 std::string to_text(const File& file);
+
+/// Stream the to_text() dump of an on-disk trace through `sink` using a
+/// fixed-size read window: RSS peaks at the window (plus one record), not at
+/// the full record vector. Runs a validation pass first — with exactly the
+/// accept/reject verdict of parse() — and only then a printing pass, so a
+/// corrupt or truncated file throws util::IoError before any output is
+/// emitted (no partial dump). Output is byte-identical to
+/// to_text(read_file(path)).
+void stream_text(const std::filesystem::path& path,
+                 const std::function<void(const std::string&)>& sink);
 
 }  // namespace clog2

@@ -43,14 +43,21 @@ struct Layout {
   }
 };
 
-std::string color_of(const slog2::File& file, std::int32_t cat) {
-  const auto* c = file.category(cat);
+const slog2::Category* find_category(const std::vector<slog2::Category>& cats,
+                                     std::int32_t id) {
+  for (const auto& c : cats)
+    if (c.id == id) return &c;
+  return nullptr;
+}
+
+std::string color_of(const std::vector<slog2::Category>& cats, std::int32_t cat) {
+  const auto* c = find_category(cats, cat);
   if (c == nullptr || !util::is_known_color(c->color)) return "#888888";
   return util::color_by_name(c->color).to_hex();
 }
 
-std::string name_of(const slog2::File& file, std::int32_t cat) {
-  const auto* c = file.category(cat);
+std::string name_of(const std::vector<slog2::Category>& cats, std::int32_t cat) {
+  const auto* c = find_category(cats, cat);
   return c ? c->name : "?";
 }
 
@@ -92,8 +99,9 @@ struct RankItems {
   std::vector<const slog2::EventDrawable*> events;
 };
 
-void draw_state_rects(std::string& svg, const slog2::File& file, const Layout& lay,
-                      int rank, const std::vector<const slog2::StateDrawable*>& states) {
+void draw_state_rects(std::string& svg, const std::vector<slog2::Category>& cats,
+                      const Layout& lay, int rank,
+                      const std::vector<const slog2::StateDrawable*>& states) {
   for (const auto* s : states) {
     const double x0 = std::max(lay.x(s->start_time), static_cast<double>(kMarginLeft));
     const double x1 =
@@ -105,10 +113,10 @@ void draw_state_rects(std::string& svg, const slog2::File& file, const Layout& l
     svg += util::strprintf(
         "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' fill='%s' "
         "stroke='black' stroke-width='0.4'>",
-        x0, y, w, h, color_of(file, s->category_id).c_str());
+        x0, y, w, h, color_of(cats, s->category_id).c_str());
     tooltip(svg, util::strprintf(
                      "%s  rank %d  [%s .. %s]  dur %s%s%s",
-                     name_of(file, s->category_id).c_str(), rank,
+                     name_of(cats, s->category_id).c_str(), rank,
                      util::human_seconds(s->start_time).c_str(),
                      util::human_seconds(s->end_time).c_str(),
                      util::human_seconds(s->end_time - s->start_time).c_str(),
@@ -121,8 +129,8 @@ void draw_state_rects(std::string& svg, const slog2::File& file, const Layout& l
 // Zoomed-out "outline form": an outlined row subdivided into time buckets;
 // within each bucket, stacked stripes sized by each colour's share of busy
 // time (how Jumpshot summarizes intervals with too many state changes).
-void draw_state_preview(std::string& svg, const slog2::File& file, const Layout& lay,
-                        int rank,
+void draw_state_preview(std::string& svg, const std::vector<slog2::Category>& cats,
+                        const Layout& lay, int rank,
                         const std::vector<const slog2::StateDrawable*>& states) {
   const int bucket_px = 4;
   const int nbuckets = std::max(lay.plot_width / bucket_px, 1);
@@ -146,18 +154,18 @@ void draw_state_preview(std::string& svg, const slog2::File& file, const Layout&
 
   const double y = lay.row_top(rank);
   for (int i = 0; i < nbuckets; ++i) {
-    const auto& cats = occupancy[static_cast<std::size_t>(i)];
-    if (cats.empty()) continue;
+    const auto& bucket_cats = occupancy[static_cast<std::size_t>(i)];
+    if (bucket_cats.empty()) continue;
     double total = 0.0;
-    for (const auto& [cat, secs] : cats) total += secs;
+    for (const auto& [cat, secs] : bucket_cats) total += secs;
     if (total <= 0.0) continue;
     const double px0 = kMarginLeft + static_cast<double>(i) * bucket_px;
     double yoff = 0.0;
-    for (const auto& [cat, secs] : cats) {
+    for (const auto& [cat, secs] : bucket_cats) {
       const double h = secs / total * lay.row_height;
       svg += util::strprintf(
           "<rect x='%.1f' y='%.2f' width='%d' height='%.2f' fill='%s'/>\n", px0,
-          y + yoff, bucket_px, std::max(h, 0.5), color_of(file, cat).c_str());
+          y + yoff, bucket_px, std::max(h, 0.5), color_of(cats, cat).c_str());
       yoff += h;
     }
   }
@@ -168,20 +176,39 @@ void draw_state_preview(std::string& svg, const slog2::File& file, const Layout&
       kMarginLeft, y, lay.plot_width, lay.row_height, kAxisColor);
 }
 
-}  // namespace
+using StateCb = std::function<void(const slog2::StateDrawable&)>;
+using EventCb = std::function<void(const slog2::EventDrawable&)>;
+using ArrowCb = std::function<void(const slog2::ArrowDrawable&)>;
 
-std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
+// What the timeline core needs from a trace; satisfied by both the fully
+// in-memory slog2::File and the lazily-decoding slog2::Navigator.
+struct RenderSource {
+  std::int32_t nranks = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  const std::vector<slog2::Category>* categories = nullptr;
+  std::function<void(double, double, const StateCb&, const EventCb&,
+                     const ArrowCb&)>
+      visit;
+};
+
+// Appends the legend block; receives the y where the plot area ended.
+using LegendFn = std::function<void(std::string&, int)>;
+
+std::string render_timeline(const RenderSource& src, const RenderOptions& opts,
+                            const LegendFn& legend_fn) {
+  const auto& cats = *src.categories;
   Layout lay;
-  lay.a = std::isnan(opts.t0) ? file.t_min : opts.t0;
-  lay.b = std::isnan(opts.t1) ? file.t_max : opts.t1;
+  lay.a = std::isnan(opts.t0) ? src.t_min : opts.t0;
+  lay.b = std::isnan(opts.t1) ? src.t_max : opts.t1;
   if (lay.b <= lay.a) lay.b = lay.a + 1e-9;
   lay.plot_width = std::max(opts.width - kMarginLeft - kMarginRight, 100);
-  lay.nranks = std::max(file.nranks, 1);
+  lay.nranks = std::max(src.nranks, 1);
   lay.row_height = opts.row_height;
   lay.row_gap = opts.row_gap;
 
   const int legend_lines =
-      opts.draw_legend ? static_cast<int>(file.categories.size()) + 1 : 0;
+      opts.draw_legend ? static_cast<int>(cats.size()) + 1 : 0;
   const int plot_bottom =
       kMarginTop + lay.nranks * (lay.row_height + lay.row_gap);
   const int height = plot_bottom + legend_lines * kLegendRow + kMarginBottom;
@@ -229,7 +256,7 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
   std::vector<slog2::StateDrawable> state_storage;
   std::vector<slog2::EventDrawable> event_storage;
   std::vector<slog2::ArrowDrawable> arrow_storage;
-  file.visit_window(
+  src.visit(
       lay.a, lay.b,
       [&](const slog2::StateDrawable& s) { state_storage.push_back(s); },
       [&](const slog2::EventDrawable& e) { event_storage.push_back(e); },
@@ -247,9 +274,9 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
                 return x->depth < y->depth;
               });
     if (items.states.size() > opts.preview_threshold) {
-      draw_state_preview(svg, file, lay, rank, items.states);
+      draw_state_preview(svg, cats, lay, rank, items.states);
     } else {
-      draw_state_rects(svg, file, lay, rank, items.states);
+      draw_state_rects(svg, cats, lay, rank, items.states);
     }
   }
 
@@ -282,10 +309,10 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
         svg += util::strprintf(
             "<circle cx='%.2f' cy='%.2f' r='3' fill='%s' stroke='black' "
             "stroke-width='0.4'>",
-            lay.x(e->time), lay.row_center(rank), color_of(file, e->category_id).c_str());
+            lay.x(e->time), lay.row_center(rank), color_of(cats, e->category_id).c_str());
         tooltip(svg,
                 util::strprintf("%s  rank %d  t=%s%s",
-                                name_of(file, e->category_id).c_str(), rank,
+                                name_of(cats, e->category_id).c_str(), rank,
                                 util::human_seconds(e->time).c_str(),
                                 e->text.empty() ? "" : ("  " + e->text).c_str()));
         svg += "</circle>\n";
@@ -293,8 +320,136 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
     }
   }
 
-  // Legend table.
-  if (opts.draw_legend) {
+  if (opts.draw_legend && legend_fn) legend_fn(svg, plot_bottom);
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+// Swatch-only legend (Navigator renders: per-category durations would
+// require decoding the whole file, which is the thing we're avoiding).
+void swatch_legend(std::string& svg, int plot_bottom,
+                   const std::vector<slog2::Category>& cats) {
+  int y = plot_bottom + kLegendRow;
+  svg += util::strprintf(
+      "<text x='%d' y='%d' fill='%s' font-size='12' font-family='monospace'>"
+      "legend: name</text>\n",
+      kMarginLeft, y, kAxisColor);
+  for (const auto& c : cats) {
+    y += kLegendRow;
+    const std::string color = util::is_known_color(c.color)
+                                  ? util::color_by_name(c.color).to_hex()
+                                  : "#888888";
+    svg += util::strprintf(
+        "<rect x='%d' y='%d' width='12' height='12' fill='%s' stroke='%s' "
+        "stroke-width='0.5'/>\n",
+        kMarginLeft, y - 10, color.c_str(), kAxisColor);
+    svg += util::strprintf(
+        "<text x='%d' y='%d' fill='%s' font-size='12' font-family='monospace'>"
+        "%s</text>\n",
+        kMarginLeft + 18, y, kAxisColor, util::xml_escape(c.name).c_str());
+  }
+}
+
+// Zoomed-out fallback: no frame payload is decoded — the covering frame's
+// stored preview histogram is striped across the plot area. The histogram
+// aggregates all ranks (previews carry no rank axis), so the band spans
+// every timeline row.
+std::string render_preview_lod(slog2::Navigator& nav, const RenderOptions& opts) {
+  const auto& cats = nav.categories();
+  Layout lay;
+  lay.a = std::isnan(opts.t0) ? nav.t_min() : opts.t0;
+  lay.b = std::isnan(opts.t1) ? nav.t_max() : opts.t1;
+  if (lay.b <= lay.a) lay.b = lay.a + 1e-9;
+  lay.plot_width = std::max(opts.width - kMarginLeft - kMarginRight, 100);
+  lay.nranks = std::max(nav.nranks(), 1);
+  lay.row_height = opts.row_height;
+  lay.row_gap = opts.row_gap;
+
+  const int legend_lines =
+      opts.draw_legend ? static_cast<int>(cats.size()) + 1 : 0;
+  const int plot_bottom =
+      kMarginTop + lay.nranks * (lay.row_height + lay.row_gap);
+  const int height = plot_bottom + legend_lines * kLegendRow + kMarginBottom;
+
+  std::string svg;
+  svg += util::strprintf(
+      "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d' "
+      "viewBox='0 0 %d %d'>\n",
+      opts.width, height, opts.width, height);
+  svg += "<!-- preview-lod -->\n";
+  svg += util::strprintf("<rect width='%d' height='%d' fill='%s'/>\n", opts.width,
+                         height, kCanvasColor);
+  if (!opts.title.empty()) {
+    svg += util::strprintf(
+        "<text x='%d' y='18' fill='%s' font-size='14' font-family='sans-serif'>"
+        "%s</text>\n",
+        kMarginLeft, kAxisColor, util::xml_escape(opts.title).c_str());
+  }
+  draw_axis(svg, lay);
+
+  const auto pv = nav.preview_covering(lay.a, lay.b);
+  const double band_top = lay.row_top(0);
+  const double band_h =
+      lay.row_top(lay.nranks) - lay.row_gap - band_top;
+  if (pv.preview != nullptr && pv.preview->nbuckets > 0 && pv.t1 > pv.t0) {
+    const int nb = pv.preview->nbuckets;
+    const double bucket_dt = (pv.t1 - pv.t0) / nb;
+    for (int i = 0; i < nb; ++i) {
+      const double b0 = pv.t0 + i * bucket_dt;
+      const double b1 = b0 + bucket_dt;
+      if (b1 < lay.a || b0 > lay.b) continue;
+      double total = 0.0;
+      for (const auto& [cat, buckets] : pv.preview->state_occupancy)
+        if (static_cast<std::size_t>(i) < buckets.size())
+          total += buckets[static_cast<std::size_t>(i)];
+      if (total <= 0.0) continue;
+      const double x0 = std::max(lay.x(b0), static_cast<double>(kMarginLeft));
+      const double x1 = std::min(lay.x(b1),
+                                 static_cast<double>(kMarginLeft + lay.plot_width));
+      if (x1 <= x0) continue;
+      double yoff = 0.0;
+      for (const auto& [cat, buckets] : pv.preview->state_occupancy) {
+        if (static_cast<std::size_t>(i) >= buckets.size()) continue;
+        const double share = buckets[static_cast<std::size_t>(i)] / total;
+        if (share <= 0.0) continue;
+        const double h = share * band_h;
+        svg += util::strprintf(
+            "<rect x='%.2f' y='%.2f' width='%.2f' height='%.2f' fill='%s'/>\n",
+            x0, band_top + yoff, x1 - x0, std::max(h, 0.5),
+            color_of(cats, cat).c_str());
+        yoff += h;
+      }
+    }
+    svg += util::strprintf(
+        "<text x='%d' y='%.1f' fill='%s' font-size='11' font-family='monospace'>"
+        "outline form: %u arrows in covering frame</text>\n",
+        kMarginLeft, band_top - 4, kAxisColor, pv.preview->arrow_count);
+  }
+  // Outline marking the summarized interval.
+  svg += util::strprintf(
+      "<rect x='%d' y='%.2f' width='%d' height='%.2f' fill='none' stroke='%s' "
+      "stroke-width='0.8'/>\n",
+      kMarginLeft, band_top, lay.plot_width, band_h, kAxisColor);
+
+  if (opts.draw_legend) swatch_legend(svg, plot_bottom, cats);
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace
+
+std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
+  RenderSource src;
+  src.nranks = file.nranks;
+  src.t_min = file.t_min;
+  src.t_max = file.t_max;
+  src.categories = &file.categories;
+  src.visit = [&file](double a, double b, const StateCb& on_state,
+                      const EventCb& on_event, const ArrowCb& on_arrow) {
+    file.visit_window(a, b, on_state, on_event, on_arrow);
+  };
+  return render_timeline(src, opts, [&file](std::string& svg, int plot_bottom) {
     const auto entries = legend(file, LegendSort::kByInclusive);
     int y = plot_bottom + kLegendRow;
     svg += util::strprintf(
@@ -319,15 +474,38 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts) {
           util::human_seconds(e.inclusive).c_str(),
           util::human_seconds(e.exclusive).c_str());
     }
-  }
-
-  svg += "</svg>\n";
-  return svg;
+  });
 }
 
 void render_to_file(const std::filesystem::path& path, const slog2::File& file,
                     const RenderOptions& opts) {
   util::write_file(path, render_svg(file, opts));
+}
+
+std::string render_svg(slog2::Navigator& nav, const RenderOptions& opts) {
+  const double a = std::isnan(opts.t0) ? nav.t_min() : opts.t0;
+  const double b = std::isnan(opts.t1) ? nav.t_max() : opts.t1;
+  if (nav.window_payload_bytes(a, b) > opts.lod_payload_budget)
+    return render_preview_lod(nav, opts);
+
+  RenderSource src;
+  src.nranks = nav.nranks();
+  src.t_min = nav.t_min();
+  src.t_max = nav.t_max();
+  src.categories = &nav.categories();
+  src.visit = [&nav](double wa, double wb, const StateCb& on_state,
+                     const EventCb& on_event, const ArrowCb& on_arrow) {
+    nav.visit_window(wa, wb, on_state, on_event, on_arrow);
+  };
+  const auto& cats = nav.categories();
+  return render_timeline(src, opts, [&cats](std::string& svg, int plot_bottom) {
+    swatch_legend(svg, plot_bottom, cats);
+  });
+}
+
+void render_to_file(const std::filesystem::path& path, slog2::Navigator& nav,
+                    const RenderOptions& opts) {
+  util::write_file(path, render_svg(nav, opts));
 }
 
 }  // namespace jumpshot

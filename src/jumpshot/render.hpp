@@ -31,6 +31,10 @@ struct RenderOptions {
   /// States per rank in the window beyond which the row switches to
   /// zoomed-out preview striping.
   std::size_t preview_threshold = 400;
+  /// Navigator renders only: frame-payload bytes the window may decode
+  /// before the render falls back to the stored preview histograms
+  /// (outline form) instead of touching leaf payloads at all.
+  std::uint64_t lod_payload_budget = 4 * 1024 * 1024;
   std::string title;
   /// Y-axis labels; defaults to "0".."N-1" (PI_SetName feeds real names).
   std::vector<std::string> rank_names;
@@ -41,6 +45,17 @@ std::string render_svg(const slog2::File& file, const RenderOptions& opts = {});
 
 /// Render and write to `path`.
 void render_to_file(const std::filesystem::path& path, const slog2::File& file,
+                    const RenderOptions& opts = {});
+
+/// Render a window straight from the on-disk frame directory: only frames
+/// intersecting [t0, t1] are decoded, so a zoomed-in render of a huge trace
+/// costs O(window + log frames), not O(trace). When the window's payload
+/// exceeds `lod_payload_budget`, no payload is decoded at all — the stored
+/// preview histogram of the covering frame is striped instead (the SVG then
+/// carries a "preview-lod" marker comment).
+std::string render_svg(slog2::Navigator& nav, const RenderOptions& opts = {});
+
+void render_to_file(const std::filesystem::path& path, slog2::Navigator& nav,
                     const RenderOptions& opts = {});
 
 /// Jumpshot's "statistics picture" for a user-selected duration (the paper

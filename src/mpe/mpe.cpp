@@ -17,6 +17,66 @@ constexpr int kTagSyncPong = 0x02000002;
 constexpr int kTagCollect = 0x02000003;
 }  // namespace
 
+double record_time(const clog2::Record& rec) {
+  if (const auto* e = std::get_if<clog2::EventRec>(&rec)) return e->timestamp;
+  if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) return m->timestamp;
+  return 0.0;
+}
+
+std::vector<clog2::Record> merge_timed(std::vector<std::vector<clog2::Record>> streams) {
+  std::size_t total = 0;
+  for (auto& s : streams) {
+    total += s.size();
+    // Local repair: a clock fit with non-positive slope (or hand-stamped
+    // records) can leave this stream non-monotonic; fix it here so the heap
+    // merge below only ever has to compare stream fronts.
+    bool sorted = true;
+    for (std::size_t i = 1; i < s.size(); ++i)
+      if (record_time(s[i]) < record_time(s[i - 1])) {
+        sorted = false;
+        break;
+      }
+    if (!sorted)
+      std::stable_sort(s.begin(), s.end(), [](const auto& a, const auto& b) {
+        return record_time(a) < record_time(b);
+      });
+  }
+
+  std::vector<clog2::Record> out;
+  out.reserve(total);
+
+  // Heap of stream cursors, smallest (time, stream index) on top. The
+  // stream-index tie-break plus per-stream FIFO order reproduces the
+  // stable-sort-of-concatenation order exactly.
+  struct Cursor {
+    double t;
+    std::size_t stream;
+    std::size_t pos;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.stream > b.stream;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    if (!streams[s].empty()) heap.push_back(Cursor{record_time(streams[s][0]), s, 0});
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor cur = heap.back();
+    heap.pop_back();
+    auto& stream = streams[cur.stream];
+    out.emplace_back(std::move(stream[cur.pos]));
+    if (cur.pos + 1 < stream.size()) {
+      heap.push_back(Cursor{record_time(stream[cur.pos + 1]), cur.stream, cur.pos + 1});
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  return out;
+}
+
 ClockFit fit_clock(const std::vector<clog2::SyncRec>& samples) {
   ClockFit fit;
   if (samples.empty()) return fit;
@@ -282,8 +342,13 @@ clog2::File Logger::merge_all(std::vector<RankBuffer> buffers) {
     for (const auto& s : buffers[r].sync_samples) out.records.emplace_back(s);
   }
 
-  // Correct timestamps, then time-merge.
-  std::vector<clog2::Record> timed;
+  // Correct timestamps in place, then k-way merge the per-rank streams.
+  // Each stream is already time-ordered (monotonic rank clocks, linear
+  // correction), so the merge is O(n log k) with no global sort and no
+  // intermediate copy of the trace; merge_timed repairs the rare stream a
+  // degenerate correction left inverted.
+  std::vector<std::vector<clog2::Record>> streams;
+  streams.reserve(buffers.size());
   for (std::size_t r = 0; r < buffers.size(); ++r) {
     for (auto& rec : buffers[r].records) {
       if (auto* e = std::get_if<clog2::EventRec>(&rec)) {
@@ -291,18 +356,11 @@ clog2::File Logger::merge_all(std::vector<RankBuffer> buffers) {
       } else if (auto* m = std::get_if<clog2::MsgRec>(&rec)) {
         m->timestamp = fits[r].apply(m->timestamp);
       }
-      timed.emplace_back(std::move(rec));
     }
+    streams.push_back(std::move(buffers[r].records));
   }
-  std::stable_sort(timed.begin(), timed.end(), [](const auto& a, const auto& b) {
-    auto time_of = [](const clog2::Record& rec) {
-      if (const auto* e = std::get_if<clog2::EventRec>(&rec)) return e->timestamp;
-      if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) return m->timestamp;
-      return 0.0;
-    };
-    return time_of(a) < time_of(b);
-  });
-  for (auto& rec : timed) out.records.emplace_back(std::move(rec));
+  for (auto& rec : merge_timed(std::move(streams)))
+    out.records.emplace_back(std::move(rec));
   return out;
 }
 
@@ -420,7 +478,8 @@ clog2::File salvage(const std::string& spill_base, const std::string& comment) {
   for (const auto& d : state_defs) out.records.emplace_back(d);
   out.records.emplace_back(clog2::ConstDef{"salvaged", 1});
 
-  std::vector<clog2::Record> timed;
+  std::vector<std::vector<clog2::Record>> streams;
+  streams.reserve(fragments.size());
   for (auto& [rank, frag] : fragments) {
     const ClockFit fit = fit_clock(frag.syncs);
     for (const auto& s : frag.syncs) out.records.emplace_back(s);
@@ -430,18 +489,11 @@ clog2::File salvage(const std::string& spill_base, const std::string& comment) {
       } else if (auto* m = std::get_if<clog2::MsgRec>(&rec)) {
         m->timestamp = fit.apply(m->timestamp);
       }
-      timed.emplace_back(std::move(rec));
     }
+    streams.push_back(std::move(frag.records));
   }
-  std::stable_sort(timed.begin(), timed.end(), [](const auto& a, const auto& b) {
-    auto time_of = [](const clog2::Record& rec) {
-      if (const auto* e = std::get_if<clog2::EventRec>(&rec)) return e->timestamp;
-      if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) return m->timestamp;
-      return 0.0;
-    };
-    return time_of(a) < time_of(b);
-  });
-  for (auto& rec : timed) out.records.emplace_back(std::move(rec));
+  for (auto& rec : merge_timed(std::move(streams)))
+    out.records.emplace_back(std::move(rec));
   return out;
 }
 

@@ -49,6 +49,24 @@ struct ClockFit {
 /// for one, least-squares line for two or more.
 ClockFit fit_clock(const std::vector<clog2::SyncRec>& samples);
 
+/// K-way time-merge of per-stream record sequences into one chronological
+/// stream. Each input stream is expected to be time-ordered already (a rank
+/// logs with a monotonic clock, and a linear clock correction with positive
+/// slope preserves that order); the rare post-correction inversion — a
+/// degenerate fit with non-positive slope, or an explicitly stamped
+/// out-of-order record — is detected and repaired with a local stable sort
+/// of that stream only. The merge is a heap over one cursor per stream
+/// (O(n log k) comparisons, no global sort, no intermediate copy of the
+/// trace) and is tie-broken by stream index, so the output is byte-for-byte
+/// what concatenating the streams in order and stable-sorting by timestamp
+/// used to produce.
+std::vector<clog2::Record> merge_timed(std::vector<std::vector<clog2::Record>> streams);
+
+/// Timestamp of a timed record (EventRec/MsgRec); definition records carry
+/// no clock and sort as 0. This is the key merge_timed orders by, exposed so
+/// benches and tests can reproduce the seed's sort path exactly.
+double record_time(const clog2::Record& rec);
+
 class Logger {
 public:
   struct Options {

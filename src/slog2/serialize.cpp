@@ -3,9 +3,11 @@
 // a blob of independently decodable frame payloads. The directory enables
 // the Navigator's partial loading.
 #include <array>
+#include <fstream>
 
 #include "slog2/slog2.hpp"
 #include "util/fs.hpp"
+#include "util/streamio.hpp"
 #include "util/strings.hpp"
 
 namespace slog2 {
@@ -32,7 +34,8 @@ void write_preview(util::ByteWriter& w, const Preview& pv) {
   }
 }
 
-Preview read_preview(util::ByteReader& r) {
+template <typename Reader>
+Preview read_preview(Reader& r) {
   Preview pv;
   pv.nbuckets = r.i32();
   pv.arrow_count = r.u32();
@@ -91,7 +94,8 @@ void write_payload(util::ByteWriter& w, const Frame& f) {
   }
 }
 
-void read_payload(util::ByteReader& r, Frame* f) {
+template <typename Reader>
+void read_payload(Reader& r, Frame* f) {
   // Drawable counts are untrusted; bound each by the remaining bytes at the
   // smallest conceivable per-entry size before reserving.
   const std::size_t nstates = r.checked_count(r.u32(), 4);
@@ -146,7 +150,8 @@ void write_stats(util::ByteWriter& w, const ConvertStats& st) {
   w.i32(st.tree_depth);
 }
 
-ConvertStats read_stats(util::ByteReader& r) {
+template <typename Reader>
+ConvertStats read_stats(Reader& r) {
   ConvertStats st;
   st.total_states = r.u64();
   st.total_events = r.u64();
@@ -204,7 +209,8 @@ struct Header {
   ConvertStats stats;
 };
 
-Header read_header(util::ByteReader& r) {
+template <typename Reader>
+Header read_header(Reader& r) {
   const std::uint8_t* magic = r.take(kMagic.size());
   for (std::size_t i = 0; i < kMagic.size(); ++i)
     if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
@@ -461,6 +467,149 @@ void Navigator::visit_window(
       }
     if (e.left != -1) stack.push_back(e.left);
     if (e.right != -1) stack.push_back(e.right);
+  }
+}
+
+std::uint64_t Navigator::window_payload_bytes(double a, double b) const {
+  if (directory_.empty()) return 0;
+  std::uint64_t total = 0;
+  std::vector<std::int32_t> stack = {0};
+  while (!stack.empty()) {
+    const auto i = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    const DirEntry& e = directory_[i];
+    if (e.t1 < a || e.t0 > b) continue;
+    total += e.length;
+    if (e.left != -1) stack.push_back(e.left);
+    if (e.right != -1) stack.push_back(e.right);
+  }
+  return total;
+}
+
+void stream_text(const std::filesystem::path& path, bool dump_drawables,
+                 const std::function<void(const std::string&)>& sink) {
+  struct Meta {
+    double t0 = 0.0, t1 = 0.0;
+    std::int32_t left = -1, right = -1;
+    std::uint64_t offset = 0, length = 0;
+  };
+  std::vector<Meta> metas;
+  Header h;
+  std::size_t blob_base = 0;
+  std::uint64_t blob_len = 0;
+
+  // Validation pass — field for field the checks parse() performs, with
+  // payloads decoded one frame at a time instead of all at once.
+  {
+    util::FileByteReader r(path);
+    h = read_header(r);
+    const std::uint32_t node_count =
+        static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
+    metas.reserve(node_count);
+    for (std::uint32_t i = 0; i < node_count; ++i) {
+      Meta m;
+      m.t0 = r.f64();
+      m.t1 = r.f64();
+      (void)r.i32();  // depth: directory metadata, not printed
+      m.left = r.i32();
+      m.right = r.i32();
+      if ((m.left != -1 && (m.left <= static_cast<std::int32_t>(i) ||
+                            m.left >= static_cast<std::int32_t>(node_count))) ||
+          (m.right != -1 && (m.right <= static_cast<std::int32_t>(i) ||
+                             m.right >= static_cast<std::int32_t>(node_count))))
+        throw util::IoError("slog2: corrupt frame directory links");
+      m.offset = r.u64();
+      m.length = r.u64();
+      (void)read_preview(r);
+      metas.push_back(m);
+    }
+    blob_len = r.u64();
+    blob_base = r.pos();
+    r.skip(blob_len);
+    if (!r.at_end())
+      throw util::IoError("slog2: trailing bytes after payload blob");
+  }
+  std::ifstream blob_in(path, std::ios::binary);
+  if (!blob_in) throw util::IoError("cannot open " + path.string());
+  auto decode_frame = [&](const Meta& m) {
+    if (m.length > blob_len || m.offset > blob_len - m.length)
+      throw util::IoError("slog2: frame payload extent out of range");
+    const auto bytes = util::read_at(blob_in, blob_base + m.offset,
+                                     static_cast<std::size_t>(m.length),
+                                     "slog2: frame payload");
+    Frame f;
+    util::ByteReader pr(bytes);
+    read_payload(pr, &f);
+    if (!pr.at_end())
+      throw util::IoError("slog2: frame payload has trailing bytes");
+    return f;
+  };
+  for (const Meta& m : metas) (void)decode_frame(m);
+
+  // Printing pass: mirrors to_text() line for line.
+  sink(util::strprintf(
+      "SLOG-2  ranks=%d  span=[%.9f, %.9f]  frame_size=%llu\n", h.nranks, h.t_min,
+      h.t_max, static_cast<unsigned long long>(h.frame_size)));
+  sink(util::strprintf(
+      "  drawables: states=%llu events=%llu arrows=%llu\n",
+      static_cast<unsigned long long>(h.stats.total_states),
+      static_cast<unsigned long long>(h.stats.total_events),
+      static_cast<unsigned long long>(h.stats.total_arrows)));
+  sink(util::strprintf(
+      "  frames=%llu leaves=%llu depth=%d\n",
+      static_cast<unsigned long long>(h.stats.frames),
+      static_cast<unsigned long long>(h.stats.leaf_frames), h.stats.tree_depth));
+  sink(util::strprintf(
+      "  warnings: unmatched_sends=%llu unmatched_recvs=%llu "
+      "unmatched_state_ends=%llu unclosed_states=%llu equal_drawables=%llu "
+      "unknown_event_ids=%llu\n",
+      static_cast<unsigned long long>(h.stats.unmatched_sends),
+      static_cast<unsigned long long>(h.stats.unmatched_recvs),
+      static_cast<unsigned long long>(h.stats.unmatched_state_ends),
+      static_cast<unsigned long long>(h.stats.unclosed_states),
+      static_cast<unsigned long long>(h.stats.equal_drawables),
+      static_cast<unsigned long long>(h.stats.unknown_event_ids)));
+  sink("  categories:\n");
+  for (const auto& c : h.categories) {
+    const char* kind = c.kind == CategoryKind::kState   ? "state"
+                       : c.kind == CategoryKind::kEvent ? "event"
+                                                        : "arrow";
+    sink(util::strprintf("    [%d] %-6s %-24s %s\n", c.id, kind, c.name.c_str(),
+                         c.color.c_str()));
+  }
+  if (dump_drawables && !metas.empty()) {
+    // Preorder left-first walk from the root — the traversal order of
+    // File::visit_window over the reconstructed tree.
+    const double a = h.t_min;
+    const double b = h.t_max;
+    std::vector<std::int32_t> stack = {0};
+    while (!stack.empty()) {
+      const auto i = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      const Meta& m = metas[i];
+      if (m.t1 < a || m.t0 > b) continue;
+      const Frame f = decode_frame(m);
+      for (const auto& s : f.states)
+        if (s.end_time >= a && s.start_time <= b)
+          sink(util::strprintf(
+              "  state cat=%d rank=%d [%.9f, %.9f] depth=%d \"%s\"\n",
+              s.category_id, s.rank, s.start_time, s.end_time, s.depth,
+              s.start_text.c_str()));
+      for (const auto& e : f.events)
+        if (e.time >= a && e.time <= b)
+          sink(util::strprintf("  event cat=%d rank=%d t=%.9f \"%s\"\n",
+                               e.category_id, e.rank, e.time, e.text.c_str()));
+      for (const auto& ar : f.arrows) {
+        const double lo = std::min(ar.start_time, ar.end_time);
+        const double hi = std::max(ar.start_time, ar.end_time);
+        if (hi >= a && lo <= b)
+          sink(util::strprintf("  arrow %d->%d [%.9f, %.9f] tag=%d size=%u\n",
+                               ar.src_rank, ar.dst_rank, ar.start_time,
+                               ar.end_time, ar.tag, ar.size));
+      }
+      if (m.right != -1) stack.push_back(m.right);
+      if (m.left != -1) stack.push_back(m.left);
+    }
   }
 }
 

@@ -149,6 +149,10 @@ struct ConvertOptions {
   std::uint64_t frame_size = 64 * 1024;
   int max_depth = 24;
   int preview_buckets = 32;
+  /// Worker threads for the parallel stages (per-timeline pairing, per-key
+  /// message matching, per-frame preview fills). 0 = hardware concurrency.
+  /// Output is byte-identical at any value.
+  int threads = 0;
 };
 
 /// Convert a CLOG-2 trace. Conversion never fails on a "non well-behaved"
@@ -203,6 +207,12 @@ public:
   /// Frames decoded so far (tests assert laziness with this).
   [[nodiscard]] std::size_t frames_decoded() const;
 
+  /// Payload bytes of every frame intersecting [a, b] — what a detailed
+  /// visit of that window would decode. Answered from the directory alone
+  /// (no payload is touched), so a renderer can decide between detailed
+  /// drawing and the preview fallback before paying for either.
+  [[nodiscard]] std::uint64_t window_payload_bytes(double a, double b) const;
+
 private:
   struct DirEntry {
     double t0 = 0.0;
@@ -232,5 +242,15 @@ private:
 
 /// Human-readable structural summary (the slog2print tool).
 std::string to_text(const File& file, bool dump_drawables = false);
+
+/// Stream the to_text() dump of an on-disk SLOG-2 file through `sink`
+/// using a fixed-size read window plus one frame payload at a time — RSS
+/// stays O(window + directory + largest frame) instead of O(trace). A full
+/// validation pass runs first with exactly the accept/reject verdict of
+/// parse() (every payload is decoded and bounds-checked), so a corrupt file
+/// throws util::IoError before any output is emitted. Output is
+/// byte-identical to to_text(read_file(path), dump_drawables).
+void stream_text(const std::filesystem::path& path, bool dump_drawables,
+                 const std::function<void(const std::string&)>& sink);
 
 }  // namespace slog2

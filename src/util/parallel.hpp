@@ -1,0 +1,70 @@
+// Deterministic fork-join helper for the offline trace pipeline.
+//
+// parallel_for runs `fn(i)` for every i in [0, n) across a small pool of
+// std::threads. Tasks are claimed from a shared atomic counter, so the
+// *schedule* is nondeterministic — callers must make every task write only
+// to its own pre-allocated slot and commit results in a fixed order
+// afterwards. Used that way, output is byte-identical at any thread count,
+// which is the contract the CLOG-2 → SLOG-2 converter advertises.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace util {
+
+/// Resolve a thread-count request: values >= 1 pass through; 0 (or negative)
+/// means "hardware concurrency", with a floor of 1 for exotic platforms
+/// where std::thread::hardware_concurrency() reports 0.
+inline int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Run fn(0..n-1) on up to `threads` workers. threads <= 1 (or n <= 1)
+/// degrades to a plain loop on the calling thread — the serial and parallel
+/// paths execute the same per-index code. The first exception thrown by any
+/// task is rethrown on the caller after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, Fn&& fn) {
+  if (n == 0) return;
+  const auto nworkers =
+      static_cast<std::size_t>(threads < 1 ? 1 : threads) < n
+          ? static_cast<std::size_t>(threads < 1 ? 1 : threads)
+          : n;
+  if (nworkers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining indices so siblings are not starved of the exit
+        // condition; remaining tasks still run (they must be independent).
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(nworkers - 1);
+  for (std::size_t w = 1; w < nworkers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace util

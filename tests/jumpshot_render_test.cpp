@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "jumpshot/search.hpp"
 #include "util/fs.hpp"
 #include "util/prng.hpp"
@@ -126,6 +129,88 @@ TEST(Render, XmlSpecialCharsEscapedInTooltips) {
   const std::string svg = jumpshot::render_svg(file);
   EXPECT_EQ(svg.find("a<b"), std::string::npos);
   EXPECT_NE(svg.find("a&lt;b"), std::string::npos);
+}
+
+// --- windowed rendering through the Navigator --------------------------------
+
+clog2::File dense_trace(int n) {
+  util::SplitMix64 rng(17);
+  clog2::File f;
+  f.nranks = 4;
+  f.records.emplace_back(clog2::StateDef{1, 10, 11, "Work", "gray", ""});
+  struct Timed {
+    double t;
+    clog2::Record rec;
+  };
+  std::vector<Timed> timed;
+  for (int i = 0; i < n; ++i) {
+    const int rank = static_cast<int>(rng.below(4));
+    const double s = rng.uniform(0, 10);
+    const double e = s + rng.uniform(1e-4, 1e-2);
+    timed.push_back({s, clog2::EventRec{s, rank, 10, ""}});
+    timed.push_back({e, clog2::EventRec{e, rank, 11, ""}});
+  }
+  std::sort(timed.begin(), timed.end(),
+            [](const Timed& a, const Timed& b) { return a.t < b.t; });
+  for (auto& t : timed) f.records.emplace_back(std::move(t.rec));
+  return f;
+}
+
+TEST(RenderWindowed, NavigatorDecodesOnlyWindowFrames) {
+  util::TempDir dir;
+  slog2::ConvertOptions copts;
+  copts.frame_size = 2048;  // many frames, so a window is a strict subset
+  slog2::write_file(dir.file("t.slog2"), slog2::convert(dense_trace(4000), copts));
+
+  slog2::Navigator nav(dir.file("t.slog2"));
+  jumpshot::RenderOptions opts;
+  opts.t0 = 4.9;
+  opts.t1 = 5.1;
+  const std::string svg = jumpshot::render_svg(nav, opts);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_EQ(svg.find("preview-lod"), std::string::npos);
+  EXPECT_GT(nav.frames_decoded(), 0u);
+  EXPECT_LT(nav.frames_decoded(), nav.total_frames());
+}
+
+TEST(RenderWindowed, PreviewLodUnderBudgetDecodesNothing) {
+  util::TempDir dir;
+  slog2::ConvertOptions copts;
+  copts.frame_size = 2048;
+  slog2::write_file(dir.file("t.slog2"), slog2::convert(dense_trace(4000), copts));
+
+  slog2::Navigator nav(dir.file("t.slog2"));
+  jumpshot::RenderOptions opts;
+  opts.lod_payload_budget = 1;  // every window exceeds this
+  const std::string svg = jumpshot::render_svg(nav, opts);
+  EXPECT_NE(svg.find("preview-lod"), std::string::npos);
+  EXPECT_NE(svg.find("outline form"), std::string::npos);
+  EXPECT_EQ(nav.frames_decoded(), 0u);
+}
+
+TEST(RenderWindowed, MatchesWholeFileDrawing) {
+  // The Navigator path must draw the same states the whole-file renderer
+  // draws for the same window (legend style differs, rectangles must not).
+  util::TempDir dir;
+  const auto file = slog2::convert(demo_trace());
+  slog2::write_file(dir.file("t.slog2"), file);
+  slog2::Navigator nav(dir.file("t.slog2"));
+
+  jumpshot::RenderOptions opts;
+  opts.draw_legend = false;
+  const std::string whole = jumpshot::render_svg(file, opts);
+  const std::string windowed = jumpshot::render_svg(nav, opts);
+  const auto count = [](const std::string& svg, const char* needle) {
+    std::size_t n = 0;
+    for (auto p = svg.find(needle); p != std::string::npos;
+         p = svg.find(needle, p + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count(whole, "<rect"), count(windowed, "<rect"));
+  EXPECT_EQ(count(whole, "<circle"), count(windowed, "<circle"));
+  EXPECT_EQ(count(whole, "marker-end"), count(windowed, "marker-end"));
 }
 
 // --- search ------------------------------------------------------------------

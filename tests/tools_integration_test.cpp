@@ -15,6 +15,7 @@
 #include "pilot/runtime.hpp"
 #include "replay/crosscheck.hpp"
 #include "replay/prl.hpp"
+#include "slog2/slog2.hpp"
 #include "util/fs.hpp"
 #include "workloads/collision_app.hpp"
 
@@ -133,6 +134,60 @@ TEST(Tools, FullPipeline) {
   EXPECT_NE(html.find("Timeline"), std::string::npos);
   EXPECT_NE(html.find("Duration statistics"), std::string::npos);
   EXPECT_NE(html.find("PI_Read"), std::string::npos);
+}
+
+TEST(Tools, TracegenThreadedConvertWindowedRender) {
+  // The scale pipeline end-to-end: synthesize a trace, convert it with an
+  // explicit thread count, and render a window through the Navigator.
+  util::TempDir dir;
+  const std::string clog = dir.file("gen.clog2").string();
+  const std::string slog = dir.file("gen.slog2").string();
+  const std::string svg = dir.file("win.svg").string();
+
+  std::string out;
+  ASSERT_EQ(run_status(tool("pilot-tracegen") + " " + clog +
+                           " --events=5000 --ranks=4 --seed=9", &out), 0)
+      << out;
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+
+  // Same seed reproduces the same bytes (tools-level determinism).
+  const std::string clog2_path = dir.file("gen2.clog2").string();
+  ASSERT_EQ(run_status(tool("pilot-tracegen") + " " + clog2_path +
+                           " --events=5000 --ranks=4 --seed=9 --quiet", &out), 0);
+  EXPECT_EQ(util::read_text_file(clog), util::read_text_file(clog2_path));
+
+  ASSERT_EQ(run_status(tool("pilot-clog2toslog2") + " " + clog + " --out=" +
+                           slog + " --threads=2 --quiet", &out), 0) << out;
+
+  ASSERT_EQ(run_status(tool("pilot-jumpshot") + " " + slog +
+                           " --windowed --out=" + svg, &out), 0) << out;
+  EXPECT_NE(out.find("decoded"), std::string::npos) << out;
+  EXPECT_NE(util::read_text_file(svg).find("<svg"), std::string::npos);
+
+  // A 1-byte LOD budget forces the preview path: no frame decodes at all.
+  ASSERT_EQ(run_status(tool("pilot-jumpshot") + " " + slog +
+                           " --windowed --lod-budget=1 --out=" + svg, &out), 0)
+      << out;
+  EXPECT_NE(out.find("decoded 0 of"), std::string::npos) << out;
+  EXPECT_NE(util::read_text_file(svg).find("preview-lod"), std::string::npos);
+}
+
+TEST(Tools, StreamedPrintersMatchLibraryText) {
+  // clog2print/slog2print stream through a bounded buffer; their output must
+  // stay exactly the library's to_text rendering.
+  util::TempDir dir;
+  make_trace(dir);
+  const std::string clog = dir.file("pilot.clog2").string();
+  const std::string slog = dir.file("pilot.slog2").string();
+  ASSERT_EQ(run_status(tool("pilot-clog2toslog2") + " " + clog + " --quiet"), 0);
+
+  std::string out;
+  ASSERT_EQ(run_cmd(tool("pilot-clog2print") + " " + clog, &out), 0);
+  EXPECT_EQ(out, clog2::to_text(clog2::read_file(clog)));
+
+  ASSERT_EQ(run_cmd(tool("pilot-slog2print") + " " + slog + " --drawables", &out),
+            0);
+  EXPECT_EQ(out, slog2::to_text(slog2::read_file(slog), true));
 }
 
 TEST(Tools, BadInputsFailGracefully) {

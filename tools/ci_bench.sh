@@ -1,0 +1,52 @@
+#!/bin/sh
+# Perf smoke leg: build bench_pipeline_scale, run it at the small trace size
+# only, and fail if single-thread convert throughput regressed by more than
+# 2x against the checked-in baseline (bench/baseline_pipeline.json). The 2x
+# margin absorbs machine-to-machine variance while still catching an
+# accidental O(n log n) -> O(n^2) (or allocation-storm) regression.
+#
+# The bench itself also exits nonzero if either determinism invariant breaks
+# (k-way merge vs sort path, or the thread sweep), so this leg guards
+# correctness as well as speed.
+#
+# Usage: tools/ci_bench.sh [--small=EVENTS]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMALL=100000
+for arg in "$@"; do
+  case "$arg" in
+    --small=*) SMALL="${arg#--small=}" ;;
+    *) echo "usage: $0 [--small=EVENTS]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_pipeline_scale
+
+# Run in a scratch dir so bench_out/ does not pollute the source tree.
+RUN_DIR=$(mktemp -d)
+trap 'rm -rf "$RUN_DIR"' EXIT
+(cd "$RUN_DIR" && "$OLDPWD/build/bench/bench_pipeline_scale" \
+  --small="$SMALL" --large=0 --threads-max=2)
+
+# Pull one flat scalar out of a JsonReport file without a JSON parser.
+json_num() {
+  sed -n "s/^  \"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1"
+}
+
+CURRENT=$(json_num "$RUN_DIR/bench_out/BENCH_pipeline.json" convert_events_per_sec_t1_small)
+BASELINE=$(json_num bench/baseline_pipeline.json convert_events_per_sec_t1_small)
+[ -n "$CURRENT" ] || { echo "FAIL: no convert throughput in bench output" >&2; exit 1; }
+[ -n "$BASELINE" ] || { echo "FAIL: no baseline throughput in bench/baseline_pipeline.json" >&2; exit 1; }
+
+echo "convert throughput: current ${CURRENT} events/s, baseline ${BASELINE} events/s"
+# Fail when current * 2 < baseline (i.e. >2x slower), in integer arithmetic.
+CUR_INT=$(printf '%.0f' "$CURRENT")
+BASE_INT=$(printf '%.0f' "$BASELINE")
+if [ $((CUR_INT * 2)) -lt "$BASE_INT" ]; then
+  echo "FAIL: convert throughput regressed >2x vs baseline" >&2
+  exit 1
+fi
+echo "perf smoke leg OK"

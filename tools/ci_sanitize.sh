@@ -1,9 +1,12 @@
 #!/bin/sh
 # Configure, build, and test the whole tree under UndefinedBehaviorSanitizer
-# (the cmake preset "sanitize-undefined"), then run the record/replay tests
-# and the fault-chaos matrix under ThreadSanitizer ("sanitize-thread") — the
-# replay engine and the fault injector both coordinate every rank thread, so
-# their tests are the highest-value TSan targets.
+# (the cmake preset "sanitize-undefined"), then run the record/replay tests,
+# the fault-chaos matrix, and the threaded clog2->slog2 converter under
+# ThreadSanitizer ("sanitize-thread") — the replay engine and the fault
+# injector coordinate every rank thread, and the converter fans work out
+# across a worker pool, so their tests are the highest-value TSan targets.
+# (The PipelineScale suite converts with --threads=8; its million-event
+# PipelineLarge sibling stays out of the sanitizer legs by name.)
 # Any sanitizer report fails the run.
 #
 # Usage: tools/ci_sanitize.sh [extra ctest args...]
@@ -19,7 +22,8 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 
 cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
-  --target pilot_replay_test mpisim_test fault_test fault_chaos_test
+  --target pilot_replay_test mpisim_test fault_test fault_chaos_test \
+  pipeline_scale_test
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --preset sanitize-thread \
-  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix' "$@"
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.' "$@"

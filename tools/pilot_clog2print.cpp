@@ -15,16 +15,16 @@ int run(int argc, char** argv) {
     return 2;
   }
   const std::string& path = args.positional()[0];
-  clog2::File file;
   try {
-    file = clog2::read_file(path);
+    // Streams through a fixed-size window (RSS independent of trace size);
+    // validation runs before any output, so truncated or corrupt traces
+    // still fail loudly with the file named and no half-printed dump.
+    clog2::stream_text(path,
+                       [](const std::string& chunk) { std::fputs(chunk.c_str(), stdout); });
   } catch (const std::exception& e) {
-    // Truncated or corrupt traces must fail loudly with the file named —
-    // a half-printed dump is worse than no dump.
     std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
     return 1;
   }
-  std::fputs(clog2::to_text(file).c_str(), stdout);
   return 0;
 }
 

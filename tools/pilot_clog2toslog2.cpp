@@ -17,7 +17,7 @@ int run(int argc, char** argv) {
   if (args.positional().size() != 1 || args.has("help")) {
     std::fprintf(stderr,
                  "usage: %s <trace.clog2> [--out=trace.slog2] "
-                 "[--framesize=BYTES] [--maxdepth=N] [--quiet]\n",
+                 "[--framesize=BYTES] [--maxdepth=N] [--threads=N] [--quiet]\n",
                  args.program().c_str());
     return 2;
   }
@@ -33,6 +33,8 @@ int run(int argc, char** argv) {
   slog2::ConvertOptions opts;
   opts.frame_size = static_cast<std::uint64_t>(args.get_int_or("framesize", 64 * 1024));
   opts.max_depth = static_cast<int>(args.get_int_or("maxdepth", 24));
+  // 0 = hardware concurrency; output is byte-identical at any thread count.
+  opts.threads = static_cast<int>(args.get_int_or("threads", 0));
   const bool quiet = args.has("quiet");
 
   for (const auto& k : args.unused_keys()) {

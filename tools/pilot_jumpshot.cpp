@@ -20,12 +20,11 @@ int run(int argc, char** argv) {
   if (args.positional().size() != 1 || args.has("help")) {
     std::fprintf(stderr,
                  "usage: %s <trace.slog2> [--out=view.svg] [--t0=S] [--t1=S]\n"
-                 "       [--width=PX] [--title=TEXT] [--no-legend]\n"
-                 "       [--search=NEEDLE] [--rank=R] [--stats]\n",
+                 "       [--width=PX] [--title=TEXT] [--no-legend] [--windowed]\n"
+                 "       [--lod-budget=BYTES] [--search=NEEDLE] [--rank=R] [--stats]\n",
                  args.program().c_str());
     return 2;
   }
-  const auto file = slog2::read_file(args.positional()[0]);
 
   jumpshot::RenderOptions opts;
   opts.t0 = args.get_double_or("t0", opts.t0);
@@ -33,6 +32,26 @@ int run(int argc, char** argv) {
   opts.width = static_cast<int>(args.get_int_or("width", opts.width));
   opts.title = args.get_or("title", args.positional()[0]);
   opts.draw_legend = !args.has("no-legend");
+  opts.lod_payload_budget = static_cast<std::uint64_t>(args.get_int_or(
+      "lod-budget", static_cast<long long>(opts.lod_payload_budget)));
+
+  // --windowed: render through the Navigator, decoding only the frames the
+  // window touches (and none at all once the preview LOD kicks in). The
+  // whole-file load below never happens.
+  if (args.has("windowed")) {
+    const std::string out = args.get_or("out", "view.svg");
+    for (const auto& k : args.unused_keys()) {
+      std::fprintf(stderr, "error: unknown option --%s\n", k.c_str());
+      return 2;
+    }
+    slog2::Navigator nav(args.positional()[0]);
+    jumpshot::render_to_file(out, nav, opts);
+    std::printf("wrote %s (decoded %zu of %zu frames)\n", out.c_str(),
+                nav.frames_decoded(), nav.total_frames());
+    return 0;
+  }
+
+  const auto file = slog2::read_file(args.positional()[0]);
 
   if (auto needle = args.get("search")) {
     jumpshot::SearchQuery query;

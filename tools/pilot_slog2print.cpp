@@ -17,14 +17,16 @@ int run(int argc, char** argv) {
   }
   const bool drawables = args.has("drawables");
   const std::string& path = args.positional()[0];
-  slog2::File file;
   try {
-    file = slog2::read_file(path);
+    // Streams frame by frame (RSS stays at window + directory + one frame);
+    // the validation pass rejects corrupt files before any output.
+    slog2::stream_text(path, drawables, [](const std::string& chunk) {
+      std::fputs(chunk.c_str(), stdout);
+    });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
     return 1;
   }
-  std::fputs(slog2::to_text(file, drawables).c_str(), stdout);
   return 0;
 }
 
