@@ -1,0 +1,155 @@
+// World-scale sweep: thread-per-rank vs task-scheduled ranks on the same
+// compute-and-ring workload, 64 to 10000 ranks. Emits BENCH_world_scale.json
+// with wall time and peak RSS per (mode, ranks) cell plus the headline
+// speedups the perf acceptance criteria read: under tasks the charged
+// compute retires in *virtual* time, so wall time is scheduling overhead
+// only, while the threads substrate pays the modeled time for real (and
+// eventually cannot spawn the world at all).
+//
+// `--quick=1` trims both sweeps for the ci_bench.sh smoke leg.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mpisim/types.hpp"
+#include "mpisim/world.hpp"
+
+namespace {
+
+constexpr int kRounds = 10;
+constexpr double kComputePerRound = 1e-3;  // 1 ms of modeled CPU per round
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Process peak RSS in MB. A high-water mark: it only ever grows, so the
+/// sweep runs tasks (small footprint) before threads (rank stacks) and each
+/// snapshot bounds every configuration up to that point.
+double peak_rss_mb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+struct Cell {
+  bool feasible = false;
+  double wall_ms = 0;
+  double rss_mb = 0;
+  std::string note;
+};
+
+/// Every rank: kRounds x { charge 1 ms of compute, pass a token around the
+/// ring }. Self-checking — a wrong token fails the whole cell.
+Cell run_ring(int nranks, mpisim::ExecMode mode) {
+  Cell cell;
+  mpisim::World::Config cfg;
+  cfg.nprocs = nranks;
+  cfg.exec = mode;
+  cfg.cpu_cores = 8;
+  cfg.time_scale = 1.0;
+  cfg.seed = 7;
+  cfg.watchdog_seconds = 300.0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    mpisim::World world(cfg);
+    const auto res = world.run([nranks](mpisim::Comm& c) {
+      const int next = (c.rank() + 1) % nranks;
+      const int prev = (c.rank() + nranks - 1) % nranks;
+      for (int round = 0; round < kRounds; ++round) {
+        c.compute(kComputePerRound);
+        int token = c.rank() * 31 + round;
+        c.send(next, 1, &token, sizeof token);
+        int got = 0;
+        c.recv(prev, 1, &got, sizeof got);
+        if (got != prev * 31 + round) return 1;
+      }
+      return 0;
+    });
+    cell.wall_ms = ms_since(t0);
+    cell.feasible = !res.aborted;
+    if (res.aborted) cell.note = util::strprintf("aborted (%d)", res.abort_code);
+    for (const int code : res.exit_codes)
+      if (code != 0) {
+        cell.feasible = false;
+        cell.note = "ring token mismatch";
+      }
+  } catch (const mpisim::SpawnError& e) {
+    cell.wall_ms = ms_since(t0);
+    cell.note = e.what();
+  } catch (const mpisim::TimeoutError&) {
+    cell.wall_ms = ms_since(t0);
+    cell.note = "watchdog timeout";
+  }
+  cell.rss_mb = peak_rss_mb();
+  return cell;
+}
+
+const char* mode_key(mpisim::ExecMode m) {
+  return m == mpisim::ExecMode::kTasks ? "tasks" : "threads";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::arg_int(argc, argv, "quick", 0) != 0;
+  bench::heading("world scale: thread-per-rank vs task-scheduled ranks",
+                 "scaling the simulator beyond the paper's 8-25 process runs");
+
+  std::vector<int> task_sizes = quick ? std::vector<int>{64, 256, 1024}
+                                      : std::vector<int>{64, 256, 1024, 4096, 10000};
+  std::vector<int> thread_sizes =
+      quick ? std::vector<int>{64, 256} : std::vector<int>{64, 256, 1024};
+
+  bench::JsonReport json("world_scale");
+  json.set("quick", quick);
+  json.set("rounds", kRounds);
+  json.set("compute_per_round_s", kComputePerRound);
+
+  std::printf("%-8s %7s %12s %10s  %s\n", "mode", "ranks", "wall(ms)",
+              "rss(MB)", "note");
+
+  // Tasks first so its RSS snapshots are not inflated by thread stacks.
+  std::vector<std::pair<int, double>> tasks_ms, threads_ms;
+  for (const mpisim::ExecMode mode :
+       {mpisim::ExecMode::kTasks, mpisim::ExecMode::kThreads}) {
+    const auto& sizes =
+        mode == mpisim::ExecMode::kTasks ? task_sizes : thread_sizes;
+    for (const int n : sizes) {
+      const Cell cell = run_ring(n, mode);
+      std::printf("%-8s %7d %12.1f %10.1f  %s\n", mode_key(mode), n,
+                  cell.wall_ms, cell.rss_mb, cell.note.c_str());
+      const std::string key = util::strprintf("%s_r%d", mode_key(mode), n);
+      json.set(key + "_feasible", cell.feasible);
+      json.set(key + "_ms", cell.wall_ms);
+      json.set("rss_mb_after_" + key, cell.rss_mb);
+      if (cell.feasible) {
+        (mode == mpisim::ExecMode::kTasks ? tasks_ms : threads_ms)
+            .emplace_back(n, cell.wall_ms);
+      }
+    }
+  }
+
+  // Headline: at every rank count both substrates completed, how much wall
+  // time does virtual-time task scheduling save?
+  for (const auto& [n, t_ms] : tasks_ms)
+    for (const auto& [m, th_ms] : threads_ms)
+      if (n == m && t_ms > 0) {
+        const double speedup = th_ms / t_ms;
+        std::printf("speedup at %d ranks: %.1fx\n", n, speedup);
+        json.set(util::strprintf("speedup_r%d", n), speedup);
+      }
+  json.set("tasks_max_feasible_ranks",
+           tasks_ms.empty() ? 0 : tasks_ms.back().first);
+  json.set("threads_max_feasible_ranks",
+           threads_ms.empty() ? 0 : threads_ms.back().first);
+
+  json.write();
+  return 0;
+}

@@ -34,3 +34,5 @@ pilot_add_bench(bench_micro_logging bench_micro_logging.cpp
   pilot_mpe pilot_slog2 pilot_jumpshot pilot_core benchmark::benchmark)
 pilot_add_bench(bench_pipeline_scale bench_pipeline_scale.cpp
   pilot_mpe pilot_slog2 pilot_jumpshot pilot_tracegen)
+pilot_add_bench(bench_world_scale bench_world_scale.cpp
+  pilot_mpisim)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mpisim/sched.hpp"
 #include "util/prng.hpp"
 
 namespace mpisim {
@@ -25,13 +26,23 @@ VirtualClock::VirtualClock(int nranks, double max_offset, double max_skew,
 }
 
 void VirtualClock::backdate(double seconds) {
+  if (sched_ != nullptr) {
+    vt0_ += seconds;
+    return;
+  }
   t0_ -= std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(seconds));
 }
 
 double VirtualClock::true_time() const {
+  if (sched_ != nullptr) return vt0_ + sched_->now();
   const auto d = std::chrono::steady_clock::now() - t0_;
   return std::chrono::duration<double>(d).count();
+}
+
+std::chrono::steady_clock::time_point VirtualClock::steady_of(double true_t) const {
+  return t0_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(true_t));
 }
 
 double VirtualClock::now(int rank) const { return to_local(rank, true_time()); }

@@ -9,6 +9,10 @@
 // over a shared steady base clock, with offset/skew drawn deterministically
 // from a seed. Tests and the clock-sync ablation get ground truth via
 // true_time().
+// Under the task substrate (`-piexec=tasks`) the steady base is replaced by
+// the scheduler's simulated clock: true time becomes a deterministic function
+// of the dispatch sequence, so charged sleeps and message latencies retire
+// without wall-clock waits and timestamps are identical run-to-run.
 #pragma once
 
 #include <chrono>
@@ -17,11 +21,18 @@
 
 namespace mpisim {
 
+class TaskScheduler;
+
 class VirtualClock {
 public:
   /// `max_offset` seconds and `max_skew` (fractional, e.g. 1e-4) bound the
   /// injected per-rank error; both zero gives perfectly synchronized clocks.
   VirtualClock(int nranks, double max_offset, double max_skew, std::uint64_t seed);
+
+  /// Switch the time base from the steady clock to `sched`'s virtual clock
+  /// (tasks mode). Must happen before any timestamps are taken.
+  void bind_scheduler(const TaskScheduler* sched) { sched_ = sched; }
+  [[nodiscard]] bool is_virtual() const { return sched_ != nullptr; }
 
   /// Shift the clock origin into the past (time already reads `seconds` at
   /// the call). Pilot uses this so the Configuration Phase — which runs
@@ -44,11 +55,21 @@ public:
   /// Convert a ground-truth instant into rank-local clock units.
   [[nodiscard]] double to_local(int rank, double true_t) const;
 
+  /// Map a true-time instant back onto the steady base clock (threads mode
+  /// only — waits use this to turn model deadlines into cv deadlines).
+  [[nodiscard]] std::chrono::steady_clock::time_point steady_of(double true_t) const;
+
+  /// Map a true-time instant onto the scheduler's clock (tasks mode only —
+  /// blocking calls use this to arm virtual timers).
+  [[nodiscard]] double sched_time_of(double true_t) const { return true_t - vt0_; }
+
   [[nodiscard]] double offset(int rank) const { return offsets_.at(static_cast<std::size_t>(rank)); }
   [[nodiscard]] double skew(int rank) const { return skews_.at(static_cast<std::size_t>(rank)); }
 
 private:
   std::chrono::steady_clock::time_point t0_;
+  const TaskScheduler* sched_ = nullptr;
+  double vt0_ = 0.0;  // virtual-time origin offset (tasks mode backdating)
   double quantum_ = 0.0;
   std::vector<double> offsets_;
   std::vector<double> skews_;

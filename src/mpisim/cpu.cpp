@@ -7,8 +7,8 @@
 
 namespace mpisim {
 
-CpuModel::CpuModel(unsigned cores, double time_scale)
-    : cores_(cores), time_scale_(time_scale) {
+CpuModel::CpuModel(unsigned cores, double time_scale, TaskScheduler* sched)
+    : cores_(cores), time_scale_(time_scale), sched_(sched) {
   if (cores_ == 0) throw util::UsageError("CpuModel needs at least one core");
   if (time_scale_ < 0.0) throw util::UsageError("CpuModel time_scale must be >= 0");
 }
@@ -16,6 +16,10 @@ CpuModel::CpuModel(unsigned cores, double time_scale)
 void CpuModel::execute(double virtual_seconds) {
   if (virtual_seconds < 0.0)
     throw util::UsageError("CpuModel::execute: negative cost");
+  if (sched_ != nullptr) {
+    execute_tasks(virtual_seconds);
+    return;
+  }
   std::unique_lock lk(mu_);
   cv_.wait(lk, [&] { return shutdown_ || busy_ < cores_; });
   if (shutdown_) return;
@@ -39,7 +43,28 @@ void CpuModel::execute(double virtual_seconds) {
   cv_.notify_all();
 }
 
+void CpuModel::execute_tasks(double virtual_seconds) {
+  // Single carrier thread: no lock needed, and blocking happens through the
+  // scheduler so other tasks keep running. Wakeups are spurious (abort wakes
+  // everyone), hence the predicate loop.
+  while (!shutdown_ && busy_ >= cores_) sched_->block(core_q_);
+  if (shutdown_) return;
+  ++busy_;
+  charged_ += virtual_seconds;
+  if (virtual_seconds > 0.0 && time_scale_ > 0.0)
+    // The charged sleep is a virtual timer: when every runnable task has
+    // yielded, the scheduler jumps its clock here instead of wall-waiting.
+    sched_->sleep_until(sched_->now() + virtual_seconds * time_scale_);
+  --busy_;
+  // Exactly one core slot opened, so hand it to exactly one waiter. Waking
+  // the whole queue makes every release cost O(waiters) re-blocks — with
+  // thousands of ranks contending that is the difference between a linear
+  // and a quadratic sweep.
+  sched_->notify_one(core_q_);
+}
+
 double CpuModel::total_charged() const {
+  if (sched_ != nullptr) return charged_;
   std::lock_guard lk(mu_);
   return charged_;
 }
@@ -50,6 +75,7 @@ void CpuModel::shutdown() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  if (sched_ != nullptr) sched_->notify_all(core_q_);
 }
 
 }  // namespace mpisim

@@ -8,17 +8,25 @@
 //
 // `time_scale` maps virtual seconds to wall seconds (e.g. 0.01 runs the
 // paper's 31 s experiment in 310 ms).
+// Under the task substrate the same model runs in *virtual* time: a charged
+// sleep parks the calling task on a scheduler timer instead of a cv wait, so
+// the wall cost of simulated compute is a few context switches regardless of
+// time_scale.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "mpisim/sched.hpp"
 
 namespace mpisim {
 
 class CpuModel {
 public:
   /// `cores` virtual cores; `time_scale` wall-seconds per virtual second.
-  CpuModel(unsigned cores, double time_scale);
+  /// With a scheduler the model blocks via task yields and charged sleeps
+  /// retire in virtual time; without one it keeps mutex/cv semantics.
+  CpuModel(unsigned cores, double time_scale, TaskScheduler* sched = nullptr);
 
   /// Occupy one core for `virtual_seconds` of simulated work. Blocks while
   /// all cores are busy (FIFO-ish fairness via condition variable).
@@ -35,8 +43,12 @@ public:
   void shutdown();
 
 private:
+  void execute_tasks(double virtual_seconds);
+
   unsigned cores_;
   double time_scale_;
+  TaskScheduler* sched_;
+  TaskScheduler::WaitQueue core_q_;  // tasks waiting for a free core
   mutable std::mutex mu_;
   std::condition_variable cv_;
   unsigned busy_ = 0;

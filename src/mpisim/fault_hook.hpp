@@ -24,9 +24,10 @@
 
 namespace mpisim {
 
-/// Thrown by FaultHook::at_call on the victim rank's own thread. Not derived
-/// from AbortedError on purpose: an aborted rank is collateral damage, a
-/// killed rank is the cause.
+/// Thrown by FaultHook::at_call in the victim rank's current execution
+/// context (its thread under `-piexec=threads`, its fiber under
+/// `-piexec=tasks`). Not derived from AbortedError on purpose: an aborted
+/// rank is collateral damage, a killed rank is the cause.
 class RankKilledError : public util::Error {
 public:
   RankKilledError(int rank, const std::string& what)
@@ -41,9 +42,11 @@ class FaultHook {
 public:
   virtual ~FaultHook() = default;
 
-  /// Called on the acting rank's own thread at entry of each substrate call
+  /// Called in the acting rank's current execution context (thread or
+  /// fiber, depending on the substrate) at entry of each substrate call
   /// (`what` names it: "send", "receive", ...). Throws RankKilledError when
-  /// the schedule kills this rank at this call; otherwise returns.
+  /// the schedule kills this rank at this call; otherwise returns. At most
+  /// one call per rank is in flight at a time, in that rank's program order.
   virtual void at_call(int rank, const char* what) = 0;
 
   /// Extra delivery delay in wall seconds (>= 0) for the message identified

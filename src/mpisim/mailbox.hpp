@@ -6,17 +6,28 @@
 // per (source, destination, tag). A message only becomes *deliverable* once
 // its latency-model delivery instant has passed, which is how the substrate
 // gives message arrows a nonzero duration in the visual log.
+//
+// The mailbox runs in one of two modes, chosen by the World:
+//   * threads (default): waiters block on a condition variable; every wait
+//     is predicate-checked and abort-wakeable.
+//   * tasks: waiters park on a TaskScheduler WaitQueue; a single carrier
+//     thread runs all ranks, so no lock is held across a block and latency
+//     deadlines are virtual timers.
+// Delivery instants are true-time seconds (VirtualClock::true_time units),
+// which both modes can compare and wait against.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "mpisim/clock.hpp"
+#include "mpisim/sched.hpp"
 #include "mpisim/types.hpp"
 
 namespace mpisim {
@@ -25,9 +36,9 @@ struct Envelope {
   int src = 0;
   int tag = 0;
   std::vector<std::uint8_t> payload;
-  double send_time = 0.0;  ///< sender-local clock at post time
-  std::chrono::steady_clock::time_point deliver_at;
-  std::uint64_t seq = 0;  ///< global post order, for deterministic debugging
+  double send_time = 0.0;   ///< sender-local clock at post time
+  double deliver_at = 0.0;  ///< true-time instant the message becomes deliverable
+  std::uint64_t seq = 0;    ///< global post order, for deterministic debugging
   /// Per-(src, dst) send counter, 0-based. Unlike `seq` this is stable
   /// across runs, so it is the message identity replay logs record.
   std::uint64_t pair_seq = 0;
@@ -35,6 +46,10 @@ struct Envelope {
 
 class Mailbox {
 public:
+  /// `clock` supplies the true-time base for delivery instants; `sched` is
+  /// null in threads mode. Both must outlive the Mailbox.
+  explicit Mailbox(const VirtualClock* clock, TaskScheduler* sched = nullptr);
+
   /// Post a message (never blocks; buffered semantics).
   void post(Envelope env);
 
@@ -48,17 +63,26 @@ public:
 
   /// Replay enforcement: wait for the *specific* message (src, pair_seq) to
   /// become deliverable, then remove and return it. Returns nullopt if the
-  /// deadline passes first (the recorded sender never sent it — a replay
-  /// divergence, diagnosed by the caller).
+  /// true-time `deadline` passes first (the recorded sender never sent it —
+  /// a replay divergence, diagnosed by the caller).
   std::optional<Envelope> receive_exact(int src, std::uint64_t pair_seq,
-                                        std::chrono::steady_clock::time_point deadline,
+                                        double deadline,
                                         const std::atomic<bool>& aborted,
                                         int abort_code);
 
   /// receive_exact without consuming the message.
   std::optional<Status> probe_exact(int src, std::uint64_t pair_seq,
-                                    std::chrono::steady_clock::time_point deadline,
+                                    double deadline,
                                     const std::atomic<bool>& aborted, int abort_code);
+
+  /// Select support: block until some (src, tag) pair in `wants` has a
+  /// deliverable message and return the index of the first ready pair in
+  /// argument order (the select family's lowest-branch preference). With
+  /// `deadline` >= 0 (true-time seconds) returns nullopt once it passes;
+  /// deadline < 0 waits until a match or abort.
+  std::optional<std::size_t> probe_any(
+      const std::vector<std::pair<int, int>>& wants, double deadline,
+      const std::atomic<bool>& aborted, int abort_code);
 
   /// Non-blocking probe.
   std::optional<Status> try_probe(int src, int tag);
@@ -70,19 +94,34 @@ public:
   void interrupt();
 
 private:
-  // Index of first match in post order, or npos. Caller holds mu_.
+  // Index of first match in post order, or npos. Caller holds mu_ (threads).
   [[nodiscard]] std::size_t find_match(int src, int tag) const;
-  // Index of the exact (src, pair_seq) message, or npos. Caller holds mu_.
+  // Index of the exact (src, pair_seq) message, or npos.
   [[nodiscard]] std::size_t find_exact(int src, std::uint64_t pair_seq) const;
-  // Shared wait loop for receive_exact/probe_exact. Caller holds mu_ via lk.
+  // Shared wait loop for receive_exact/probe_exact (threads mode).
   std::size_t wait_exact(std::unique_lock<std::mutex>& lk, int src,
-                         std::uint64_t pair_seq,
-                         std::chrono::steady_clock::time_point deadline,
+                         std::uint64_t pair_seq, double deadline,
                          const std::atomic<bool>& aborted, int abort_code);
+  // Tasks-mode twins of the blocking entry points.
+  Envelope receive_tasks(int src, int tag, const std::atomic<bool>& aborted,
+                         int abort_code);
+  Status probe_tasks(int src, int tag, const std::atomic<bool>& aborted,
+                     int abort_code);
+  std::size_t wait_exact_tasks(int src, std::uint64_t pair_seq, double deadline,
+                               const std::atomic<bool>& aborted, int abort_code);
+  // First pair index with a deliverable match; records the earliest pending
+  // delivery instant of any (not-yet-deliverable) match in `soonest`.
+  [[nodiscard]] std::optional<std::size_t> scan_any(
+      const std::vector<std::pair<int, int>>& wants, double now,
+      double* soonest) const;
 
+  const VirtualClock* clock_;
+  TaskScheduler* sched_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  TaskScheduler::WaitQueue wq_;  // tasks-mode waiters
   std::deque<Envelope> queue_;
+  std::uint64_t post_count_ = 0;  // arrivals; lets multi-pair waits re-scan
 };
 
 }  // namespace mpisim

@@ -10,10 +10,16 @@
 // Receives with a fully specified (source, tag) are deterministic by the
 // non-overtaking rule and are not reported.
 //
-// Contract: every method is called on the acting rank's own thread, so an
-// implementation may keep per-rank state lock-free. record_barrier /
-// replay_barrier are called with the World's barrier mutex held — an
-// implementation must not call back into the World.
+// Contract: every method is called on the acting rank's current execution
+// context — its own thread under `-piexec=threads`, its fiber on the single
+// carrier thread under `-piexec=tasks`. In both substrates at most one call
+// per rank is in flight at a time and a rank's calls are totally ordered, so
+// an implementation may keep per-rank state lock-free (under tasks the whole
+// World is single-threaded, so even cross-rank state needs no lock).
+// record_barrier / replay_barrier are called with the World's barrier state
+// held exclusively (the barrier mutex under threads; non-preemption between
+// yield points under tasks) — an implementation must not call back into the
+// World, and must not block.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,505 @@
+#include "mpisim/sched.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+#include "util/strings.hpp"
+
+// --- sanitizer fiber support -------------------------------------------------
+// ucontext switches move the stack pointer between unrelated memory regions;
+// ASan and TSan must be told or they report false positives (or crash).
+#if defined(__SANITIZE_ADDRESS__)
+#define MPISIM_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define MPISIM_TSAN_FIBERS 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MPISIM_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define MPISIM_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(MPISIM_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+#if defined(MPISIM_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+#if defined(MPISIM_ASAN_FIBERS) || defined(MPISIM_TSAN_FIBERS)
+#include <pthread.h>
+#endif
+
+namespace mpisim {
+
+namespace {
+
+// The trampoline entered by makecontext has no argument channel wide enough
+// for a pointer; the carrier thread is unique per scheduler run, so a
+// thread-local hand-off is exact.
+thread_local TaskScheduler* g_active_sched = nullptr;
+
+constexpr double kTick = 1e-9;  // virtual seconds charged per dispatch
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TaskScheduler::TaskScheduler(const Config& cfg) : cfg_(cfg), ntasks_(cfg.ntasks) {
+  if (ntasks_ < 1) throw util::UsageError("TaskScheduler needs at least one task");
+  tasks_.resize(static_cast<std::size_t>(ntasks_));
+  if (cfg_.wall_deadline_seconds > 0.0)
+    wall_deadline_ns_ =
+        steady_now_ns() +
+        static_cast<std::int64_t>(cfg_.wall_deadline_seconds * 1e9);
+#if defined(MPISIM_TSAN_FIBERS)
+  host_tsan_fiber_ = __tsan_get_current_fiber();
+  exit_ctx_.tsan_fiber = host_tsan_fiber_;
+#endif
+#if defined(MPISIM_ASAN_FIBERS) || defined(MPISIM_TSAN_FIBERS)
+  // The host thread's stack bounds, for ASan's benefit when switching back
+  // to a host-stack context.
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      host_stack_bottom_ = addr;
+      host_stack_size_ = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  exit_ctx_.stack_bottom = host_stack_bottom_;
+  exit_ctx_.stack_size = host_stack_size_;
+#endif
+  g_active_sched = this;
+}
+
+TaskScheduler::~TaskScheduler() {
+  free_stacks();
+  if (g_active_sched == this) g_active_sched = nullptr;
+}
+
+void TaskScheduler::free_stacks() {
+#if defined(MPISIM_TSAN_FIBERS)
+  for (Task& t : tasks_)
+    if (t.ctx.tsan_fiber != nullptr && t.ctx.tsan_fiber != host_tsan_fiber_) {
+      __tsan_destroy_fiber(t.ctx.tsan_fiber);
+      t.ctx.tsan_fiber = nullptr;
+    }
+  if (loop_ctx_.tsan_fiber != nullptr && loop_ctx_.tsan_fiber != host_tsan_fiber_) {
+    __tsan_destroy_fiber(loop_ctx_.tsan_fiber);
+    loop_ctx_.tsan_fiber = nullptr;
+  }
+#endif
+  for (Task& t : tasks_)
+    if (t.stack_map != nullptr) {
+      ::munmap(t.stack_map, t.map_bytes);
+      t.stack_map = nullptr;
+    }
+  if (loop_stack_map_ != nullptr) {
+    ::munmap(loop_stack_map_, loop_map_bytes_);
+    loop_stack_map_ = nullptr;
+  }
+}
+
+namespace {
+/// Map `usable` bytes of stack plus a low guard page. Returns {map, total}.
+std::pair<void*, std::size_t> map_stack(std::size_t usable) {
+  const std::size_t ps = page_size();
+  usable = (usable + ps - 1) / ps * ps;
+  if (usable < 4 * ps) usable = 4 * ps;  // room for signal frames + libc
+  const std::size_t total = usable + ps;
+  void* map = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (map == MAP_FAILED)
+    throw util::Error(util::strprintf(
+        "task scheduler: cannot map a %zu-byte fiber stack (out of address "
+        "space or vm.max_map_count?)",
+        total));
+  // Stacks grow down; a PROT_NONE page at the low end turns overflow into a
+  // clean fault instead of silent corruption of the neighbouring stack.
+  ::mprotect(map, ps, PROT_NONE);
+  return {map, total};
+}
+}  // namespace
+
+void TaskScheduler::spawn(int id, std::function<void()> body) {
+  Task& t = tasks_.at(static_cast<std::size_t>(id));
+  if (t.state != State::kUnstarted)
+    throw util::UsageError("TaskScheduler::spawn: task already exists");
+  auto [map, total] = map_stack(cfg_.stack_bytes);
+  t.stack_map = map;
+  t.map_bytes = total;
+  char* usable = static_cast<char*>(map) + page_size();
+  const std::size_t usable_size = total - page_size();
+  t.body = std::move(body);
+  if (getcontext(&t.ctx.uc) != 0)
+    throw util::Error("task scheduler: getcontext failed");
+  t.ctx.uc.uc_stack.ss_sp = usable;
+  t.ctx.uc.uc_stack.ss_size = usable_size;
+  t.ctx.uc.uc_link = nullptr;
+  makecontext(&t.ctx.uc, &TaskScheduler::trampoline, 0);
+  t.ctx.stack_bottom = usable;
+  t.ctx.stack_size = usable_size;
+#if defined(MPISIM_TSAN_FIBERS)
+  t.ctx.tsan_fiber = __tsan_create_fiber(0);
+#endif
+  t.state = State::kReady;
+  ready_.push_back(id);
+}
+
+void TaskScheduler::adopt_external(int id) {
+  Task& t = tasks_.at(static_cast<std::size_t>(id));
+  if (t.state != State::kUnstarted)
+    throw util::UsageError("TaskScheduler::adopt_external: task already exists");
+  t.external = true;
+  t.state = State::kRunning;
+  t.ctx.tsan_fiber = host_tsan_fiber_;
+  t.ctx.stack_bottom = host_stack_bottom_;
+  t.ctx.stack_size = host_stack_size_;
+  current_ = id;
+}
+
+void TaskScheduler::switch_ctx(Ctx& from, Ctx& to) {
+#if defined(MPISIM_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&from.asan_fake_stack, to.stack_bottom,
+                                 to.stack_size);
+#endif
+#if defined(MPISIM_TSAN_FIBERS)
+  __tsan_switch_to_fiber(to.tsan_fiber, 0);
+#endif
+  swapcontext(&from.uc, &to.uc);
+  // Execution resumes here when `from` is switched back to, possibly much
+  // later and from a different context.
+#if defined(MPISIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(from.asan_fake_stack, nullptr, nullptr);
+#endif
+}
+
+void TaskScheduler::trampoline() {
+  TaskScheduler* s = g_active_sched;
+#if defined(MPISIM_ASAN_FIBERS)
+  // First entry into this fiber: complete the switch that got us here.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  const int id = s->current_;
+  Task& t = s->tasks_[static_cast<std::size_t>(id)];
+  t.body();
+  t.body = nullptr;  // release captured state while the fiber can still run dtors
+  t.state = State::kDone;
+  ++s->done_count_;
+  s->switch_ctx(t.ctx, s->loop_ctx_);
+  // A done task is never dispatched again.
+  std::fprintf(stderr, "task scheduler: resumed a finished task\n");
+  std::abort();
+}
+
+void TaskScheduler::ensure_loop_ctx() {
+  if (loop_created_) return;
+  auto [map, total] = map_stack(cfg_.stack_bytes);
+  loop_stack_map_ = map;
+  loop_map_bytes_ = total;
+  char* usable = static_cast<char*>(map) + page_size();
+  if (getcontext(&loop_ctx_.uc) != 0)
+    throw util::Error("task scheduler: getcontext failed");
+  loop_ctx_.uc.uc_stack.ss_sp = usable;
+  loop_ctx_.uc.uc_stack.ss_size = total - page_size();
+  loop_ctx_.uc.uc_link = nullptr;
+  // The loop runs on its own stack so that *any* context — the host in
+  // run_all, or a blocking external task in start mode — can switch into it.
+  makecontext(&loop_ctx_.uc, &TaskScheduler::loop_trampoline, 0);
+  loop_ctx_.stack_bottom = usable;
+  loop_ctx_.stack_size = total - page_size();
+#if defined(MPISIM_TSAN_FIBERS)
+  loop_ctx_.tsan_fiber = __tsan_create_fiber(0);
+#endif
+  loop_created_ = true;
+}
+
+void TaskScheduler::loop_trampoline() {
+  TaskScheduler* s = g_active_sched;
+#if defined(MPISIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  s->loop();
+}
+
+void TaskScheduler::enter_loop_and_wait() {
+  ensure_loop_ctx();
+  g_active_sched = this;
+  switch_ctx(exit_ctx_, loop_ctx_);
+  if (stalled_fatal_) {
+    std::fprintf(stderr,
+                 "task scheduler: stalled with no stall handler installed "
+                 "(every live task blocked)\n");
+    std::abort();
+  }
+}
+
+void TaskScheduler::run_all() {
+  if (done_count_ >= ntasks_) return;
+  enter_loop_and_wait();
+}
+
+void TaskScheduler::finish_external(int id) {
+  Task& t = tasks_.at(static_cast<std::size_t>(id));
+  if (!t.external || t.state == State::kDone)
+    throw util::UsageError("TaskScheduler::finish_external: not a live external task");
+  t.state = State::kDone;
+  ++done_count_;
+  current_ = -1;
+  if (switch_hook_) switch_hook_(-1);
+  if (done_count_ >= ntasks_ && !loop_created_) return;
+  enter_loop_and_wait();
+}
+
+void TaskScheduler::drain() {
+  for (int id = 0; id < ntasks_; ++id) {
+    Task& t = tasks_[static_cast<std::size_t>(id)];
+    // A slot that was never spawned (mid-spawn failure) can never run;
+    // count it retired or the loop would wait for it forever.
+    if (t.state == State::kUnstarted) {
+      t.state = State::kDone;
+      ++done_count_;
+      continue;
+    }
+    if (t.external && t.state != State::kDone) {
+      if (t.state == State::kBlocked) unpark(t, id, false);
+      if (t.state == State::kReady)
+        ready_.erase(std::remove(ready_.begin(), ready_.end(), id), ready_.end());
+      t.state = State::kDone;
+      ++done_count_;
+    }
+  }
+  current_ = -1;
+  wake_all();
+  if (done_count_ >= ntasks_) return;
+  enter_loop_and_wait();
+}
+
+void TaskScheduler::shuffle_ready_once() {
+  shuffled_ = true;
+  if (ready_.size() < 2) return;
+  // Seeded Fisher–Yates over the initial ready order: *the* deterministic-
+  // schedule knob. Everything after this is FIFO.
+  util::SplitMix64 rng(cfg_.seed ^ 0x5C4ED5C4ED5C4EDULL);
+  for (std::size_t i = ready_.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.next() % (i + 1);
+    std::swap(ready_[i], ready_[j]);
+  }
+}
+
+void TaskScheduler::loop() {
+  for (;;) {
+    if (done_count_ >= ntasks_) {
+      switch_ctx(loop_ctx_, exit_ctx_);
+      continue;  // re-entered for a later finish_external/drain
+    }
+    if (!shuffled_) shuffle_ready_once();
+    if ((++dispatches_ & 0x3FF) == 0) check_wall_deadline();
+    fire_due_timers();
+    if (ready_.empty()) {
+      if (!timers_.empty() && fire_next_timer()) continue;
+      // Nothing ready, nothing timed: the job can never progress again.
+      if (stall_handler_) {
+        stall_handler_(wall_fired_ ? Stall::kWallDeadline : Stall::kDeadlock);
+      }
+      if (ready_.empty()) {
+        // The handler woke nobody (or none is installed) — bail out rather
+        // than spin; enter_loop_and_wait turns this into a fatal error.
+        stalled_fatal_ = true;
+        switch_ctx(loop_ctx_, exit_ctx_);
+      }
+      continue;
+    }
+    const int id = ready_.front();
+    ready_.pop_front();
+    dispatch(id);
+  }
+}
+
+void TaskScheduler::dispatch(int id) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  t.state = State::kRunning;
+  current_ = id;
+  vnow_ += kTick;
+  if (switch_hook_) switch_hook_(id);
+  switch_ctx(loop_ctx_, t.ctx);
+  current_ = -1;
+  if (switch_hook_) switch_hook_(-1);
+}
+
+void TaskScheduler::suspend_current() {
+  Task& t = tasks_[static_cast<std::size_t>(current_)];
+  g_active_sched = this;
+  ensure_loop_ctx();
+  switch_ctx(t.ctx, loop_ctx_);
+  // Resumed: the dispatch that woke us already restored current_/hook state.
+}
+
+void TaskScheduler::yield() {
+  if (current_ < 0) return;
+  Task& t = tasks_[static_cast<std::size_t>(current_)];
+  t.state = State::kReady;
+  ready_.push_back(current_);
+  suspend_current();
+}
+
+void TaskScheduler::block(WaitQueue& wq) {
+  Task& t = tasks_[static_cast<std::size_t>(current_)];
+  t.state = State::kBlocked;
+  t.wq = &wq;
+  t.timer_fired = false;
+  t.timer_token = 0;
+  wq.waiters_.push_back(current_);
+  suspend_current();
+}
+
+bool TaskScheduler::block_until(WaitQueue& wq, double deadline) {
+  if (deadline == kNoDeadline) {
+    block(wq);
+    return true;
+  }
+  if (deadline <= vnow_) {
+    yield();  // already expired, but let others run before the caller re-scans
+    return false;
+  }
+  Task& t = tasks_[static_cast<std::size_t>(current_)];
+  t.state = State::kBlocked;
+  t.wq = &wq;
+  t.timer_fired = false;
+  t.timer_token = ++timer_tokens_;
+  wq.waiters_.push_back(current_);
+  timers_.push(Timer{deadline, t.timer_token, current_});
+  suspend_current();
+  const bool fired = t.timer_fired;
+  t.timer_fired = false;
+  return !fired;
+}
+
+void TaskScheduler::sleep_until(double deadline) {
+  if (current_ < 0 || deadline <= vnow_) return;
+  block_until(sleep_q_, deadline);
+}
+
+void TaskScheduler::unpark(Task& t, int id, bool fired) {
+  if (t.wq != nullptr) {
+    auto& w = t.wq->waiters_;
+    w.erase(std::remove(w.begin(), w.end(), id), w.end());
+    t.wq = nullptr;
+  }
+  t.timer_token = 0;  // any heap entry is now stale
+  t.timer_fired = fired;
+  make_ready(id);
+}
+
+void TaskScheduler::make_ready(int id) {
+  tasks_[static_cast<std::size_t>(id)].state = State::kReady;
+  ready_.push_back(id);
+}
+
+void TaskScheduler::notify_one(WaitQueue& wq) {
+  while (!wq.waiters_.empty()) {
+    const int id = wq.waiters_.front();
+    wq.waiters_.pop_front();
+    Task& t = tasks_[static_cast<std::size_t>(id)];
+    if (t.state != State::kBlocked) continue;  // stale entry: already woken
+    t.wq = nullptr;
+    t.timer_token = 0;
+    t.timer_fired = false;
+    make_ready(id);
+    return;
+  }
+}
+
+void TaskScheduler::notify_all(WaitQueue& wq) {
+  while (!wq.waiters_.empty()) {
+    const int id = wq.waiters_.front();
+    wq.waiters_.pop_front();
+    Task& t = tasks_[static_cast<std::size_t>(id)];
+    if (t.state != State::kBlocked) continue;
+    t.wq = nullptr;
+    t.timer_token = 0;
+    t.timer_fired = false;
+    make_ready(id);
+  }
+}
+
+void TaskScheduler::wake_all() {
+  for (int id = 0; id < ntasks_; ++id) {
+    Task& t = tasks_[static_cast<std::size_t>(id)];
+    if (t.state == State::kBlocked) unpark(t, id, false);
+  }
+}
+
+bool TaskScheduler::fire_next_timer() {
+  while (!timers_.empty()) {
+    const Timer tm = timers_.top();
+    timers_.pop();
+    Task& t = tasks_[static_cast<std::size_t>(tm.task)];
+    if (t.state != State::kBlocked || t.timer_token != tm.token) continue;
+    // Every runnable task has yielded the carrier: virtual time jumps to the
+    // earliest pending deadline. This is what retires charged sleeps (and
+    // replay timeouts) in simulated rather than wall time.
+    if (tm.deadline > vnow_) vnow_ = tm.deadline;
+    unpark(t, tm.task, true);
+    return true;
+  }
+  return false;
+}
+
+void TaskScheduler::fire_due_timers() {
+  while (!timers_.empty()) {
+    const Timer tm = timers_.top();
+    Task& t = tasks_[static_cast<std::size_t>(tm.task)];
+    if (t.state != State::kBlocked || t.timer_token != tm.token) {
+      timers_.pop();  // stale entry
+      continue;
+    }
+    if (tm.deadline > vnow_) return;
+    timers_.pop();
+    unpark(t, tm.task, true);
+  }
+}
+
+void TaskScheduler::check_wall_deadline() {
+  if (wall_deadline_ns_ == 0 || wall_fired_) return;
+  if (steady_now_ns() < wall_deadline_ns_) return;
+  wall_fired_ = true;
+  if (stall_handler_) stall_handler_(Stall::kWallDeadline);
+}
+
+}  // namespace mpisim

@@ -1,0 +1,229 @@
+// Cooperative task scheduler: the `-piexec=tasks` substrate.
+//
+// Thread-per-rank caps World size at OS thread limits and pays a kernel
+// context switch per blocking call. Here a rank is instead a *task* — a
+// stackful ucontext fiber — and one carrier thread multiplexes all of them.
+// Every blocking point in the substrate (mailbox receive/probe, barrier,
+// CpuModel core wait and charged sleep) becomes a yield point that parks the
+// task on a WaitQueue and hands the carrier to the next ready task.
+//
+// Time is virtual: `now()` is a simulated clock that advances by one
+// nanosecond per dispatch (so timestamps stay strictly monotone) and jumps
+// forward to the earliest pending timer whenever every ready task has run
+// dry. A charged compute of 2 s therefore costs microseconds of wall time,
+// which is what makes 10k-rank runs practical.
+//
+// Scheduling is deterministic: the initial ready order is a seeded
+// permutation of the spawn order, and thereafter the ready queue is FIFO
+// with wakeups enqueued in block order. Two runs with the same seed execute
+// the exact same interleaving, which the determinism suite asserts at 1000
+// ranks.
+//
+// Deadlock needs no watchdog thread: when every live task is blocked and no
+// timer is pending, nothing can ever run again, so the stall handler fires
+// immediately (the World maps it to the watchdog/dead-peer abort codes). A
+// wall-clock deadline is still polled between dispatches as a backstop
+// against non-yielding spin loops.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mpisim {
+
+class TaskScheduler {
+public:
+  struct Config {
+    int ntasks = 1;
+    std::uint64_t seed = 1;
+    /// Usable stack per fiber (rounded up to whole pages; a guard page is
+    /// mapped below it so overflow faults instead of corrupting a neighbour).
+    std::size_t stack_bytes = 256 * 1024;
+    /// Wall-clock backstop polled between dispatches (0 = disabled).
+    double wall_deadline_seconds = 0.0;
+  };
+
+  /// FIFO of blocked task ids. Embed one next to each blocking condition
+  /// (a mailbox, the barrier, the core pool) and pair block() with
+  /// notify_all() exactly like a condition variable — wakeups are spurious
+  /// from the waiter's point of view, so callers re-check their predicate.
+  class WaitQueue {
+    friend class TaskScheduler;
+    std::deque<int> waiters_;
+  };
+
+  enum class Stall : std::uint8_t {
+    kDeadlock,      ///< every live task blocked, no pending timer
+    kWallDeadline,  ///< the wall-clock backstop expired
+  };
+
+  explicit TaskScheduler(const Config& cfg);
+  ~TaskScheduler();
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  // --- setup (host thread) --------------------------------------------------
+  /// Create task `id` on its own fiber stack. `body` must handle every
+  /// exception itself — nothing may propagate out of a fiber. Throws
+  /// util::Error when the stack cannot be mapped.
+  void spawn(int id, std::function<void()> body);
+
+  /// Bind task `id` to the *calling* host context instead of a fiber
+  /// (World::start's rank 0, which keeps running on the caller's stack).
+  /// The task counts as running from this point on.
+  void adopt_external(int id);
+
+  /// Invoked with the task id every time a task gains the carrier, and with
+  /// -1 when the scheduler itself does. The World swaps the thread-local
+  /// current-Comm pointer here.
+  void set_switch_hook(std::function<void(int)> hook) {
+    switch_hook_ = std::move(hook);
+  }
+
+  /// Invoked from the scheduler loop when nothing can make progress. The
+  /// handler must unblock at least one task (typically: record an abort code
+  /// and wake_all()); a handler that wakes nobody is a fatal error.
+  void set_stall_handler(std::function<void(Stall)> handler) {
+    stall_handler_ = std::move(handler);
+  }
+
+  // --- host-side driving ----------------------------------------------------
+  /// Run every spawned task to completion (World::run mode — the host is not
+  /// a task). Returns once all tasks are done.
+  void run_all();
+
+  /// World::start/finish mode: the external task's body is complete; run all
+  /// remaining tasks to completion, then return to the caller.
+  void finish_external(int id);
+
+  /// Host-side teardown for an abandoned job: mark external tasks done and
+  /// run every remaining fiber until it unwinds (stack objects must be
+  /// destroyed). Wakes all blocked tasks first; the caller is expected to
+  /// have flipped its abort flag so re-checked predicates throw.
+  void drain();
+
+  // --- called from inside a running task ------------------------------------
+  /// Id of the running task, or -1 when the scheduler/host context is live.
+  [[nodiscard]] int current() const { return current_; }
+
+  /// Virtual time in seconds since construction. Strictly monotone across
+  /// dispatches; identical run-to-run for a fixed seed.
+  [[nodiscard]] double now() const { return vnow_; }
+
+  /// Re-enqueue the running task at the back of the ready queue and run
+  /// others (keeps polling loops live under cooperative scheduling).
+  void yield();
+
+  /// Park the running task on `wq` until notify_all(wq) (or wake_all).
+  void block(WaitQueue& wq);
+
+  /// block() with a virtual-time deadline. Returns false if the deadline
+  /// fired first, true when woken by a notify (re-check the predicate).
+  bool block_until(WaitQueue& wq, double deadline);
+
+  /// Park until the virtual deadline passes (or wake_all interrupts).
+  void sleep_until(double deadline);
+
+  /// Move every waiter on `wq` to the ready queue, in block order.
+  void notify_all(WaitQueue& wq);
+
+  /// Wake only the longest-waiting task on `wq`. For resource handoffs
+  /// (one core freed = one waiter can proceed); a notify_all there is a
+  /// thundering herd that turns N-rank contention into O(N^2) dispatches.
+  void notify_one(WaitQueue& wq);
+
+  /// Wake every blocked or sleeping task (abort path), in task-id order.
+  void wake_all();
+
+  [[nodiscard]] int live_tasks() const { return ntasks_ - done_count_; }
+
+private:
+  enum class State : std::uint8_t { kUnstarted, kReady, kRunning, kBlocked, kDone };
+
+  /// One switchable execution context plus its sanitizer bookkeeping. Used
+  /// for fibers, the scheduler loop, and saved host positions alike.
+  struct Ctx {
+    ucontext_t uc{};
+    void* tsan_fiber = nullptr;        // TSan fiber handle (host handle for
+                                       // external/exit contexts)
+    void* asan_fake_stack = nullptr;   // saved by ASan when this ctx suspends
+    const void* stack_bottom = nullptr;
+    std::size_t stack_size = 0;
+  };
+
+  struct Task {
+    Ctx ctx;
+    void* stack_map = nullptr;  // mmap base (nullptr for external tasks)
+    std::size_t map_bytes = 0;
+    std::function<void()> body;
+    State state = State::kUnstarted;
+    WaitQueue* wq = nullptr;  // queue this task is parked on, if blocked
+    bool external = false;
+    bool timer_fired = false;
+    std::uint64_t timer_token = 0;  // matches live heap entry; 0 = unarmed
+  };
+
+  struct Timer {
+    double deadline = 0.0;
+    std::uint64_t token = 0;  // global arm order; also the deadline tiebreak
+    int task = 0;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.deadline != b.deadline ? a.deadline > b.deadline
+                                      : a.token > b.token;
+    }
+  };
+
+  static void trampoline();
+  static void loop_trampoline();
+  void loop();
+  void dispatch(int id);
+  void enter_loop_and_wait();
+  void ensure_loop_ctx();
+  void suspend_current();
+  void make_ready(int id);
+  void unpark(Task& t, int id, bool fired);
+  void fire_due_timers();
+  bool fire_next_timer();
+  void check_wall_deadline();
+  void shuffle_ready_once();
+  void switch_ctx(Ctx& from, Ctx& to);
+  void free_stacks();
+
+  Config cfg_;
+  int ntasks_ = 0;
+  std::vector<Task> tasks_;
+  std::deque<int> ready_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  WaitQueue sleep_q_;  // anonymous queue for pure sleepers
+  std::uint64_t timer_tokens_ = 0;
+  double vnow_ = 0.0;
+  int current_ = -1;
+  int done_count_ = 0;
+  bool shuffled_ = false;
+  bool loop_created_ = false;
+  bool stalled_fatal_ = false;
+  bool wall_fired_ = false;
+  std::uint64_t dispatches_ = 0;
+
+  Ctx loop_ctx_;
+  Ctx exit_ctx_;
+  void* loop_stack_map_ = nullptr;
+  std::size_t loop_map_bytes_ = 0;
+  void* host_tsan_fiber_ = nullptr;
+  const void* host_stack_bottom_ = nullptr;
+  std::size_t host_stack_size_ = 0;
+  std::int64_t wall_deadline_ns_ = 0;  // steady-clock ns; 0 = disabled
+
+  std::function<void(int)> switch_hook_;
+  std::function<void(Stall)> stall_handler_;
+};
+
+}  // namespace mpisim

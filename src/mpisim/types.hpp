@@ -81,4 +81,18 @@ public:
   explicit TimeoutError(const std::string& what) : util::Error(what) {}
 };
 
+/// Thrown by World::run/start when the OS refuses to create a rank's thread
+/// (or map a task stack) mid-spawn — typically at large nprocs. The World
+/// aborts and joins every already-spawned rank before this propagates, so
+/// the job never leaks running threads.
+class SpawnError : public util::Error {
+public:
+  SpawnError(int rank, const std::string& what) : util::Error(what), rank_(rank) {}
+  /// The rank whose execution context could not be created.
+  [[nodiscard]] int rank() const { return rank_; }
+
+private:
+  int rank_;
+};
+
 }  // namespace mpisim

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <system_error>
 #include <thread>
 
 #include "util/strings.hpp"
@@ -11,40 +12,57 @@
 namespace mpisim {
 
 namespace {
+// Under threads this is genuinely per-rank; under tasks all ranks share the
+// carrier thread and the scheduler's switch hook rewrites it per dispatch.
 thread_local Comm* tls_comm = nullptr;
 
 struct TlsCommGuard {
   explicit TlsCommGuard(Comm* c) { tls_comm = c; }
   ~TlsCommGuard() { tls_comm = nullptr; }
 };
+
+std::unique_ptr<TaskScheduler> make_sched(const World::Config& cfg) {
+  if (cfg.exec != ExecMode::kTasks) return nullptr;
+  TaskScheduler::Config sc;
+  sc.ntasks = cfg.nprocs;
+  sc.seed = cfg.seed;
+  sc.stack_bytes = cfg.task_stack_bytes;
+  sc.wall_deadline_seconds = cfg.watchdog_seconds;
+  return std::make_unique<TaskScheduler>(sc);
+}
 }  // namespace
 
 Comm* World::current() { return tls_comm; }
 
 World::World(Config cfg)
     : cfg_(cfg),
+      sched_(make_sched(cfg)),
       clock_(cfg.nprocs, cfg.clock_max_offset, cfg.clock_max_skew, cfg.seed),
       cpu_(cfg.cpu_cores == 0 ? static_cast<unsigned>(cfg.nprocs) : cfg.cpu_cores,
-           cfg.time_scale) {
+           cfg.time_scale, sched_.get()) {
   if (cfg_.nprocs < 1) throw util::UsageError("World needs at least one rank");
+  clock_.bind_scheduler(sched_.get());
   mailboxes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
   for (int r = 0; r < cfg_.nprocs; ++r)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  const std::size_t pairs =
-      static_cast<std::size_t>(cfg_.nprocs) * static_cast<std::size_t>(cfg_.nprocs);
-  pair_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(pairs);
-  for (std::size_t i = 0; i < pairs; ++i) pair_seq_[i].store(0);
+    mailboxes_.push_back(std::make_unique<Mailbox>(&clock_, sched_.get()));
 }
 
 World::~World() {
   // Safety net: a World abandoned mid-job (exception between start() and
   // finish()) must not terminate the process via ~thread on a joinable
-  // thread. Abort the job and wait everyone out.
+  // thread — and under tasks, live fibers must unwind so their stack
+  // objects are destroyed. Abort the job and wait everyone out.
   if (!threads_.empty()) {
     abort_from(-13);
     for (auto& t : threads_)
       if (t.joinable()) t.join();
     stop_watchdog_.store(true, std::memory_order_release);
+  }
+  if (sched_ != nullptr && sched_->live_tasks() > 0 &&
+      ran_.load(std::memory_order_acquire)) {
+    abort_from(-13);
+    tls_comm = nullptr;
+    sched_->drain();
   }
   if (watchdog_.joinable()) watchdog_.join();
 }
@@ -63,6 +81,7 @@ void World::abort_from(int code) {
   for (auto& mb : mailboxes_) mb->interrupt();
   cpu_.shutdown();
   barrier_cv_.notify_all();
+  if (sched_ != nullptr) sched_->wake_all();
 }
 
 void World::kill_rank(int rank) {
@@ -87,6 +106,10 @@ std::vector<int> World::crashed_ranks() const {
 }
 
 void World::spawn_rank(const std::function<int(Comm&)>& fn, int rank) {
+  if (cfg_.debug_fail_spawn_at == rank)
+    throw std::system_error(
+        std::make_error_code(std::errc::resource_unavailable_try_again),
+        "debug_fail_spawn_at");
   threads_.emplace_back([this, &fn, rank] {
     Comm comm(this, rank);
     TlsCommGuard guard(&comm);
@@ -107,6 +130,33 @@ void World::spawn_rank(const std::function<int(Comm&)>& fn, int rank) {
     }
     ranks_done_.fetch_add(1, std::memory_order_release);
   });
+}
+
+void World::spawn_threads_or_cleanup(const char* who, int first) {
+  for (int r = first; r < cfg_.nprocs; ++r) {
+    try {
+      spawn_rank(rank_fn_, r);
+    } catch (const std::system_error& e) {
+      // Thread creation failed mid-spawn (EAGAIN at large nprocs, or the
+      // debug seam). Already-spawned ranks are running and possibly blocked
+      // on peers that will never exist: abort them, join them, and report a
+      // named diagnostic instead of leaking joinable threads.
+      abort_from(kSpawnFailAbortCode);
+      for (auto& t : threads_)
+        if (t.joinable()) t.join();
+      threads_.clear();
+      if (rank0_comm_) {
+        tls_comm = nullptr;
+        rank0_comm_.reset();
+      }
+      throw SpawnError(
+          r, util::strprintf(
+                 "World::%s: could not create a thread for rank %d of %d (%s); "
+                 "the %d already-spawned rank(s) were aborted and joined — "
+                 "consider -piexec=tasks for worlds this large",
+                 who, r, cfg_.nprocs, e.what(), r - first));
+    }
+  }
 }
 
 void World::spawn_watchdog(int expected_done) {
@@ -140,6 +190,9 @@ void World::spawn_watchdog(int expected_done) {
         }
       }
       if (deadline_enabled && std::chrono::steady_clock::now() >= deadline) {
+        timeout_what_ = util::strprintf(
+            "watchdog: job did not finish within %.1f s (deadlock?)",
+            cfg_.watchdog_seconds);
         timed_out_.store(true);
         abort_from(kWatchdogAbortCode);
         return;
@@ -149,8 +202,93 @@ void World::spawn_watchdog(int expected_done) {
   });
 }
 
-World::Result World::join_all() {
-  for (auto& t : threads_) t.join();
+// --- tasks substrate ---------------------------------------------------------
+
+void World::task_body(int rank) {
+  Comm& comm = *task_comms_[static_cast<std::size_t>(rank)];
+  try {
+    exit_codes_[static_cast<std::size_t>(rank)] = rank_fn_(comm);
+  } catch (const RankKilledError& e) {
+    kill_rank(e.rank());
+  } catch (const AbortedError&) {
+    // Expected unwind path once the job is aborted.
+  } catch (...) {
+    {
+      std::lock_guard lk(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    abort_from(-1);
+  }
+  ranks_done_.fetch_add(1, std::memory_order_release);
+}
+
+void World::on_stall(TaskScheduler::Stall kind) {
+  // Nothing in the world can make progress. Decide why and abort — the
+  // tasks-mode replacement for the watchdog thread, except deadlock is
+  // detected instantly instead of after a wall timeout.
+  if (!aborted_.load(std::memory_order_acquire)) {
+    if (kind == TaskScheduler::Stall::kWallDeadline) {
+      timeout_what_ = util::strprintf(
+          "watchdog: job did not finish within %.1f s of wall time (deadlock "
+          "or runaway loop?)",
+          cfg_.watchdog_seconds);
+      timed_out_.store(true);
+      abort_from(kWatchdogAbortCode);
+    } else if (crashed_count_.load(std::memory_order_acquire) > 0) {
+      // Survivors of an injected crash are blocked on the dead rank: that is
+      // the moment the dead peer is "detected" under tasks.
+      abort_from(kPeerDeadAbortCode);
+    } else {
+      timeout_what_ =
+          "task scheduler: every live rank is blocked with no message or "
+          "timer that could wake one (deadlock)";
+      timed_out_.store(true);
+      abort_from(kWatchdogAbortCode);
+    }
+  }
+  // abort_from already woke everyone; make sure of it even on the
+  // already-aborted path so the scheduler never sees an unresolvable stall.
+  sched_->wake_all();
+}
+
+void World::launch_tasks(int first) {
+  task_comms_.resize(static_cast<std::size_t>(cfg_.nprocs));
+  for (int r = first; r < cfg_.nprocs; ++r)
+    task_comms_[static_cast<std::size_t>(r)] =
+        std::unique_ptr<Comm>(new Comm(this, r));
+  sched_->set_switch_hook([this](int task) {
+    if (task < 0) {
+      tls_comm = nullptr;
+    } else if (task == 0 && rank0_comm_) {
+      tls_comm = rank0_comm_.get();
+    } else {
+      tls_comm = task_comms_[static_cast<std::size_t>(task)].get();
+    }
+  });
+  sched_->set_stall_handler([this](TaskScheduler::Stall k) { on_stall(k); });
+  for (int r = first; r < cfg_.nprocs; ++r) {
+    try {
+      if (cfg_.debug_fail_spawn_at == r)
+        throw util::Error("debug_fail_spawn_at");
+      sched_->spawn(r, [this, r] { task_body(r); });
+    } catch (const util::Error& e) {
+      // No fiber has run yet (ranks only execute once the scheduler is
+      // driven). Mark the job aborted so ~World's drain unwinds the
+      // already-spawned fibers at their first substrate call.
+      abort_from(kSpawnFailAbortCode);
+      throw SpawnError(
+          r, util::strprintf(
+                 "World::launch: could not create a task stack for rank %d of "
+                 "%d (%s); no rank has run yet",
+                 r, cfg_.nprocs, e.what()));
+    }
+  }
+}
+
+World::Result World::conclude() {
+  if (sched_ == nullptr) {
+    for (auto& t : threads_) t.join();
+  }
   // A fault-killed rank always ends the job in an abort, even when every
   // surviving rank finished cleanly before the reaper fired — a chaos run's
   // outcome must not depend on how that race falls.
@@ -163,9 +301,12 @@ World::Result World::join_all() {
 
   if (first_error_) std::rethrow_exception(first_error_);
   if (timed_out_.load())
-    throw TimeoutError(util::strprintf(
-        "watchdog: job did not finish within %.1f s (deadlock?)",
-        cfg_.watchdog_seconds));
+    throw TimeoutError(timeout_what_.empty()
+                           ? util::strprintf(
+                                 "watchdog: job did not finish within %.1f s "
+                                 "(deadlock?)",
+                                 cfg_.watchdog_seconds)
+                           : timeout_what_);
 
   Result result;
   result.exit_codes = exit_codes_;
@@ -183,10 +324,15 @@ World::Result World::run(const std::function<int(Comm&)>& fn) {
 
   exit_codes_.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
   rank_fn_ = fn;
+  if (sched_ != nullptr) {
+    launch_tasks(0);
+    sched_->run_all();
+    return conclude();
+  }
   threads_.reserve(static_cast<std::size_t>(cfg_.nprocs));
-  for (int r = 0; r < cfg_.nprocs; ++r) spawn_rank(rank_fn_, r);
+  spawn_threads_or_cleanup("run", 0);
   spawn_watchdog(cfg_.nprocs);
-  return join_all();
+  return conclude();
 }
 
 Comm& World::start(const std::function<int(Comm&)>& fn) {
@@ -198,8 +344,16 @@ Comm& World::start(const std::function<int(Comm&)>& fn) {
   rank_fn_ = fn;
   rank0_comm_.reset(new Comm(this, 0));
   tls_comm = rank0_comm_.get();
+  if (sched_ != nullptr) {
+    // Rank 0 *is* the calling context: the scheduler adopts it as an
+    // external task and ranks 1..n-1 become fibers dispatched whenever
+    // rank 0 blocks.
+    sched_->adopt_external(0);
+    if (cfg_.nprocs > 1) launch_tasks(1);
+    return *rank0_comm_;
+  }
   threads_.reserve(static_cast<std::size_t>(cfg_.nprocs - 1));
-  for (int r = 1; r < cfg_.nprocs; ++r) spawn_rank(rank_fn_, r);
+  spawn_threads_or_cleanup("start", 1);
   // Rank 0 is the caller and never bumps ranks_done_; the watchdog only
   // waits for the spawned ranks (a stuck rank 0 still trips the deadline).
   spawn_watchdog(cfg_.nprocs - 1);
@@ -209,9 +363,16 @@ Comm& World::start(const std::function<int(Comm&)>& fn) {
 World::Result World::finish() {
   if (!rank0_comm_)
     throw util::UsageError("World::finish without a matching start()");
+  if (sched_ != nullptr) {
+    // Rank 0's body is complete; drive every remaining fiber to completion.
+    sched_->finish_external(0);
+    tls_comm = nullptr;
+    rank0_comm_.reset();
+    return conclude();
+  }
   tls_comm = nullptr;
   rank0_comm_.reset();
-  return join_all();
+  return conclude();
 }
 
 // --- Comm -------------------------------------------------------------------
@@ -236,29 +397,21 @@ void Comm::send(int dst, int tag, const void* data, std::size_t n) {
                      static_cast<const std::uint8_t*>(data) + n);
   env.send_time = wtime();
   env.seq = world_->send_seq_.fetch_add(1, std::memory_order_relaxed);
-  env.pair_seq =
-      world_->pair_seq_[static_cast<std::size_t>(rank_) *
-                            static_cast<std::size_t>(world_->nprocs()) +
-                        static_cast<std::size_t>(dst)]
-          .fetch_add(1, std::memory_order_relaxed);
+  env.pair_seq = pair_seq_by_dst_[dst]++;
 
   double delay = world_->cfg_.msg_latency;
   if (world_->cfg_.msg_bandwidth > 0.0)
     delay += static_cast<double>(n) / world_->cfg_.msg_bandwidth;
   if (FaultHook* f = world_->cfg_.fault)
     delay += f->message_delay(rank_, dst, env.pair_seq, n);
-  env.deliver_at = std::chrono::steady_clock::now() +
-                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(delay));
+  env.deliver_at = world_->clock_.true_time() + delay;
 
   world_->mailbox(dst).post(std::move(env));
 }
 
 namespace {
-std::chrono::steady_clock::time_point replay_deadline(const ReplayHook& hook) {
-  return std::chrono::steady_clock::now() +
-         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-             std::chrono::duration<double>(hook.timeout_seconds()));
+double replay_deadline(const VirtualClock& clock, const ReplayHook& hook) {
+  return clock.true_time() + hook.timeout_seconds();
 }
 }  // namespace
 
@@ -269,7 +422,8 @@ Envelope Comm::fetch_envelope(int src, int tag) {
   const bool wildcard = src == kAnySource || tag == kAnyTag;
   if (hook != nullptr && wildcard && hook->replaying()) {
     const ReplayHook::Match m = hook->replay_recv(rank_);
-    auto env = mb.receive_exact(m.src, m.pair_seq, replay_deadline(*hook),
+    auto env = mb.receive_exact(m.src, m.pair_seq,
+                                replay_deadline(world_->clock_, *hook),
                                 world_->aborted_, world_->abort_code_.load());
     if (!env) hook->replay_failed(rank_, "receive", m);
     if ((src != kAnySource && env->src != src) || (tag != kAnyTag && env->tag != tag))
@@ -321,7 +475,8 @@ Status Comm::probe(int src, int tag) {
   const bool wildcard = src == kAnySource || tag == kAnyTag;
   if (hook != nullptr && wildcard && hook->replaying()) {
     const ReplayHook::Match m = hook->replay_probe(rank_);
-    auto st = mb.probe_exact(m.src, m.pair_seq, replay_deadline(*hook),
+    auto st = mb.probe_exact(m.src, m.pair_seq,
+                             replay_deadline(world_->clock_, *hook),
                              world_->aborted_, world_->abort_code_.load());
     if (!st) hook->replay_failed(rank_, "probe", m);
     if ((src != kAnySource && st->source != src) || (tag != kAnyTag && st->tag != tag))
@@ -336,14 +491,34 @@ Status Comm::probe(int src, int tag) {
 std::optional<Status> Comm::iprobe(int src, int tag) {
   fault_check("iprobe");
   if (src != kAnySource) world_->check_rank(src, "iprobe");
+  // Cooperative substrate: a poll is a yield point, or spin loops built on
+  // iprobe would starve the very senders they are waiting for.
+  if (TaskScheduler* s = world_->sched_.get()) s->yield();
   if (world_->aborted_.load(std::memory_order_acquire))
     throw AbortedError(world_->abort_code_.load(), "iprobe after abort");
   return world_->mailbox(rank_).try_probe(src, tag);
 }
 
+std::optional<std::size_t> Comm::probe_any(
+    const std::vector<std::pair<int, int>>& wants, double timeout_seconds) {
+  fault_check("probe");
+  for (const auto& [src, tag] : wants)
+    if (src != kAnySource) world_->check_rank(src, "probe_any");
+  const double deadline =
+      timeout_seconds < 0.0
+          ? -1.0
+          : world_->clock_.true_time() + timeout_seconds;
+  return world_->mailbox(rank_).probe_any(wants, deadline, world_->aborted_,
+                                          world_->abort_code_.load());
+}
+
 void Comm::barrier() {
   fault_check("barrier");
   World& w = *world_;
+  if (w.sched_ != nullptr) {
+    barrier_tasks();
+    return;
+  }
   ReplayHook* hook = w.cfg_.replay;
   std::unique_lock lk(w.barrier_mu_);
   const std::uint64_t my_generation = w.barrier_generation_;
@@ -353,7 +528,8 @@ void Comm::barrier() {
       // a permutation of 0..nprocs-1 per barrier instance, so every waiter
       // eventually gets its turn (or the deadline names the divergence).
       const int pos = hook->replay_barrier(rank_);
-      const auto deadline = replay_deadline(*hook);
+      const auto deadline =
+          w.clock_.steady_of(replay_deadline(w.clock_, *hook));
       w.barrier_cv_.wait_until(lk, deadline, [&] {
         return w.aborted_.load(std::memory_order_acquire) ||
                w.barrier_waiting_ == pos;
@@ -385,6 +561,49 @@ void Comm::barrier() {
     throw AbortedError(w.abort_code_.load(), "barrier interrupted by abort");
 }
 
+void Comm::barrier_tasks() {
+  // Single carrier: the barrier counters need no mutex, and no lock may be
+  // held across a block anyway. Semantics mirror the threads barrier above.
+  World& w = *world_;
+  TaskScheduler& s = *w.sched_;
+  ReplayHook* hook = w.cfg_.replay;
+  const std::uint64_t my_generation = w.barrier_generation_;
+  const auto is_aborted = [&] {
+    return w.aborted_.load(std::memory_order_acquire);
+  };
+  if (hook != nullptr) {
+    if (hook->replaying()) {
+      const int pos = hook->replay_barrier(rank_);
+      const double deadline =
+          w.clock_.sched_time_of(replay_deadline(w.clock_, *hook));
+      bool in_time = true;
+      while (!is_aborted() && w.barrier_waiting_ != pos &&
+             w.barrier_generation_ == my_generation && in_time)
+        in_time = s.block_until(w.barrier_wq_, deadline);
+      if (is_aborted())
+        throw AbortedError(w.abort_code_.load(), "barrier interrupted by abort");
+      if (w.barrier_waiting_ != pos)
+        hook->replay_failed(
+            rank_, "barrier",
+            {pos, static_cast<std::uint64_t>(w.barrier_waiting_)});
+    } else {
+      hook->record_barrier(rank_, w.barrier_waiting_);
+    }
+  }
+  if (++w.barrier_waiting_ == w.nprocs()) {
+    w.barrier_waiting_ = 0;
+    ++w.barrier_generation_;
+    s.notify_all(w.barrier_wq_);
+    return;
+  }
+  // Replaying peers block on the arrival count, not just the generation.
+  if (hook != nullptr && hook->replaying()) s.notify_all(w.barrier_wq_);
+  while (w.barrier_generation_ == my_generation && !is_aborted())
+    s.block(w.barrier_wq_);
+  if (w.barrier_generation_ == my_generation)
+    throw AbortedError(w.abort_code_.load(), "barrier interrupted by abort");
+}
+
 double Comm::wtime() const { return world_->clock_.now(rank_); }
 double Comm::true_time() const { return world_->clock_.true_time(); }
 void Comm::compute(double virtual_seconds) {
@@ -392,6 +611,17 @@ void Comm::compute(double virtual_seconds) {
   world_->cpu_.execute(virtual_seconds);
   if (world_->aborted_.load(std::memory_order_acquire))
     throw AbortedError(world_->abort_code_.load(), "compute interrupted by abort");
+}
+
+void Comm::sleep(double seconds) {
+  if (seconds > 0.0) {
+    if (TaskScheduler* s = world_->sched_.get())
+      s->sleep_until(s->now() + seconds);
+    else
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  if (world_->aborted_.load(std::memory_order_acquire))
+    throw AbortedError(world_->abort_code_.load(), "sleep interrupted by abort");
 }
 
 void Comm::abort(int code) {

@@ -1,5 +1,13 @@
-// World: a simulated MPI job. Spawns one thread per rank, each receiving a
-// Comm handle (the substrate's MPI_COMM_WORLD analogue).
+// World: a simulated MPI job. Each rank receives a Comm handle (the
+// substrate's MPI_COMM_WORLD analogue) and runs on one of two substrates:
+//
+//   * ExecMode::kThreads (default): one OS thread per rank. Faithful
+//     preemptive concurrency, but world size is capped by OS thread limits.
+//   * ExecMode::kTasks: one stackful fiber per rank, multiplexed by a
+//     TaskScheduler on the calling thread. Blocking substrate calls become
+//     yield points, time is virtual (charged sleeps retire in simulated
+//     time), and scheduling is a seeded deterministic order — which is what
+//     makes 1k–10k-rank runs fast and reproducible. See docs/MPISIM.md.
 //
 // Usage:
 //
@@ -15,15 +23,21 @@
 // A World runs exactly one job. Abort (Comm::abort or an uncaught exception
 // in any rank) interrupts every blocked operation with AbortedError. A
 // watchdog aborts deadlocked jobs after Config::watchdog_seconds so tests
-// always terminate.
+// always terminate; under tasks, deadlock is additionally detected the
+// moment every live rank is blocked with no pending timer.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpisim/clock.hpp"
@@ -31,14 +45,18 @@
 #include "mpisim/fault_hook.hpp"
 #include "mpisim/mailbox.hpp"
 #include "mpisim/replay_hook.hpp"
+#include "mpisim/sched.hpp"
 #include "mpisim/types.hpp"
 
 namespace mpisim {
 
 class World;
 
+/// Which execution substrate carries the ranks (see file comment).
+enum class ExecMode : std::uint8_t { kThreads, kTasks };
+
 /// Per-rank communication handle. Valid only inside the rank function and
-/// only on its own thread.
+/// only in its own execution context (thread or fiber).
 class Comm {
 public:
   [[nodiscard]] int rank() const { return rank_; }
@@ -59,8 +77,17 @@ public:
 
   /// Blocking probe (message stays queued).
   Status probe(int src, int tag);
-  /// Non-blocking probe.
+  /// Non-blocking probe. Under tasks this also yields, so polling loops
+  /// keep the cooperative scheduler live.
   std::optional<Status> iprobe(int src, int tag);
+
+  /// Block until one of the (src, tag) pairs in `wants` has a deliverable
+  /// message; returns the index of the first ready pair in argument order
+  /// (the select family's lowest-branch preference). `timeout_seconds` >= 0
+  /// bounds the wait (nullopt on expiry); negative waits until abort.
+  std::optional<std::size_t> probe_any(
+      const std::vector<std::pair<int, int>>& wants,
+      double timeout_seconds = -1.0);
 
   // --- collectives (all ranks must call in the same order) ----------------
   void barrier();
@@ -78,6 +105,9 @@ public:
   [[nodiscard]] double true_time() const;
   /// Charge `virtual_seconds` of compute to the simulated machine.
   void compute(double virtual_seconds);
+  /// Sleep this rank for `seconds` of true time without occupying a core
+  /// (wall sleep under threads, a virtual timer under tasks). Abort-wakeable.
+  void sleep(double seconds);
 
   /// Abort the whole job (MPI_Abort analogue). Throws AbortedError in this
   /// rank as well — it never returns normally.
@@ -93,6 +123,9 @@ private:
   /// Shared receive path: consults the replay hook for wildcard matches.
   Envelope fetch_envelope(int src, int tag);
 
+  /// barrier() under the kTasks substrate (single-carrier, no mutex).
+  void barrier_tasks();
+
   /// Entry hook for fault injection: may throw RankKilledError when the
   /// configured schedule kills this rank at this call.
   void fault_check(const char* what);
@@ -101,6 +134,10 @@ private:
   int rank_;
   std::uint64_t collective_seq_ = 0;  // per-rank; identical across ranks by
                                       // the same-order-collectives rule
+  /// Per-destination 0-based send counters — the run-stable message identity
+  /// replay logs record. Only this rank's context touches it, so it is
+  /// lock-free; keyed sparsely so a 10k-rank world does not pay an N² array.
+  std::unordered_map<int, std::uint64_t> pair_seq_by_dst_;
 };
 
 /// Largest tag available to user traffic; larger tags are reserved for the
@@ -111,17 +148,23 @@ class World {
 public:
   struct Config {
     int nprocs = 1;
+    /// Execution substrate (see ExecMode).
+    ExecMode exec = ExecMode::kThreads;
+    /// Usable stack per rank fiber under kTasks.
+    std::size_t task_stack_bytes = 256 * 1024;
     /// Virtual cores of the simulated machine (0 = one per rank).
     unsigned cpu_cores = 0;
-    /// Wall seconds per virtual compute second (see CpuModel).
+    /// Wall seconds per virtual compute second (see CpuModel). Under kTasks
+    /// the scaled duration elapses in virtual time instead of wall time.
     double time_scale = 1.0;
-    /// Message latency model, in *wall* seconds: delivery is delayed by
+    /// Message latency model, in true-time seconds: delivery is delayed by
     /// latency + bytes/bandwidth (bandwidth 0 = infinite).
     double msg_latency = 0.0;
     double msg_bandwidth = 0.0;
     /// Injected per-rank clock error bounds (see VirtualClock).
     double clock_max_offset = 0.0;
     double clock_max_skew = 0.0;
+    /// Seeds clock drift and, under kTasks, the deterministic schedule order.
     std::uint64_t seed = 1;
     /// Backstop: abort the job after this much wall time (0 = no watchdog).
     double watchdog_seconds = 60.0;
@@ -131,13 +174,20 @@ public:
     /// Fault-injection hook (message jitter, rank kills). Not owned; must
     /// outlive the World. See fault_hook.hpp for the crash semantics.
     FaultHook* fault = nullptr;
+    /// Test seam: make spawning this rank fail as if the OS refused, so the
+    /// mid-spawn cleanup path is exercisable. -1 = never.
+    int debug_fail_spawn_at = -1;
   };
 
-  /// Abort code reported when the watchdog fires.
+  /// Abort code reported when the watchdog fires (under kTasks also when
+  /// the instant deadlock detector trips).
   static constexpr int kWatchdogAbortCode = -86;
   /// Abort code reported when surviving ranks are torn down after a
   /// fault-injected rank crash (the dead-peer-detected diagnostic).
   static constexpr int kPeerDeadAbortCode = -99;
+  /// Abort code already-spawned ranks see when a later rank's thread/stack
+  /// cannot be created and the job is cleaned up (SpawnError is then thrown).
+  static constexpr int kSpawnFailAbortCode = -97;
 
   explicit World(Config cfg);
   ~World();
@@ -154,13 +204,15 @@ public:
 
   /// Run the job: every rank executes `fn`. Rethrows the first non-abort
   /// exception raised by any rank; throws TimeoutError if the watchdog
-  /// fired. Callable exactly once (and exclusive with start()/finish()).
+  /// fired, SpawnError if a rank's execution context could not be created.
+  /// Callable exactly once (and exclusive with start()/finish()).
   Result run(const std::function<int(Comm&)>& fn);
 
   /// Asynchronous launch for host-thread integration (Pilot's PI_StartAll
-  /// semantics, where code after the call continues as rank 0): spawns
-  /// ranks 1..nprocs-1 on new threads and binds the *calling* thread as
-  /// rank 0. Returns rank 0's Comm, valid until finish().
+  /// semantics, where code after the call continues as rank 0): launches
+  /// ranks 1..nprocs-1 (threads, or ready fibers under kTasks) and binds the
+  /// *calling* context as rank 0. Returns rank 0's Comm, valid until
+  /// finish().
   Comm& start(const std::function<int(Comm&)>& fn);
 
   /// Join a job launched with start(); must be called on the same thread.
@@ -171,6 +223,8 @@ public:
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] VirtualClock& clock() { return clock_; }
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  /// The task scheduler under kTasks, nullptr under kThreads.
+  [[nodiscard]] TaskScheduler* scheduler() { return sched_.get(); }
 
   /// Total messages successfully delivered (diagnostics / tests).
   [[nodiscard]] std::uint64_t messages_delivered() const {
@@ -182,20 +236,23 @@ public:
   }
   [[nodiscard]] int abort_code() const { return abort_code_.load(); }
 
-  /// Abort from outside any rank thread (host-side teardown). Unlike
+  /// Abort from outside any rank context (host-side teardown). Unlike
   /// Comm::abort this does not throw.
   void force_abort(int code) { abort_from(code); }
 
   /// Mark `rank` as killed by fault injection. Called internally when a
-  /// spawned rank dies of RankKilledError; the host thread calls it too when
-  /// rank 0 (the start() caller) is the victim. Survivors are torn down with
-  /// kPeerDeadAbortCode once the fault hook's grace period expires.
+  /// rank's context dies of RankKilledError; the host thread calls it too
+  /// when rank 0 (the start() caller) is the victim. Survivors are torn down
+  /// with kPeerDeadAbortCode once the fault hook's grace period expires
+  /// (under kTasks: once they finish or the world stalls — grace is
+  /// meaningless without wall-clock concurrency).
   void kill_rank(int rank);
 
   /// Ranks killed by fault injection so far, ascending.
   [[nodiscard]] std::vector<int> crashed_ranks() const;
 
-  /// The Comm of the calling thread, or nullptr outside a rank thread.
+  /// The Comm of the calling execution context — the rank thread under
+  /// kThreads, the running fiber under kTasks — or nullptr outside any.
   /// Lets C-style layers (the PI_* API) find their context implicitly.
   static Comm* current();
 
@@ -206,18 +263,23 @@ private:
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
   void check_rank(int rank, const char* what) const;
   void spawn_rank(const std::function<int(Comm&)>& fn, int rank);
+  void spawn_threads_or_cleanup(const char* who, int first);
   void spawn_watchdog(int expected_done);
-  Result join_all();
+  void launch_tasks(int first);
+  void task_body(int rank);
+  void on_stall(TaskScheduler::Stall kind);
+  Result conclude();
 
   Config cfg_;
+  std::unique_ptr<TaskScheduler> sched_;  // kTasks only; before clock_/cpu_
   VirtualClock clock_;
   CpuModel cpu_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
   std::atomic<int> abort_code_{0};
   std::atomic<bool> timed_out_{false};
+  std::string timeout_what_;  // set before timed_out_; read after join
   std::atomic<std::uint64_t> send_seq_{0};
-  std::unique_ptr<std::atomic<std::uint64_t>[]> pair_seq_;  // [src * nprocs + dst]
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<bool> ran_{false};
   std::atomic<int> ranks_done_{0};
@@ -229,19 +291,21 @@ private:
   std::atomic<int> crashed_count_{0};
   std::atomic<std::int64_t> first_crash_ns_{0};
 
-  // Thread management shared by run() and start()/finish().
-  std::vector<std::thread> threads_;
+  // Execution-context management shared by run() and start()/finish().
+  std::vector<std::thread> threads_;            // kThreads
+  std::vector<std::unique_ptr<Comm>> task_comms_;  // kTasks (slot 0 unused in start mode)
   std::thread watchdog_;
   std::atomic<bool> stop_watchdog_{false};
   std::vector<int> exit_codes_;
   std::exception_ptr first_error_;
   std::mutex error_mu_;
-  std::function<int(Comm&)> rank_fn_;  // keeps the callable alive for threads
+  std::function<int(Comm&)> rank_fn_;  // keeps the callable alive for ranks
   std::unique_ptr<Comm> rank0_comm_;   // start() mode only
 
   // Barrier state
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
+  TaskScheduler::WaitQueue barrier_wq_;  // kTasks waiters
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
 };

@@ -97,6 +97,14 @@ Options Options::parse(int* argc, char*** argv) {
     if (level > 3) throw util::UsageError("-picheck: level must be 0..3");
     opts.check_level = static_cast<int>(level);
   }
+  if (auto v = util::strip_args_with_prefix(argc, argv, "-piexec="); !v.empty()) {
+    const std::string& mode = v.back();
+    if (mode == "tasks")
+      opts.exec_tasks = true;
+    else if (mode != "threads")
+      throw util::UsageError(
+          "-piexec: expects 'threads' or 'tasks', got '" + mode + "'");
+  }
   if (auto v = util::strip_args_with_prefix(argc, argv, "-pinp="); !v.empty())
     opts.np = static_cast<int>(parse_int("-pinp", v.back()));
   if (auto v = util::strip_args_with_prefix(argc, argv, "-piout="); !v.empty())

@@ -50,6 +50,11 @@ struct Options {
   int check_level = 1;
 
   // --- deployment -----------------------------------------------------------
+  /// -piexec=threads|tasks: execution substrate for the simulated ranks.
+  /// threads (default) = one OS thread per rank; tasks = fiber-per-rank on a
+  /// deterministic task scheduler, required for 1k+ rank worlds. See
+  /// docs/MPISIM.md.
+  bool exec_tasks = false;
   int np = 0;  ///< simulated mpirun -np bound; 0 = as many as created
   std::string out_dir = ".";
   std::string log_basename = "pilot";

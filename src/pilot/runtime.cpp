@@ -14,8 +14,10 @@ namespace {
 
 std::unique_ptr<Runtime> g_runtime;
 
+// Only meaningful outside the execution phase (the configuring thread is
+// PI_MAIN). While ranks run, the acting process is derived from
+// mpisim::World::current() instead — see Runtime::acting_process.
 thread_local Process* tls_process = nullptr;
-thread_local double tls_start_time = 0.0;
 
 std::string site_str(const CallSite& site) {
   const std::filesystem::path p(site.file ? site.file : "?");
@@ -101,10 +103,22 @@ void Runtime::require_phase(const CallSite& site, Phase want, const char* what) 
                              names[static_cast<int>(phase_)]));
 }
 
-Process* Runtime::current_process(const CallSite& site, const char* what) const {
-  if (tls_process == nullptr)
-    fail(site, util::strprintf("%s called outside any Pilot process", what));
+Process* Runtime::acting_process() const {
+  if (phase_ == Phase::kRunning) {
+    mpisim::Comm* c = mpisim::World::current();
+    if (c == nullptr || c->rank() == service_rank_) return nullptr;
+    const auto r = static_cast<std::size_t>(c->rank());
+    if (r >= processes_.size()) return nullptr;
+    return const_cast<Process*>(&processes_[r]);
+  }
   return tls_process;
+}
+
+Process* Runtime::current_process(const CallSite& site, const char* what) const {
+  Process* p = acting_process();
+  if (p == nullptr)
+    fail(site, util::strprintf("%s called outside any Pilot process", what));
+  return p;
 }
 
 mpisim::Comm& Runtime::comm(const CallSite& site, const char* what) const {
@@ -399,13 +413,23 @@ void Runtime::start_all(const CallSite& site) {
   cfg.watchdog_seconds = opts_.watchdog;
   cfg.replay = replay_.get();
   cfg.fault = fault_.get();
+  cfg.exec = opts_.exec_tasks ? mpisim::ExecMode::kTasks
+                              : mpisim::ExecMode::kThreads;
 
-  const double config_duration = std::chrono::duration<double>(
-                                     std::chrono::steady_clock::now() - config_epoch_)
-                                     .count();
   world_ = std::make_unique<mpisim::World>(cfg);
-  world_->clock().backdate(config_duration);
+  if (opts_.exec_tasks) {
+    // Virtual time: a wall-measured configuration duration would make two
+    // otherwise-identical runs diverge, so charge a canonical 1 ms.
+    world_->clock().backdate(0.001);
+  } else {
+    const double config_duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      config_epoch_)
+            .count();
+    world_->clock().backdate(config_duration);
+  }
   world_->clock().set_quantum(opts_.sim_clockres);
+  start_times_.assign(static_cast<std::size_t>(nranks), 0.0);
 
   if (opts_.svc_jumpshot) {
     mpe::Logger::Options mpe_opts;
@@ -458,18 +482,10 @@ int Runtime::dispatch_rank(mpisim::Comm& c) {
   }
 
   Process* proc = &processes_[static_cast<std::size_t>(c.rank())];
-  tls_process = proc;
   if (logviz_) logviz_->begin_compute(c, *proc);
-  int status = 0;
-  try {
-    status = proc->work(proc->index, proc->arg2);
-  } catch (...) {
-    tls_process = nullptr;
-    throw;
-  }
+  const int status = proc->work(proc->index, proc->arg2);
   if (logviz_) logviz_->end_compute(c);
   finalize_rank(c);
-  tls_process = nullptr;
   return status;
 }
 
@@ -535,7 +551,7 @@ void Runtime::harvest_fault() {
 
 void Runtime::stop_main(const CallSite& site, int status) {
   require_phase(site, Phase::kRunning, "PI_StopMain");
-  if (tls_process != main_)
+  if (acting_process() != main_)
     fail(site, "PI_StopMain must be called by PI_MAIN");
   mpisim::Comm& c = comm(site, "PI_StopMain");
 
@@ -579,7 +595,8 @@ void Runtime::stop_main(const CallSite& site, int status) {
 double Runtime::start_time(const CallSite& site) {
   mpisim::Comm& c = comm(site, "PI_StartTime");
   const double t = c.wtime();
-  tls_start_time = t;
+  if (static_cast<std::size_t>(c.rank()) < start_times_.size())
+    start_times_[static_cast<std::size_t>(c.rank())] = t;
   if (logviz_) logviz_->utility(c, "PI_StartTime", site, util::strprintf("%.9f", t));
   svc_call_line(site, "PI_StartTime");
   return t;
@@ -587,7 +604,11 @@ double Runtime::start_time(const CallSite& site) {
 
 double Runtime::end_time(const CallSite& site) {
   mpisim::Comm& c = comm(site, "PI_EndTime");
-  const double dt = c.wtime() - tls_start_time;
+  const double started =
+      static_cast<std::size_t>(c.rank()) < start_times_.size()
+          ? start_times_[static_cast<std::size_t>(c.rank())]
+          : 0.0;
+  const double dt = c.wtime() - started;
   if (logviz_) logviz_->utility(c, "PI_EndTime", site, util::strprintf("%.9f", dt));
   svc_call_line(site, "PI_EndTime");
   return dt;
@@ -605,7 +626,7 @@ bool Runtime::is_logging() const {
 }
 
 void Runtime::abort(const CallSite& site, int errcode, const char* text) {
-  const Process* proc = tls_process;
+  const Process* proc = acting_process();
   std::fprintf(stderr, "PI_Abort(%d) by %s at %s: %s\n", errcode,
                proc ? proc->name.c_str() : "?", site_str(site).c_str(),
                text ? text : "");
@@ -632,7 +653,7 @@ void Runtime::svc_call_line(const CallSite& site, const std::string& what) {
   if (!opts_.svc_calls || service_rank_ < 0) return;
   mpisim::Comm* c = mpisim::World::current();
   if (c == nullptr || c->rank() == service_rank_) return;
-  const Process* proc = tls_process;
+  const Process* proc = acting_process();
   const auto line = util::strprintf("%s %s %s",
                                     proc ? proc->name.c_str() : "?", what.c_str(),
                                     site_str(site).c_str());
@@ -652,7 +673,7 @@ void Runtime::svc_wait(const std::vector<int>& channel_ids, const CallSite& site
   if (!opts_.svc_deadlock || service_rank_ < 0) return;
   mpisim::Comm* c = mpisim::World::current();
   if (c == nullptr) return;
-  const Process* proc = tls_process;
+  const Process* proc = acting_process();
   const auto bytes = Service::encode_wait(channel_ids, site_str(site),
                                           proc ? proc->name : "?");
   c->send(service_rank_, kTagService, bytes.data(), bytes.size());

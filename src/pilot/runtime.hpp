@@ -137,6 +137,11 @@ private:
   [[noreturn]] void fail(const CallSite& site, const std::string& msg) const;
   void require_phase(const CallSite& site, Phase want, const char* what) const;
   Process* current_process(const CallSite& site, const char* what) const;
+  /// The Process of the acting execution context, or nullptr (service rank,
+  /// outside any rank). During the execution phase this derives from
+  /// World::current() — correct on both substrates, where thread-locals
+  /// would misattribute fibers sharing the carrier thread.
+  Process* acting_process() const;
   mpisim::Comm& comm(const CallSite& site, const char* what) const;
   void check_pointer(const CallSite& site, const void* p, const char* what) const;
 
@@ -199,6 +204,8 @@ private:
   std::vector<std::pair<std::string, std::string>> user_state_defs_;  // name,color
 
   std::unique_ptr<mpisim::World> world_;
+  std::vector<double> start_times_;  ///< PI_StartTime per rank (TLS would
+                                     ///< be shared by fibers under tasks)
   std::unique_ptr<LogViz> logviz_;
   std::unique_ptr<Service> service_;
   std::unique_ptr<replay::Engine> replay_;

@@ -353,9 +353,10 @@ void Runtime::read(const CallSite& site, Channel* chan, const char* fmt,
 // --- collectives ---------------------------------------------------------------------
 
 namespace {
-void arrow_spread_sleep(double seconds) {
-  if (seconds > 0.0)
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+// Comm::sleep, not std::this_thread: under -piexec=tasks the spread must be
+// a virtual-time delay, or it would stall every rank on the carrier thread.
+void arrow_spread_sleep(mpisim::Comm& c, double seconds) {
+  if (seconds > 0.0) c.sleep(seconds);
 }
 }  // namespace
 
@@ -382,7 +383,7 @@ void Runtime::broadcast(const CallSite& site, Bundle* b, const char* fmt,
     if (logviz_) logviz_->write_info(c, *b->channels.front(), arg.count,
                                      first_value_string(arg));
     for (std::size_t i = 0; i < b->channels.size(); ++i) {
-      if (i > 0) arrow_spread_sleep(opts_.arrow_spread);
+      if (i > 0) arrow_spread_sleep(c, opts_.arrow_spread);
       Channel* chan = b->channels[i];
       if (opts_.svc_analyze) {
         ++chan->writes;
@@ -440,7 +441,7 @@ void Runtime::scatter(const CallSite& site, Bundle* b, const char* fmt,
     slice.spec = spec;
     slice.count = per_receiver;
     for (std::size_t i = 0; i < nchan; ++i) {
-      if (i > 0) arrow_spread_sleep(opts_.arrow_spread);
+      if (i > 0) arrow_spread_sleep(c, opts_.arrow_spread);
       Channel* chan = b->channels[i];
       slice.data = src + i * per_receiver * elem;
       const auto wire = build_wire(slice);
@@ -643,20 +644,13 @@ void Runtime::reduce(const CallSite& site, Bundle* b, PI_REDOP op, const char* f
 void Runtime::wait_channel_ready(mpisim::Comm& c, const Channel& chan,
                                  int subject_id, int branch,
                                  const CallSite& site) {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(replay_->timeout_seconds()));
-  for (int spin = 0; !c.iprobe(chan.from->rank, chan.id); ++spin) {
-    if (std::chrono::steady_clock::now() >= deadline)
-      replay_->branch_never_ready(c.rank(), subject_id, branch, site.file,
-                                  site.line);
-    if (spin < 200) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
+  // Blocking bounded probe instead of an iprobe spin: a spin would livelock
+  // the cooperative substrate (and waste a core on the preemptive one).
+  // Under tasks the timeout is a virtual timer, so a branch that can never
+  // become ready is diagnosed without a wall-clock wait.
+  if (!c.probe_any({{chan.from->rank, chan.id}}, replay_->timeout_seconds()))
+    replay_->branch_never_ready(c.rank(), subject_id, branch, site.file,
+                                site.line);
 }
 
 int Runtime::select(const CallSite& site, Bundle* b) {
@@ -691,23 +685,14 @@ int Runtime::select(const CallSite& site, Bundle* b) {
     const Channel* chan = b->channels[static_cast<std::size_t>(ready)];
     wait_channel_ready(c, *chan, b->id, ready, site);
   } else {
-    for (int spin = 0; ready < 0; ++spin) {
-      for (std::size_t i = 0; i < b->channels.size(); ++i) {
-        const Channel* chan = b->channels[i];
-        if (c.iprobe(chan->from->rank, chan->id)) {
-          ready = static_cast<int>(i);
-          break;
-        }
-      }
-      if (ready < 0) {
-        // Stay responsive while data is imminent, then back off politely.
-        if (spin < 200) {
-          std::this_thread::yield();
-        } else {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        }
-      }
-    }
+    // One blocking multi-channel probe; the substrate keeps the select
+    // family's lowest-branch preference (first ready pair in argument
+    // order) on both substrates.
+    std::vector<std::pair<int, int>> wants;
+    wants.reserve(b->channels.size());
+    for (const Channel* chan : b->channels)
+      wants.emplace_back(chan->from->rank, chan->id);
+    ready = static_cast<int>(*c.probe_any(wants));
     if (replay_) replay_->record_select(c.rank(), b->id, ready);
   }
   svc_resume();

@@ -18,6 +18,13 @@
 
 namespace tracegen {
 
+/// Largest world the generator accepts. Per-rank state is a few hundred
+/// bytes (RNG stream, open-state stack, pending-message heap), so 16384
+/// ranks stay within a few MB while comfortably covering the 10k-rank
+/// task-substrate sweeps; a larger request is almost always a typo'd
+/// --ranks and would silently eat memory in the per-rank tables instead.
+inline constexpr std::int32_t kMaxRanks = 16384;
+
 struct Options {
   std::uint64_t seed = 1;
   std::int32_t nranks = 8;

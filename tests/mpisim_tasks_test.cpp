@@ -1,0 +1,381 @@
+// Tests for the kTasks execution substrate: fiber-per-rank scheduling,
+// virtual time, deterministic schedule order, instant deadlock detection,
+// spawn-failure cleanup (both substrates), and the abort-wakeup regression
+// suite for predicate-checked waits.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "mpisim/fault_hook.hpp"
+#include "mpisim/world.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::ExecMode;
+using mpisim::World;
+
+World::Config tasks_cfg(int n) {
+  World::Config c;
+  c.nprocs = n;
+  c.exec = ExecMode::kTasks;
+  c.time_scale = 0.0;
+  c.watchdog_seconds = 20.0;
+  return c;
+}
+
+World::Config threads_cfg(int n) {
+  World::Config c;
+  c.nprocs = n;
+  c.time_scale = 0.0;
+  c.watchdog_seconds = 20.0;
+  return c;
+}
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(MpisimTasks, SimpleSendRecv) {
+  World w(tasks_cfg(2));
+  auto r = w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      int v = 42;
+      c.send(1, 7, &v, sizeof v);
+    } else {
+      int v = 0;
+      const auto st = c.recv(0, 7, &v, sizeof v);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 0);
+    }
+    return c.rank() + 10;
+  });
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.exit_codes, (std::vector<int>{10, 11}));
+  EXPECT_EQ(w.messages_delivered(), 1u);
+}
+
+TEST(MpisimTasks, RingWithLatencyAtFiveHundredRanks) {
+  // A world this size cannot even be attempted thread-per-rank on most
+  // configurations; under tasks it is a subsecond unit test.
+  constexpr int kN = 500;
+  auto cfg = tasks_cfg(kN);
+  cfg.msg_latency = 0.001;  // in-flight waits become virtual timers
+  World w(cfg);
+  auto r = w.run([](Comm& c) {
+    const int n = c.size();
+    int token = c.rank();
+    for (int round = 0; round < 3; ++round) {
+      c.send((c.rank() + 1) % n, 5, &token, sizeof token);
+      c.recv((c.rank() + n - 1) % n, 5, &token, sizeof token);
+    }
+    return token == (c.rank() + n - 3) % n ? 0 : 1;
+  });
+  EXPECT_FALSE(r.aborted);
+  for (int code : r.exit_codes) EXPECT_EQ(code, 0);
+  EXPECT_EQ(w.messages_delivered(), 3u * kN);
+}
+
+TEST(MpisimTasks, CollectivesUnderTasks) {
+  World w(tasks_cfg(64));
+  w.run([](Comm& c) {
+    int v = c.rank();
+    int sum = 0;
+    c.allreduce(mpisim::Op::kSum, mpisim::Datatype::kInt, &v, &sum, 1);
+    EXPECT_EQ(sum, 64 * 63 / 2);
+    int root_val = c.rank() == 3 ? 99 : 0;
+    c.bcast(3, &root_val, sizeof root_val);
+    EXPECT_EQ(root_val, 99);
+    c.barrier();
+    return 0;
+  });
+}
+
+TEST(MpisimTasks, StartFinishAdoptsCallerAsRankZero) {
+  World w(tasks_cfg(4));
+  Comm& c0 = w.start([](Comm& c) {
+    int v = 0;
+    c.recv(0, 1, &v, sizeof v);
+    EXPECT_EQ(v, c.rank() * 2);
+    c.send(0, 2, &v, sizeof v);
+    return 0;
+  });
+  EXPECT_EQ(c0.rank(), 0);
+  EXPECT_EQ(World::current(), &c0);
+  int total = 0;
+  for (int r = 1; r < 4; ++r) {
+    int v = r * 2;
+    c0.send(r, 1, &v, sizeof v);
+  }
+  for (int r = 1; r < 4; ++r) {
+    int v = 0;
+    c0.recv(mpisim::kAnySource, 2, &v, sizeof v);
+    total += v;
+  }
+  auto res = w.finish();
+  EXPECT_FALSE(res.aborted);
+  EXPECT_EQ(total, 2 + 4 + 6);
+  EXPECT_EQ(World::current(), nullptr);
+}
+
+TEST(MpisimTasks, ChargedComputeRetiresInVirtualTime) {
+  auto cfg = tasks_cfg(8);
+  cfg.time_scale = 1.0;  // would cost wall seconds under threads
+  cfg.cpu_cores = 2;
+  World w(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  w.run([](Comm& c) {
+    const double before = c.true_time();
+    c.compute(1.0);  // 8 ranks x 1 s on 2 cores = 4 s of machine time
+    EXPECT_GE(c.true_time() - before, 1.0);
+    return 0;
+  });
+  // All of it simulated: the run must take nowhere near 4 wall seconds.
+  EXPECT_LT(wall_seconds_since(t0), 2.0);
+  EXPECT_GE(w.cpu().total_charged(), 8.0);
+}
+
+TEST(MpisimTasks, SleepRetiresInVirtualTime) {
+  World w(tasks_cfg(2));
+  const auto t0 = std::chrono::steady_clock::now();
+  w.run([](Comm& c) {
+    const double before = c.true_time();
+    c.sleep(30.0);
+    EXPECT_GE(c.true_time() - before, 30.0);
+    return 0;
+  });
+  EXPECT_LT(wall_seconds_since(t0), 2.0);
+}
+
+TEST(MpisimTasks, ScheduleIsDeterministicPerSeed) {
+  // The order a wildcard receiver observes senders is exactly the schedule
+  // order, so it fingerprints the scheduler: same seed = same order.
+  const auto arrival_order = [](std::uint64_t seed) {
+    auto cfg = tasks_cfg(17);
+    cfg.seed = seed;
+    World w(cfg);
+    std::vector<int> order;
+    w.run([&order](Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 1; i < c.size(); ++i) {
+          int v = 0;
+          const auto st = c.recv(mpisim::kAnySource, 9, &v, sizeof v);
+          order.push_back(st.source);
+        }
+      } else {
+        int v = c.rank();
+        c.send(0, 9, &v, sizeof v);
+      }
+      return 0;
+    });
+    return order;
+  };
+  const auto a = arrival_order(12345);
+  const auto b = arrival_order(12345);
+  const auto c = arrival_order(54321);
+  EXPECT_EQ(a, b);
+  // 16 senders have 16! orderings; two seeds colliding would itself be a
+  // scheduler bug (the shuffle ignoring its seed).
+  EXPECT_NE(a, c);
+}
+
+TEST(MpisimTasks, DeadlockDetectedWithoutWallTimeout) {
+  // Every rank waits on a message nobody sends. Under threads only the
+  // watchdog saves this; under tasks the scheduler proves the stall the
+  // moment the ready queue and timer heap are both empty.
+  auto cfg = tasks_cfg(4);
+  cfg.watchdog_seconds = 60.0;  // deliberately long: detection must not need it
+  World w(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(w.run([](Comm& c) {
+                 int v = 0;
+                 c.recv((c.rank() + 1) % c.size(), 1, &v, sizeof v);
+                 return 0;
+               }),
+               mpisim::TimeoutError);
+  EXPECT_LT(wall_seconds_since(t0), 5.0);
+}
+
+TEST(MpisimTasks, WallDeadlineCatchesYieldSpin) {
+  // A rank that spins on iprobe never blocks, so stall detection cannot see
+  // it — the wall deadline (polled inside the scheduler loop) must.
+  auto cfg = tasks_cfg(2);
+  cfg.watchdog_seconds = 0.5;
+  World w(cfg);
+  EXPECT_THROW(w.run([](Comm& c) {
+                 if (c.rank() == 0)
+                   while (true) c.iprobe(1, 1);  // throws once aborted
+                 int v = 0;
+                 c.recv(0, 1, &v, sizeof v);
+                 return 0;
+               }),
+               mpisim::TimeoutError);
+}
+
+TEST(MpisimTasks, FaultCrashLeadsToNamedDeadPeerAbort) {
+  // Inline kill-rank-1-at-its-3rd-call hook; survivors block on the corpse
+  // and the stall handler converts that into the dead-peer diagnostic.
+  class KillRankOne : public mpisim::FaultHook {
+  public:
+    void at_call(int rank, const char* /*what*/) override {
+      if (rank == 1 && ++calls_[rank] == 3)
+        throw mpisim::RankKilledError(1, "injected crash");
+    }
+    double message_delay(int, int, std::uint64_t, std::size_t) override {
+      return 0.0;
+    }
+    [[nodiscard]] double grace_seconds() const override { return 0.05; }
+
+  private:
+    std::unordered_map<int, int> calls_;
+  };
+  KillRankOne hook;
+  auto cfg = tasks_cfg(8);
+  cfg.fault = &hook;
+  World w(cfg);
+  auto r = w.run([](Comm& c) {
+    const int n = c.size();
+    for (int round = 0; round < 5; ++round) {
+      int token = c.rank();
+      c.send((c.rank() + 1) % n, 5, &token, sizeof token);
+      c.recv((c.rank() + n - 1) % n, 5, &token, sizeof token);
+    }
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_code, World::kPeerDeadAbortCode);
+  EXPECT_EQ(r.crashed_ranks, std::vector<int>{1});
+}
+
+TEST(MpisimTasks, ExitCodesMatchThreadsSubstrate) {
+  // The same program must produce the same per-rank results and message
+  // count on either substrate.
+  const auto run_once = [](ExecMode mode) {
+    World::Config c;
+    c.nprocs = 8;
+    c.exec = mode;
+    c.time_scale = 0.0;
+    c.watchdog_seconds = 20.0;
+    c.msg_latency = 0.0005;
+    World w(c);
+    auto r = w.run([](Comm& comm) {
+      int v = comm.rank() * 3;
+      int sum = 0;
+      comm.allreduce(mpisim::Op::kSum, mpisim::Datatype::kInt, &v, &sum, 1);
+      return sum;
+    });
+    return std::make_pair(r.exit_codes, w.messages_delivered());
+  };
+  const auto threads = run_once(ExecMode::kThreads);
+  const auto tasks = run_once(ExecMode::kTasks);
+  EXPECT_EQ(threads.first, tasks.first);
+  EXPECT_EQ(threads.second, tasks.second);
+}
+
+// --- spawn-failure cleanup (satellite: World::start mid-spawn failure) ------
+
+TEST(MpisimTasks, SpawnFailureMidwayCleansUpThreads) {
+  auto cfg = threads_cfg(6);
+  cfg.debug_fail_spawn_at = 3;  // ranks 0-2 are already running and blocked
+  World w(cfg);
+  try {
+    w.run([](Comm& c) {
+      int v = 0;
+      c.recv((c.rank() + 1) % c.size(), 1, &v, sizeof v);
+      return 0;
+    });
+    FAIL() << "expected SpawnError";
+  } catch (const mpisim::SpawnError& e) {
+    EXPECT_EQ(e.rank(), 3);
+    EXPECT_NE(std::string(e.what()).find("rank 3"), std::string::npos);
+  }
+  EXPECT_TRUE(w.is_aborted());
+  EXPECT_EQ(w.abort_code(), World::kSpawnFailAbortCode);
+  // ~World must not terminate on a leaked joinable thread (the test passing
+  // at all is the assertion).
+}
+
+TEST(MpisimTasks, SpawnFailureInStartModeCleansUpThreads) {
+  auto cfg = threads_cfg(6);
+  cfg.debug_fail_spawn_at = 4;
+  World w(cfg);
+  EXPECT_THROW(w.start([](Comm& c) {
+                 int v = 0;
+                 c.recv(0, 1, &v, sizeof v);
+                 return 0;
+               }),
+               mpisim::SpawnError);
+  EXPECT_EQ(World::current(), nullptr);
+  EXPECT_EQ(w.abort_code(), World::kSpawnFailAbortCode);
+}
+
+TEST(MpisimTasks, SpawnFailureCleansUpTasks) {
+  auto cfg = tasks_cfg(6);
+  cfg.debug_fail_spawn_at = 3;
+  World w(cfg);
+  EXPECT_THROW(w.run([](Comm& c) {
+                 int v = 0;
+                 c.recv((c.rank() + 1) % c.size(), 1, &v, sizeof v);
+                 return 0;
+               }),
+               mpisim::SpawnError);
+  EXPECT_EQ(w.abort_code(), World::kSpawnFailAbortCode);
+}
+
+// --- abort-wakeup regression (satellite: predicate-checked waits) -----------
+// Ranks are parked in every flavor of blocking wait — a queued-but-in-flight
+// receive (the latency wait_until), a barrier, a plain empty-mailbox receive
+// — when one rank aborts. All of them must unwind promptly; a missed wakeup
+// here turns into a watchdog timeout and fails the test.
+
+void abort_hammer_body(Comm& c) {
+  const int n = c.size();
+  if (c.rank() == n - 1) {
+    // Feed rank 0 a message that is matched but still in flight, so rank 0
+    // is inside the deliver_at wait, not the empty-queue wait.
+    int v = 7;
+    c.send(0, 1, &v, sizeof v);
+    c.sleep(0.05);
+    c.abort(77);
+  } else if (c.rank() == 0) {
+    int v = 0;
+    c.recv(n - 1, 1, &v, sizeof v);  // in-flight: latency far exceeds abort delay
+  } else if (c.rank() % 2 == 0) {
+    c.barrier();  // never completed: the barrier cv wait must be abort-wakeable
+  } else {
+    int v = 0;
+    c.recv(mpisim::kAnySource, 99, &v, sizeof v);  // never sent
+  }
+}
+
+TEST(MpisimTasks, AbortWakesEveryBlockedWaitThreads) {
+  auto cfg = threads_cfg(8);
+  cfg.msg_latency = 30.0;
+  World w(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = w.run([](Comm& c) {
+    abort_hammer_body(c);
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_code, 77);
+  EXPECT_LT(wall_seconds_since(t0), 10.0);
+}
+
+TEST(MpisimTasks, AbortWakesEveryBlockedWaitTasks) {
+  auto cfg = tasks_cfg(8);
+  cfg.msg_latency = 30.0;
+  World w(cfg);
+  auto r = w.run([](Comm& c) {
+    abort_hammer_body(c);
+    return 0;
+  });
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_code, 77);
+}
+
+}  // namespace

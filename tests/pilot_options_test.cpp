@@ -65,6 +65,14 @@ TEST(Options, UnknownServiceLetterRejected) {
   EXPECT_THROW(parse({"-pisvc=x"}), util::UsageError);
 }
 
+TEST(Options, ExecSubstrate) {
+  EXPECT_FALSE(parse({}).exec_tasks);
+  EXPECT_FALSE(parse({"-piexec=threads"}).exec_tasks);
+  EXPECT_TRUE(parse({"-piexec=tasks"}).exec_tasks);
+  EXPECT_THROW(parse({"-piexec=fibers"}), util::UsageError);
+  EXPECT_THROW(parse({"-piexec="}), util::UsageError);
+}
+
 TEST(Options, CheckLevels) {
   EXPECT_EQ(parse({"-picheck=0"}).check_level, 0);
   EXPECT_EQ(parse({"-picheck=3"}).check_level, 3);

@@ -10,6 +10,7 @@
 #include "mpe/mpe.hpp"
 #include "slog2/slog2.hpp"
 #include "tracegen/tracegen.hpp"
+#include "util/error.hpp"
 
 #ifndef PILOT_FIXTURE_DIR
 #error "PILOT_FIXTURE_DIR must be defined by the build"
@@ -93,6 +94,18 @@ TEST(PipelineScale, TracegenDeterministicAcrossCalls) {
 
   opts.seed = 6;
   EXPECT_NE(clog2::serialize(a), clog2::serialize(tracegen::generate(opts)));
+}
+
+TEST(PipelineScale, TracegenRejectsOutOfRangeRanks) {
+  tracegen::Options opts;
+  opts.nranks = 0;
+  EXPECT_THROW(tracegen::generate(opts), util::UsageError);
+  opts.nranks = tracegen::kMaxRanks + 1;
+  EXPECT_THROW(tracegen::generate(opts), util::UsageError);
+  // The cap itself is usable — a tiny event budget keeps this instant.
+  opts.nranks = tracegen::kMaxRanks;
+  opts.events = 10;
+  EXPECT_EQ(tracegen::generate(opts).nranks, tracegen::kMaxRanks);
 }
 
 TEST(PipelineScale, TracegenOutputIsTimeOrderedAndClean) {

@@ -5,6 +5,11 @@
 # margin absorbs machine-to-machine variance while still catching an
 # accidental O(n log n) -> O(n^2) (or allocation-storm) regression.
 #
+# A second gate runs bench_world_scale --quick=1 and compares the 1024-rank
+# task-substrate wall time against bench/baseline_world_scale.json the same
+# way — the canary for a thundering-herd (quadratic-dispatch) regression in
+# the task scheduler.
+#
 # The bench itself also exits nonzero if either determinism invariant breaks
 # (k-way merge vs sort path, or the thread sweep), so this leg guards
 # correctness as well as speed.
@@ -23,7 +28,7 @@ for arg in "$@"; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_pipeline_scale
+cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale
 
 # Run in a scratch dir so bench_out/ does not pollute the source tree.
 RUN_DIR=$(mktemp -d)
@@ -47,6 +52,29 @@ CUR_INT=$(printf '%.0f' "$CURRENT")
 BASE_INT=$(printf '%.0f' "$BASELINE")
 if [ $((CUR_INT * 2)) -lt "$BASE_INT" ]; then
   echo "FAIL: convert throughput regressed >2x vs baseline" >&2
+  exit 1
+fi
+
+# World-scale gate: the quick sweep still covers 1024 task-scheduled ranks.
+# Wall time is a "lower is better" metric, so the 2x check flips direction.
+(cd "$RUN_DIR" && "$OLDPWD/build/bench/bench_world_scale" --quick=1)
+
+TASKS_FEASIBLE=$(sed -n 's/^  "tasks_r1024_feasible": \(.*\),*$/\1/p' \
+  "$RUN_DIR/bench_out/BENCH_world_scale.json" | tr -d ',')
+[ "$TASKS_FEASIBLE" = "true" ] || {
+  echo "FAIL: 1024-rank task-substrate run did not complete" >&2; exit 1; }
+
+CUR_MS=$(json_num "$RUN_DIR/bench_out/BENCH_world_scale.json" tasks_r1024_ms)
+BASE_MS=$(json_num bench/baseline_world_scale.json tasks_r1024_ms)
+[ -n "$CUR_MS" ] || { echo "FAIL: no tasks_r1024_ms in bench output" >&2; exit 1; }
+[ -n "$BASE_MS" ] || {
+  echo "FAIL: no tasks_r1024_ms in bench/baseline_world_scale.json" >&2; exit 1; }
+
+echo "1024-rank tasks wall time: current ${CUR_MS} ms, baseline ${BASE_MS} ms"
+CUR_MS_INT=$(printf '%.0f' "$CUR_MS")
+BASE_MS_INT=$(printf '%.0f' "$BASE_MS")
+if [ "$CUR_MS_INT" -gt $((BASE_MS_INT * 2)) ]; then
+  echo "FAIL: 1024-rank task-substrate wall time regressed >2x vs baseline" >&2
   exit 1
 fi
 echo "perf smoke leg OK"

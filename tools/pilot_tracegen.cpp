@@ -22,7 +22,13 @@ int run(int argc, char** argv) {
   }
   tracegen::Options opts;
   opts.events = static_cast<std::uint64_t>(args.get_int_or("events", 100000));
-  opts.nranks = static_cast<std::int32_t>(args.get_int_or("ranks", 8));
+  const long long ranks = args.get_int_or("ranks", 8);
+  if (ranks < 1 || ranks > tracegen::kMaxRanks) {
+    std::fprintf(stderr, "error: --ranks must be in 1..%d (got %lld)\n",
+                 tracegen::kMaxRanks, ranks);
+    return 2;
+  }
+  opts.nranks = static_cast<std::int32_t>(ranks);
   opts.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   opts.arrow_fraction = args.get_double_or("arrows", opts.arrow_fraction);
   opts.solo_fraction = args.get_double_or("solo", opts.solo_fraction);
