@@ -1,0 +1,136 @@
+// Trace-diff scaling sweep: tracegen a reference trace, derive a faulted
+// twin (one rank's tail truncated, crash-style), and push both through
+// analyze::diff_traces at increasing sizes. Emits BENCH_tracediff.json with
+// the headline numbers the perf acceptance criteria read:
+//   - diff throughput (records/s) on the small trace,
+//   - self-diff throughput (the all-match fast path stays linear),
+//   - a correctness canary: the truncated rank must top the suspect list.
+//
+// `--large=0` skips the big trace (the ci_bench.sh smoke leg does this);
+// `--small=EVENTS` overrides the small size.
+#include <chrono>
+#include <cstdlib>
+#include <variant>
+
+#include "analyze/tracediff.hpp"
+#include "bench_common.hpp"
+#include "tracegen/tracegen.hpp"
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int rank_of(const clog2::Record& rec) {
+  if (const auto* e = std::get_if<clog2::EventRec>(&rec)) return e->rank;
+  if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) return m->rank;
+  return -1;
+}
+
+/// Crash-style mutant: drop the second half of one rank's instance records.
+clog2::File truncate_rank_tail(const clog2::File& ref, int victim) {
+  std::size_t victim_records = 0;
+  for (const auto& rec : ref.records)
+    if (rank_of(rec) == victim) ++victim_records;
+  const std::size_t keep = victim_records / 2;
+
+  clog2::File out;
+  out.version = ref.version;
+  out.nranks = ref.nranks;
+  out.comment = ref.comment;
+  out.records.reserve(ref.records.size());
+  std::size_t seen = 0;
+  for (const auto& rec : ref.records) {
+    if (rank_of(rec) == victim && ++seen > keep) continue;
+    out.records.push_back(rec);
+  }
+  return out;
+}
+
+struct SizeResult {
+  std::size_t records = 0;
+  double diff_ms = 0;
+  double selfdiff_ms = 0;
+  bool localized = false;
+};
+
+SizeResult run_size(std::uint64_t events, int nranks, const std::string& label) {
+  SizeResult out;
+
+  tracegen::Options gopt;
+  gopt.seed = 42;
+  gopt.nranks = nranks;
+  gopt.events = events;
+  const clog2::File ref = tracegen::generate(gopt);
+  out.records = ref.records.size();
+
+  const int victim = nranks / 2;
+  const clog2::File mutant = truncate_rank_tail(ref, victim);
+
+  // Best-of-3 so one scheduler hiccup does not set the number.
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    const analyze::TraceDiffResult res = analyze::diff_traces(ref, mutant);
+    const double ms = ms_since(t0);
+    if (rep == 0 || ms < out.diff_ms) out.diff_ms = ms;
+    out.localized = res.structural_diverged && !res.suspects.empty() &&
+                    res.suspects.front().rank == victim;
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    const analyze::TraceDiffResult res = analyze::diff_traces(ref, ref);
+    const double ms = ms_since(t0);
+    if (rep == 0 || ms < out.selfdiff_ms) out.selfdiff_ms = ms;
+    if (res.diverged()) out.localized = false;  // self-diff must be clean
+  }
+
+  std::printf("[%s] %zu records: diff %.1f ms (%.0f records/s), self-diff "
+              "%.1f ms, victim rank %d %s\n",
+              label.c_str(), out.records, out.diff_ms,
+              1000.0 * static_cast<double>(out.records) / out.diff_ms,
+              out.selfdiff_ms, victim,
+              out.localized ? "localized" : "NOT LOCALIZED");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::heading("trace-diff scaling sweep",
+                 "cross-run diff acceptance: linear-time localization");
+  const auto small = static_cast<std::uint64_t>(
+      bench::arg_int(argc, argv, "small", 100000));
+  const auto large = static_cast<std::uint64_t>(
+      bench::arg_int(argc, argv, "large", 1000000));
+
+  bench::JsonReport report("tracediff");
+  bool ok = true;
+
+  const SizeResult s = run_size(small, 8, "small");
+  ok = ok && s.localized;
+  report.set("small_records", s.records);
+  report.set("diff_records_per_sec_small",
+             1000.0 * static_cast<double>(s.records) / s.diff_ms);
+  report.set("selfdiff_records_per_sec_small",
+             1000.0 * static_cast<double>(s.records) / s.selfdiff_ms);
+  report.set("small_localized", s.localized);
+
+  if (large > 0) {
+    const SizeResult l = run_size(large, 16, "large");
+    ok = ok && l.localized;
+    report.set("large_records", l.records);
+    report.set("diff_records_per_sec_large",
+               1000.0 * static_cast<double>(l.records) / l.diff_ms);
+    report.set("large_localized", l.localized);
+  }
+
+  report.write();
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: truncated rank did not top the suspect list\n");
+    return 1;
+  }
+  return 0;
+}

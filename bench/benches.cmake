@@ -36,3 +36,5 @@ pilot_add_bench(bench_pipeline_scale bench_pipeline_scale.cpp
   pilot_mpe pilot_slog2 pilot_jumpshot pilot_tracegen)
 pilot_add_bench(bench_world_scale bench_world_scale.cpp
   pilot_mpisim)
+pilot_add_bench(bench_tracediff bench_tracediff.cpp
+  pilot_analyze pilot_tracegen)

@@ -1,6 +1,8 @@
 #include "analyze/diagnostics.hpp"
 
+#include <cstdio>
 #include <filesystem>
+#include <set>
 
 #include "util/strings.hpp"
 
@@ -113,6 +115,32 @@ std::string Report::to_json() const {
         json_escape(d.file).c_str(), d.line);
   }
   out += diagnostics_.empty() ? "]" : "\n]";
+  return out;
+}
+
+std::string to_json_report(const Report& rep, const std::string& tool,
+                           const std::string& trace,
+                           const std::string& verdict) {
+  std::set<int> ranks;
+  for (const auto& d : rep.diagnostics()) {
+    int r = 0;
+    if (std::sscanf(d.subject.c_str(), "rank %d", &r) == 1) ranks.insert(r);
+  }
+  std::string rank_list;
+  for (int r : ranks) {
+    if (!rank_list.empty()) rank_list += ", ";
+    rank_list += util::strprintf("%d", r);
+  }
+  std::string out = "{\n";
+  out += util::strprintf("  \"tool\": \"%s\",\n", json_escape(tool).c_str());
+  out += util::strprintf("  \"trace\": \"%s\",\n", json_escape(trace).c_str());
+  out += util::strprintf("  \"verdict\": \"%s\",\n", json_escape(verdict).c_str());
+  out += util::strprintf("  \"errors\": %zu,\n", rep.count(Severity::kError));
+  out += util::strprintf("  \"warnings\": %zu,\n", rep.count(Severity::kWarning));
+  out += util::strprintf("  \"notes\": %zu,\n", rep.count(Severity::kNote));
+  out += util::strprintf("  \"ranks\": [%s],\n", rank_list.c_str());
+  out += "  \"findings\": " + rep.to_json() + "\n";
+  out += "}";
   return out;
 }
 

@@ -54,4 +54,13 @@ private:
   std::vector<Diagnostic> diagnostics_;
 };
 
+/// Machine-readable report wrapper for CI: one JSON object with the tool
+/// name, the input trace, a verdict string, severity counts, the sorted set
+/// of ranks named by the findings, and the findings array itself. Each
+/// finding stays on its own line (line-oriented consumers grep for
+/// `"id": "TCxxx"`).
+std::string to_json_report(const Report& rep, const std::string& tool,
+                           const std::string& trace,
+                           const std::string& verdict);
+
 }  // namespace analyze

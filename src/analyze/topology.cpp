@@ -66,6 +66,23 @@ Report lint_topology(const Topology& topo) {
               c.name, c.site.file, c.site.line);
   }
 
+  // PL07: the process-side view of a self-loop — a process that is both the
+  // sole writer and the sole reader of a channel can only deadlock on it:
+  // its write blocks until its own read, which it can never reach. PL01
+  // flags the channel declaration; PL07 points at the process so the fix
+  // site (the PI_CreateProcess wiring) is one click away.
+  for (const auto& c : topo.channels) {
+    if (c.writer != c.reader) continue;
+    const ProcessInfo* p = find_process(topo, c.writer);
+    rep.add("PL07", Severity::kError,
+            util::strprintf("process %s is both the sole writer and the sole "
+                            "reader of channel %s; any write on it "
+                            "self-deadlocks",
+                            proc_label(topo, c.writer).c_str(), c.name.c_str()),
+            proc_label(topo, c.writer), p != nullptr ? p->site.file : "",
+            p != nullptr ? p->site.line : 0);
+  }
+
   // PL02: process with no channel attached — it can never communicate, so
   // with more than one process declared it is dead weight (or a missing
   // PI_CreateChannel). PI_MAIN (rank 0) is exempt: a coordinator that only

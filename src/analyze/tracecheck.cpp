@@ -5,6 +5,9 @@
 #include <map>
 #include <set>
 
+#include "query/clocks.hpp"
+#include "query/rollup.hpp"
+#include "query/trace.hpp"
 #include "util/strings.hpp"
 
 namespace analyze {
@@ -13,60 +16,10 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-using Clock = std::vector<std::uint64_t>;
-
-/// Component-wise a <= b (a happened-before-or-equals b).
-bool clock_leq(const Clock& a, const Clock& b) {
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (a[i] > b[i]) return false;
-  return true;
-}
-
-bool concurrent(const Clock& a, const Clock& b) {
-  return !clock_leq(a, b) && !clock_leq(b, a);
-}
-
-struct Msg {
-  double send_time = 0.0;
-  double recv_time = 0.0;
-  int sender = 0;
-  int receiver = 0;
-  int tag = 0;
-  bool matched = false;
-  bool stamped = false;
-  Clock send_stamp;
-  Clock recv_stamp;  ///< receiver's clock just after consuming the message
-};
-
-struct Op {
-  enum class Kind { kSend, kRecv } kind = Kind::kSend;
-  std::size_t msg = 0;  ///< index into msgs
-};
-
-struct StateKind {
-  std::int32_t state_id = 0;
-  std::string name;
-  bool is_start = false;  ///< meaning of the event id mapped to this entry
-};
-
-struct Interval {
-  double begin = 0.0;
-  double end = 0.0;
-};
-
-/// Merge per-rank intervals into a disjoint, sorted union.
-std::vector<Interval> merge_intervals(std::vector<Interval> v) {
-  std::sort(v.begin(), v.end(),
-            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
-  std::vector<Interval> out;
-  for (const Interval& iv : v) {
-    if (!out.empty() && iv.begin <= out.back().end)
-      out.back().end = std::max(out.back().end, iv.end);
-    else
-      out.push_back(iv);
-  }
-  return out;
-}
+using query::Clock;
+using query::clock_concurrent;
+using query::clock_leq;
+using query::Interval;
 
 std::string rank_label(int rank) { return util::strprintf("rank %d", rank); }
 
@@ -75,71 +28,29 @@ std::string rank_label(int rank) { return util::strprintf("rank %d", rank); }
 Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   Report rep;
 
-  // --- index the definitions -----------------------------------------------
-  std::map<std::int32_t, StateKind> state_events;  // event id -> state info
-  std::map<std::int32_t, std::string> state_names;
+  // One pass builds the typed view (definition tables, step stream, span);
+  // the causal engine shared with pilot-tracediff does the matching and the
+  // vector clocks. The verdict is pinned byte-for-byte by golden tests.
+  const query::Trace trace(file);
+  const int nranks = trace.nranks();
+  if (nranks <= 0) return rep;
+
   std::int32_t wait_event_id = 0;
   bool have_wait_event = false;
-  int max_rank = file.nranks - 1;
-
-  for (const auto& rec : file.records) {
-    if (const auto* sd = std::get_if<clog2::StateDef>(&rec)) {
-      state_events[sd->start_event_id] = {sd->state_id, sd->name, true};
-      state_events[sd->end_event_id] = {sd->state_id, sd->name, false};
-      state_names[sd->state_id] = sd->name;
-    } else if (const auto* ed = std::get_if<clog2::EventDef>(&rec)) {
-      if (ed->name == "Wait") {
-        wait_event_id = ed->event_id;
-        have_wait_event = true;
-      }
-    } else if (const auto* ev = std::get_if<clog2::EventRec>(&rec)) {
-      max_rank = std::max(max_rank, ev->rank);
-    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
-      max_rank = std::max(max_rank, m->rank);
-    }
+  if (const auto id = trace.event_id_of("Wait")) {
+    wait_event_id = *id;
+    have_wait_event = true;
   }
-  const int nranks = max_rank + 1;
-  if (nranks <= 0) return rep;
 
   const std::set<std::string> read_family = {"PI_Read", "PI_Select", "PI_Gather",
                                              "PI_Reduce"};
 
   // --- pass 1: match sends with receives (FIFO per sender/receiver/tag) ----
-  std::vector<Msg> msgs;
-  std::vector<std::vector<Op>> ops(static_cast<std::size_t>(nranks));
-  using TagKey = std::tuple<int, int, int>;  // sender, receiver, tag
-  std::map<TagKey, std::vector<std::size_t>> in_flight;  // FIFO of msg indices
-  std::map<TagKey, std::size_t> unmatched_recvs;
+  query::MsgGraph graph = query::match_messages(file);
+  auto& msgs = graph.msgs;
+  auto& ops = graph.ops;
 
-  for (const auto& rec : file.records) {
-    const auto* m = std::get_if<clog2::MsgRec>(&rec);
-    if (m == nullptr) continue;
-    if (m->kind == clog2::MsgRec::Kind::kSend) {
-      Msg msg;
-      msg.send_time = m->timestamp;
-      msg.sender = m->rank;
-      msg.receiver = m->partner;
-      msg.tag = m->tag;
-      msgs.push_back(msg);
-      in_flight[{m->rank, m->partner, m->tag}].push_back(msgs.size() - 1);
-      ops[static_cast<std::size_t>(m->rank)].push_back(
-          {Op::Kind::kSend, msgs.size() - 1});
-    } else {
-      const TagKey key{m->partner, m->rank, m->tag};
-      auto it = in_flight.find(key);
-      if (it == in_flight.end() || it->second.empty()) {
-        ++unmatched_recvs[key];
-        continue;
-      }
-      const std::size_t idx = it->second.front();
-      it->second.erase(it->second.begin());
-      msgs[idx].matched = true;
-      msgs[idx].recv_time = m->timestamp;
-      ops[static_cast<std::size_t>(m->rank)].push_back({Op::Kind::kRecv, idx});
-    }
-  }
-
-  for (const auto& [key, fifo] : in_flight) {
+  for (const auto& [key, fifo] : graph.unreceived) {
     if (fifo.empty()) continue;
     const auto [s, r, tag] = key;
     rep.add("TC101", Severity::kWarning,
@@ -148,7 +59,7 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
                             fifo.size(), s, r, tag),
             rank_label(s));
   }
-  for (const auto& [key, n] : unmatched_recvs) {
+  for (const auto& [key, n] : graph.unmatched_recvs) {
     const auto [s, r, tag] = key;
     rep.add("TC102", Severity::kError,
             util::strprintf("%zu receive(s) on rank %d from rank %d on tag %d "
@@ -158,49 +69,15 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   }
 
   // --- pass 2: vector clocks over the matched order ------------------------
-  std::vector<std::size_t> idx(static_cast<std::size_t>(nranks), 0);
-  std::vector<Clock> vc(static_cast<std::size_t>(nranks),
-                        Clock(static_cast<std::size_t>(nranks), 0));
-  std::size_t remaining = 0;
-  for (const auto& v : ops) remaining += v.size();
-  bool causal_cycle = false;
-  while (remaining > 0) {
-    bool progressed = false;
-    for (std::size_t r = 0; r < ops.size(); ++r) {
-      while (idx[r] < ops[r].size()) {
-        const Op& op = ops[r][idx[r]];
-        Msg& m = msgs[op.msg];
-        if (op.kind == Op::Kind::kSend) {
-          ++vc[r][r];
-          m.send_stamp = vc[r];
-          m.stamped = true;
-        } else {
-          if (!m.stamped && !causal_cycle) break;
-          ++vc[r][r];
-          if (m.stamped)
-            for (std::size_t k = 0; k < vc[r].size(); ++k)
-              vc[r][k] = std::max(vc[r][k], m.send_stamp[k]);
-          m.recv_stamp = vc[r];
-        }
-        ++idx[r];
-        --remaining;
-        progressed = true;
-      }
-    }
-    if (!progressed && !causal_cycle) {
-      // Only possible when matched messages form a cycle (corrupt trace):
-      // report once, then force the recvs through without joining.
-      causal_cycle = true;
-      rep.add("TC104", Severity::kError,
-              "matched messages form a causal cycle; vector clocks are "
-              "approximate from here on");
-    }
-  }
+  if (query::stamp_clocks(graph))
+    rep.add("TC104", Severity::kError,
+            "matched messages form a causal cycle; vector clocks are "
+            "approximate from here on");
 
   // TC103: a matched receive that (on the corrected trace clock) precedes
   // its own send — clock sync failed or the logger mis-stamped.
-  std::map<TagKey, std::size_t> clock_anomalies;
-  for (const Msg& m : msgs)
+  std::map<query::TagKey, std::size_t> clock_anomalies;
+  for (const auto& m : msgs)
     if (m.matched && m.recv_time < m.send_time - kEps)
       ++clock_anomalies[{m.sender, m.receiver, m.tag}];
   for (const auto& [key, n] : clock_anomalies) {
@@ -226,11 +103,11 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
       bool raced = false;
       for (std::size_t a = 0; a < group.size() && !raced && budget > 0; ++a) {
         for (std::size_t b = a + 1; b < group.size() && budget > 0; ++b) {
-          const Msg& ma = msgs[group[a]];
-          const Msg& mb = msgs[group[b]];
+          const auto& ma = msgs[group[a]];
+          const auto& mb = msgs[group[b]];
           if (ma.sender == mb.sender) continue;
           --budget;
-          if (concurrent(ma.send_stamp, mb.send_stamp)) {
+          if (clock_concurrent(ma.send_stamp, mb.send_stamp)) {
             rep.add("TC201", Severity::kWarning,
                     util::strprintf(
                         "sends from ranks %d and %d to rank %d on tag %d are "
@@ -253,8 +130,8 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   for (std::size_t r = 0; r < ops.size(); ++r) {
     std::vector<std::vector<std::size_t>> rounds;
     std::set<int> seen;
-    for (const Op& op : ops[r]) {
-      if (op.kind != Op::Kind::kRecv || !msgs[op.msg].matched) continue;
+    for (const auto& op : ops[r]) {
+      if (op.kind != query::MsgOp::Kind::kRecv || !msgs[op.msg].matched) continue;
       const int partner = msgs[op.msg].sender;
       if (seen.contains(partner)) {
         rounds.emplace_back();
@@ -275,7 +152,8 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
       for (std::size_t a = 0; a < round.size() && !any_concurrent; ++a)
         for (std::size_t b = a + 1; b < round.size(); ++b) {
           if (msgs[round[a]].sender == msgs[round[b]].sender) continue;
-          if (concurrent(msgs[round[a]].send_stamp, msgs[round[b]].send_stamp)) {
+          if (clock_concurrent(msgs[round[a]].send_stamp,
+                               msgs[round[b]].send_stamp)) {
             any_concurrent = true;
             break;
           }
@@ -304,21 +182,9 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   }
 
   // --- state intervals: TC401..TC404 + blocked intervals for TC203 ---------
-  double span_begin = 0.0, span_end = 0.0;
-  bool have_span = false;
-  auto widen_span = [&](double t) {
-    if (!have_span) {
-      span_begin = span_end = t;
-      have_span = true;
-    } else {
-      span_begin = std::min(span_begin, t);
-      span_end = std::max(span_end, t);
-    }
-  };
-  for (const auto& rec : file.records) {
-    if (const auto* ev = std::get_if<clog2::EventRec>(&rec)) widen_span(ev->timestamp);
-    else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) widen_span(m->timestamp);
-  }
+  const bool have_span = trace.has_span();
+  const double span_begin = trace.t_min();
+  const double span_end = trace.t_max();
 
   std::map<std::pair<int, std::int32_t>, std::vector<double>> open;  // start stack
   std::map<int, std::vector<Interval>> blocked;  // rank -> read-family intervals
@@ -330,67 +196,66 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   // later activity are what it was blocked on when the trace ended.
   std::map<int, std::vector<std::pair<int, int>>> terminal_waits;  // chan, writer
 
-  for (const auto& rec : file.records) {
-    if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
-      terminal_waits[m->rank].clear();
+  for (const query::Step& st : trace.steps()) {
+    if (st.is_msg()) {
+      terminal_waits[st.rank].clear();
       continue;
     }
-    const auto* ev = std::get_if<clog2::EventRec>(&rec);
-    if (ev == nullptr) continue;
-    participants.insert(ev->rank);
+    if (st.kind != query::StepKind::kEvent) continue;
+    participants.insert(st.rank);
 
-    if (have_wait_event && ev->event_id == wait_event_id) {
+    if (have_wait_event && st.event_id == wait_event_id) {
       int chan = 0, writer = 0;
-      if (std::sscanf(ev->text.c_str(), "C%d<-R%d", &chan, &writer) == 2)
-        terminal_waits[ev->rank].emplace_back(chan, writer);
+      if (std::sscanf(st.text->c_str(), "C%d<-R%d", &chan, &writer) == 2)
+        terminal_waits[st.rank].emplace_back(chan, writer);
       continue;
     }
-    terminal_waits[ev->rank].clear();
+    terminal_waits[st.rank].clear();
 
-    const auto it = state_events.find(ev->event_id);
-    if (it == state_events.end()) continue;  // solo bubble
-    const StateKind& sk = it->second;
-    const std::pair<int, std::int32_t> key{ev->rank, sk.state_id};
+    const query::StateEvent* sk = trace.state_event(st.event_id);
+    if (sk == nullptr) continue;  // solo bubble
+    const std::pair<int, std::int32_t> key{st.rank, sk->state_id};
     auto& stack = open[key];
-    if (sk.is_start) {
+    if (sk->is_start) {
       if (!stack.empty() && flagged_overlap.insert(key).second)
         rep.add("TC404", Severity::kWarning,
                 util::strprintf("state %s re-entered on rank %d while already "
                                 "open (overlapping instances)",
-                                sk.name.c_str(), ev->rank),
-                rank_label(ev->rank));
-      stack.push_back(ev->timestamp);
+                                sk->name.c_str(), st.rank),
+                rank_label(st.rank));
+      stack.push_back(st.time);
     } else {
       if (stack.empty()) {
         if (flagged_orphan.insert(key).second)
           rep.add("TC401", Severity::kError,
                   util::strprintf("state %s ended on rank %d without a start",
-                                  sk.name.c_str(), ev->rank),
-                  rank_label(ev->rank));
+                                  sk->name.c_str(), st.rank),
+                  rank_label(st.rank));
         continue;
       }
       const double t0 = stack.back();
       stack.pop_back();
-      if (ev->timestamp < t0 - kEps && flagged_negative.insert(key).second)
+      if (st.time < t0 - kEps && flagged_negative.insert(key).second)
         rep.add("TC402", Severity::kError,
                 util::strprintf("state %s on rank %d has a negative duration "
                                 "(%.9f s)",
-                                sk.name.c_str(), ev->rank, ev->timestamp - t0),
-                rank_label(ev->rank));
-      if (read_family.contains(sk.name))
-        blocked[ev->rank].push_back({t0, std::max(t0, ev->timestamp)});
+                                sk->name.c_str(), st.rank, st.time - t0),
+                rank_label(st.rank));
+      if (read_family.contains(sk->name))
+        blocked[st.rank].push_back({t0, std::max(t0, st.time)});
     }
   }
   for (const auto& [key, stack] : open) {
     if (stack.empty()) continue;
+    const std::string& name = *trace.state_name(key.second);
     rep.add("TC403", Severity::kNote,
             util::strprintf("state %s on rank %d never ended (open at end of "
                             "trace)",
-                            state_names[key.second].c_str(), key.first),
+                            name.c_str(), key.first),
             rank_label(key.first));
     // A rank that died blocked inside a read-family state stays blocked to
     // the end of the trace for stall accounting.
-    if (read_family.contains(state_names[key.second]))
+    if (read_family.contains(name))
       blocked[key.first].push_back({stack.front(), span_end});
   }
 
@@ -403,7 +268,7 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
     std::vector<Edge> edges;
     for (auto& [rank, ivs] : blocked) {
       (void)rank;
-      for (const Interval& iv : merge_intervals(std::move(ivs))) {
+      for (const Interval& iv : query::merge_intervals(std::move(ivs))) {
         edges.push_back({iv.begin, +1});
         edges.push_back({iv.end, -1});
       }

@@ -33,6 +33,10 @@ Injector::Injector(Plan plan, int nranks)
       throw util::UsageError(util::strprintf(
           "FJ02: fault plan: trunc rank %d out of range (job has %d ranks)",
           t.rank, nranks_));
+  if (plan_.delay.prob > 0.0 && plan_.delay.rank >= nranks_)
+    throw util::UsageError(util::strprintf(
+        "FJ02: fault plan: delay rank %d out of range (job has %d ranks)",
+        plan_.delay.rank, nranks_));
   calls_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) calls_[static_cast<std::size_t>(r)].store(0);
@@ -59,6 +63,7 @@ double Injector::message_delay(int src, int dst, std::uint64_t pair_seq,
                                std::size_t bytes) {
   (void)bytes;
   if (plan_.delay.prob <= 0.0 || plan_.delay.max_ms <= 0.0) return 0.0;
+  if (plan_.delay.rank >= 0 && src != plan_.delay.rank) return 0.0;
   // Seed a private PRNG from the message's run-stable identity so the
   // decision is independent of when (and on which thread) the send happens.
   util::SplitMix64 rng(plan_.seed ^

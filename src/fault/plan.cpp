@@ -59,9 +59,17 @@ void parse_clause(Plan& plan, const std::string& clause) {
     if (plan.grace_seconds < 0.0) bad(clause, "grace must be >= 0");
   } else if (key == "delay") {
     const auto parts = util::split(val, ':');
-    if (parts.size() != 2) bad(clause, "expected delay=PROB:MAX_MS");
+    if (parts.size() != 2) bad(clause, "expected delay=PROB:MAX_MS[@RANK]");
     plan.delay.prob = parse_num(clause, parts[0]);
-    plan.delay.max_ms = parse_num(clause, parts[1]);
+    std::string ms(util::trim(parts[1]));
+    const auto at = ms.find('@');
+    if (at != std::string::npos) {
+      plan.delay.rank = parse_rank(clause, ms.substr(at + 1));
+      ms = std::string(util::trim(ms.substr(0, at)));
+    } else {
+      plan.delay.rank = -1;
+    }
+    plan.delay.max_ms = parse_num(clause, ms);
     if (plan.delay.prob < 0.0 || plan.delay.prob > 1.0)
       bad(clause, "probability must be in [0,1]");
     if (plan.delay.max_ms < 0.0) bad(clause, "jitter bound must be >= 0");
@@ -116,8 +124,11 @@ std::string Plan::to_text() const {
   std::string out = util::strprintf("seed=%llu\n",
                                     static_cast<unsigned long long>(seed));
   out += util::strprintf("grace=%g\n", grace_seconds);
-  if (delay.prob > 0.0)
-    out += util::strprintf("delay=%g:%g\n", delay.prob, delay.max_ms);
+  if (delay.prob > 0.0) {
+    out += util::strprintf("delay=%g:%g", delay.prob, delay.max_ms);
+    if (delay.rank >= 0) out += util::strprintf("@%d", delay.rank);
+    out += "\n";
+  }
   auto crashes_sorted = crashes;
   std::sort(crashes_sorted.begin(), crashes_sorted.end(),
             [](const CrashPoint& a, const CrashPoint& b) { return a.rank < b.rank; });

@@ -5,8 +5,11 @@
 //
 //   seed=U64              PRNG seed for the delay schedule        (default 1)
 //   grace=SECONDS         survivor grace period after a crash     (default 1)
-//   delay=PROB:MAX_MS     delay each message with probability PROB by a
-//                         deterministic jitter in [0, MAX_MS] milliseconds
+//   delay=PROB:MAX_MS[@RANK]
+//                         delay each message with probability PROB by a
+//                         deterministic jitter in [0, MAX_MS] milliseconds;
+//                         @RANK restricts the delay to one sender (the
+//                         targeted form pilot-tracediff localizes)
 //   crash=RANK@call:N     kill RANK at its Nth substrate call (1-based)
 //   crash=RANK@event:N    kill RANK right after its Nth logged MPE record
 //                         (needs -pisvc=j)
@@ -42,6 +45,7 @@ struct TruncPoint {
 struct DelayModel {
   double prob = 0.0;    // per-message delay probability in [0,1]
   double max_ms = 0.0;  // jitter bound, milliseconds
+  int rank = -1;        // only this sender's messages are delayed (-1 = all)
 };
 
 struct Plan {

@@ -2,24 +2,14 @@
 
 #include <algorithm>
 
+#include "query/slog2_rollup.hpp"
 #include "util/strings.hpp"
 
 namespace jumpshot {
 
-namespace {
-
-/// Exclusive-time computation: per rank, sweep states in start order with a
-/// stack; a state's duration is subtracted from its innermost enclosing
-/// state. The converter guarantees LIFO nesting within a rank, so "top of
-/// stack still covers me" identifies the parent.
-struct OpenInterval {
-  double end;
-  std::int32_t category_id;
-};
-
-}  // namespace
-
 std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort) {
+  // Seed one entry per declared category; the accumulation itself is the
+  // shared query::LegendSweep engine (same numbers, pinned by goldens).
   std::map<std::int32_t, LegendEntry> by_id;
   for (const auto& c : file.categories) {
     LegendEntry e;
@@ -27,44 +17,24 @@ std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort) {
     by_id[c.id] = e;
   }
 
-  // Group states per rank for the nesting sweep.
-  std::map<std::int32_t, std::vector<slog2::StateDrawable>> per_rank;
+  query::LegendSweep sweep;
   file.visit_window(
       file.t_min, file.t_max,
-      [&](const slog2::StateDrawable& s) { per_rank[s.rank].push_back(s); },
-      [&](const slog2::EventDrawable& e) {
-        auto it = by_id.find(e.category_id);
-        if (it != by_id.end()) ++it->second.count;
-      },
-      [&](const slog2::ArrowDrawable&) { ++by_id[slog2::kArrowCategoryId].count; });
+      [&](const slog2::StateDrawable& s) { sweep.add_state(s); },
+      [&](const slog2::EventDrawable& e) { sweep.add_event(e); },
+      [&](const slog2::ArrowDrawable& a) { sweep.add_arrow(a); });
 
-  std::map<std::int32_t, double> exclusive;  // category -> seconds
-  for (auto& [rank, states] : per_rank) {
-    std::sort(states.begin(), states.end(),
-              [](const slog2::StateDrawable& a, const slog2::StateDrawable& b) {
-                if (a.start_time != b.start_time) return a.start_time < b.start_time;
-                return a.end_time > b.end_time;  // outer first on ties
-              });
-    std::vector<OpenInterval> stack;
-    for (const auto& s : states) {
-      auto it = by_id.find(s.category_id);
-      if (it != by_id.end()) {
-        ++it->second.count;
-        it->second.inclusive += s.end_time - s.start_time;
-      }
-      while (!stack.empty() && stack.back().end <= s.start_time) stack.pop_back();
-      const double dur = s.end_time - s.start_time;
-      exclusive[s.category_id] += dur;
-      if (!stack.empty() && stack.back().end >= s.end_time) {
-        // Nested: parent loses this much exclusive time.
-        exclusive[stack.back().category_id] -= dur;
-      }
-      stack.push_back(OpenInterval{s.end_time, s.category_id});
+  for (const auto& [id, t] : sweep.totals()) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      // Drawables of undeclared categories are dropped from the legend —
+      // except arrows, which get a synthetic row even without a category.
+      if (id != slog2::kArrowCategoryId) continue;
+      it = by_id.emplace(id, LegendEntry{}).first;
     }
-  }
-  for (auto& [id, entry] : by_id) {
-    auto it = exclusive.find(id);
-    entry.exclusive = it != exclusive.end() ? it->second : 0.0;
+    it->second.count = t.count;
+    it->second.inclusive = t.inclusive;
+    it->second.exclusive = t.exclusive;
   }
 
   std::vector<LegendEntry> out;
@@ -123,32 +93,24 @@ WindowStats window_stats(const slog2::File& file, double a, double b) {
   WindowStats out;
   out.t0 = a;
   out.t1 = b;
-  out.ranks.resize(static_cast<std::size_t>(std::max(file.nranks, 0)));
-  for (std::int32_t r = 0; r < file.nranks; ++r)
-    out.ranks[static_cast<std::size_t>(r)].rank = r;
 
-  auto rank_slot = [&](std::int32_t r) -> RankWindowStats* {
-    if (r < 0 || r >= file.nranks) return nullptr;
-    return &out.ranks[static_cast<std::size_t>(r)];
-  };
-
+  query::WindowOccupancy occ(file.nranks, a, b);
   file.visit_window(
-      a, b,
-      [&](const slog2::StateDrawable& s) {
-        if (auto* slot = rank_slot(s.rank)) {
-          const double lo = std::max(s.start_time, a);
-          const double hi = std::min(s.end_time, b);
-          if (hi > lo) slot->state_time[s.category_id] += hi - lo;
-          ++slot->state_count[s.category_id];
-        }
-      },
-      [&](const slog2::EventDrawable& e) {
-        if (auto* slot = rank_slot(e.rank)) ++slot->event_count[e.category_id];
-      },
-      [&](const slog2::ArrowDrawable& ar) {
-        if (auto* src = rank_slot(ar.src_rank)) ++src->arrows_out;
-        if (auto* dst = rank_slot(ar.dst_rank)) ++dst->arrows_in;
-      });
+      a, b, [&](const slog2::StateDrawable& s) { occ.add_state(s); },
+      [&](const slog2::EventDrawable& e) { occ.add_event(e); },
+      [&](const slog2::ArrowDrawable& ar) { occ.add_arrow(ar); });
+
+  out.ranks.resize(occ.ranks().size());
+  for (std::size_t r = 0; r < occ.ranks().size(); ++r) {
+    const query::WindowOccupancy::Rank& src = occ.ranks()[r];
+    RankWindowStats& dst = out.ranks[r];
+    dst.rank = static_cast<std::int32_t>(r);
+    dst.state_time = src.state_time;
+    dst.state_count = src.state_count;
+    dst.event_count = src.event_count;
+    dst.arrows_out = src.arrows_out;
+    dst.arrows_in = src.arrows_in;
+  }
   return out;
 }
 

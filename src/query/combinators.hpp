@@ -1,0 +1,117 @@
+// Query combinators: small composable pipelines over a Trace's steps.
+//
+// A Selection is an ordered list of step indices into one Trace. Combinators
+// return new Selections (filter, window, ranks) or fold the selection down
+// to values (count, group_by, aggregate). Order is always preserved —
+// stream order is program order per rank, and several analyses (first
+// divergence, serialized fan-in) depend on it.
+//
+// The deliberate non-goal is lazy iterator fusion: traces that fit in memory
+// are the repo's working regime (the windowed SLOG-2 path covers the rest),
+// and materialized index vectors keep the combinators debuggable and the
+// copies cheap (4 bytes per step).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "query/trace.hpp"
+
+namespace query {
+
+class Selection {
+ public:
+  /// Every step of the trace, in merged stream order.
+  static Selection all(const Trace& trace) {
+    Selection s(trace);
+    s.idx_.resize(trace.steps().size());
+    for (std::size_t i = 0; i < s.idx_.size(); ++i) s.idx_[i] = i;
+    return s;
+  }
+
+  /// One rank's steps, in program order.
+  static Selection rank(const Trace& trace, int r) {
+    Selection s(trace);
+    if (r >= 0 && r < trace.nranks())
+      s.idx_ = trace.by_rank()[static_cast<std::size_t>(r)];
+    return s;
+  }
+
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+  [[nodiscard]] const std::vector<std::size_t>& indices() const { return idx_; }
+  [[nodiscard]] std::size_t size() const { return idx_.size(); }
+  [[nodiscard]] bool empty() const { return idx_.empty(); }
+  [[nodiscard]] const Step& operator[](std::size_t i) const {
+    return trace_->steps()[idx_[i]];
+  }
+
+  /// Steps satisfying `pred(const Step&)`.
+  template <typename Pred>
+  [[nodiscard]] Selection filter(Pred pred) const {
+    Selection out(*trace_);
+    for (std::size_t i : idx_)
+      if (pred(trace_->steps()[i])) out.idx_.push_back(i);
+    return out;
+  }
+
+  /// Steps with `a <= time <= b` (the jumpshot window convention).
+  [[nodiscard]] Selection window(double a, double b) const {
+    if (b < a) std::swap(a, b);
+    return filter([a, b](const Step& s) { return s.time >= a && s.time <= b; });
+  }
+
+  [[nodiscard]] Selection kind(StepKind k) const {
+    return filter([k](const Step& s) { return s.kind == k; });
+  }
+
+  [[nodiscard]] Selection messages() const {
+    return filter([](const Step& s) { return s.is_msg(); });
+  }
+
+  /// Partition by an arbitrary key; groups keep stream order internally and
+  /// the map keeps keys ordered (deterministic iteration for reports).
+  template <typename KeyFn>
+  [[nodiscard]] auto group_by(KeyFn key) const
+      -> std::map<decltype(key(std::declval<const Step&>())), Selection> {
+    std::map<decltype(key(std::declval<const Step&>())), Selection> out;
+    for (std::size_t i : idx_) {
+      const Step& s = trace_->steps()[i];
+      auto k = key(s);
+      auto it = out.find(k);
+      if (it == out.end())
+        it = out.emplace(std::move(k), Selection(*trace_)).first;
+      it->second.idx_.push_back(i);
+    }
+    return out;
+  }
+
+  /// Left fold: `f(acc, const Step&)` over the selection in order.
+  template <typename Acc, typename Fn>
+  [[nodiscard]] Acc aggregate(Acc acc, Fn f) const {
+    for (std::size_t i : idx_) acc = f(std::move(acc), trace_->steps()[i]);
+    return acc;
+  }
+
+  template <typename Fn>
+  void for_each(Fn f) const {
+    for (std::size_t i : idx_) f(trace_->steps()[i]);
+  }
+
+  template <typename Pred>
+  [[nodiscard]] std::size_t count_if(Pred pred) const {
+    std::size_t n = 0;
+    for (std::size_t i : idx_)
+      if (pred(trace_->steps()[i])) ++n;
+    return n;
+  }
+
+ private:
+  explicit Selection(const Trace& trace) : trace_(&trace) {}
+
+  const Trace* trace_;
+  std::vector<std::size_t> idx_;
+};
+
+}  // namespace query

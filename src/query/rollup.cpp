@@ -1,0 +1,82 @@
+#include "query/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace query {
+
+std::size_t duration_bucket(double seconds) {
+  if (seconds < 1e-6) return 0;
+  const double l = std::log10(seconds);  // [-6, ...) here
+  const auto i = static_cast<long>(std::floor(l)) + 7;
+  if (i < 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(i),
+                               kDurationBuckets - 1);
+}
+
+const StateStats* StateDurations::find(int rank, std::int32_t state_id) const {
+  const auto it = by_rank_state.find({rank, state_id});
+  return it != by_rank_state.end() ? &it->second : nullptr;
+}
+
+double StateDurations::rank_total(int rank) const {
+  double t = 0.0;
+  for (const auto& [key, stats] : by_rank_state)
+    if (key.first == rank) t += stats.total_seconds;
+  return t;
+}
+
+StateDurations state_durations(const Trace& trace) {
+  StateDurations out;
+  // Start-time stacks per (rank, state id) — the checker's sweep.
+  std::map<std::pair<int, std::int32_t>, std::vector<double>> open;
+  for (const Step& s : trace.steps()) {
+    if (s.kind != StepKind::kEvent) continue;
+    const StateEvent* se = trace.state_event(s.event_id);
+    if (se == nullptr) continue;  // solo bubble
+    const std::pair<int, std::int32_t> key{s.rank, se->state_id};
+    auto& stack = open[key];
+    if (se->is_start) {
+      stack.push_back(s.time);
+      continue;
+    }
+    if (stack.empty()) continue;  // orphan end — the checker's business
+    const double t0 = stack.back();
+    stack.pop_back();
+    const double dur = std::max(0.0, s.time - t0);
+    StateStats& stats = out.by_rank_state[key];
+    ++stats.count;
+    stats.total_seconds += dur;
+    ++stats.histogram[duration_bucket(dur)];
+  }
+  return out;
+}
+
+MessageEdges message_edges(const MsgGraph& graph) {
+  MessageEdges out;
+  for (const MatchedMsg& m : graph.msgs) {
+    EdgeStats& e = out.edges[{m.sender, m.receiver, m.tag}];
+    ++e.sent;
+    e.bytes += m.size;
+    if (m.matched) {
+      ++e.matched;
+      e.total_latency += m.recv_time - m.send_time;
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> merge_intervals(std::vector<Interval> v) {
+  std::sort(v.begin(), v.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> out;
+  for (const Interval& iv : v) {
+    if (!out.empty() && iv.begin <= out.back().end)
+      out.back().end = std::max(out.back().end, iv.end);
+    else
+      out.push_back(iv);
+  }
+  return out;
+}
+
+}  // namespace query

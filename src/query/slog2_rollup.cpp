@@ -1,0 +1,90 @@
+#include "query/slog2_rollup.hpp"
+
+#include <algorithm>
+
+namespace query {
+
+namespace {
+
+struct OpenInterval {
+  double end;
+  std::int32_t category_id;
+};
+
+}  // namespace
+
+void LegendSweep::add_state(const slog2::StateDrawable& s) {
+  per_rank_[s.rank].push_back(s);
+}
+
+void LegendSweep::add_event(const slog2::EventDrawable& e) {
+  ++event_counts_[e.category_id];
+}
+
+void LegendSweep::add_arrow(const slog2::ArrowDrawable&) {
+  ++event_counts_[slog2::kArrowCategoryId];
+}
+
+std::map<std::int32_t, LegendTotals> LegendSweep::totals() const {
+  std::map<std::int32_t, LegendTotals> out;
+  for (const auto& [id, n] : event_counts_) out[id].count += n;
+
+  std::map<std::int32_t, double> exclusive;  // category -> seconds
+  for (const auto& [rank, unsorted] : per_rank_) {
+    auto states = unsorted;
+    std::sort(states.begin(), states.end(),
+              [](const slog2::StateDrawable& a, const slog2::StateDrawable& b) {
+                if (a.start_time != b.start_time) return a.start_time < b.start_time;
+                return a.end_time > b.end_time;  // outer first on ties
+              });
+    std::vector<OpenInterval> stack;
+    for (const auto& s : states) {
+      LegendTotals& t = out[s.category_id];
+      ++t.count;
+      t.inclusive += s.end_time - s.start_time;
+      while (!stack.empty() && stack.back().end <= s.start_time) stack.pop_back();
+      const double dur = s.end_time - s.start_time;
+      exclusive[s.category_id] += dur;
+      if (!stack.empty() && stack.back().end >= s.end_time) {
+        // Nested: parent loses this much exclusive time.
+        exclusive[stack.back().category_id] -= dur;
+      }
+      stack.push_back(OpenInterval{s.end_time, s.category_id});
+    }
+  }
+  for (auto& [id, t] : out) {
+    const auto it = exclusive.find(id);
+    t.exclusive = it != exclusive.end() ? it->second : 0.0;
+  }
+  return out;
+}
+
+WindowOccupancy::WindowOccupancy(std::int32_t nranks, double a, double b)
+    : a_(a), b_(b) {
+  ranks_.resize(static_cast<std::size_t>(std::max(nranks, 0)));
+}
+
+WindowOccupancy::Rank* WindowOccupancy::slot(std::int32_t rank) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return nullptr;
+  return &ranks_[static_cast<std::size_t>(rank)];
+}
+
+void WindowOccupancy::add_state(const slog2::StateDrawable& s) {
+  if (Rank* r = slot(s.rank)) {
+    const double lo = std::max(s.start_time, a_);
+    const double hi = std::min(s.end_time, b_);
+    if (hi > lo) r->state_time[s.category_id] += hi - lo;
+    ++r->state_count[s.category_id];
+  }
+}
+
+void WindowOccupancy::add_event(const slog2::EventDrawable& e) {
+  if (Rank* r = slot(e.rank)) ++r->event_count[e.category_id];
+}
+
+void WindowOccupancy::add_arrow(const slog2::ArrowDrawable& a) {
+  if (Rank* src = slot(a.src_rank)) ++src->arrows_out;
+  if (Rank* dst = slot(a.dst_rank)) ++dst->arrows_in;
+}
+
+}  // namespace query

@@ -1,0 +1,86 @@
+#include "query/trace.hpp"
+
+#include <algorithm>
+#include <variant>
+
+namespace query {
+
+Trace::Trace(const clog2::File& file) : file_(&file) {
+  int max_rank = file.nranks - 1;
+  steps_.reserve(file.records.size());
+
+  for (const auto& rec : file.records) {
+    if (const auto* sd = std::get_if<clog2::StateDef>(&rec)) {
+      state_events_[sd->start_event_id] = {sd->state_id, sd->name, true};
+      state_events_[sd->end_event_id] = {sd->state_id, sd->name, false};
+      state_names_[sd->state_id] = sd->name;
+    } else if (const auto* ed = std::get_if<clog2::EventDef>(&rec)) {
+      solo_event_ids_[ed->name] = ed->event_id;
+    } else if (const auto* ev = std::get_if<clog2::EventRec>(&rec)) {
+      Step s;
+      s.time = ev->timestamp;
+      s.rank = ev->rank;
+      s.kind = StepKind::kEvent;
+      s.event_id = ev->event_id;
+      s.text = &ev->text;
+      steps_.push_back(s);
+      max_rank = std::max(max_rank, ev->rank);
+    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
+      Step s;
+      s.time = m->timestamp;
+      s.rank = m->rank;
+      s.kind = m->kind == clog2::MsgRec::Kind::kSend ? StepKind::kSend
+                                                     : StepKind::kRecv;
+      s.partner = m->partner;
+      s.tag = m->tag;
+      s.size = m->size;
+      steps_.push_back(s);
+      max_rank = std::max(max_rank, m->rank);
+    } else if (const auto* sy = std::get_if<clog2::SyncRec>(&rec)) {
+      Step s;
+      s.time = sy->local_time;
+      s.rank = sy->rank;
+      s.kind = StepKind::kSync;
+      steps_.push_back(s);
+    }
+  }
+  nranks_ = max_rank + 1;
+
+  // The span deliberately covers events and message halves only — sync
+  // records are bookkeeping, and the stall accounting (TC203) measures the
+  // program's own activity window.
+  for (const Step& s : steps_) {
+    if (s.kind == StepKind::kSync) continue;
+    if (!have_span_) {
+      t_min_ = t_max_ = s.time;
+      have_span_ = true;
+    } else {
+      t_min_ = std::min(t_min_, s.time);
+      t_max_ = std::max(t_max_, s.time);
+    }
+  }
+
+  if (nranks_ > 0) by_rank_.resize(static_cast<std::size_t>(nranks_));
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const std::int32_t r = steps_[i].rank;
+    if (r >= 0 && r < nranks_) by_rank_[static_cast<std::size_t>(r)].push_back(i);
+  }
+}
+
+const StateEvent* Trace::state_event(std::int32_t event_id) const {
+  const auto it = state_events_.find(event_id);
+  return it != state_events_.end() ? &it->second : nullptr;
+}
+
+const std::string* Trace::state_name(std::int32_t state_id) const {
+  const auto it = state_names_.find(state_id);
+  return it != state_names_.end() ? &it->second : nullptr;
+}
+
+std::optional<std::int32_t> Trace::event_id_of(const std::string& name) const {
+  const auto it = solo_event_ids_.find(name);
+  if (it == solo_event_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace query

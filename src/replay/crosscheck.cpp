@@ -1,6 +1,5 @@
 #include "replay/crosscheck.hpp"
 
-#include <cctype>
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -8,53 +7,6 @@
 #include "util/strings.hpp"
 
 namespace replay {
-
-namespace {
-
-/// Replace every floating-point literal ("3.14", "1.2e-05") with '#' so
-/// time-derived popup texts compare equal across runs. Integers survive
-/// ("ready=2" is a recorded decision, not a time).
-std::string mask_floats(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  std::size_t i = 0;
-  while (i < text.size()) {
-    const bool digit = std::isdigit(static_cast<unsigned char>(text[i])) != 0;
-    if (!digit) {
-      out.push_back(text[i++]);
-      continue;
-    }
-    std::size_t j = i;
-    while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
-    bool is_float = false;
-    if (j < text.size() && text[j] == '.') {
-      std::size_t k = j + 1;
-      while (k < text.size() && std::isdigit(static_cast<unsigned char>(text[k])))
-        ++k;
-      if (k > j + 1) {
-        is_float = true;
-        j = k;
-        if (j < text.size() && (text[j] == 'e' || text[j] == 'E')) {
-          std::size_t m = j + 1;
-          if (m < text.size() && (text[m] == '+' || text[m] == '-')) ++m;
-          std::size_t d = m;
-          while (d < text.size() && std::isdigit(static_cast<unsigned char>(text[d])))
-            ++d;
-          if (d > m) j = d;
-        }
-      }
-    }
-    if (is_float) {
-      out.push_back('#');
-    } else {
-      out.append(text, i, j - i);
-    }
-    i = j;
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string trace_fingerprint(const clog2::File& file) {
   // Definitions carry no rank and are written in a fixed order; per-rank
@@ -76,7 +28,7 @@ std::string trace_fingerprint(const clog2::File& file) {
                               static_cast<long long>(c->value));
     } else if (const auto* ev = std::get_if<clog2::EventRec>(&rec)) {
       per_rank[ev->rank] += util::strprintf(
-          "event %d %s\n", ev->event_id, mask_floats(ev->text).c_str());
+          "event %d %s\n", ev->event_id, util::mask_floats(ev->text).c_str());
     } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
       per_rank[m->rank] += util::strprintf(
           "msg %s partner=%d tag=%d size=%u\n",

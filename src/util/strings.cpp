@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 
@@ -86,4 +87,45 @@ std::string human_seconds(double seconds) {
   return strprintf("%.1f ns", seconds * 1e9);
 }
 
+std::string mask_floats(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const bool digit = std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+    if (!digit) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    std::size_t j = i;
+    while (j < text.size() && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+    bool is_float = false;
+    if (j < text.size() && text[j] == '.') {
+      std::size_t k = j + 1;
+      while (k < text.size() && std::isdigit(static_cast<unsigned char>(text[k])))
+        ++k;
+      if (k > j + 1) {
+        is_float = true;
+        j = k;
+        if (j < text.size() && (text[j] == 'e' || text[j] == 'E')) {
+          std::size_t m = j + 1;
+          if (m < text.size() && (text[m] == '+' || text[m] == '-')) ++m;
+          std::size_t d = m;
+          while (d < text.size() && std::isdigit(static_cast<unsigned char>(text[d])))
+            ++d;
+          if (d > m) j = d;
+        }
+      }
+    }
+    if (is_float) {
+      out.push_back('#');
+    } else {
+      out.append(text, i, j - i);
+    }
+    i = j;
+  }
+  return out;
+}
+
 }  // namespace util
+

@@ -33,4 +33,10 @@ std::string truncate_bytes(std::string_view s, std::size_t max_bytes);
 /// (e.g. "1.23 ms", "45.6 us", "3.21 s").
 std::string human_seconds(double seconds);
 
+/// Replace every floating-point literal ("3.14", "1.2e-05") with '#' so
+/// time-derived texts compare equal across runs. Integers survive
+/// ("ready=2" is a recorded decision, not a time). Shared by the replay
+/// fingerprint and the trace differ's timestamp-free projections.
+std::string mask_floats(const std::string& text);
+
 }  // namespace util

@@ -76,6 +76,22 @@ TEST(LintTopology, SelfLoopChannelIsError) {
   EXPECT_NE(diags[0].message.find("itself"), std::string::npos);
 }
 
+TEST(LintTopology, SelfLoopProcessGetsPL07AtProcessSite) {
+  Topology t = clean_topology();
+  t.channels.push_back(chan(3, 2, 2));  // W2 -> W2
+  const auto rep = analyze::lint_topology(t);
+  ASSERT_TRUE(rep.has("PL07")) << rep.to_text();
+  const auto diags = rep.with_id("PL07");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  // PL01 points at the channel declaration; PL07 at the process wiring.
+  EXPECT_EQ(diags[0].subject, "W2");
+  EXPECT_EQ(diags[0].file, "demo.c");
+  EXPECT_EQ(diags[0].line, 12);
+  EXPECT_NE(diags[0].message.find("sole writer"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("self-deadlock"), std::string::npos);
+}
+
 TEST(LintTopology, IsolatedProcessIsWarning) {
   Topology t = clean_topology();
   t.processes.push_back(proc(3, "Loner"));
@@ -330,6 +346,10 @@ TEST(AnalyzeService, SelfLoopSurvivesToLinterAtCheckLevelZero) {
   EXPECT_FALSE(res.aborted);
   ASSERT_TRUE(res.lint.has("PL01")) << res.lint.to_text();
   EXPECT_EQ(res.lint.with_id("PL01")[0].subject, "SelfLoop");
+  // The companion PL07 names the process that owns both ends.
+  ASSERT_TRUE(res.lint.has("PL07")) << res.lint.to_text();
+  EXPECT_NE(res.lint.with_id("PL07")[0].message.find("SelfLoop"),
+            std::string::npos);
   EXPECT_TRUE(res.lint.has("PU01"));  // and it was never used
 }
 

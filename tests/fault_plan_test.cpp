@@ -46,7 +46,21 @@ TEST(FaultPlan, DefaultsAreBenign) {
   const Plan p;
   EXPECT_EQ(p.seed, 1u);
   EXPECT_DOUBLE_EQ(p.grace_seconds, 1.0);
+  EXPECT_EQ(p.delay.rank, -1);  // jitter targets every sender by default
   EXPECT_TRUE(p.empty());
+}
+
+TEST(FaultPlan, ParsesTargetedDelay) {
+  const Plan p = parse_spec("delay=0.5:3@2");
+  EXPECT_DOUBLE_EQ(p.delay.prob, 0.5);
+  EXPECT_DOUBLE_EQ(p.delay.max_ms, 3.0);
+  EXPECT_EQ(p.delay.rank, 2);
+  // An untargeted clause still means "all senders".
+  EXPECT_EQ(parse_spec("delay=0.5:3").delay.rank, -1);
+  // And the targeted form survives the to_text round trip.
+  const Plan q = parse_spec(p.to_text());
+  EXPECT_EQ(q.delay.rank, 2);
+  EXPECT_NE(p.to_text().find("delay=0.5:3@2"), std::string::npos);
 }
 
 TEST(FaultPlan, ToTextRoundtripsThroughParse) {
@@ -70,6 +84,9 @@ TEST(FaultPlan, MalformedSpecsRaiseFJ01) {
       "delay=0.5",             // missing jitter bound
       "delay=2:1",             // probability > 1
       "delay=0.5:-4",          // negative jitter
+      "delay=0.5:3@",          // empty target rank
+      "delay=0.5:3@x",         // non-numeric target rank
+      "delay=0.5:3@9999999",   // target rank out of range
       "crash=1",               // missing '@'
       "crash=1@step:3",        // unknown crash point
       "crash=1@call:0",        // 0 is not a 1-based ordinal
@@ -179,6 +196,28 @@ TEST(FaultInjector, DelayIsDeterministicPerMessageIdentity) {
                std::abs(a.message_delay(0, 1, seq, 64) -
                         c.message_delay(0, 1, seq, 64)) > 1e-12;
   EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, TargetedDelayOnlyJittersTheNamedSender) {
+  Injector inj(parse_spec("seed=77;delay=1:5@1"), 4);
+  bool any_positive = false;
+  for (std::uint64_t seq = 0; seq < 32; ++seq) {
+    any_positive = any_positive || inj.message_delay(1, 0, seq, 64) > 0.0;
+    // Every other sender is untouched, including messages *to* the target.
+    EXPECT_DOUBLE_EQ(inj.message_delay(0, 1, seq, 64), 0.0);
+    EXPECT_DOUBLE_EQ(inj.message_delay(2, 3, seq, 64), 0.0);
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(FaultInjector, TargetedDelayRankIsRangeCheckedWithFJ02) {
+  try {
+    Injector(parse_spec("delay=1:5@7"), 4);
+    FAIL() << "delay rank 7 accepted in a 4-rank world";
+  } catch (const util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("FJ02"), std::string::npos) << e.what();
+  }
+  EXPECT_NO_THROW(Injector(parse_spec("delay=1:5@3"), 4));
 }
 
 TEST(FaultInjector, NoDelayClauseMeansNoJitter) {

@@ -275,6 +275,59 @@ TEST(Tools, TraceCheckEndToEnd) {
   EXPECT_NE(out.find("error"), std::string::npos) << out;
 }
 
+TEST(Tools, TraceCheckJsonReportShape) {
+  const std::string messy = std::string(PILOT_FIXTURE_DIR) + "/messy.clog2";
+  std::string out;
+  EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --json " + messy, &out), 1);
+  // One wrapping object with verdict + counts + implicated ranks, findings
+  // still one per line for line-oriented consumers.
+  EXPECT_NE(out.find("\"tool\": \"pilot-tracecheck\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"verdict\": \"error\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ranks\": [0, 1, 2]"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"id\": \"TC301\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"findings\": ["), std::string::npos) << out;
+}
+
+TEST(Tools, TraceDiffEndToEnd) {
+  const std::string fx = std::string(PILOT_FIXTURE_DIR);
+  const std::string a = fx + "/diffpair.a.clog2";
+  const std::string b = fx + "/diffpair.b.clog2";
+  std::string out;
+
+  // Identical traces: exit 0, says so.
+  EXPECT_EQ(run_status(tool("pilot-tracediff") + " " + a + " " + a, &out), 0);
+  EXPECT_NE(out.find("identical"), std::string::npos) << out;
+
+  // The golden pair: exit 1 and byte-for-byte the checked-in diagnostics.
+  EXPECT_EQ(run_status(tool("pilot-tracediff") + " " + a + " " + b, &out), 1);
+  const std::string golden =
+      util::read_text_file(fx + "/diffpair.tracediff.txt");
+  EXPECT_EQ(out.substr(0, golden.size()), golden) << out;
+  EXPECT_NE(out.find("structural-divergence"), std::string::npos) << out;
+
+  // JSON mode carries the verdict and the ranked suspect.
+  EXPECT_EQ(
+      run_status(tool("pilot-tracediff") + " --json " + a + " " + b, &out), 1);
+  EXPECT_NE(out.find("\"verdict\": \"structural-divergence\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"id\": \"TD301\""), std::string::npos) << out;
+
+  // N-way: reference vs. two suspects, one clean, one diverged.
+  EXPECT_EQ(run_status(tool("pilot-tracediff") + " " + a + " " + a + " " + b,
+                       &out),
+            1);
+  EXPECT_NE(out.find("identical"), std::string::npos) << out;
+  EXPECT_NE(out.find("TD102"), std::string::npos) << out;
+
+  // Usage and input errors -> exit 2.
+  EXPECT_EQ(run_status(tool("pilot-tracediff") + " " + a, &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  EXPECT_EQ(run_status(tool("pilot-tracediff") + " " + a + " /nope.clog2",
+                       &out),
+            2);
+}
+
 TEST(Tools, TraceCheckSilentOnCleanLab2Trace) {
   util::TempDir dir;
   std::string out;

@@ -1,0 +1,164 @@
+// Fault-localization acceptance suite for pilot-tracediff: diffing a faulted
+// run against its fault-free twin (same program, same seed) must put the
+// injected-fault rank at the top of the suspect list.
+//
+// The scenarios are the PR-3 chaos-matrix shapes on the deterministic sum
+// farm: seed-swept rank crashes (call- and event-targeted, the matrix
+// ordinal formula) and seed-swept targeted message delays
+// (delay=PROB:MAX_MS@RANK). The acceptance bar is >= 90% top-1 localization
+// over the scenarios where the fault actually fired and left evidence — a
+// crash that lands before the victim logged anything leaves nothing to
+// localize, and a delay schedule where no jitter clears the 1 ms floor is
+// indistinguishable from the clean run by construction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/tracediff.hpp"
+#include "clog2/clog2.hpp"
+#include "mpe/mpe.hpp"
+#include "pilot/pi.hpp"
+#include "pilot/runtime.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+// The lab2-style sum farm from the chaos matrix: PI_MAIN plus three
+// workers, four rounds of write/read per worker, fully deterministic.
+constexpr int kWorkers = 3;
+constexpr int kRounds = 4;
+
+PI_CHANNEL* g_to[kWorkers];
+PI_CHANNEL* g_from[kWorkers];
+
+int farm_worker(int index, void*) {
+  for (int r = 0; r < kRounds; ++r) {
+    int base = 0;
+    PI_Read(g_to[index], "%d", &base);
+    int sum = 0;
+    for (int v = 0; v < 100; ++v) sum += base + v;
+    PI_Write(g_from[index], "%d", sum);
+  }
+  return 0;
+}
+
+pilot::RunResult run_farm(std::vector<std::string> extra) {
+  std::vector<std::string> args = {"prog", "-piwatchdog=20", "-pisvc=j",
+                                   "-pirobust"};
+  for (auto& a : extra) args.push_back(std::move(a));
+  return pilot::run(args, [](int argc, char** argv) {
+    PI_Configure(&argc, &argv);
+    for (int i = 0; i < kWorkers; ++i) {
+      PI_PROCESS* w = PI_CreateProcess(farm_worker, i, nullptr);
+      g_to[i] = PI_CreateChannel(PI_MAIN, w);
+      g_from[i] = PI_CreateChannel(w, PI_MAIN);
+    }
+    PI_StartAll();
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kWorkers; ++i) PI_Write(g_to[i], "%d", r * 10 + i);
+      for (int i = 0; i < kWorkers; ++i) {
+        int s = 0;
+        PI_Read(g_from[i], "%d", &s);
+      }
+    }
+    PI_StopMain(0);
+    return 0;
+  });
+}
+
+std::size_t rank_instance_records(const clog2::File& f, int rank) {
+  std::size_t n = 0;
+  for (const auto& rec : f.records) {
+    if (const auto* e = std::get_if<clog2::EventRec>(&rec)) {
+      if (e->rank == rank) ++n;
+    } else if (const auto* m = std::get_if<clog2::MsgRec>(&rec)) {
+      if (m->rank == rank) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(TraceDiffLocalize, CrashedRankIsTopSuspect) {
+  util::TempDir dir;
+  ASSERT_FALSE(
+      run_farm({"-piout=" + dir.path().string(), "-piname=clean"}).aborted);
+  const clog2::File ref = clog2::read_file(dir.file("clean.clog2"));
+
+  int total = 0, hits = 0;
+  std::string misses;
+  for (int seed = 1; seed <= 20; ++seed) {
+    // The chaos-matrix crash formula: victim in 1..3, ordinal spanning
+    // startup / mid-run / overshoot, alternating call- and event-targeted.
+    const int victim = 1 + seed % kWorkers;
+    const std::string plan =
+        util::strprintf("seed=%d;grace=0.4;crash=%d@%s:%d", seed, victim,
+                        seed % 2 == 1 ? "event" : "call", 1 + (seed * 7) % 24);
+    const std::string name = util::strprintf("c%d", seed);
+    const auto res = run_farm({"-piout=" + dir.path().string(),
+                               "-piname=" + name, "-pifault=" + plan});
+    if (!res.aborted) continue;  // ordinal overshot: no fault to localize
+    const clog2::File salvaged = mpe::salvage(dir.file(name).string());
+    if (rank_instance_records(salvaged, victim) == 0)
+      continue;  // died before logging anything: no evidence in the trace
+
+    const analyze::TraceDiffResult diff = analyze::diff_traces(ref, salvaged);
+    if (!diff.structural_diverged)
+      continue;  // crash hit after the last logged record: invisible fault
+    ASSERT_FALSE(diff.suspects.empty()) << plan;
+    ++total;
+    if (diff.suspects.front().rank == victim)
+      ++hits;
+    else
+      misses += util::strprintf("plan %s blamed rank %d\n", plan.c_str(),
+                                diff.suspects.front().rank);
+  }
+  ASSERT_GE(total, 8) << "sweep produced too few localizable crashes";
+  EXPECT_GE(static_cast<double>(hits), 0.9 * static_cast<double>(total))
+      << hits << "/" << total << " localized; misses:\n"
+      << misses;
+}
+
+TEST(TraceDiffLocalize, DelayedRankIsTopSuspect) {
+  // Delay localization compares millisecond latencies, so the sweep runs on
+  // the tasks substrate: virtual time makes the injected jitter exact and
+  // the clean twin noise-free, independent of host scheduler load.
+  util::TempDir dir;
+  ASSERT_FALSE(run_farm({"-piexec=tasks", "-piout=" + dir.path().string(),
+                         "-piname=clean"})
+                   .aborted);
+  const clog2::File ref = clog2::read_file(dir.file("clean.clog2"));
+
+  int total = 0, hits = 0;
+  std::string misses;
+  for (int seed = 1; seed <= 20; ++seed) {
+    const int victim = 1 + seed % kWorkers;
+    const std::string plan =
+        util::strprintf("seed=%d;delay=0.8:4@%d", seed, victim);
+    const std::string name = util::strprintf("d%d", seed);
+    const auto res = run_farm({"-piexec=tasks",
+                               "-piout=" + dir.path().string(),
+                               "-piname=" + name, "-pifault=" + plan});
+    ASSERT_FALSE(res.aborted) << plan;
+
+    const clog2::File sus = clog2::read_file(dir.file(name + ".clog2"));
+    const analyze::TraceDiffResult diff = analyze::diff_traces(ref, sus);
+    // A delay changes when, never what: the event sequence must match.
+    EXPECT_FALSE(diff.structural_diverged) << plan;
+    if (diff.suspects.empty())
+      continue;  // every fired jitter stayed under the 1 ms floor
+    ++total;
+    if (diff.suspects.front().rank == victim)
+      ++hits;
+    else
+      misses += util::strprintf("plan %s blamed rank %d\n", plan.c_str(),
+                                diff.suspects.front().rank);
+  }
+  ASSERT_GE(total, 15) << "sweep produced too few detectable delays";
+  EXPECT_GE(static_cast<double>(hits), 0.9 * static_cast<double>(total))
+      << hits << "/" << total << " localized; misses:\n"
+      << misses;
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Property and golden tests for analyze::diff_traces and the refactored
+// pilot-tracecheck:
+//
+//   * diff(A, A) is empty for every fixture trace;
+//   * diff(A, B) and diff(B, A) agree up to role labels (mismatches on the
+//     same ranks; "suspect short" flips to "suspect long");
+//   * the diffpair fixture produces the checked-in golden diagnostics;
+//   * check_trace on the messy fixture still renders byte-for-byte the
+//     pre-refactor verdict (the query-core port changed no output).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/tracecheck.hpp"
+#include "analyze/tracediff.hpp"
+#include "clog2/clog2.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(PILOT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(TraceDiff, DiffWithItselfIsEmpty) {
+  for (const char* name : {"tiny.clog2", "messy.clog2", "diffpair.a.clog2",
+                           "diffpair.b.clog2"}) {
+    const clog2::File f = clog2::read_file(fixture(name));
+    const analyze::TraceDiffResult res = analyze::diff_traces(f, f);
+    EXPECT_TRUE(res.comparable) << name;
+    EXPECT_FALSE(res.diverged()) << name << "\n" << res.report.to_text();
+    EXPECT_TRUE(res.report.empty()) << name << "\n" << res.report.to_text();
+    EXPECT_TRUE(res.suspects.empty()) << name;
+    for (const auto& d : res.deltas)
+      EXPECT_FALSE(d.structural) << name << " rank " << d.rank;
+  }
+}
+
+TEST(TraceDiff, SymmetricUpToRoleLabels) {
+  const clog2::File a = clog2::read_file(fixture("diffpair.a.clog2"));
+  const clog2::File b = clog2::read_file(fixture("diffpair.b.clog2"));
+  const analyze::TraceDiffResult ab = analyze::diff_traces(a, b);
+  const analyze::TraceDiffResult ba = analyze::diff_traces(b, a);
+
+  EXPECT_TRUE(ab.structural_diverged);
+  EXPECT_TRUE(ba.structural_diverged);
+  EXPECT_TRUE(ab.report.has("TD102"));
+  EXPECT_TRUE(ba.report.has("TD102"));
+
+  // The same set of ranks diverges in both directions, at the same per-rank
+  // positions, with short and long roles swapped.
+  ASSERT_EQ(ab.deltas.size(), ba.deltas.size());
+  for (std::size_t r = 0; r < ab.deltas.size(); ++r) {
+    const analyze::RankDelta& fwd = ab.deltas[r];
+    const analyze::RankDelta& rev = ba.deltas[r];
+    EXPECT_EQ(fwd.structural, rev.structural) << "rank " << r;
+    if (!fwd.structural) continue;
+    EXPECT_EQ(fwd.ref_pos, rev.ref_pos) << "rank " << r;
+    using Shape = analyze::RankDelta::Shape;
+    if (fwd.shape == Shape::kSuspectShort)
+      EXPECT_EQ(rev.shape, Shape::kSuspectLong) << "rank " << r;
+    else if (fwd.shape == Shape::kSuspectLong)
+      EXPECT_EQ(rev.shape, Shape::kSuspectShort) << "rank " << r;
+    else
+      EXPECT_EQ(rev.shape, Shape::kMismatch) << "rank " << r;
+  }
+  const auto td103_ranks = [](const analyze::Report& rep, const char* id) {
+    std::set<std::string> subjects;
+    for (const auto& d : rep.with_id(id)) subjects.insert(d.subject);
+    return subjects;
+  };
+  EXPECT_EQ(td103_ranks(ab.report, "TD103"), td103_ranks(ba.report, "TD104"));
+  EXPECT_EQ(td103_ranks(ab.report, "TD104"), td103_ranks(ba.report, "TD103"));
+}
+
+TEST(TraceDiff, DiffpairMatchesGoldenDiagnostics) {
+  const clog2::File a = clog2::read_file(fixture("diffpair.a.clog2"));
+  const clog2::File b = clog2::read_file(fixture("diffpair.b.clog2"));
+  const analyze::TraceDiffResult res = analyze::diff_traces(a, b);
+  EXPECT_EQ(res.report.to_text(),
+            util::read_text_file(fixture("diffpair.tracediff.txt")));
+
+  // The size flip on rank 1 is the earliest divergence; rank 1 must lead
+  // the suspect list with the "L57" source-line context attached.
+  ASSERT_FALSE(res.suspects.empty());
+  EXPECT_EQ(res.suspects.front().rank, 1);
+  EXPECT_EQ(res.suspects.front().line, 57);
+  ASSERT_TRUE(res.report.has("TD301"));
+  EXPECT_EQ(res.report.with_id("TD301").front().subject, "rank 1");
+}
+
+TEST(TraceDiff, RankCountMismatchIsTD101) {
+  const clog2::File a = clog2::read_file(fixture("diffpair.a.clog2"));
+  clog2::File wide = a;
+  wide.nranks = 5;
+  const analyze::TraceDiffResult res = analyze::diff_traces(a, wide);
+  EXPECT_FALSE(res.comparable);
+  EXPECT_TRUE(res.diverged());
+  EXPECT_TRUE(res.report.has("TD101")) << res.report.to_text();
+}
+
+TEST(TraceCheck, MessyFixtureVerdictIsByteIdenticalToGolden) {
+  const clog2::File f = clog2::read_file(fixture("messy.clog2"));
+  const analyze::Report rep = analyze::check_trace(f);
+  EXPECT_EQ(rep.to_text(),
+            util::read_text_file(fixture("messy.tracecheck.txt")));
+}
+
+TEST(TraceCheck, TinyFixtureStaysClean) {
+  const clog2::File f = clog2::read_file(fixture("tiny.clog2"));
+  EXPECT_TRUE(analyze::check_trace(f).empty());
+}
+
+}  // namespace

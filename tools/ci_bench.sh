@@ -10,6 +10,12 @@
 # way — the canary for a thundering-herd (quadratic-dispatch) regression in
 # the task scheduler.
 #
+# A third gate runs bench_tracediff at the small size and compares diff
+# throughput against bench/baseline_tracediff.json — the differ pairs
+# messages per edge and must stay linear in trace size. The bench also exits
+# nonzero if the truncated rank fails to top the suspect list, so this leg
+# guards localization correctness too.
+#
 # The bench itself also exits nonzero if either determinism invariant breaks
 # (k-way merge vs sort path, or the thread sweep), so this leg guards
 # correctness as well as speed.
@@ -28,7 +34,7 @@ for arg in "$@"; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale
+cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale bench_tracediff
 
 # Run in a scratch dir so bench_out/ does not pollute the source tree.
 RUN_DIR=$(mktemp -d)
@@ -75,6 +81,25 @@ CUR_MS_INT=$(printf '%.0f' "$CUR_MS")
 BASE_MS_INT=$(printf '%.0f' "$BASE_MS")
 if [ "$CUR_MS_INT" -gt $((BASE_MS_INT * 2)) ]; then
   echo "FAIL: 1024-rank task-substrate wall time regressed >2x vs baseline" >&2
+  exit 1
+fi
+
+# Trace-diff gate: small trace only; the bench itself fails the run when the
+# truncated rank is not the #1 suspect.
+(cd "$RUN_DIR" && "$OLDPWD/build/bench/bench_tracediff" \
+  --small="$SMALL" --large=0)
+
+CUR_DIFF=$(json_num "$RUN_DIR/bench_out/BENCH_tracediff.json" diff_records_per_sec_small)
+BASE_DIFF=$(json_num bench/baseline_tracediff.json diff_records_per_sec_small)
+[ -n "$CUR_DIFF" ] || { echo "FAIL: no diff throughput in bench output" >&2; exit 1; }
+[ -n "$BASE_DIFF" ] || {
+  echo "FAIL: no diff throughput in bench/baseline_tracediff.json" >&2; exit 1; }
+
+echo "tracediff throughput: current ${CUR_DIFF} records/s, baseline ${BASE_DIFF} records/s"
+CUR_DIFF_INT=$(printf '%.0f' "$CUR_DIFF")
+BASE_DIFF_INT=$(printf '%.0f' "$BASE_DIFF")
+if [ $((CUR_DIFF_INT * 2)) -lt "$BASE_DIFF_INT" ]; then
+  echo "FAIL: tracediff throughput regressed >2x vs baseline" >&2
   exit 1
 fi
 echo "perf smoke leg OK"

@@ -23,11 +23,13 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
   --target pilot_replay_test mpisim_test fault_test fault_chaos_test \
-  pipeline_scale_test pilot_tasks_scale_test
+  pipeline_scale_test pilot_tasks_scale_test tracediff_localize_test
 # 'Mpisim' also picks up the MpisimTasks fiber-substrate suite, and
 # TasksSubstrate runs the threads-vs-tasks comparison under TSan (the fiber
 # side is annotated via __tsan_*_fiber). The thousand-rank TasksScale suite
 # stays out by name — sanitizer slowdown would make it a timeout, not a test.
+# 'TraceDiffLocalize' diffs whole faulted pilot jobs against their clean
+# twin, driving the analyzer from the same process that ran the rank threads.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --preset sanitize-thread \
-  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.' "$@"
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.' "$@"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Run clang-tidy (the repo's .clang-tidy profile: bugprone-*, performance-*,
+# safe readability checks) over all first-party C++ translation units using
+# the compile_commands.json from the main build tree. Skips gracefully when
+# clang-tidy is not installed, so the rest of CI still runs in minimal
+# containers.
+#
+# Usage: tools/ci_tidy.sh [path-filter-regex] [clang-tidy binary]
+#   tools/ci_tidy.sh                 # whole tree
+#   tools/ci_tidy.sh 'src/analyze'   # one subsystem
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-.}"
+CLANG_TIDY="${2:-${CLANG_TIDY:-clang-tidy}}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "ci_tidy: $CLANG_TIDY not found; skipping tidy check" >&2
+  exit 0
+fi
+
+# Tidy needs a compilation database; the main tree exports one.
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+[ -f build/compile_commands.json ] || {
+  echo "ci_tidy: build/compile_commands.json missing" >&2
+  exit 1
+}
+
+files=$(find src tools bench -name '*.cpp' 2>/dev/null | grep -E "$FILTER" || true)
+[ -n "$files" ] || { echo "ci_tidy: no files match '$FILTER'" >&2; exit 2; }
+
+bad=0
+for f in $files; do
+  if ! "$CLANG_TIDY" -p build --quiet "$f" 2>/dev/null; then
+    echo "tidy findings in: $f" >&2
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "ci_tidy: findings above; fix or suppress with NOLINT(check-name)" >&2
+  exit 1
+fi
+echo "ci_tidy: $(echo "$files" | wc -l) file(s) clean"

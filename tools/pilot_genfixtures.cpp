@@ -12,6 +12,11 @@
 //   salvage.defs.spill    robust-mode spill set for mpe::salvage: the
 //   salvage.rank0.spill   definition stream plus two per-rank record
 //   salvage.rank1.spill   streams (bare CLOG-2 records, no file header)
+//   messy.clog2           3-rank trace that trips most TCxxx checks at once
+//                         (unmatched halves, clock anomaly, wildcard race,
+//                         interval bugs, wait cycle) — the tracecheck golden
+//   diffpair.a.clog2      reference / suspect pair for pilot-tracediff: b is
+//   diffpair.b.clog2      a with rank 2's tail cut and one event swapped
 //
 // Usage: pilot-genfixtures [outdir]   (default: tests/fixtures)
 #include <cstdio>
@@ -68,6 +73,98 @@ replay::Log make_tiny_prl() {
   return log;
 }
 
+/// Three ranks, every common tracecheck disease in one file: a matched pair
+/// plus a concurrent same-destination pair (TC201), an orphan send (TC101)
+/// and an orphan receive (TC102), a matched pair whose halves are stamped
+/// out of order (TC103), interval bugs of every kind (TC401/402/404, plus a
+/// never-ended PI_Read for TC403), and a two-rank terminal Wait cycle
+/// (TC301). Timestamps are literals, so the golden verdict is bit-stable.
+clog2::File make_messy_clog2() {
+  using Kind = clog2::MsgRec::Kind;
+  clog2::File f;
+  f.nranks = 3;
+  f.comment = "messy fixture (pilot-genfixtures)";
+  f.records = {
+      clog2::EventDef{10, "Arrival", "yellow", "Msg: %d"},
+      clog2::EventDef{20, "Wait", "orange", "%s"},
+      clog2::StateDef{1, 11, 12, "Compute", "gray", ""},
+      clog2::StateDef{2, 13, 14, "PI_Read", "red", ""},
+      clog2::ConstDef{"nranks", 3},
+      clog2::SyncRec{0, 0.0, 0.0},
+      clog2::SyncRec{1, 0.001, 0.0},
+      clog2::SyncRec{2, 0.001, 0.0},
+      clog2::EventRec{0.010, 0, 11, ""},  // compute begins
+      clog2::EventRec{0.011, 1, 11, ""},
+      clog2::EventRec{0.012, 2, 11, ""},
+      // Concurrent sends from ranks 0 and 2 to rank 1 on one tag: TC201.
+      clog2::MsgRec{0.020, 0, Kind::kSend, 1, 5, 8},
+      clog2::MsgRec{0.021, 2, Kind::kSend, 1, 5, 8},
+      clog2::MsgRec{0.025, 1, Kind::kRecv, 0, 5, 8},
+      clog2::MsgRec{0.026, 1, Kind::kRecv, 2, 5, 8},
+      // Orphan send (TC101) and orphan receive (TC102).
+      clog2::MsgRec{0.030, 0, Kind::kSend, 2, 9, 4},
+      clog2::MsgRec{0.031, 1, Kind::kRecv, 2, 7, 4},
+      // Matched, but the receive is stamped before the send: TC103.
+      clog2::MsgRec{0.040, 0, Kind::kSend, 1, 8, 4},
+      clog2::MsgRec{0.035, 1, Kind::kRecv, 0, 8, 4},
+      // PI_Read end with no start on rank 2: TC401.
+      clog2::EventRec{0.045, 2, 14, ""},
+      // Negative-duration PI_Read on rank 2: TC402.
+      clog2::EventRec{0.050, 2, 13, ""},
+      clog2::EventRec{0.048, 2, 14, ""},
+      // Compute re-entered on rank 0 while still open: TC404.
+      clog2::EventRec{0.052, 0, 11, ""},
+      clog2::EventRec{0.054, 0, 12, ""},
+      clog2::EventRec{0.056, 0, 12, ""},
+      // PI_Read on rank 1 that never ends: TC403.
+      clog2::EventRec{0.058, 1, 13, ""},
+      // Terminal Wait cycle between ranks 1 and 2: TC301.
+      clog2::EventRec{0.060, 2, 20, "C1<-R1"},
+      clog2::EventRec{0.061, 1, 20, "C2<-R2"},
+  };
+  return f;
+}
+
+/// Reference / suspect pair for the tracediff golden. The suspect drops
+/// rank 2's last two records (a crashed-rank shape) and swaps the payload
+/// size of one rank-1 message (a first-divergent-event shape).
+std::pair<clog2::File, clog2::File> make_diffpair() {
+  using Kind = clog2::MsgRec::Kind;
+  clog2::File a;
+  a.nranks = 3;
+  a.comment = "diffpair reference (pilot-genfixtures)";
+  a.records = {
+      clog2::EventDef{10, "Round", "yellow", "L%d main i%d"},
+      clog2::StateDef{1, 11, 12, "Compute", "gray", ""},
+      clog2::SyncRec{0, 0.0, 0.0},
+      clog2::SyncRec{1, 0.001, 0.0},
+      clog2::SyncRec{2, 0.001, 0.0},
+      clog2::EventRec{0.010, 0, 10, "L42 main i0"},
+      clog2::EventRec{0.011, 1, 11, ""},
+      clog2::EventRec{0.012, 2, 11, ""},
+      clog2::MsgRec{0.020, 0, Kind::kSend, 1, 3, 8},
+      clog2::MsgRec{0.022, 1, Kind::kRecv, 0, 3, 8},
+      clog2::MsgRec{0.024, 0, Kind::kSend, 2, 3, 8},
+      clog2::MsgRec{0.026, 2, Kind::kRecv, 0, 3, 8},
+      clog2::EventRec{0.028, 1, 10, "L57 worker i1"},
+      clog2::MsgRec{0.030, 1, Kind::kSend, 0, 4, 8},
+      clog2::MsgRec{0.032, 0, Kind::kRecv, 1, 4, 8},
+      clog2::EventRec{0.040, 1, 12, ""},
+      clog2::MsgRec{0.044, 2, Kind::kSend, 0, 4, 8},
+      clog2::MsgRec{0.046, 0, Kind::kRecv, 2, 4, 8},
+      clog2::EventRec{0.050, 2, 12, ""},
+  };
+  clog2::File b = a;
+  b.comment = "diffpair suspect (pilot-genfixtures)";
+  // Swap one matched message's size on rank 1 (and its recv half on rank 0).
+  b.records[13] = clog2::MsgRec{0.030, 1, Kind::kSend, 0, 4, 16};
+  b.records[14] = clog2::MsgRec{0.032, 0, Kind::kRecv, 1, 4, 16};
+  // Cut rank 2's tail: the send at 0.044 and everything after it on rank 2.
+  b.records.erase(b.records.begin() + 16);  // send 2->0
+  b.records.pop_back();                     // compute end on rank 2
+  return {a, b};
+}
+
 void write_records(const std::filesystem::path& path,
                    const std::vector<clog2::Record>& records) {
   util::ByteWriter w;
@@ -115,9 +212,15 @@ int run(int argc, char** argv) {
   slog2::write_file(dir / "tiny.slog2", slog2::convert(tiny));
   replay::write_file(dir / "tiny.prl", make_tiny_prl());
   make_salvage_spills(dir);
+  clog2::write_file(dir / "messy.clog2", make_messy_clog2());
+  const auto [diff_a, diff_b] = make_diffpair();
+  clog2::write_file(dir / "diffpair.a.clog2", diff_a);
+  clog2::write_file(dir / "diffpair.b.clog2", diff_b);
 
-  std::printf("wrote tiny.clog2 tiny.slog2 tiny.prl salvage.*.spill -> %s\n",
-              dir.string().c_str());
+  std::printf(
+      "wrote tiny.clog2 tiny.slog2 tiny.prl salvage.*.spill messy.clog2 "
+      "diffpair.{a,b}.clog2 -> %s\n",
+      dir.string().c_str());
   return 0;
 }
 

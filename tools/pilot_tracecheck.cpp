@@ -66,7 +66,12 @@ int run(int argc, char** argv) {
     rep.merge(replay::cross_check(file, log));
   }
   if (json) {
-    std::fprintf(stdout, "%s\n", rep.to_json().c_str());
+    const char* verdict = rep.count(analyze::Severity::kError) > 0 ? "error"
+                          : rep.finding_count() > 0                ? "suspicious"
+                                                                   : "clean";
+    std::fprintf(stdout, "%s\n",
+                 analyze::to_json_report(rep, "pilot-tracecheck", path, verdict)
+                     .c_str());
   } else {
     std::fputs(rep.to_text().c_str(), stdout);
     std::fprintf(stdout, "%zu finding(s) in %s (%zu error(s), %zu warning(s))\n",

@@ -1,0 +1,105 @@
+// pilot-tracediff: cross-run CLOG-2 trace differ and fault localizer.
+//
+// Aligns one or more suspect traces against a reference run of the same
+// program (same .prl, same seed — e.g. a faulted replay against its
+// fault-free twin, or seed-swept runs against each other), reports the
+// first divergent event with rank and source-line context, computes
+// per-rank behavioral deltas (message-edge counts, send-latency inflation,
+// state-duration skew), and emits a ranked suspect-process list. See
+// docs/TRACEDIFF.md for the TD1xx-TD3xx catalogue.
+//
+// Exit status: 0 = no divergence, 1 = divergence found, 2 = bad usage or
+// unreadable input.
+#include <cstdio>
+#include <exception>
+
+#include "analyze/tracediff.hpp"
+#include "clog2/clog2.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() < 2 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <reference.clog2> <suspect.clog2> [more.clog2...]\n"
+                 "           [--json] [--top=N] [--min-latency=SECONDS]\n"
+                 "           [--latency-ratio=R] [--min-duration=SECONDS]\n"
+                 "           [--duration-ratio=R]\n"
+                 "diffs each suspect trace against the reference and ranks\n"
+                 "the processes most likely to have caused the divergence.\n"
+                 "exit status: 0 identical, 1 divergence, 2 usage/input error\n",
+                 args.program().c_str());
+    return 2;
+  }
+
+  analyze::TraceDiffOptions opts;
+  opts.min_latency_delta = args.get_double_or("min-latency", opts.min_latency_delta);
+  opts.latency_ratio = args.get_double_or("latency-ratio", opts.latency_ratio);
+  opts.min_duration_delta =
+      args.get_double_or("min-duration", opts.min_duration_delta);
+  opts.duration_ratio = args.get_double_or("duration-ratio", opts.duration_ratio);
+  opts.top_suspects = static_cast<int>(args.get_int_or("top", opts.top_suspects));
+  const bool json = args.has("json");
+  for (const auto& key : args.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  const std::string& ref_path = args.positional()[0];
+  clog2::File reference;
+  try {
+    reference = clog2::read_file(ref_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", ref_path.c_str(), e.what());
+    return 2;
+  }
+
+  bool any_divergence = false;
+  const bool multi = args.positional().size() > 2;
+  for (std::size_t i = 1; i < args.positional().size(); ++i) {
+    const std::string& sus_path = args.positional()[i];
+    clog2::File suspect;
+    try {
+      suspect = clog2::read_file(sus_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", sus_path.c_str(), e.what());
+      return 2;
+    }
+
+    const analyze::TraceDiffResult res =
+        analyze::diff_traces(reference, suspect, opts);
+    any_divergence = any_divergence || res.diverged();
+
+    const char* verdict = !res.comparable          ? "incomparable"
+                          : res.structural_diverged ? "structural-divergence"
+                          : res.timing_diverged     ? "timing-divergence"
+                                                    : "identical";
+    if (json) {
+      std::fprintf(stdout, "%s\n",
+                   analyze::to_json_report(res.report, "pilot-tracediff",
+                                           sus_path, verdict)
+                       .c_str());
+    } else {
+      if (multi)
+        std::fprintf(stdout, "== %s vs %s ==\n", sus_path.c_str(),
+                     ref_path.c_str());
+      std::fputs(res.report.to_text().c_str(), stdout);
+      std::fprintf(stdout, "%s: %s (%zu finding(s))\n", sus_path.c_str(),
+                   verdict, res.report.finding_count());
+    }
+  }
+  return any_divergence ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
