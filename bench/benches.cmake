@@ -38,3 +38,5 @@ pilot_add_bench(bench_world_scale bench_world_scale.cpp
   pilot_mpisim)
 pilot_add_bench(bench_tracediff bench_tracediff.cpp
   pilot_analyze pilot_tracegen)
+pilot_add_bench(bench_traced bench_traced.cpp
+  pilot_traced pilot_tracegen)

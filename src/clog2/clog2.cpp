@@ -196,9 +196,142 @@ void append_record_text(std::string& out, const Record& rec) {
       rec);
 }
 
+// Thrown (privately) by ProbeReader when a decode runs off the end of the
+// buffered stream bytes: unlike a whole-file parse, running out of bytes on
+// a live stream is retryable, not corruption.
+struct NeedMoreData {};
+
+// ByteReader-shaped decoder over the StreamReader's buffered bytes. Overrun
+// throws NeedMoreData instead of IoError; element counts cannot be bounded
+// by "remaining input" on a stream, so checked_count passes them through —
+// the end-of-log marker (or EOF) validates the declared count instead, and
+// nothing in the stream path allocates proportionally to a declared count.
+class ProbeReader {
+public:
+  ProbeReader(const std::uint8_t* data, std::size_t n) : p_(data), n_(n) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (len > StreamReader::kMaxRecordBytes)
+      throw util::IoError(util::strprintf(
+          "clog2: string length %u exceeds the %zu-byte record bound", len,
+          StreamReader::kMaxRecordBytes));
+    const std::uint8_t* p = take(len);
+    return std::string(reinterpret_cast<const char*>(p), len);
+  }
+
+  const std::uint8_t* take(std::size_t n) {
+    if (n > n_ - pos_) throw NeedMoreData{};
+    const std::uint8_t* p = p_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t checked_count(std::uint64_t n,
+                                          std::size_t /*min_bytes*/) const {
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+private:
+  template <typename T>
+  T get_le() {
+    const std::uint8_t* p = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(p[i]) << (8 * i)));
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 Record read_record(util::ByteReader& r) { return read_record_any(r); }
+
+void StreamReader::feed(const void* data, std::size_t n) {
+  if (n == 0) return;
+  if (finished_)
+    throw util::IoError("clog2: stream bytes after the end-of-log marker");
+  // Compact the consumed prefix before growing so the buffer stays at
+  // O(unconsumed), not O(stream).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+StreamReader::Status StreamReader::next(Record* out) {
+  if (finished_) {
+    if (buffered_bytes() > 0)
+      throw util::IoError("clog2: stream bytes after the end-of-log marker");
+    return Status::kEnd;
+  }
+  const auto need_more = [this]() -> Status {
+    if (buffered_bytes() >= kMaxRecordBytes)
+      throw util::IoError(util::strprintf(
+          "clog2: record exceeds the %zu-byte stream bound", kMaxRecordBytes));
+    return Status::kNeedMoreData;
+  };
+  if (!header_done_) {
+    ProbeReader r(buf_.data() + pos_, buffered_bytes());
+    try {
+      const StreamHeader h = read_stream_header(r);
+      version_ = h.version;
+      nranks_ = h.nranks;
+      comment_ = h.comment;
+      nrecords_ = h.nrecords;
+    } catch (const NeedMoreData&) {
+      return need_more();
+    }
+    pos_ += r.pos();
+    consumed_ += r.pos();
+    header_done_ = true;
+  }
+  if (records_read_ == nrecords_) {
+    if (buffered_bytes() == 0) return Status::kNeedMoreData;
+    if (buf_[pos_] != static_cast<std::uint8_t>(RecordKind::kEndLog))
+      throw util::IoError("clog2: missing end-of-log marker");
+    ++pos_;
+    ++consumed_;
+    finished_ = true;
+    if (buffered_bytes() > 0)
+      throw util::IoError("clog2: stream bytes after the end-of-log marker");
+    return Status::kEnd;
+  }
+  ProbeReader r(buf_.data() + pos_, buffered_bytes());
+  Record rec;
+  try {
+    rec = read_record_any(r);
+  } catch (const NeedMoreData&) {
+    return need_more();
+  }
+  pos_ += r.pos();
+  consumed_ += r.pos();
+  ++records_read_;
+  if (out) *out = std::move(rec);
+  return Status::kRecord;
+}
 
 std::vector<std::uint8_t> serialize(const File& file) {
   util::ByteWriter w;

@@ -128,4 +128,68 @@ std::string to_text(const File& file);
 void stream_text(const std::filesystem::path& path,
                  const std::function<void(const std::string&)>& sink);
 
+/// Incremental, resumable CLOG-2 decoder for live ingest (pilot-traced).
+///
+/// feed() appends raw bytes as they arrive from a socket or FIFO; next()
+/// decodes the header and then one record per call. A partial trailing
+/// block — the normal state of a stream that is still being written — is
+/// reported as Status::kNeedMoreData (retryable after more feed()) instead
+/// of the hard util::IoError a whole-file parse() gives truncation.
+/// Structural corruption (bad magic, unsupported version, unknown record
+/// kind, bad message kind, an impossibly large record) still throws
+/// util::IoError, so a corrupt stream fails loudly at the first bad byte.
+///
+/// The accepted record language is exactly parse()'s: feeding a complete
+/// file through in any chunking yields the same record sequence parse()
+/// yields, and a file parse() rejects makes next() throw (possibly only
+/// once the whole file has been fed — a count/end-marker mismatch is not
+/// detectable earlier on a stream).
+class StreamReader {
+public:
+  enum class Status : std::uint8_t {
+    kNeedMoreData = 0,  ///< partial trailing block; retry after feed()
+    kRecord = 1,        ///< *out holds the next record
+    kEnd = 2,           ///< end-of-log marker consumed; stream complete
+  };
+
+  /// A single record larger than this is treated as corruption instead of
+  /// "need more data", so a hostile length field cannot make an ingest
+  /// buffer grow without bound while the reader waits forever.
+  static constexpr std::size_t kMaxRecordBytes = 16 * 1024 * 1024;
+
+  /// Append raw stream bytes. Throws util::IoError if bytes arrive after
+  /// the end-of-log marker (trailing garbage).
+  void feed(const void* data, std::size_t n);
+
+  /// Decode the next item out of the buffered bytes.
+  Status next(Record* out);
+
+  [[nodiscard]] bool header_done() const { return header_done_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::int32_t nranks() const { return nranks_; }
+  [[nodiscard]] const std::string& comment() const { return comment_; }
+  /// Declared record count (valid once header_done()). Untrusted until the
+  /// end-of-log marker confirms it.
+  [[nodiscard]] std::uint64_t nrecords() const { return nrecords_; }
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+  /// True once the end-of-log marker has been consumed.
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// Bytes fed but not yet consumed by a completed decode.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+  /// Total bytes consumed by completed decodes.
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
+
+private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  std::uint64_t consumed_ = 0;
+  bool header_done_ = false;
+  bool finished_ = false;
+  std::uint32_t version_ = 0;
+  std::int32_t nranks_ = 0;
+  std::string comment_;
+  std::uint64_t nrecords_ = 0;
+  std::uint64_t records_read_ = 0;
+};
+
 }  // namespace clog2

@@ -14,6 +14,10 @@
 // global chronological instance order. The emitted file is byte-identical
 // at any thread count — and byte-identical to what the original
 // single-threaded scan produced.
+//
+// The pairing/matching machinery and the assemble() tail live partly in
+// convert_internal.hpp so the streaming OnlineConverter (src/traced/) can
+// reproduce this output incrementally, byte for byte.
 #include <algorithm>
 #include <array>
 #include <limits>
@@ -21,6 +25,7 @@
 #include <set>
 #include <tuple>
 
+#include "slog2/convert_internal.hpp"
 #include "slog2/slog2.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -28,66 +33,11 @@
 
 namespace slog2 {
 
-namespace {
-
-constexpr std::size_t kMaxWarningMessages = 50;
+namespace detail {
 
 void warn(std::vector<std::string>* warnings, const std::string& msg) {
   if (warnings && warnings->size() < kMaxWarningMessages) warnings->push_back(msg);
 }
-
-struct OpenState {
-  std::int32_t category_id = 0;
-  double start_time = 0.0;
-  std::string start_text;
-  std::int32_t depth = 0;
-};
-
-struct Collected {
-  std::vector<StateDrawable> states;
-  std::vector<EventDrawable> events;
-  std::vector<ArrowDrawable> arrows;
-};
-
-// Event-id → category lookup. Ids are allocated contiguously from 1 by the
-// MPE layer, so the hot path is a dense vector indexed by id; files with
-// absurd ids (hostile or handcrafted) overflow into a map instead of
-// forcing a giant allocation.
-class EventIdIndex {
-public:
-  struct Entry {
-    std::int32_t state_cat = -1;  // category id, -1 = not a state event
-    bool is_start = false;
-    std::int32_t solo_cat = -1;  // category id, -1 = not a solo event
-    [[nodiscard]] bool used() const { return state_cat >= 0 || solo_cat >= 0; }
-  };
-
-  void note_id(std::int32_t id) {
-    if (id >= 0 && id < kDenseLimit)
-      max_dense_ = std::max(max_dense_, static_cast<std::size_t>(id) + 1);
-  }
-  void finalize() { dense_.resize(max_dense_); }
-
-  Entry& at(std::int32_t id) {
-    if (id >= 0 && static_cast<std::size_t>(id) < dense_.size())
-      return dense_[static_cast<std::size_t>(id)];
-    return overflow_[id];
-  }
-  [[nodiscard]] const Entry* find(std::int32_t id) const {
-    if (id >= 0 && static_cast<std::size_t>(id) < dense_.size()) {
-      const Entry& e = dense_[static_cast<std::size_t>(id)];
-      return e.used() ? &e : nullptr;
-    }
-    const auto it = overflow_.find(id);
-    return it == overflow_.end() ? nullptr : &it->second;
-  }
-
-private:
-  static constexpr std::int32_t kDenseLimit = 1 << 20;
-  std::size_t max_dense_ = 0;
-  std::vector<Entry> dense_;
-  std::map<std::int32_t, Entry> overflow_;
-};
 
 std::size_t state_bytes(const StateDrawable& s) {
   return 2 * sizeof(double) + 3 * sizeof(std::int32_t) + s.start_text.size() +
@@ -96,7 +46,6 @@ std::size_t state_bytes(const StateDrawable& s) {
 std::size_t event_bytes(const EventDrawable& e) {
   return sizeof(double) + 2 * sizeof(std::int32_t) + e.text.size();
 }
-constexpr std::size_t kArrowBytes = 2 * sizeof(double) + 3 * sizeof(std::int32_t) + 4;
 
 // Recursive bounded-frame builder: drawables that fit entirely inside a
 // child half-interval sink down until the payload fits the frame-size bound.
@@ -161,6 +110,17 @@ std::unique_ptr<Frame> build_frame(Collected items, double a, double b, int dept
   stats.tree_depth = std::max(stats.tree_depth, depth);
   return frame;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::Collected;
+using detail::EventIdIndex;
+using detail::InstKey;
+using detail::kMaxWarningMessages;
+using detail::OpenState;
+using detail::warn;
 
 void add_occupancy(Preview& pv, double node_t0, double node_t1, std::int32_t cat,
                    double s, double e) {
@@ -227,20 +187,6 @@ void collect_frames(Frame& f, std::vector<Frame*>& out) {
   if (f.left) collect_frames(*f.left, out);
   if (f.right) collect_frames(*f.right, out);
 }
-
-// Global chronological position of an instance record: primary key its
-// timestamp, tie-broken by its position in the file. Sorting by this pair
-// is exactly the stable-sort-by-time order the sequential converter
-// processed instances in, which is what makes the parallel commit order
-// reproduce the sequential output byte for byte.
-struct InstKey {
-  double t = 0.0;
-  std::uint64_t idx = 0;
-  bool operator<(const InstKey& o) const {
-    if (t != o.t) return t < o.t;
-    return idx < o.idx;
-  }
-};
 
 struct EvInst {
   InstKey key;
@@ -376,11 +322,99 @@ void commit_ordered(std::vector<std::pair<InstKey, Drawable*>>& keyed,
 
 std::size_t Frame::payload_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& s : states) bytes += state_bytes(s);
-  for (const auto& e : events) bytes += event_bytes(e);
-  bytes += arrows.size() * kArrowBytes;
+  for (const auto& s : states) bytes += detail::state_bytes(s);
+  for (const auto& e : events) bytes += detail::event_bytes(e);
+  bytes += arrows.size() * detail::kArrowBytes;
   return bytes;
 }
+
+namespace detail {
+
+void assemble(File& out, Collected items, bool any_instance,
+              const ConvertOptions& opts, int nthreads,
+              std::vector<std::string>* warnings) {
+  // --- "Equal Drawables" detection -------------------------------------------
+  // The three drawable kinds are independent scans; fan them out, then emit
+  // their warnings in the fixed kind order (arrows, states, events).
+  {
+    std::array<std::vector<std::string>, 3> kind_warns;
+    std::array<std::uint64_t, 3> kind_counts{};
+    util::parallel_for(std::size_t{3}, nthreads, [&](std::size_t kind) {
+      auto note = [&](const std::string& msg) {
+        if (kind_warns[kind].size() < kMaxWarningMessages)
+          kind_warns[kind].push_back(msg);
+      };
+      if (kind == 0) {
+        std::set<std::tuple<std::int32_t, std::int32_t, double, double>> seen;
+        for (const auto& a : items.arrows)
+          if (!seen.insert({a.src_rank, a.dst_rank, a.start_time, a.end_time})
+                   .second) {
+            ++kind_counts[kind];
+            note(util::strprintf(
+                "Equal Drawables: arrows %d->%d share start=%.9f end=%.9f",
+                a.src_rank, a.dst_rank, a.start_time, a.end_time));
+          }
+      } else if (kind == 1) {
+        std::set<std::tuple<std::int32_t, std::int32_t, double, double>> seen;
+        for (const auto& s : items.states)
+          if (!seen.insert({s.category_id, s.rank, s.start_time, s.end_time})
+                   .second) {
+            ++kind_counts[kind];
+            note(util::strprintf(
+                "Equal Drawables: states cat=%d rank=%d share start=%.9f "
+                "end=%.9f",
+                s.category_id, s.rank, s.start_time, s.end_time));
+          }
+      } else {
+        std::set<std::tuple<std::int32_t, std::int32_t, double>> seen;
+        for (const auto& e : items.events)
+          if (!seen.insert({e.category_id, e.rank, e.time}).second) {
+            ++kind_counts[kind];
+            note(util::strprintf(
+                "Equal Drawables: events cat=%d rank=%d share t=%.9f",
+                e.category_id, e.rank, e.time));
+          }
+      }
+    });
+    for (std::size_t kind = 0; kind < 3; ++kind) {
+      out.stats.equal_drawables += kind_counts[kind];
+      for (const auto& msg : kind_warns[kind]) warn(warnings, msg);
+    }
+  }
+
+  out.stats.total_states = items.states.size();
+  out.stats.total_events = items.events.size();
+  out.stats.total_arrows = items.arrows.size();
+
+  // --- time span -------------------------------------------------------------
+  if (any_instance) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    auto widen = [&](double s, double e) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, e);
+    };
+    for (const auto& s : items.states) widen(s.start_time, s.end_time);
+    for (const auto& e : items.events) widen(e.time, e.time);
+    for (const auto& a : items.arrows)
+      widen(std::min(a.start_time, a.end_time), std::max(a.start_time, a.end_time));
+    if (lo <= hi) {
+      out.t_min = lo;
+      out.t_max = hi;
+    }
+  }
+
+  // --- frame tree + previews --------------------------------------------------
+  out.root = build_frame(std::move(items), out.t_min, out.t_max, 0, opts, out.stats);
+  std::vector<Frame*> nodes;
+  nodes.reserve(static_cast<std::size_t>(out.stats.frames));
+  collect_frames(*out.root, nodes);
+  util::parallel_for(nodes.size(), nthreads, [&](std::size_t i) {
+    fill_preview_from_subtree(*nodes[i], opts.preview_buckets);
+  });
+}
+
+}  // namespace detail
 
 File convert(const clog2::File& in, const ConvertOptions& opts,
              std::vector<std::string>* warnings) {
@@ -551,85 +585,7 @@ File convert(const clog2::File& in, const ConvertOptions& opts,
     }
   }
 
-  // --- "Equal Drawables" detection -------------------------------------------
-  // The three drawable kinds are independent scans; fan them out, then emit
-  // their warnings in the fixed kind order (arrows, states, events).
-  {
-    std::array<std::vector<std::string>, 3> kind_warns;
-    std::array<std::uint64_t, 3> kind_counts{};
-    util::parallel_for(std::size_t{3}, nthreads, [&](std::size_t kind) {
-      auto note = [&](const std::string& msg) {
-        if (kind_warns[kind].size() < kMaxWarningMessages)
-          kind_warns[kind].push_back(msg);
-      };
-      if (kind == 0) {
-        std::set<std::tuple<std::int32_t, std::int32_t, double, double>> seen;
-        for (const auto& a : items.arrows)
-          if (!seen.insert({a.src_rank, a.dst_rank, a.start_time, a.end_time})
-                   .second) {
-            ++kind_counts[kind];
-            note(util::strprintf(
-                "Equal Drawables: arrows %d->%d share start=%.9f end=%.9f",
-                a.src_rank, a.dst_rank, a.start_time, a.end_time));
-          }
-      } else if (kind == 1) {
-        std::set<std::tuple<std::int32_t, std::int32_t, double, double>> seen;
-        for (const auto& s : items.states)
-          if (!seen.insert({s.category_id, s.rank, s.start_time, s.end_time})
-                   .second) {
-            ++kind_counts[kind];
-            note(util::strprintf(
-                "Equal Drawables: states cat=%d rank=%d share start=%.9f "
-                "end=%.9f",
-                s.category_id, s.rank, s.start_time, s.end_time));
-          }
-      } else {
-        std::set<std::tuple<std::int32_t, std::int32_t, double>> seen;
-        for (const auto& e : items.events)
-          if (!seen.insert({e.category_id, e.rank, e.time}).second) {
-            ++kind_counts[kind];
-            note(util::strprintf(
-                "Equal Drawables: events cat=%d rank=%d share t=%.9f",
-                e.category_id, e.rank, e.time));
-          }
-      }
-    });
-    for (std::size_t kind = 0; kind < 3; ++kind) {
-      out.stats.equal_drawables += kind_counts[kind];
-      for (const auto& msg : kind_warns[kind]) warn(warnings, msg);
-    }
-  }
-
-  out.stats.total_states = items.states.size();
-  out.stats.total_events = items.events.size();
-  out.stats.total_arrows = items.arrows.size();
-
-  // --- time span -------------------------------------------------------------
-  if (any_instance) {
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -std::numeric_limits<double>::infinity();
-    auto widen = [&](double s, double e) {
-      lo = std::min(lo, s);
-      hi = std::max(hi, e);
-    };
-    for (const auto& s : items.states) widen(s.start_time, s.end_time);
-    for (const auto& e : items.events) widen(e.time, e.time);
-    for (const auto& a : items.arrows)
-      widen(std::min(a.start_time, a.end_time), std::max(a.start_time, a.end_time));
-    if (lo <= hi) {
-      out.t_min = lo;
-      out.t_max = hi;
-    }
-  }
-
-  // --- frame tree + previews --------------------------------------------------
-  out.root = build_frame(std::move(items), out.t_min, out.t_max, 0, opts, out.stats);
-  std::vector<Frame*> nodes;
-  nodes.reserve(static_cast<std::size_t>(out.stats.frames));
-  collect_frames(*out.root, nodes);
-  util::parallel_for(nodes.size(), nthreads, [&](std::size_t i) {
-    fill_preview_from_subtree(*nodes[i], opts.preview_buckets);
-  });
+  detail::assemble(out, std::move(items), any_instance, opts, nthreads, warnings);
   return out;
 }
 

@@ -1,0 +1,260 @@
+#include "traced/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace traced {
+
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const {
+    if (done()) throw util::IoError("json: unexpected end of line");
+    return s[i];
+  }
+  char take() {
+    const char c = peek();
+    ++i;
+    return c;
+  }
+  void skip_ws() {
+    while (!done() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+  void expect(char c) {
+    if (take() != c)
+      throw util::IoError(util::strprintf("json: expected '%c' at offset %zu", c,
+                                          i - 1));
+  }
+};
+
+std::string parse_string(Cursor& c) {
+  c.expect('"');
+  std::string out;
+  for (;;) {
+    const char ch = c.take();
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      out.push_back(ch);
+      continue;
+    }
+    const char esc = c.take();
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        // Only the escapes json_escape emits (\u00XX for control bytes).
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = c.take();
+          code <<= 4;
+          if (h >= '0' && h <= '9')
+            code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F')
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          else
+            throw util::IoError("json: bad \\u escape");
+        }
+        if (code > 0xFF)
+          throw util::IoError("json: \\u escape beyond latin-1 unsupported");
+        out.push_back(static_cast<char>(code));
+        break;
+      }
+      default:
+        throw util::IoError(util::strprintf("json: bad escape '\\%c'", esc));
+    }
+  }
+}
+
+}  // namespace
+
+JsonObject JsonObject::parse(const std::string& line) {
+  Cursor c{line};
+  JsonObject obj;
+  c.skip_ws();
+  c.expect('{');
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    c.take();
+    return obj;
+  }
+  for (;;) {
+    c.skip_ws();
+    std::string key = parse_string(c);
+    c.skip_ws();
+    c.expect(':');
+    c.skip_ws();
+    Value v;
+    const char ch = c.peek();
+    if (ch == '"') {
+      v.kind = Kind::kString;
+      v.text = parse_string(c);
+    } else if (ch == 't') {
+      for (const char* p = "true"; *p; ++p) c.expect(*p);
+      v.kind = Kind::kBool;
+      v.text = "true";
+    } else if (ch == 'f') {
+      for (const char* p = "false"; *p; ++p) c.expect(*p);
+      v.kind = Kind::kBool;
+      v.text = "false";
+    } else if (ch == 'n') {
+      for (const char* p = "null"; *p; ++p) c.expect(*p);
+      v.kind = Kind::kNull;
+    } else if (ch == '-' || (ch >= '0' && ch <= '9')) {
+      v.kind = Kind::kNumber;
+      const std::size_t start = c.i;
+      if (ch == '-') c.take();
+      while (!c.done() && (std::isdigit(static_cast<unsigned char>(c.peek())) != 0 ||
+                           c.peek() == '.' || c.peek() == 'e' || c.peek() == 'E' ||
+                           c.peek() == '+' || c.peek() == '-'))
+        c.take();
+      v.text = line.substr(start, c.i - start);
+      if (v.text.empty() || v.text == "-")
+        throw util::IoError("json: malformed number");
+    } else if (ch == '{' || ch == '[') {
+      throw util::IoError("json: nested values are not part of this protocol");
+    } else {
+      throw util::IoError(util::strprintf("json: unexpected '%c'", ch));
+    }
+    if (!obj.fields_.emplace(std::move(key), std::move(v)).second)
+      throw util::IoError("json: duplicate key");
+    c.skip_ws();
+    const char nxt = c.take();
+    if (nxt == '}') break;
+    if (nxt != ',') throw util::IoError("json: expected ',' or '}'");
+  }
+  c.skip_ws();
+  if (!c.done()) throw util::IoError("json: trailing bytes after object");
+  return obj;
+}
+
+std::string JsonObject::str(const std::string& key) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.kind != Kind::kString)
+    throw util::IoError("json: missing string field \"" + key + "\"");
+  return it->second.text;
+}
+
+std::int64_t JsonObject::num(const std::string& key) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.kind != Kind::kNumber)
+    throw util::IoError("json: missing numeric field \"" + key + "\"");
+  return std::strtoll(it->second.text.c_str(), nullptr, 10);
+}
+
+double JsonObject::fnum(const std::string& key) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.kind != Kind::kNumber)
+    throw util::IoError("json: missing numeric field \"" + key + "\"");
+  return std::strtod(it->second.text.c_str(), nullptr);
+}
+
+bool JsonObject::boolean(const std::string& key) const {
+  const auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.kind != Kind::kBool)
+    throw util::IoError("json: missing boolean field \"" + key + "\"");
+  return it->second.text == "true";
+}
+
+std::string JsonObject::str_or(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = fields_.find(key);
+  return (it != fields_.end() && it->second.kind == Kind::kString) ? it->second.text
+                                                                   : fallback;
+}
+
+std::int64_t JsonObject::num_or(const std::string& key, std::int64_t fallback) const {
+  const auto it = fields_.find(key);
+  return (it != fields_.end() && it->second.kind == Kind::kNumber)
+             ? std::strtoll(it->second.text.c_str(), nullptr, 10)
+             : fallback;
+}
+
+double JsonObject::fnum_or(const std::string& key, double fallback) const {
+  const auto it = fields_.find(key);
+  return (it != fields_.end() && it->second.kind == Kind::kNumber)
+             ? std::strtod(it->second.text.c_str(), nullptr)
+             : fallback;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20)
+          out += util::strprintf("\\u%04x", c);
+        else
+          out.push_back(raw);
+    }
+  }
+  return out;
+}
+
+void JsonWriter::sep() {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+  sep();
+  out_ += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
+  sep();
+  out_ += "\"" + json_escape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
+  sep();
+  out_ += "\"" + json_escape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  sep();
+  out_ += "\"" + json_escape(key) + "\":" + util::strprintf("%.17g", value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+  sep();
+  out_ += "\"" + json_escape(key) + "\":" + (value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::done() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+}  // namespace traced

@@ -1,0 +1,74 @@
+// Wire protocol helpers for pilot-traced: newline-delimited JSON.
+//
+// Every request and response is one flat JSON object on one line — string,
+// number, and boolean values only, no nesting. That deliberately small
+// shape keeps the parser a page long and the protocol driveable from a
+// shell script or test without a JSON library on the client side. The one
+// non-JSON element is the `feed` op, whose line is followed by exactly
+// `bytes` raw bytes of CLOG-2 stream data (framing documented in
+// docs/TRACED.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace traced {
+
+/// A parsed flat JSON object. Values keep their JSON flavour so numbers
+/// round-trip exactly and `"8"` is distinguishable from `8`.
+class JsonObject {
+public:
+  /// Parse one flat object. Throws util::IoError on malformed input,
+  /// nesting, or duplicate keys.
+  static JsonObject parse(const std::string& line);
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields_.count(key) != 0;
+  }
+  /// Required accessors throw util::IoError when missing or mistyped —
+  /// the service turns that into an error response for the client.
+  [[nodiscard]] std::string str(const std::string& key) const;
+  [[nodiscard]] std::int64_t num(const std::string& key) const;
+  [[nodiscard]] double fnum(const std::string& key) const;
+  [[nodiscard]] bool boolean(const std::string& key) const;
+  /// Optional accessors.
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t num_or(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double fnum_or(const std::string& key, double fallback) const;
+
+private:
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull };
+  struct Value {
+    Kind kind = Kind::kNull;
+    std::string text;  // raw for numbers, decoded for strings
+  };
+  std::map<std::string, Value> fields_;
+};
+
+/// Incremental writer for one flat JSON object line.
+class JsonWriter {
+public:
+  JsonWriter() : out_("{") {}
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value);
+  JsonWriter& field(const std::string& key, std::int64_t value);
+  JsonWriter& field(const std::string& key, std::uint64_t value);
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, bool value);
+  /// Finish and return the line (no trailing newline).
+  [[nodiscard]] std::string done();
+
+private:
+  void sep();
+  std::string out_;
+  bool first_ = true;
+};
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string json_escape(const std::string& s);
+
+}  // namespace traced

@@ -4,11 +4,16 @@
 // would. Tool paths are injected by CMake (PILOT_TOOL_DIR).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "clog2/clog2.hpp"
 #include "pilot/pi.hpp"
@@ -16,7 +21,9 @@
 #include "replay/crosscheck.hpp"
 #include "replay/prl.hpp"
 #include "slog2/slog2.hpp"
+#include "traced/protocol.hpp"
 #include "util/fs.hpp"
+#include "util/net.hpp"
 #include "workloads/collision_app.hpp"
 
 #ifndef PILOT_TOOL_DIR
@@ -500,6 +507,124 @@ TEST(Tools, TraceCheckReplayCrossCheck) {
   EXPECT_EQ(run_status(tool("pilot-tracecheck") + " --replay=/nonexistent.prl " +
                            clog, &out), 2);
   EXPECT_NE(out.find("error"), std::string::npos) << out;
+}
+
+TEST(Tools, TracedLiveIngestMatchesOfflinePipeline) {
+  // The streaming pipeline end-to-end through the real binaries:
+  // pilot-tracegen --stream paces a CLOG-2 byte stream into a FIFO that
+  // pilot-traced ingests as a live session; a protocol client watches the
+  // session fill, renders mid-run, and finalizes — and the finalized
+  // SLOG-2 file, its jumpshot render, and the tracecheck verdict must all
+  // match the offline pilot-clog2toslog2 pipeline over the same trace.
+  util::TempDir dir;
+  const std::string fifo = dir.file("in.fifo").string();
+  const std::string sock = dir.file("d.sock").string();
+  const std::string off_clog = dir.file("off.clog2").string();
+  const std::string off_slog = dir.file("off.slog2").string();
+  const std::string live_slog = dir.file("live.slog2").string();
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0) << std::strerror(errno);
+
+  // Offline reference: tracegen is seed-deterministic, so this file holds
+  // the exact bytes the --stream run below will emit.
+  const std::string gen_args = " --events=4000 --ranks=4 --seed=33 --quiet";
+  std::string out;
+  ASSERT_EQ(run_status(tool("pilot-tracegen") + " " + off_clog + gen_args, &out),
+            0) << out;
+  ASSERT_EQ(run_status(tool("pilot-clog2toslog2") + " " + off_clog + " --out=" +
+                           off_slog + " --threads=2 --quiet", &out), 0) << out;
+
+  // Daemon with the FIFO attached as session "run1"; a tight disorder
+  // bound (tracegen streams are sorted) keeps the live view current.
+  std::thread daemon([&] {
+    run_cmd(tool("pilot-traced") + " --socket=" + sock + " --ingest=run1:" +
+            fifo + " --workers=2 --disorder=0.000001 --quiet");
+  });
+  // Paced streamer: ~2000 records/s makes the run last about two seconds,
+  // long enough to observe the session mid-stream.
+  std::thread streamer([&] {
+    run_cmd(tool("pilot-tracegen") + " " + fifo + gen_args + " --stream=2000");
+  });
+
+  util::UnixConn conn;
+  for (int i = 0; i < 100 && !conn.valid(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    try {
+      conn = util::UnixConn::connect_to(sock);
+    } catch (const util::Error&) {
+    }
+  }
+  ASSERT_TRUE(conn.valid()) << "pilot-traced never opened its socket";
+
+  auto request = [&](const std::string& line) {
+    conn.write_line(line);
+    std::string resp;
+    EXPECT_TRUE(conn.read_line(&resp)) << "daemon hung up on: " << line;
+    return traced::JsonObject::parse(resp);
+  };
+
+  ASSERT_TRUE(request(R"({"op":"ping"})").boolean("ok"));
+
+  // Wait until ingest has visibly started, then render mid-run.
+  bool saw_live = false;
+  for (int i = 0; i < 100 && !saw_live; ++i) {
+    const auto st = request(R"({"op":"status","session":"run1"})");
+    if (st.boolean("ok") && st.num_or("records", 0) > 0 &&
+        st.str("phase") == "open")
+      saw_live = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(saw_live) << "never observed the session mid-stream";
+  const auto mid = request(R"({"op":"render","session":"run1","width":640})");
+  ASSERT_TRUE(mid.boolean("ok"));
+  EXPECT_NE(mid.str("svg").find("<svg"), std::string::npos);
+  EXPECT_TRUE(request(R"({"op":"query","session":"run1","kind":"legend"})")
+                  .boolean("ok"));
+
+  // Wait for the writer to close the FIFO and the stream to complete.
+  std::string phase;
+  for (int i = 0; i < 300 && phase != "complete"; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    phase = request(R"({"op":"status","session":"run1","sync":true})").str("phase");
+  }
+  ASSERT_EQ(phase, "complete") << "stream never completed";
+
+  // Finalize: byte-identical to the offline converter (defaults match
+  // pilot-clog2toslog2's; thread count provably does not affect bytes).
+  const auto fin = request(traced::JsonWriter()
+                               .field("op", "finalize")
+                               .field("session", "run1")
+                               .field("out", live_slog)
+                               .done());
+  ASSERT_TRUE(fin.boolean("ok"));
+  EXPECT_EQ(util::read_file(live_slog), util::read_file(off_slog));
+
+  ASSERT_TRUE(request(R"({"op":"shutdown"})").boolean("ok"));
+  conn.close();
+  daemon.join();
+  streamer.join();
+
+  // Downstream agreement: identical renders and tracecheck verdicts.
+  const std::string svg_live = dir.file("live.svg").string();
+  const std::string svg_off = dir.file("off.svg").string();
+  // Fixed --title: jumpshot otherwise embeds the (differing) input path.
+  ASSERT_EQ(run_status(tool("pilot-jumpshot") + " " + live_slog +
+                           " --title=run --out=" + svg_live, &out), 0) << out;
+  ASSERT_EQ(run_status(tool("pilot-jumpshot") + " " + off_slog +
+                           " --title=run --out=" + svg_off, &out), 0) << out;
+  EXPECT_EQ(util::read_text_file(svg_live), util::read_text_file(svg_off));
+
+  // The streamed bytes ARE off_clog (seed determinism), so tracecheck's
+  // verdict on it is the verdict for the ingested trace; pin that it runs
+  // and is deterministic across two invocations.
+  std::string verdict1, verdict2;
+  const int rc1 = run_status(tool("pilot-tracecheck") + " --json " + off_clog,
+                             &verdict1);
+  const int rc2 = run_status(tool("pilot-tracecheck") + " --json " + off_clog,
+                             &verdict2);
+  EXPECT_LE(rc1, 1);
+  EXPECT_EQ(rc1, rc2);
+  EXPECT_EQ(verdict1, verdict2);
 }
 
 }  // namespace

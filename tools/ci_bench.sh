@@ -16,6 +16,12 @@
 # nonzero if the truncated rank fails to top the suspect list, so this leg
 # guards localization correctness too.
 #
+# A fourth gate runs bench_traced and compares single-session streaming
+# ingest throughput against bench/baseline_traced.json; the bench itself
+# exits nonzero when the online converter's output diverges from the
+# offline converter or its live memory exceeds the documented bound, so
+# this leg guards the pilot-traced correctness canaries too.
+#
 # The bench itself also exits nonzero if either determinism invariant breaks
 # (k-way merge vs sort path, or the thread sweep), so this leg guards
 # correctness as well as speed.
@@ -34,7 +40,7 @@ for arg in "$@"; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale bench_tracediff
+cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale bench_tracediff bench_traced
 
 # Run in a scratch dir so bench_out/ does not pollute the source tree.
 RUN_DIR=$(mktemp -d)
@@ -100,6 +106,30 @@ CUR_DIFF_INT=$(printf '%.0f' "$CUR_DIFF")
 BASE_DIFF_INT=$(printf '%.0f' "$BASE_DIFF")
 if [ $((CUR_DIFF_INT * 2)) -lt "$BASE_DIFF_INT" ]; then
   echo "FAIL: tracediff throughput regressed >2x vs baseline" >&2
+  exit 1
+fi
+
+# Streaming-ingest gate: the online converter must keep its byte-identity
+# canary (the bench exits nonzero otherwise), stay within its live-memory
+# bound, and hold single-session ingest throughput within 2x of baseline.
+(cd "$RUN_DIR" && "$OLDPWD/build/bench/bench_traced" --small="$SMALL")
+
+MATCHES=$(sed -n 's/^  "online_matches_offline": \(.*\),*$/\1/p' \
+  "$RUN_DIR/bench_out/BENCH_traced.json" | tr -d ',')
+[ "$MATCHES" = "true" ] || {
+  echo "FAIL: online conversion diverged from offline" >&2; exit 1; }
+
+CUR_ING=$(json_num "$RUN_DIR/bench_out/BENCH_traced.json" ingest_records_per_sec_single)
+BASE_ING=$(json_num bench/baseline_traced.json ingest_records_per_sec_single)
+[ -n "$CUR_ING" ] || { echo "FAIL: no ingest throughput in bench output" >&2; exit 1; }
+[ -n "$BASE_ING" ] || {
+  echo "FAIL: no ingest throughput in bench/baseline_traced.json" >&2; exit 1; }
+
+echo "traced ingest throughput: current ${CUR_ING} records/s, baseline ${BASE_ING} records/s"
+CUR_ING_INT=$(printf '%.0f' "$CUR_ING")
+BASE_ING_INT=$(printf '%.0f' "$BASE_ING")
+if [ $((CUR_ING_INT * 2)) -lt "$BASE_ING_INT" ]; then
+  echo "FAIL: traced ingest throughput regressed >2x vs baseline" >&2
   exit 1
 fi
 echo "perf smoke leg OK"

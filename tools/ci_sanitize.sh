@@ -23,13 +23,17 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
   --target pilot_replay_test mpisim_test fault_test fault_chaos_test \
-  pipeline_scale_test pilot_tasks_scale_test tracediff_localize_test
+  pipeline_scale_test pilot_tasks_scale_test tracediff_localize_test \
+  traced_test
 # 'Mpisim' also picks up the MpisimTasks fiber-substrate suite, and
 # TasksSubstrate runs the threads-vs-tasks comparison under TSan (the fiber
 # side is annotated via __tsan_*_fiber). The thousand-rank TasksScale suite
 # stays out by name — sanitizer slowdown would make it a timeout, not a test.
 # 'TraceDiffLocalize' diffs whole faulted pilot jobs against their clean
 # twin, driving the analyzer from the same process that ran the rank threads.
+# 'Traced\.' covers the pilot-traced session/pool concurrency (8 producer
+# threads + a query thread over the ingest worker pool); its million-event
+# TracedScale sibling stays out by name like the other heavy suites.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --preset sanitize-thread \
-  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.' "$@"
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.|Traced\.' "$@"

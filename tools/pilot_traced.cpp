@@ -1,0 +1,120 @@
+// pilot-traced: streaming trace ingest service.
+//
+// Listens on an AF_UNIX socket for the newline-delimited JSON protocol
+// (docs/TRACED.md): clients open sessions, feed CLOG-2 bytes, run windowed
+// renders and rollup queries against the still-running conversion, and
+// finalize sessions into SLOG-2 files byte-identical to the offline
+// pilot-clog2toslog2 output. --ingest attaches FIFO/file sources directly,
+// so `pilot-tracegen --stream > fifo` (or a real run's log writer) needs
+// no protocol client at all.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "traced/service.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::vector<traced::FifoIngest> parse_ingests(const std::string& spec) {
+  // NAME:PATH[,NAME:PATH...]
+  std::vector<traced::FifoIngest> out;
+  for (const std::string& part : util::split(spec, ',')) {
+    if (part.empty()) continue;
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == part.size())
+      throw util::UsageError("--ingest expects NAME:PATH, got '" + part + "'");
+    traced::FifoIngest fi;
+    fi.session = part.substr(0, colon);
+    fi.path = part.substr(colon + 1);
+    out.push_back(std::move(fi));
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.has("help") || !args.has("socket")) {
+    std::fprintf(
+        stderr,
+        "usage: %s --socket=PATH [--workers=N] [--ttl=SECONDS]\n"
+        "       [--spill-dir=DIR] [--framesize=BYTES] [--maxdepth=N]\n"
+        "       [--threads=N] [--seal=BYTES] [--disorder=SECONDS]\n"
+        "       [--max-sessions=N] [--ingest=NAME:PATH[,NAME:PATH...]] [--quiet]\n"
+        "  Serves the pilot-traced NDJSON protocol on an AF_UNIX socket.\n"
+        "  --ingest attaches FIFO or file sources as named sessions.\n",
+        args.program().c_str());
+    return 2;
+  }
+
+  traced::ServiceOptions opts;
+  const std::string socket_path = args.get_or("socket", "");
+  opts.workers = static_cast<std::size_t>(args.get_int_or("workers", 4));
+  opts.ttl = args.get_double_or("ttl", opts.ttl);
+  opts.max_sessions =
+      static_cast<std::size_t>(args.get_int_or("max-sessions", 64));
+  opts.online.convert.frame_size = static_cast<std::uint64_t>(
+      args.get_int_or("framesize",
+                      static_cast<std::int64_t>(opts.online.convert.frame_size)));
+  opts.online.convert.max_depth =
+      static_cast<int>(args.get_int_or("maxdepth", opts.online.convert.max_depth));
+  opts.online.convert.threads =
+      static_cast<int>(args.get_int_or("threads", opts.online.convert.threads));
+  opts.online.seal_bytes = static_cast<std::uint64_t>(
+      args.get_int_or("seal", static_cast<std::int64_t>(opts.online.seal_bytes)));
+  opts.online.max_disorder = args.get_double_or("disorder", opts.online.max_disorder);
+  opts.online.spill_dir = args.get_or("spill-dir", "");
+  const bool quiet = args.has("quiet");
+  const std::string ingest_spec = args.get_or("ingest", "");
+  for (const auto& k : args.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", k.c_str());
+    return 2;
+  }
+
+  const std::vector<traced::FifoIngest> fifos = parse_ingests(ingest_spec);
+  traced::Service service(opts);
+  util::UnixListener listener((std::filesystem::path(socket_path)));
+
+  // Idle-session sweeper; granularity ttl/4, clamped to [0.5s, 30s].
+  std::thread sweeper([&service] {
+    const double ttl = service.options().ttl;
+    const auto period = std::chrono::duration<double>(
+        std::min(30.0, std::max(0.5, ttl / 4.0)));
+    while (!service.shutdown_requested()) {
+      std::this_thread::sleep_for(period);
+      service.sessions().evict_idle(service.now(), ttl);
+    }
+  });
+
+  if (!quiet) {
+    std::printf("pilot-traced listening on %s (%zu workers, ttl %.0fs)\n",
+                socket_path.c_str(), service.options().workers,
+                service.options().ttl);
+    std::fflush(stdout);
+  }
+  traced::serve(service, listener, fifos, [&](const std::string& msg) {
+    if (!quiet) {
+      std::printf("pilot-traced: %s\n", msg.c_str());
+      std::fflush(stdout);
+    }
+  });
+  sweeper.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
