@@ -40,3 +40,5 @@ pilot_add_bench(bench_tracediff bench_tracediff.cpp
   pilot_analyze pilot_tracegen)
 pilot_add_bench(bench_traced bench_traced.cpp
   pilot_traced pilot_tracegen)
+pilot_add_bench(bench_compress bench_compress.cpp
+  pilot_slog2 pilot_query pilot_tracegen)

@@ -427,6 +427,7 @@ File convert(const clog2::File& in, const ConvertOptions& opts,
   File out;
   out.nranks = in.nranks;
   out.frame_size = opts.frame_size;
+  out.encoding = opts.encoding;
 
   // --- category table -------------------------------------------------------
   out.categories.push_back(

@@ -1,0 +1,225 @@
+#include "slog2/frame_codec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace slog2::detail {
+
+namespace {
+
+// Cheapest possible per-element sizes, used to bound the untrusted counts
+// before reserving: every column contributes at least one byte per element.
+constexpr std::size_t kMinStateBytes = 7;  // cat rank depth start end slen elen
+constexpr std::size_t kMinEventBytes = 4;  // cat rank time tlen
+constexpr std::size_t kMinArrowBytes = 6;  // src dst tag size start end
+
+// --- time columns -----------------------------------------------------------
+// Trace timestamps overwhelmingly sit on a clock grid: every finite value in
+// a column is k * 2^e for one column-wide tick exponent e and a per-value
+// integer k, because timers tick at a fixed resolution. The column codec
+// sniffs that grid and stores integer tick deltas (kTimeGrid) — one or two
+// bytes per timestamp on dense traces instead of the ~six a raw mantissa
+// delta costs. Columns that are not grid-exact (NaN, infinities, negative
+// zero, or full-entropy mantissas whose tick integers would overflow int64)
+// fall back to the lossless bit-pattern delta chain (kTimeRaw). The mode and
+// the exponent are pure functions of the column values — e is the smallest
+// set-bit exponent across the column — so decode followed by re-encode is
+// byte-identical.
+constexpr std::uint8_t kTimeRaw = 0;
+constexpr std::uint8_t kTimeGrid = 1;
+
+constexpr std::uint64_t kFracMask = (std::uint64_t{1} << 52) - 1;
+
+/// Exponent of the lowest set bit of `t` (i.e. the largest e with t an odd
+/// multiple of 2^e), or no value when `t` cannot live on any binary grid
+/// (non-finite, or -0.0 which would decode as +0.0). Exact zero reports no
+/// constraint: it sits on every grid.
+std::optional<int> grid_exponent(double t) {
+  const auto bits = std::bit_cast<std::uint64_t>(t);
+  const auto raw_exp = static_cast<int>((bits >> 52) & 0x7FF);
+  const std::uint64_t frac = bits & kFracMask;
+  if (raw_exp == 0x7FF) return std::nullopt;  // inf / NaN
+  if ((bits << 1) == 0) {
+    if (bits != 0) return std::nullopt;  // -0.0 is not k * 2^e for integer k
+    return std::numeric_limits<int>::max();
+  }
+  const std::uint64_t mant = raw_exp == 0 ? frac : frac | (std::uint64_t{1} << 52);
+  const int base = (raw_exp == 0 ? 1 : raw_exp) - 1075;
+  return base + std::countr_zero(mant);
+}
+
+template <typename GetTime>
+void encode_time_column(util::ByteWriter& w, std::size_t n, GetTime get) {
+  if (n == 0) return;
+  bool grid = true;
+  int e = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < n && grid; ++i) {
+    const std::optional<int> ge = grid_exponent(get(i));
+    if (!ge) grid = false;
+    else if (*ge < e) e = *ge;
+  }
+  if (e == std::numeric_limits<int>::max()) e = 0;  // all-zero column
+  // Every tick integer must fit int64 exactly; a column mixing tiny ticks
+  // with large magnitudes cannot, and takes the raw chain instead.
+  for (std::size_t i = 0; i < n && grid; ++i) {
+    if (!(std::abs(std::ldexp(get(i), -e)) < 9223372036854775808.0))
+      grid = false;
+  }
+  if (grid) {
+    w.u8(kTimeGrid);
+    util::put_svarint(w, e);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::uint64_t>(
+          std::llrint(std::ldexp(get(i), -e)));
+      util::put_svarint(w, static_cast<std::int64_t>(k - prev));
+      prev = k;
+    }
+  } else {
+    w.u8(kTimeRaw);
+    util::F64DeltaEncoder enc;
+    for (std::size_t i = 0; i < n; ++i) enc.put(w, get(i));
+  }
+}
+
+template <typename SetTime>
+void decode_time_column(util::ByteReader& r, std::size_t n, SetTime set) {
+  if (n == 0) return;
+  const std::uint8_t mode = r.u8();
+  if (mode == kTimeGrid) {
+    const int e = util::get_svarint32(r);
+    std::uint64_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      k += static_cast<std::uint64_t>(util::get_svarint(r));
+      set(i, std::ldexp(static_cast<double>(static_cast<std::int64_t>(k)), e));
+    }
+  } else if (mode == kTimeRaw) {
+    util::F64DeltaDecoder dec;
+    for (std::size_t i = 0; i < n; ++i) set(i, dec.get(r));
+  } else {
+    throw util::IoError(
+        "slog2: v2 frame time column carries unknown mode byte");
+  }
+}
+
+/// Read a column of `n` text lengths, then hand out the concatenated bytes
+/// one string at a time. Lengths are validated against the remaining input
+/// as they are consumed (take() throws on overrun), so a hostile length
+/// column cannot force a giant allocation.
+std::vector<std::uint32_t> read_lengths(util::ByteReader& r, std::size_t n) {
+  std::vector<std::uint32_t> lens;
+  lens.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lens.push_back(util::get_varint32(r));
+  return lens;
+}
+
+std::string read_text(util::ByteReader& r, std::uint32_t len) {
+  const std::uint8_t* p = r.take(len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+}  // namespace
+
+void encode_drawables_v2(util::ByteWriter& w,
+                         const std::vector<StateDrawable>& states,
+                         const std::vector<EventDrawable>& events,
+                         const std::vector<ArrowDrawable>& arrows) {
+  util::put_varint(w, states.size());
+  util::put_varint(w, events.size());
+  util::put_varint(w, arrows.size());
+
+  // States: one column per field. The delta chains restart per column (and
+  // per payload), so every payload decodes independently.
+  for (const auto& s : states) util::put_svarint(w, s.category_id);
+  for (const auto& s : states) util::put_svarint(w, s.rank);
+  for (const auto& s : states) util::put_svarint(w, s.depth);
+  encode_time_column(w, states.size(),
+                     [&](std::size_t i) { return states[i].start_time; });
+  encode_time_column(w, states.size(),
+                     [&](std::size_t i) { return states[i].end_time; });
+  for (const auto& s : states) util::put_varint(w, s.start_text.size());
+  for (const auto& s : states) util::put_varint(w, s.end_text.size());
+  for (const auto& s : states) w.raw(s.start_text.data(), s.start_text.size());
+  for (const auto& s : states) w.raw(s.end_text.data(), s.end_text.size());
+
+  // Events.
+  for (const auto& e : events) util::put_svarint(w, e.category_id);
+  for (const auto& e : events) util::put_svarint(w, e.rank);
+  encode_time_column(w, events.size(),
+                     [&](std::size_t i) { return events[i].time; });
+  for (const auto& e : events) util::put_varint(w, e.text.size());
+  for (const auto& e : events) w.raw(e.text.data(), e.text.size());
+
+  // Arrows.
+  for (const auto& a : arrows) util::put_svarint(w, a.src_rank);
+  for (const auto& a : arrows) util::put_svarint(w, a.dst_rank);
+  for (const auto& a : arrows) util::put_svarint(w, a.tag);
+  for (const auto& a : arrows) util::put_varint(w, a.size);
+  encode_time_column(w, arrows.size(),
+                     [&](std::size_t i) { return arrows[i].start_time; });
+  encode_time_column(w, arrows.size(),
+                     [&](std::size_t i) { return arrows[i].end_time; });
+}
+
+void decode_drawables_v2(util::ByteReader& r,
+                         std::vector<StateDrawable>* states,
+                         std::vector<EventDrawable>* events,
+                         std::vector<ArrowDrawable>* arrows) {
+  const std::size_t ns = r.checked_count(util::get_varint(r), kMinStateBytes);
+  const std::size_t ne = r.checked_count(util::get_varint(r), kMinEventBytes);
+  const std::size_t na = r.checked_count(util::get_varint(r), kMinArrowBytes);
+
+  const std::size_t s0 = states->size();
+  states->resize(s0 + ns);
+  for (std::size_t i = 0; i < ns; ++i)
+    (*states)[s0 + i].category_id = util::get_svarint32(r);
+  for (std::size_t i = 0; i < ns; ++i)
+    (*states)[s0 + i].rank = util::get_svarint32(r);
+  for (std::size_t i = 0; i < ns; ++i)
+    (*states)[s0 + i].depth = util::get_svarint32(r);
+  decode_time_column(r, ns,
+                     [&](std::size_t i, double t) { (*states)[s0 + i].start_time = t; });
+  decode_time_column(r, ns,
+                     [&](std::size_t i, double t) { (*states)[s0 + i].end_time = t; });
+  const std::vector<std::uint32_t> slens = read_lengths(r, ns);
+  const std::vector<std::uint32_t> elens = read_lengths(r, ns);
+  for (std::size_t i = 0; i < ns; ++i)
+    (*states)[s0 + i].start_text = read_text(r, slens[i]);
+  for (std::size_t i = 0; i < ns; ++i)
+    (*states)[s0 + i].end_text = read_text(r, elens[i]);
+
+  const std::size_t e0 = events->size();
+  events->resize(e0 + ne);
+  for (std::size_t i = 0; i < ne; ++i)
+    (*events)[e0 + i].category_id = util::get_svarint32(r);
+  for (std::size_t i = 0; i < ne; ++i)
+    (*events)[e0 + i].rank = util::get_svarint32(r);
+  decode_time_column(r, ne,
+                     [&](std::size_t i, double t) { (*events)[e0 + i].time = t; });
+  const std::vector<std::uint32_t> tlens = read_lengths(r, ne);
+  for (std::size_t i = 0; i < ne; ++i)
+    (*events)[e0 + i].text = read_text(r, tlens[i]);
+
+  const std::size_t a0 = arrows->size();
+  arrows->resize(a0 + na);
+  for (std::size_t i = 0; i < na; ++i)
+    (*arrows)[a0 + i].src_rank = util::get_svarint32(r);
+  for (std::size_t i = 0; i < na; ++i)
+    (*arrows)[a0 + i].dst_rank = util::get_svarint32(r);
+  for (std::size_t i = 0; i < na; ++i)
+    (*arrows)[a0 + i].tag = util::get_svarint32(r);
+  for (std::size_t i = 0; i < na; ++i)
+    (*arrows)[a0 + i].size = util::get_varint32(r);
+  decode_time_column(r, na,
+                     [&](std::size_t i, double t) { (*arrows)[a0 + i].start_time = t; });
+  decode_time_column(r, na,
+                     [&](std::size_t i, double t) { (*arrows)[a0 + i].end_time = t; });
+}
+
+}  // namespace slog2::detail

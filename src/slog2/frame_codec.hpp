@@ -1,0 +1,36 @@
+// The v2 (columnar delta-varint) drawable codec shared by the SLOG-2
+// serializer (frame payloads) and the traced OnlineConverter (sealed
+// chunks). Layout, varint rules, and the loud-failure contract are
+// documented in docs/FORMATS.md ("v2 frame payloads").
+//
+// Internal like the rest of slog2::detail: the stable surface is slog2.hpp
+// (ConvertOptions::encoding / ReadOptions). Do not include this header
+// outside src/slog2 and src/traced.
+#pragma once
+
+#include <vector>
+
+#include "slog2/slog2.hpp"
+#include "util/bytebuf.hpp"
+
+namespace slog2::detail {
+
+/// Append the v2 encoding of the three drawable lists to `w`:
+/// varint counts, then per-kind columns (small ints as zigzag varints,
+/// times as per-column f64 bit-deltas, texts as a length column plus the
+/// concatenated bytes).
+void encode_drawables_v2(util::ByteWriter& w,
+                         const std::vector<StateDrawable>& states,
+                         const std::vector<EventDrawable>& events,
+                         const std::vector<ArrowDrawable>& arrows);
+
+/// Decode one v2 payload, appending to the output vectors. Strict: hostile
+/// counts, overlong or >64-bit varints, out-of-range 32-bit fields, and
+/// truncation all throw util::IoError. Consumes exactly the payload (the
+/// caller checks at_end() where trailing bytes are illegal).
+void decode_drawables_v2(util::ByteReader& r,
+                         std::vector<StateDrawable>* states,
+                         std::vector<EventDrawable>* events,
+                         std::vector<ArrowDrawable>* arrows);
+
+}  // namespace slog2::detail

@@ -1,10 +1,20 @@
-// SLOG-2 binary serialization, version 3: header, category table, stats,
-// frame directory (intervals, tree links, payload extents, previews), then
-// a blob of independently decodable frame payloads. The directory enables
-// the Navigator's partial loading.
+// SLOG-2 binary serialization: header, category table, stats, frame
+// directory (intervals, tree links, payload extents, previews), then a blob
+// of independently decodable frame payloads. The directory enables the
+// Navigator's partial loading.
+//
+// Two file versions share that skeleton byte for byte; only the version
+// field and the payload bytes differ:
+//   version 3 — v1 payloads (fixed-width rows, the original format),
+//   version 4 — one frame-encoding byte (must be 2) follows the version,
+//               and payloads use the columnar delta-varint v2 codec
+//               (frame_codec.hpp, documented in docs/FORMATS.md).
+// A v1-only reader sees version 4 and fails loudly ("unsupported version");
+// this reader accepts both unless ReadOptions::require_encoding pins one.
 #include <array>
 #include <fstream>
 
+#include "slog2/frame_codec.hpp"
 #include "slog2/slog2.hpp"
 #include "util/fs.hpp"
 #include "util/streamio.hpp"
@@ -15,7 +25,8 @@ namespace slog2 {
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'P', 'S', 'L', 'O', 'G', '2', '\0', '\0'};
-constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersionV1 = 3;
+constexpr std::uint32_t kVersionV2 = 4;
 
 void write_preview(util::ByteWriter& w, const Preview& pv) {
   w.i32(pv.nbuckets);
@@ -65,7 +76,7 @@ Preview read_preview(Reader& r) {
 
 // A frame payload: the drawables only (interval/depth/preview/links live in
 // the directory), independently decodable.
-void write_payload(util::ByteWriter& w, const Frame& f) {
+void write_payload_v1(util::ByteWriter& w, const Frame& f) {
   w.u32(static_cast<std::uint32_t>(f.states.size()));
   for (const auto& s : f.states) {
     w.i32(s.category_id);
@@ -94,8 +105,15 @@ void write_payload(util::ByteWriter& w, const Frame& f) {
   }
 }
 
+void write_payload(util::ByteWriter& w, const Frame& f, FrameEncoding enc) {
+  if (enc == FrameEncoding::kV2)
+    detail::encode_drawables_v2(w, f.states, f.events, f.arrows);
+  else
+    write_payload_v1(w, f);
+}
+
 template <typename Reader>
-void read_payload(Reader& r, Frame* f) {
+void read_payload_v1(Reader& r, Frame* f) {
   // Drawable counts are untrusted; bound each by the remaining bytes at the
   // smallest conceivable per-entry size before reserving.
   const std::size_t nstates = r.checked_count(r.u32(), 4);
@@ -133,6 +151,16 @@ void read_payload(Reader& r, Frame* f) {
     a.size = r.u32();
     f->arrows.push_back(a);
   }
+}
+
+// Payloads are always decoded from contiguous bytes (parse()'s blob, the
+// Navigator's mapped buffer, stream_text's per-frame read), so the dispatch
+// takes a ByteReader, not the Reader template the header paths use.
+void read_payload(util::ByteReader& r, Frame* f, FrameEncoding enc) {
+  if (enc == FrameEncoding::kV2)
+    detail::decode_drawables_v2(r, &f->states, &f->events, &f->arrows);
+  else
+    read_payload_v1(r, f);
 }
 
 void write_stats(util::ByteWriter& w, const ConvertStats& st) {
@@ -185,7 +213,13 @@ std::int32_t flatten(const Frame& f, std::vector<FlatNode>& out) {
 
 void write_header(util::ByteWriter& w, const File& file) {
   w.raw(kMagic.data(), kMagic.size());
-  w.u32(kVersion);
+  if (file.encoding == FrameEncoding::kV2) {
+    w.u32(kVersionV2);
+    w.u8(static_cast<std::uint8_t>(FrameEncoding::kV2));
+  } else {
+    // v1 files stay byte-identical to what version 3 always wrote.
+    w.u32(kVersionV1);
+  }
   w.i32(file.nranks);
   w.f64(file.t_min);
   w.f64(file.t_max);
@@ -202,6 +236,7 @@ void write_header(util::ByteWriter& w, const File& file) {
 }
 
 struct Header {
+  FrameEncoding encoding = FrameEncoding::kV1;
   std::int32_t nranks = 0;
   double t_min = 0.0, t_max = 0.0;
   std::uint64_t frame_size = 0;
@@ -210,16 +245,29 @@ struct Header {
 };
 
 template <typename Reader>
-Header read_header(Reader& r) {
+Header read_header(Reader& r, const ReadOptions& ro) {
   const std::uint8_t* magic = r.take(kMagic.size());
   for (std::size_t i = 0; i < kMagic.size(); ++i)
     if (magic[i] != static_cast<std::uint8_t>(kMagic[i]))
       throw util::IoError("slog2: bad magic (not an SLOG-2 file)");
   const std::uint32_t version = r.u32();
-  if (version != kVersion)
-    throw util::IoError(util::strprintf("slog2: unsupported version %u", version));
-
   Header h;
+  if (version == kVersionV1) {
+    h.encoding = FrameEncoding::kV1;
+  } else if (version == kVersionV2) {
+    const std::uint8_t enc = r.u8();
+    if (enc != static_cast<std::uint8_t>(FrameEncoding::kV2))
+      throw util::IoError(util::strprintf(
+          "slog2: version 4 header carries unknown frame encoding %u", enc));
+    h.encoding = FrameEncoding::kV2;
+  } else {
+    throw util::IoError(util::strprintf("slog2: unsupported version %u", version));
+  }
+  if (ro.require_encoding && *ro.require_encoding != h.encoding)
+    throw util::IoError(util::strprintf(
+        "slog2: frame-encoding mismatch: file uses %s frame payloads but the "
+        "reader was forced to %s",
+        to_string(h.encoding), to_string(*ro.require_encoding)));
   h.nranks = r.i32();
   h.t_min = r.f64();
   h.t_max = r.f64();
@@ -246,6 +294,17 @@ Header read_header(Reader& r) {
 
 }  // namespace
 
+const char* to_string(FrameEncoding e) {
+  return e == FrameEncoding::kV2 ? "v2" : "v1";
+}
+
+FrameEncoding parse_frame_encoding(std::string_view name) {
+  if (name == "v1") return FrameEncoding::kV1;
+  if (name == "v2") return FrameEncoding::kV2;
+  throw util::UsageError("unknown frame encoding '" + std::string(name) +
+                         "' (expected v1 or v2)");
+}
+
 std::vector<std::uint8_t> serialize(const File& file) {
   util::ByteWriter w;
   write_header(w, file);
@@ -266,7 +325,7 @@ std::vector<std::uint8_t> serialize(const File& file) {
   extents.reserve(nodes.size());
   for (const FlatNode& n : nodes) {
     const std::uint64_t begin = blob.size();
-    write_payload(blob, *n.frame);
+    write_payload(blob, *n.frame, file.encoding);
     extents.emplace_back(begin, blob.size() - begin);
   }
 
@@ -287,11 +346,12 @@ std::vector<std::uint8_t> serialize(const File& file) {
   return w.take();
 }
 
-File parse(const std::vector<std::uint8_t>& bytes) {
+File parse(const std::vector<std::uint8_t>& bytes, const ReadOptions& ro) {
   util::ByteReader r(bytes);
-  const Header h = read_header(r);
+  const Header h = read_header(r, ro);
 
   File file;
+  file.encoding = h.encoding;
   file.nranks = h.nranks;
   file.t_min = h.t_min;
   file.t_max = h.t_max;
@@ -346,7 +406,7 @@ File parse(const std::vector<std::uint8_t>& bytes) {
     if (m.length > blob_len || m.offset > blob_len - m.length)
       throw util::IoError("slog2: frame payload extent out of range");
     util::ByteReader pr(blob + m.offset, m.length);
-    read_payload(pr, f.get());
+    read_payload(pr, f.get(), h.encoding);
     if (!pr.at_end()) throw util::IoError("slog2: frame payload has trailing bytes");
     frames.push_back(std::move(f));
   }
@@ -365,22 +425,25 @@ void write_file(const std::filesystem::path& path, const File& file) {
   util::write_file(path, serialize(file));
 }
 
-File read_file(const std::filesystem::path& path) {
-  return parse(util::read_file(path));
+File read_file(const std::filesystem::path& path, const ReadOptions& ro) {
+  return parse(util::read_file(path), ro);
 }
 
 // --- Navigator ---------------------------------------------------------------
 
-Navigator::Navigator(const std::filesystem::path& path) {
-  load(util::read_file(path));
+Navigator::Navigator(const std::filesystem::path& path, const ReadOptions& ro) {
+  load(util::read_file(path), ro);
 }
 
-Navigator::Navigator(std::vector<std::uint8_t> bytes) { load(std::move(bytes)); }
+Navigator::Navigator(std::vector<std::uint8_t> bytes, const ReadOptions& ro) {
+  load(std::move(bytes), ro);
+}
 
-void Navigator::load(std::vector<std::uint8_t> bytes) {
+void Navigator::load(std::vector<std::uint8_t> bytes, const ReadOptions& ro) {
   bytes_ = std::move(bytes);
   util::ByteReader r(bytes_);
-  const Header h = read_header(r);
+  const Header h = read_header(r, ro);
+  encoding_ = h.encoding;
   nranks_ = h.nranks;
   t_min_ = h.t_min;
   t_max_ = h.t_max;
@@ -436,7 +499,7 @@ const Frame& Navigator::frame(std::size_t index) {
     slot->depth = e.depth;
     util::ByteReader pr(bytes_.data() + blob_base_ + e.offset,
                         static_cast<std::size_t>(e.length));
-    read_payload(pr, slot.get());
+    read_payload(pr, slot.get(), encoding_);
   }
   return *slot;
 }
@@ -487,7 +550,8 @@ std::uint64_t Navigator::window_payload_bytes(double a, double b) const {
 }
 
 void stream_text(const std::filesystem::path& path, bool dump_drawables,
-                 const std::function<void(const std::string&)>& sink) {
+                 const std::function<void(const std::string&)>& sink,
+                 const ReadOptions& ro) {
   struct Meta {
     double t0 = 0.0, t1 = 0.0;
     std::int32_t left = -1, right = -1;
@@ -502,7 +566,7 @@ void stream_text(const std::filesystem::path& path, bool dump_drawables,
   // payloads decoded one frame at a time instead of all at once.
   {
     util::FileByteReader r(path);
-    h = read_header(r);
+    h = read_header(r, ro);
     const std::uint32_t node_count =
         static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
     metas.reserve(node_count);
@@ -539,7 +603,7 @@ void stream_text(const std::filesystem::path& path, bool dump_drawables,
                                      "slog2: frame payload");
     Frame f;
     util::ByteReader pr(bytes);
-    read_payload(pr, &f);
+    read_payload(pr, &f, h.encoding);
     if (!pr.at_end())
       throw util::IoError("slog2: frame payload has trailing bytes");
     return f;

@@ -20,7 +20,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "clog2/clog2.hpp"
@@ -28,6 +30,27 @@
 namespace slog2 {
 
 enum class CategoryKind : std::uint8_t { kState = 0, kEvent = 1, kArrow = 2 };
+
+/// Frame payload encodings. kV1 is the original fixed-width row format
+/// (file version 3, unchanged byte for byte). kV2 stores each payload as
+/// per-field columns with delta-varint timestamps and varint small ints
+/// (file version 4 + an encoding byte). Readers decode both transparently;
+/// a v1-only reader sees version 4 and fails with a named diagnostic.
+enum class FrameEncoding : std::uint8_t { kV1 = 1, kV2 = 2 };
+
+/// "v1" / "v2".
+const char* to_string(FrameEncoding e);
+/// Parse "v1"/"v2" (throws util::UsageError on anything else).
+FrameEncoding parse_frame_encoding(std::string_view name);
+
+/// Reader-side constraints, threaded through parse()/read_file()/Navigator/
+/// stream_text().
+struct ReadOptions {
+  /// When set, a file whose frame encoding differs is rejected with a named
+  /// util::IoError instead of being decoded — this is how
+  /// `pilot-slog2print --frame-encoding=v1` models a v1-only reader.
+  std::optional<FrameEncoding> require_encoding;
+};
 
 /// Drawable category: what the Jumpshot legend lists (icon colour, name,
 /// per-kind statistics).
@@ -125,6 +148,9 @@ struct File {
   double t_min = 0.0;
   double t_max = 0.0;
   std::uint64_t frame_size = 0;  ///< conversion parameter used
+  /// Frame payload encoding used by serialize() (and reported by parse()).
+  /// Drawables in memory are identical either way; only the bytes differ.
+  FrameEncoding encoding = FrameEncoding::kV1;
   std::vector<Category> categories;
   ConvertStats stats;
   std::unique_ptr<Frame> root;
@@ -153,6 +179,10 @@ struct ConvertOptions {
   /// message matching, per-frame preview fills). 0 = hardware concurrency.
   /// Output is byte-identical at any value.
   int threads = 0;
+  /// Frame payload encoding for the serialized output. Does not affect the
+  /// in-memory File beyond File::encoding: the frame tree, previews, and
+  /// drawables are identical for both (frame_size counts logical v1 bytes).
+  FrameEncoding encoding = FrameEncoding::kV1;
 };
 
 /// Convert a CLOG-2 trace. Conversion never fails on a "non well-behaved"
@@ -161,14 +191,15 @@ struct ConvertOptions {
 File convert(const clog2::File& in, const ConvertOptions& opts = {},
              std::vector<std::string>* warnings = nullptr);
 
-// On-disk layout (version 3): header + category table + stats + a frame
-// DIRECTORY (per-node interval, tree links, and byte extents) + a payload
-// blob. The directory is what lets a viewer load only the frames its zoom
-// window needs — the defining property of real SLOG-2.
+// On-disk layout (version 3 = v1 payloads, version 4 = v2 payloads; see
+// docs/FORMATS.md): header + category table + stats + a frame DIRECTORY
+// (per-node interval, tree links, and byte extents) + a payload blob. The
+// directory is what lets a viewer load only the frames its zoom window
+// needs — the defining property of real SLOG-2.
 std::vector<std::uint8_t> serialize(const File& file);
-File parse(const std::vector<std::uint8_t>& bytes);
+File parse(const std::vector<std::uint8_t>& bytes, const ReadOptions& ro = {});
 void write_file(const std::filesystem::path& path, const File& file);
-File read_file(const std::filesystem::path& path);
+File read_file(const std::filesystem::path& path, const ReadOptions& ro = {});
 
 /// Lazy reader: parses the header and frame directory eagerly but decodes
 /// frame payloads only when a query touches them (decoded frames are
@@ -177,9 +208,10 @@ File read_file(const std::filesystem::path& path);
 /// frames, not all of them.
 class Navigator {
 public:
-  explicit Navigator(const std::filesystem::path& path);
-  explicit Navigator(std::vector<std::uint8_t> bytes);
+  explicit Navigator(const std::filesystem::path& path, const ReadOptions& ro = {});
+  explicit Navigator(std::vector<std::uint8_t> bytes, const ReadOptions& ro = {});
 
+  [[nodiscard]] FrameEncoding encoding() const { return encoding_; }
   [[nodiscard]] std::int32_t nranks() const { return nranks_; }
   [[nodiscard]] double t_min() const { return t_min_; }
   [[nodiscard]] double t_max() const { return t_max_; }
@@ -225,11 +257,12 @@ private:
     Preview preview;  // small; kept eagerly for zoomed-out rendering
   };
 
-  void load(std::vector<std::uint8_t> bytes);
+  void load(std::vector<std::uint8_t> bytes, const ReadOptions& ro);
   const Frame& frame(std::size_t index);
 
   std::vector<std::uint8_t> bytes_;
   std::size_t blob_base_ = 0;
+  FrameEncoding encoding_ = FrameEncoding::kV1;
   std::int32_t nranks_ = 0;
   double t_min_ = 0.0;
   double t_max_ = 0.0;
@@ -251,6 +284,7 @@ std::string to_text(const File& file, bool dump_drawables = false);
 /// throws util::IoError before any output is emitted. Output is
 /// byte-identical to to_text(read_file(path), dump_drawables).
 void stream_text(const std::filesystem::path& path, bool dump_drawables,
-                 const std::function<void(const std::string&)>& sink);
+                 const std::function<void(const std::string&)>& sink,
+                 const ReadOptions& ro = {});
 
 }  // namespace slog2

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <limits>
 
+#include "slog2/frame_codec.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
@@ -231,6 +232,14 @@ void OnlineConverter::maybe_seal() {
 }
 
 std::vector<std::uint8_t> OnlineConverter::encode_tail() const {
+  // Sealed chunks use the session's frame encoding: the v2 codec is
+  // lossless, so finalize() stays byte-identical to the offline converter
+  // regardless of how many chunks the stream sealed.
+  if (opts_.convert.encoding == slog2::FrameEncoding::kV2) {
+    util::ByteWriter w;
+    detail2::encode_drawables_v2(w, tail_states_, tail_events_, tail_arrows_);
+    return w.take();
+  }
   util::ByteWriter w;
   w.u64(tail_states_.size());
   w.u64(tail_events_.size());
@@ -313,6 +322,10 @@ slog2::detail::Collected OnlineConverter::decode_chunk(std::size_t index) {
   }
   util::ByteReader r(*src);
   detail2::Collected out;
+  if (opts_.convert.encoding == slog2::FrameEncoding::kV2) {
+    detail2::decode_drawables_v2(r, &out.states, &out.events, &out.arrows);
+    return out;
+  }
   const std::size_t ns = r.checked_count(r.u64(), 1);
   const std::size_t ne = r.checked_count(r.u64(), 1);
   const std::size_t na = r.checked_count(r.u64(), 1);
@@ -434,6 +447,7 @@ slog2::File OnlineConverter::snapshot() {
   slog2::File out;
   out.nranks = nranks_;
   out.frame_size = opts_.convert.frame_size;
+  out.encoding = opts_.convert.encoding;
   out.categories = categories_;
   fill_pairing_stats(out.stats);
   detail2::Collected items = collect_all();
@@ -456,6 +470,7 @@ slog2::File OnlineConverter::finalize(std::vector<std::string>* warnings) {
   slog2::File out;
   out.nranks = nranks_;
   out.frame_size = opts_.convert.frame_size;
+  out.encoding = opts_.convert.encoding;
   out.categories = categories_;
   fill_pairing_stats(out.stats);
 

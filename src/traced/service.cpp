@@ -107,6 +107,8 @@ std::string Service::dispatch(
     o.seal_bytes = static_cast<std::uint64_t>(
         req.num_or("seal", static_cast<std::int64_t>(o.seal_bytes)));
     o.max_disorder = req.fnum_or("disorder", o.max_disorder);
+    o.convert.encoding = slog2::parse_frame_encoding(
+        req.str_or("encoding", slog2::to_string(o.convert.encoding)));
     auto s = sessions_.open(name, o);
     s->touch(req.fnum_or("now", now()));
     return JsonWriter().field("ok", true).field("session", name).done();
@@ -260,6 +262,14 @@ std::string Service::dispatch(
   if (op == "finalize") {
     auto s = need_session();
     pool_.drain();  // every queued chunk must be applied before finalizing
+    // Zero sealed chunks on a non-empty stream means the whole trace sat in
+    // the in-memory tail: almost always a --seal / --disorder setting that
+    // never triggered for this trace's time scale (e.g. a millisecond-long
+    // tracegen stream against the 0.05 s default disorder window). Surface
+    // it as a hint, not a converter warning — the warnings vector must stay
+    // identical to the offline converter's.
+    const Session::Status pre = s->status();
+    const bool zero_seal = pre.usage.sealed_chunks == 0 && pre.records > 0;
     const std::string out_path = req.str_or("out", "");
     std::vector<std::string> warnings;
     JsonWriter w;
@@ -276,8 +286,18 @@ std::string Service::dispatch(
           .field("frames", file.stats.frames)
           .field("clean", file.stats.clean())
           .field("warnings", static_cast<std::uint64_t>(warnings.size()));
+      if (zero_seal)
+        w.field("hint",
+                std::string("finalize sealed 0 chunks; the entire stream was "
+                            "buffered in memory (consider a smaller --seal or "
+                            "--disorder for this trace's time scale)"));
       if (!out_path.empty()) w.field("out", out_path);
     });
+    if (zero_seal)
+      log("finalize " + s->name() +
+          ": sealed 0 chunks; entire stream was buffered in memory "
+          "(consider a smaller --seal or --disorder for this trace's "
+          "time scale)");
     return w.done();
   }
 

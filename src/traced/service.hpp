@@ -54,13 +54,24 @@ public:
   [[nodiscard]] IngestPool& pool() { return pool_; }
   [[nodiscard]] const ServiceOptions& options() const { return opts_; }
 
+  /// Receives one line per operational warning (currently: a finalize that
+  /// sealed zero chunks). pilot-traced points this at its event log; tests
+  /// capture it. Call before serving — not synchronized against handle().
+  void set_logger(std::function<void(const std::string&)> logger) {
+    logger_ = std::move(logger);
+  }
+
 private:
   std::string dispatch(const std::string& line,
                        const std::function<bool(void*, std::size_t)>& read_payload);
+  void log(const std::string& msg) const {
+    if (logger_) logger_(msg);
+  }
 
   ServiceOptions opts_;
   SessionManager sessions_;
   IngestPool pool_;
+  std::function<void(const std::string&)> logger_;
   std::atomic<bool> shutdown_{false};
 };
 

@@ -1,5 +1,7 @@
 #include "tracegen/tracegen.hpp"
 
+#include <cmath>
+#include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -16,6 +18,17 @@ constexpr const char* kColors[] = {"red",    "green",  "blue",   "yellow",
                                    "cyan",   "magenta", "orange", "gray",
                                    "purple", "pink"};
 constexpr std::size_t kNColors = sizeof(kColors) / sizeof(kColors[0]);
+
+// Real clocks tick. Every clock value is rounded to a 2^-24 s grid (~60 ns,
+// the resolution class of the timers finish_log records); a binary tick keeps
+// each timestamp exactly representable as a double, so the emitted stream is
+// what a finite-resolution timer would have produced rather than a sequence
+// of full-entropy mantissas.
+constexpr int kClockTickBits = 24;
+
+double quantize(double t) {
+  return std::ldexp(std::round(std::ldexp(t, kClockTickBits)), -kClockTickBits);
+}
 
 struct PendingMsg {
   double arrival = 0.0;
@@ -93,14 +106,20 @@ clog2::File generate(const Options& opts) {
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> ready;
   for (std::int32_t r = 0; r < opts.nranks; ++r) {
     ranks[static_cast<std::size_t>(r)].clock =
-        rng[static_cast<std::size_t>(r)].uniform() * opts.mean_step;
+        quantize(rng[static_cast<std::size_t>(r)].uniform() * opts.mean_step);
     ready.emplace(ranks[static_cast<std::size_t>(r)].clock, r);
   }
 
   std::uint64_t emitted = 0;
   auto advance = [&](std::int32_t r) {
     auto& st = ranks[static_cast<std::size_t>(r)];
-    st.clock += rng[static_cast<std::size_t>(r)].uniform(0.5, 1.5) * opts.mean_step;
+    const double next = quantize(
+        st.clock + rng[static_cast<std::size_t>(r)].uniform(0.5, 1.5) * opts.mean_step);
+    // A mean_step below the tick can round the increment away; force strict
+    // progress (off-grid, but the generator must terminate for any options).
+    st.clock = next > st.clock
+                   ? next
+                   : std::nextafter(st.clock, std::numeric_limits<double>::infinity());
     ready.emplace(st.clock, r);
   };
 
@@ -160,8 +179,8 @@ clog2::File generate(const Options& opts) {
       out.records.emplace_back(rec);
       ++emitted;
       ranks[static_cast<std::size_t>(dst)].inbox.push(
-          PendingMsg{t + rnd.uniform(0.2, 5.0) * opts.mean_step, r, rec.tag,
-                     rec.size});
+          PendingMsg{quantize(t + rnd.uniform(0.2, 5.0) * opts.mean_step), r,
+                     rec.tag, rec.size});
     } else if (opts.solo_categories > 0 && rnd.chance(opts.solo_fraction)) {
       const int cat = static_cast<int>(
           rnd.below(static_cast<std::uint64_t>(opts.solo_categories)));

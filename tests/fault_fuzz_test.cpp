@@ -24,9 +24,12 @@
 #include "clog2/clog2.hpp"
 #include "mpe/mpe.hpp"
 #include "replay/prl.hpp"
+#include "slog2/frame_codec.hpp"
 #include "slog2/slog2.hpp"
+#include "util/bytebuf.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
+#include "util/varint.hpp"
 
 #ifndef PILOT_TOOL_DIR
 #error "PILOT_TOOL_DIR must be defined by the build"
@@ -125,6 +128,87 @@ TEST(FuzzParsers, Slog2SurvivesTruncationAndBitFlips) {
               [](const std::vector<std::uint8_t>& b) { slog2::parse(b); });
 }
 
+TEST(FuzzParsers, Slog2V2SurvivesTruncationAndBitFlips) {
+  fuzz_format("tiny.v2.slog2",
+              [](const std::vector<std::uint8_t>& b) { slog2::parse(b); });
+}
+
+// The v2 payload codec's varint layer, fed hostile encodings directly.
+// Every rejection must be a util::Error with the overrun caught before any
+// allocation or write — the sanitizer presets run this suite too.
+TEST(FuzzParsers, HostileVarintsRejected) {
+  const auto decode = [](const std::vector<std::uint8_t>& b) {
+    util::ByteReader r(b);
+    return util::get_varint(r);
+  };
+  // Canonical encodings round-trip.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{1} << 32, ~std::uint64_t{0}}) {
+    util::ByteWriter w;
+    util::put_varint(w, v);
+    EXPECT_EQ(decode(w.bytes()), v);
+  }
+  // Overlong (non-canonical) encoding of 0 and of 1.
+  EXPECT_THROW(decode({0x80, 0x00}), util::Error);
+  EXPECT_THROW(decode({0x81, 0x80, 0x00}), util::Error);
+  // 10-byte encoding whose final byte pushes past 64 bits.
+  EXPECT_THROW(decode({0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                       0x02}),
+               util::Error);
+  // Continuation bit never drops: reader runs past 10 bytes.
+  EXPECT_THROW(decode({0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                       0xff, 0xff, 0x01}),
+               util::Error);
+  // Truncated mid-varint.
+  EXPECT_THROW(decode({0xff}), util::Error);
+  EXPECT_THROW(decode({}), util::Error);
+  // 32-bit field decoders refuse silent truncation.
+  {
+    util::ByteWriter w;
+    util::put_varint(w, std::uint64_t{1} << 40);
+    util::ByteReader r(w.bytes());
+    EXPECT_THROW(util::get_varint32(r), util::Error);
+  }
+  {
+    util::ByteWriter w;
+    util::put_svarint(w, std::int64_t{1} << 40);
+    util::ByteReader r(w.bytes());
+    EXPECT_THROW(util::get_svarint32(r), util::Error);
+  }
+}
+
+// Hostile drawable counts in a v2 payload: a count claiming more elements
+// than the remaining bytes could hold must be rejected up front (no giant
+// resize), and text lengths past the payload end must throw, not read OOB.
+TEST(FuzzParsers, HostileV2CountsRejected) {
+  const auto decode = [](const std::vector<std::uint8_t>& payload) {
+    util::ByteReader r(payload);
+    std::vector<slog2::StateDrawable> s;
+    std::vector<slog2::EventDrawable> e;
+    std::vector<slog2::ArrowDrawable> a;
+    slog2::detail::decode_drawables_v2(r, &s, &e, &a);
+  };
+  {
+    util::ByteWriter w;  // claims 2^40 states in a payload of a few bytes
+    util::put_varint(w, std::uint64_t{1} << 40);
+    util::put_varint(w, 0);
+    util::put_varint(w, 0);
+    EXPECT_THROW(decode(w.bytes()), util::Error);
+  }
+  {
+    util::ByteWriter w;  // one event whose text length runs past the end
+    util::put_varint(w, 0);
+    util::put_varint(w, 1);
+    util::put_varint(w, 0);
+    util::put_svarint(w, 1);                    // cat
+    util::put_svarint(w, 0);                    // rank
+    util::put_varint(w, 0);                     // time delta
+    util::put_varint(w, std::uint64_t{1} << 20);  // text length: hostile
+    EXPECT_THROW(decode(w.bytes()), util::Error);
+  }
+}
+
 TEST(FuzzParsers, PrlSurvivesTruncationAndBitFlips) {
   fuzz_format("tiny.prl",
               [](const std::vector<std::uint8_t>& b) { replay::parse(b); });
@@ -200,6 +284,45 @@ TEST(FuzzTools, Slog2PrintNeverCrashes) {
                    [](const std::vector<std::uint8_t>& x) { slog2::parse(x); },
                    b);
              }});
+}
+
+TEST(FuzzTools, Slog2PrintV2NeverCrashes) {
+  fuzz_tool({"tiny.v2.slog2", "pilot-slog2print",
+             [](const std::vector<std::uint8_t>& b) {
+               return parses(
+                   [](const std::vector<std::uint8_t>& x) { slog2::parse(x); },
+                   b);
+             }});
+}
+
+// Version-mismatch contract: a v1-only reader (modeled by forcing
+// --frame-encoding=v1) must refuse a v2 file with a named diagnostic and a
+// nonzero exit — never decode garbage. And symmetrically for forced v2.
+TEST(FuzzTools, Slog2PrintForcedEncodingMismatchFailsLoudly) {
+  std::string out;
+  int status = run_status(tool("pilot-slog2print") + " --frame-encoding=v1 " +
+                              fixture("tiny.v2.slog2").string(),
+                          &out);
+  EXPECT_NE(status, 0) << out;
+  EXPECT_NE(out.find("frame-encoding mismatch"), std::string::npos) << out;
+
+  status = run_status(tool("pilot-slog2print") + " --frame-encoding=v2 " +
+                          fixture("tiny.slog2").string(),
+                      &out);
+  EXPECT_NE(status, 0) << out;
+  EXPECT_NE(out.find("frame-encoding mismatch"), std::string::npos) << out;
+
+  // Matching forces succeed.
+  EXPECT_EQ(run_status(tool("pilot-slog2print") + " --frame-encoding=v2 " +
+                           fixture("tiny.v2.slog2").string(),
+                       &out),
+            0)
+      << out;
+  EXPECT_EQ(run_status(tool("pilot-slog2print") + " --frame-encoding=v1 " +
+                           fixture("tiny.slog2").string(),
+                       &out),
+            0)
+      << out;
 }
 
 TEST(FuzzTools, ReplayPrintNeverCrashes) {

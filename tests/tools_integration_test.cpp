@@ -24,6 +24,7 @@
 #include "traced/protocol.hpp"
 #include "util/fs.hpp"
 #include "util/net.hpp"
+#include "util/strings.hpp"
 #include "workloads/collision_app.hpp"
 
 #ifndef PILOT_TOOL_DIR
@@ -625,6 +626,115 @@ TEST(Tools, TracedLiveIngestMatchesOfflinePipeline) {
   EXPECT_LE(rc1, 1);
   EXPECT_EQ(rc1, rc2);
   EXPECT_EQ(verdict1, verdict2);
+}
+
+TEST(Tools, TracedigestEndToEndOnV2) {
+  // The summary pipeline as a user runs it: synthesize, convert with the
+  // columnar v2 frames, digest. The digest must be deterministic at the
+  // binary level and honor its byte budget exactly.
+  util::TempDir dir;
+  const std::string clog = dir.file("gen.clog2").string();
+  const std::string slog = dir.file("gen.slog2").string();
+  std::string out;
+  ASSERT_EQ(run_status(tool("pilot-tracegen") + " " + clog +
+                           " --events=20000 --ranks=8 --seed=5 --quiet", &out), 0)
+      << out;
+  ASSERT_EQ(run_status(tool("pilot-clog2toslog2") + " " + clog + " --out=" + slog +
+                           " --frame-encoding=v2 --quiet", &out), 0)
+      << out;
+
+  std::string digest1, digest2;
+  ASSERT_EQ(run_status(tool("pilot-tracedigest") + " " + slog + " --budget=2048",
+                       &digest1), 0) << digest1;
+  EXPECT_LE(digest1.size(), 2048U);
+  EXPECT_NE(digest1.find("v2 payloads"), std::string::npos) << digest1;
+  EXPECT_NE(digest1.find("ranks:"), std::string::npos) << digest1;
+  ASSERT_EQ(run_status(tool("pilot-tracedigest") + " " + slog + " --budget=2048",
+                       &digest2), 0);
+  EXPECT_EQ(digest1, digest2) << "digest is not deterministic";
+
+  std::string json;
+  ASSERT_EQ(run_status(tool("pilot-tracedigest") + " " + slog +
+                           " --json --budget=600", &json), 0) << json;
+  EXPECT_LE(json.size(), 600U);
+  EXPECT_EQ(json.front(), '{') << json;
+
+  // Unknown flags are rejected loudly, not ignored.
+  EXPECT_NE(run_status(tool("pilot-tracedigest") + " " + slog + " --bogus=1",
+                       &out), 0);
+}
+
+constexpr int kDigestWorkers = 3;
+constexpr int kDigestRounds = 12;
+PI_CHANNEL* g_dig_to[kDigestWorkers];
+PI_CHANNEL* g_dig_from[kDigestWorkers];
+
+int digest_farm_worker(int index, void*) {
+  for (int r = 0; r < kDigestRounds; ++r) {
+    int base = 0;
+    PI_Read(g_dig_to[index], "%d", &base);
+    PI_Write(g_dig_from[index], "%d", base * 2);
+  }
+  return 0;
+}
+
+TEST(Tools, TracedigestSurfacesInjectedDelayFault) {
+  // A targeted delay= fault plan on one worker of a deterministic farm (the
+  // tasks substrate makes the injected jitter exact virtual time) must show
+  // up in the digest's anomaly section naming the victim rank.
+  util::TempDir dir;
+  constexpr int kVictim = 2;
+  const auto res = pilot::run(
+      {"prog", "-piexec=tasks", "-pisvc=j", "-piwatchdog=30",
+       "-piout=" + dir.path().string(), "-piname=delayed",
+       util::strprintf("-pifault=seed=7;delay=1:5@%d", kVictim)},
+      [](int argc, char** argv) {
+        PI_Configure(&argc, &argv);
+        for (int i = 0; i < kDigestWorkers; ++i) {
+          PI_PROCESS* w = PI_CreateProcess(digest_farm_worker, i, nullptr);
+          g_dig_to[i] = PI_CreateChannel(PI_MAIN, w);
+          g_dig_from[i] = PI_CreateChannel(w, PI_MAIN);
+        }
+        PI_StartAll();
+        for (int r = 0; r < kDigestRounds; ++r) {
+          for (int i = 0; i < kDigestWorkers; ++i)
+            PI_Write(g_dig_to[i], "%d", r * 10 + i);
+          for (int i = 0; i < kDigestWorkers; ++i) {
+            int v = 0;
+            PI_Read(g_dig_from[i], "%d", &v);
+          }
+        }
+        PI_StopMain(0);
+        return 0;
+      });
+  ASSERT_FALSE(res.aborted);
+
+  const std::string slog = dir.file("delayed.slog2").string();
+  std::string out;
+  // Exit 3 = converted with warnings (a faulted run is rarely "clean");
+  // anything else is a real failure.
+  const int conv_rc = run_status(
+      tool("pilot-clog2toslog2") + " " + dir.file("delayed.clog2").string() +
+          " --out=" + slog + " --frame-encoding=v2 --quiet", &out);
+  ASSERT_TRUE(conv_rc == 0 || conv_rc == 3) << conv_rc << "\n" << out;
+  std::string digest;
+  ASSERT_EQ(run_status(tool("pilot-tracedigest") + " " + slog + " --budget=8192",
+                       &digest), 0) << digest;
+
+  // Extract the anomaly section and look for the victim inside it.
+  const std::size_t anom = digest.find("anomalies (");
+  ASSERT_NE(anom, std::string::npos) << digest;
+  const std::size_t ranks = digest.find("ranks:", anom);
+  ASSERT_NE(ranks, std::string::npos) << digest;
+  const std::string section = digest.substr(anom, ranks - anom);
+  const std::string victim = util::strprintf("rank %d ", kVictim);
+  const std::string victim_edge_in = util::strprintf("->%d ", kVictim);
+  const std::string victim_edge_out = util::strprintf("edge %d->", kVictim);
+  EXPECT_TRUE(section.find(victim) != std::string::npos ||
+              section.find(victim_edge_in) != std::string::npos ||
+              section.find(victim_edge_out) != std::string::npos)
+      << "victim rank " << kVictim << " absent from anomaly section:\n"
+      << digest;
 }
 
 }  // namespace

@@ -578,6 +578,57 @@ TEST(Traced, ServiceFailedStreamSurfacesError) {
                    .boolean("ok"));
 }
 
+TEST(Traced, ServiceWarnsWhenFinalizeSealedNothing) {
+  // A short trace under the default 50ms reorder window never seals a
+  // chunk: the whole stream sat in memory and --seal silently did nothing.
+  // finalize must say so — a "hint" field in the response plus one logger
+  // line — without touching the warnings list (that stays byte-identical
+  // to the offline conversion).
+  const auto bytes = tracegen_bytes(3000, 4, 9);
+  auto feed_and_finalize = [&](traced::OnlineOptions oo,
+                               std::vector<std::string>* log) {
+    traced::ServiceOptions so;
+    so.workers = 1;
+    so.online = oo;
+    traced::Service svc(so);
+    svc.set_logger([log](const std::string& msg) { log->push_back(msg); });
+    ProtoClient client(svc);
+    EXPECT_TRUE(client.request(R"({"op":"open","session":"r"})").boolean("ok"));
+    EXPECT_TRUE(client
+                    .request(traced::JsonWriter()
+                                 .field("op", "feed")
+                                 .field("session", "r")
+                                 .field("bytes",
+                                        static_cast<std::uint64_t>(bytes.size()))
+                                 .done(),
+                             bytes)
+                    .boolean("ok"));
+    (void)client.request(R"({"op":"status","session":"r","sync":true})");
+    return client.request(R"({"op":"finalize","session":"r"})");
+  };
+
+  traced::OnlineOptions buffered;
+  buffered.seal_bytes = 4 * 1024;  // would seal, if anything were admitted
+  std::vector<std::string> log;
+  const auto resp = feed_and_finalize(buffered, &log);
+  ASSERT_TRUE(resp.boolean("ok"));
+  ASSERT_TRUE(resp.has("hint"));
+  EXPECT_NE(resp.str("hint").find("sealed 0 chunks"), std::string::npos);
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_NE(log[0].find("sealed 0 chunks"), std::string::npos);
+  EXPECT_NE(log[0].find("--seal"), std::string::npos);
+
+  // Same stream with a disorder bound matched to the trace's time scale:
+  // chunks seal, and the hint must not appear.
+  traced::OnlineOptions sealing = buffered;
+  sealing.max_disorder = 1e-6;
+  std::vector<std::string> log2;
+  const auto resp2 = feed_and_finalize(sealing, &log2);
+  ASSERT_TRUE(resp2.boolean("ok"));
+  EXPECT_FALSE(resp2.has("hint"));
+  EXPECT_TRUE(log2.empty());
+}
+
 TEST(TracedScale, MillionEventByteIdentityAcrossChunkSizes) {
   util::TempDir tmp("traced");
   const auto bytes = tracegen_bytes(1000000, 16, 42);

@@ -22,6 +22,11 @@
 # offline converter or its live memory exceeds the documented bound, so
 # this leg guards the pilot-traced correctness canaries too.
 #
+# A fifth gate runs bench_compress and holds the v2 frame-payload
+# compression ratio to its absolute 3x floor plus the usual 2x decode
+# throughput margin against bench/baseline_compress.json; the bench exits
+# nonzero if the v1 and v2 rollups disagree, guarding codec correctness.
+#
 # The bench itself also exits nonzero if either determinism invariant breaks
 # (k-way merge vs sort path, or the thread sweep), so this leg guards
 # correctness as well as speed.
@@ -40,7 +45,7 @@ for arg in "$@"; do
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale bench_tracediff bench_traced
+cmake --build build -j "$(nproc)" --target bench_pipeline_scale bench_world_scale bench_tracediff bench_traced bench_compress
 
 # Run in a scratch dir so bench_out/ does not pollute the source tree.
 RUN_DIR=$(mktemp -d)
@@ -130,6 +135,38 @@ CUR_ING_INT=$(printf '%.0f' "$CUR_ING")
 BASE_ING_INT=$(printf '%.0f' "$BASE_ING")
 if [ $((CUR_ING_INT * 2)) -lt "$BASE_ING_INT" ]; then
   echo "FAIL: traced ingest throughput regressed >2x vs baseline" >&2
+  exit 1
+fi
+
+# Compression gate: the v2 frame-payload ratio must hold its floor (the
+# bench itself exits nonzero if the v1/v2 rollups disagree), and v2 decode
+# throughput gets the usual 2x regression margin. The ratio is a property
+# of the codec, not the machine, so it is gated against an absolute floor
+# rather than the baseline file.
+(cd "$RUN_DIR" && "$OLDPWD/build/bench/bench_compress" \
+  --small="$SMALL" --large=0 --huge=0)
+
+CUR_RATIO=$(json_num "$RUN_DIR/bench_out/BENCH_compress.json" payload_ratio_small)
+[ -n "$CUR_RATIO" ] || { echo "FAIL: no payload ratio in bench output" >&2; exit 1; }
+echo "v2 payload ratio: current ${CUR_RATIO}x (floor 3x)"
+# Portable float-vs-3 compare without bc: scale by 100 via awk.
+CUR_RATIO_X100=$(awk -v r="$CUR_RATIO" 'BEGIN { printf "%.0f", r * 100 }')
+if [ "$CUR_RATIO_X100" -lt 300 ]; then
+  echo "FAIL: v2 frame-payload ratio ${CUR_RATIO}x below the 3x floor" >&2
+  exit 1
+fi
+
+CUR_DEC=$(json_num "$RUN_DIR/bench_out/BENCH_compress.json" decode_mb_per_sec_v2_small)
+BASE_DEC=$(json_num bench/baseline_compress.json decode_mb_per_sec_v2_small)
+[ -n "$CUR_DEC" ] || { echo "FAIL: no v2 decode throughput in bench output" >&2; exit 1; }
+[ -n "$BASE_DEC" ] || {
+  echo "FAIL: no v2 decode throughput in bench/baseline_compress.json" >&2; exit 1; }
+
+echo "v2 decode throughput: current ${CUR_DEC} MB/s, baseline ${BASE_DEC} MB/s"
+CUR_DEC_INT=$(printf '%.0f' "$CUR_DEC")
+BASE_DEC_INT=$(printf '%.0f' "$BASE_DEC")
+if [ $((CUR_DEC_INT * 2)) -lt "$BASE_DEC_INT" ]; then
+  echo "FAIL: v2 decode throughput regressed >2x vs baseline" >&2
   exit 1
 fi
 echo "perf smoke leg OK"

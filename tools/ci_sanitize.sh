@@ -24,7 +24,7 @@ cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
   --target pilot_replay_test mpisim_test fault_test fault_chaos_test \
   pipeline_scale_test pilot_tasks_scale_test tracediff_localize_test \
-  traced_test
+  traced_test slog2_v2_roundtrip_test tracedigest_test
 # 'Mpisim' also picks up the MpisimTasks fiber-substrate suite, and
 # TasksSubstrate runs the threads-vs-tasks comparison under TSan (the fiber
 # side is annotated via __tsan_*_fiber). The thousand-rank TasksScale suite
@@ -34,6 +34,10 @@ cmake --build --preset sanitize-thread -j "$(nproc)" \
 # 'Traced\.' covers the pilot-traced session/pool concurrency (8 producer
 # threads + a query thread over the ingest worker pool); its million-event
 # TracedScale sibling stays out by name like the other heavy suites.
+# 'V2Codec|V2Differential|V2Online' exercise the columnar v2 frame codec
+# through the threaded converter and the online seal path, and 'TraceDigest'
+# drives pilot-tracedigest's analysis over both encodings; the million-event
+# V2Scale sibling stays out by name like the other heavy suites.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --preset sanitize-thread \
-  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.|Traced\.' "$@"
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.|Traced\.|V2Codec|V2Differential|V2Online|TraceDigest' "$@"

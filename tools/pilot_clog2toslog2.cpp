@@ -17,7 +17,8 @@ int run(int argc, char** argv) {
   if (args.positional().size() != 1 || args.has("help")) {
     std::fprintf(stderr,
                  "usage: %s <trace.clog2> [--out=trace.slog2] "
-                 "[--framesize=BYTES] [--maxdepth=N] [--threads=N] [--quiet]\n",
+                 "[--framesize=BYTES] [--maxdepth=N] [--threads=N] "
+                 "[--frame-encoding=v1|v2] [--quiet]\n",
                  args.program().c_str());
     return 2;
   }
@@ -35,6 +36,9 @@ int run(int argc, char** argv) {
   opts.max_depth = static_cast<int>(args.get_int_or("maxdepth", 24));
   // 0 = hardware concurrency; output is byte-identical at any thread count.
   opts.threads = static_cast<int>(args.get_int_or("threads", 0));
+  // v1 = fixed-width record payloads (default, readable by old tools);
+  // v2 = columnar delta-varint payloads (smaller, needs a v2-aware reader).
+  opts.encoding = slog2::parse_frame_encoding(args.get_or("frame-encoding", "v1"));
   const bool quiet = args.has("quiet");
 
   for (const auto& k : args.unused_keys()) {

@@ -8,6 +8,8 @@
 //                         per rank, one message pair, one bubble
 //   tiny.slog2            the same trace through the CLOG-2 -> SLOG-2
 //                         converter
+//   tiny.v2.slog2         the same conversion with the v2 (columnar
+//                         delta-varint) frame payload encoding
 //   tiny.prl              a 2-rank replay log exercising every event kind
 //   salvage.defs.spill    robust-mode spill set for mpe::salvage: the
 //   salvage.rank0.spill   definition stream plus two per-rank record
@@ -210,6 +212,11 @@ int run(int argc, char** argv) {
   const clog2::File tiny = make_tiny_clog2();
   clog2::write_file(dir / "tiny.clog2", tiny);
   slog2::write_file(dir / "tiny.slog2", slog2::convert(tiny));
+  {
+    slog2::ConvertOptions co;
+    co.encoding = slog2::FrameEncoding::kV2;
+    slog2::write_file(dir / "tiny.v2.slog2", slog2::convert(tiny, co));
+  }
   replay::write_file(dir / "tiny.prl", make_tiny_prl());
   make_salvage_spills(dir);
   clog2::write_file(dir / "messy.clog2", make_messy_clog2());
@@ -218,8 +225,8 @@ int run(int argc, char** argv) {
   clog2::write_file(dir / "diffpair.b.clog2", diff_b);
 
   std::printf(
-      "wrote tiny.clog2 tiny.slog2 tiny.prl salvage.*.spill messy.clog2 "
-      "diffpair.{a,b}.clog2 -> %s\n",
+      "wrote tiny.clog2 tiny.slog2 tiny.v2.slog2 tiny.prl salvage.*.spill "
+      "messy.clog2 diffpair.{a,b}.clog2 -> %s\n",
       dir.string().c_str());
   return 0;
 }

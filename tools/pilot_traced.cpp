@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "slog2/slog2.hpp"
 #include "traced/service.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -46,7 +47,8 @@ int run(int argc, char** argv) {
         "usage: %s --socket=PATH [--workers=N] [--ttl=SECONDS]\n"
         "       [--spill-dir=DIR] [--framesize=BYTES] [--maxdepth=N]\n"
         "       [--threads=N] [--seal=BYTES] [--disorder=SECONDS]\n"
-        "       [--max-sessions=N] [--ingest=NAME:PATH[,NAME:PATH...]] [--quiet]\n"
+        "       [--frame-encoding=v1|v2] [--max-sessions=N]\n"
+        "       [--ingest=NAME:PATH[,NAME:PATH...]] [--quiet]\n"
         "  Serves the pilot-traced NDJSON protocol on an AF_UNIX socket.\n"
         "  --ingest attaches FIFO or file sources as named sessions.\n",
         args.program().c_str());
@@ -69,6 +71,8 @@ int run(int argc, char** argv) {
   opts.online.seal_bytes = static_cast<std::uint64_t>(
       args.get_int_or("seal", static_cast<std::int64_t>(opts.online.seal_bytes)));
   opts.online.max_disorder = args.get_double_or("disorder", opts.online.max_disorder);
+  opts.online.convert.encoding =
+      slog2::parse_frame_encoding(args.get_or("frame-encoding", "v1"));
   opts.online.spill_dir = args.get_or("spill-dir", "");
   const bool quiet = args.has("quiet");
   const std::string ingest_spec = args.get_or("ingest", "");
@@ -79,6 +83,12 @@ int run(int argc, char** argv) {
 
   const std::vector<traced::FifoIngest> fifos = parse_ingests(ingest_spec);
   traced::Service service(opts);
+  service.set_logger([&](const std::string& msg) {
+    if (!quiet) {
+      std::printf("pilot-traced: %s\n", msg.c_str());
+      std::fflush(stdout);
+    }
+  });
   util::UnixListener listener((std::filesystem::path(socket_path)));
 
   // Idle-session sweeper; granularity ttl/4, clamped to [0.5s, 30s].

@@ -1,0 +1,57 @@
+// pilot-tracedigest: budgeted summary of an SLOG-2 trace. Where
+// pilot-slog2print dumps structure proportional to the trace,
+// pilot-tracedigest answers "what happened?" in at most --budget bytes:
+// SPMD ranks with identical behavior collapse to one motif line, and
+// stragglers / slow edges are scored and surfaced first. Reads v1 and v2
+// frame encodings transparently.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "digest/digest.hpp"
+#include "slog2/slog2.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().size() != 1 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.slog2> [--budget=BYTES] [--seed=N] "
+                 "[--json] [--t0=T] [--t1=T]\n"
+                 "  Prints a summary guaranteed to fit in --budget bytes "
+                 "(default 4096).\n",
+                 args.program().c_str());
+    return 2;
+  }
+  digest::Options opts;
+  opts.budget = static_cast<std::size_t>(args.get_int_or("budget", 4096));
+  opts.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
+  opts.json = args.has("json");
+  opts.t0 = args.get_double_or("t0", opts.t0);
+  opts.t1 = args.get_double_or("t1", opts.t1);
+  for (const auto& k : args.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", k.c_str());
+    return 2;
+  }
+
+  slog2::Navigator nav{std::filesystem::path(args.positional()[0])};
+  const std::string out = digest::summarize(nav, opts);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  // The budget guarantee covers the digest itself; the shell-friendly
+  // trailing newline for JSON mode is outside it only if room remains.
+  if (opts.json && out.size() < opts.budget) std::fputc('\n', stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
