@@ -42,3 +42,5 @@ pilot_add_bench(bench_traced bench_traced.cpp
   pilot_traced pilot_tracegen)
 pilot_add_bench(bench_compress bench_compress.cpp
   pilot_slog2 pilot_query pilot_tracegen)
+pilot_add_bench(bench_query_scale bench_query_scale.cpp
+  pilot_analyze pilot_query pilot_slog2 pilot_tracegen)

@@ -31,7 +31,7 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   // One pass builds the typed view (definition tables, step stream, span);
   // the causal engine shared with pilot-tracediff does the matching and the
   // vector clocks. The verdict is pinned byte-for-byte by golden tests.
-  const query::Trace trace(file);
+  const query::Trace trace(file, opts.threads);
   const int nranks = trace.nranks();
   if (nranks <= 0) return rep;
 
@@ -69,7 +69,7 @@ Report check_trace(const clog2::File& file, const TraceCheckOptions& opts) {
   }
 
   // --- pass 2: vector clocks over the matched order ------------------------
-  if (query::stamp_clocks(graph))
+  if (query::stamp_clocks(graph, opts.threads))
     rep.add("TC104", Severity::kError,
             "matched messages form a causal cycle; vector clocks are "
             "approximate from here on");

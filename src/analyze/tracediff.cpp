@@ -138,8 +138,8 @@ TraceDiffResult diff_traces(const clog2::File& reference,
   TraceDiffResult res;
   Report& rep = res.report;
 
-  const query::Trace ref(reference);
-  const query::Trace sus(suspect);
+  const query::Trace ref(reference, opts.threads);
+  const query::Trace sus(suspect, opts.threads);
 
   // --- TD101 / TD110: are the runs comparable at all? ----------------------
   if (ref.nranks() != sus.nranks()) {
@@ -368,8 +368,10 @@ TraceDiffResult diff_traces(const clog2::File& reference,
   }
 
   // TD201: edges whose message counts changed.
-  const query::MessageEdges ref_edges = query::message_edges(ref_graph);
-  const query::MessageEdges sus_edges = query::message_edges(sus_graph);
+  const query::MessageEdges ref_edges =
+      query::message_edges(ref_graph, opts.threads);
+  const query::MessageEdges sus_edges =
+      query::message_edges(sus_graph, opts.threads);
   {
     std::set<query::TagKey> keys;
     for (const auto& [k, s] : ref_edges.edges) keys.insert(k);
@@ -404,8 +406,10 @@ TraceDiffResult diff_traces(const clog2::File& reference,
 
   // TD202: state-duration skew per (rank, state).
   {
-    const query::StateDurations ref_dur = query::state_durations(ref);
-    const query::StateDurations sus_dur = query::state_durations(sus);
+    const query::StateDurations ref_dur =
+        query::state_durations(ref, opts.threads);
+    const query::StateDurations sus_dur =
+        query::state_durations(sus, opts.threads);
     int emitted = 0, skipped = 0;
     for (const auto& [key, ss] : sus_dur.by_rank_state) {
       const auto& [r, state_id] = key;
@@ -509,7 +513,7 @@ TraceDiffResult diff_traces(const clog2::File& reference,
                             top.detail.c_str());
       // Corroborate with the causal order: was this rank's divergence point
       // happens-before-minimal among all diverged ranks?
-      query::stamp_clocks(ref_graph);
+      query::stamp_clocks(ref_graph, opts.threads);
       const query::Clock mine =
           stamp_before(ref_graph, top.rank, top.ref_time);
       bool minimal = true;

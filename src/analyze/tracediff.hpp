@@ -35,6 +35,10 @@ struct TraceDiffOptions {
   double duration_ratio = 1.5;
   /// How many ranked suspects to report (TD301 + TD302).
   int top_suspects = 3;
+  /// Worker threads for the trace builds, rollups, and clock replay
+  /// (0 = one per hardware thread). The verdict is byte-identical at any
+  /// value — parallelism never changes the report.
+  int threads = 1;
 };
 
 /// Per-rank comparison outcome.

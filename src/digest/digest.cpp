@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "query/slog2_rollup.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace digest {
@@ -274,6 +275,8 @@ Digest analyze(slog2::Navigator& nav, const Options& opts) {
   std::map<std::pair<std::int32_t, std::int32_t>, EdgeRow> edges;
   std::vector<double> latencies_scratch;
 
+  // Frame decode runs on opts.threads workers; the callbacks below fire
+  // serially in traversal order, so every accumulator sees the serial feed.
   nav.visit_window(
       a, b,
       [&](const slog2::StateDrawable& s) {
@@ -312,7 +315,8 @@ Digest analyze(slog2::Navigator& nav, const Options& opts) {
         ++e.count;
         e.bytes += ar.size;
         e.mean_latency += ar.end_time - ar.start_time;  // sum; divided below
-      });
+      },
+      opts.threads);
 
   // Rank table.
   std::int32_t rank = 0;
@@ -328,7 +332,7 @@ Digest analyze(slog2::Navigator& nav, const Options& opts) {
   }
 
   // Top states by inclusive time (stable tie-break on category id).
-  for (const auto& [cat, tot] : sweep.totals()) {
+  for (const auto& [cat, tot] : sweep.totals(opts.threads)) {
     const slog2::Category* c = nav.category(cat);
     if (!c || c->kind != slog2::CategoryKind::kState) continue;
     StateRow row;
@@ -360,27 +364,45 @@ Digest analyze(slog2::Navigator& nav, const Options& opts) {
             });
 
   // Motifs: collapse each rank's sequence, then dedup identical strings
-  // into rank groups (SPMD ranks collapse to one line).
+  // into rank groups (SPMD ranks collapse to one line). The per-rank sort +
+  // period scans shard across workers (the digest's hot loop on wide
+  // traces); names are resolved up front and the grouping walks ranks in
+  // ascending order, so the result is exactly the serial one.
   {
     std::map<std::int32_t, std::string> names;
-    std::map<std::string, MotifRow> groups;
-    for (auto& [r, seq] : seqs) {
-      std::sort(seq.begin(), seq.end());
-      std::vector<std::int32_t> cats;
-      cats.reserve(seq.size());
-      for (const auto& [t, c] : seq) {
-        cats.push_back(c);
+    for (const auto& [r, seq] : seqs)
+      for (const auto& [t, c] : seq)
         if (!names.count(c)) names[c] = category_name(nav, c);
-      }
-      const std::uint64_t total = seq_total[r];
-      std::string motif =
-          collapse_motif(cats, names, total > kMaxMotifSequence);
-      MotifRow& g = groups[motif];
+
+    std::vector<std::int32_t> motif_ranks;
+    std::vector<std::vector<std::pair<double, std::int32_t>>*> rank_seqs;
+    motif_ranks.reserve(seqs.size());
+    rank_seqs.reserve(seqs.size());
+    for (auto& [r, seq] : seqs) {
+      motif_ranks.push_back(r);
+      rank_seqs.push_back(&seq);
+    }
+    std::vector<std::string> motifs(rank_seqs.size());
+    util::parallel_for(
+        rank_seqs.size(), util::resolve_threads(opts.threads),
+        [&](std::size_t k) {
+          auto& seq = *rank_seqs[k];
+          std::sort(seq.begin(), seq.end());
+          std::vector<std::int32_t> cats;
+          cats.reserve(seq.size());
+          for (const auto& [t, c] : seq) cats.push_back(c);
+          const std::uint64_t total = seq_total.find(motif_ranks[k])->second;
+          motifs[k] = collapse_motif(cats, names, total > kMaxMotifSequence);
+        });
+
+    std::map<std::string, MotifRow> groups;
+    for (std::size_t k = 0; k < rank_seqs.size(); ++k) {
+      MotifRow& g = groups[motifs[k]];
       if (g.ranks.empty()) {
-        g.motif = std::move(motif);
-        g.states = total;
+        g.motif = std::move(motifs[k]);
+        g.states = seq_total.find(motif_ranks[k])->second;
       }
-      g.ranks.push_back(r);
+      g.ranks.push_back(motif_ranks[k]);
     }
     for (auto& [m, g] : groups) d.motifs.push_back(std::move(g));
     std::sort(d.motifs.begin(), d.motifs.end(),

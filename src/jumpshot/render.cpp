@@ -493,9 +493,9 @@ std::string render_svg(slog2::Navigator& nav, const RenderOptions& opts) {
   src.t_min = nav.t_min();
   src.t_max = nav.t_max();
   src.categories = &nav.categories();
-  src.visit = [&nav](double wa, double wb, const StateCb& on_state,
-                     const EventCb& on_event, const ArrowCb& on_arrow) {
-    nav.visit_window(wa, wb, on_state, on_event, on_arrow);
+  src.visit = [&nav, &opts](double wa, double wb, const StateCb& on_state,
+                            const EventCb& on_event, const ArrowCb& on_arrow) {
+    nav.visit_window(wa, wb, on_state, on_event, on_arrow, opts.threads);
   };
   const auto& cats = nav.categories();
   return render_timeline(src, opts, [&cats](std::string& svg, int plot_bottom) {

@@ -35,6 +35,9 @@ struct RenderOptions {
   /// before the render falls back to the stored preview histograms
   /// (outline form) instead of touching leaf payloads at all.
   std::uint64_t lod_payload_budget = 4 * 1024 * 1024;
+  /// Navigator renders only: worker threads for the window's frame decode
+  /// (0 = one per hardware thread). The SVG is byte-identical at any value.
+  int threads = 1;
   std::string title;
   /// Y-axis labels; defaults to "0".."N-1" (PI_SetName feeds real names).
   std::vector<std::string> rank_names;

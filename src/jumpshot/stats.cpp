@@ -7,7 +7,8 @@
 
 namespace jumpshot {
 
-std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort) {
+std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort,
+                                int threads) {
   // Seed one entry per declared category; the accumulation itself is the
   // shared query::LegendSweep engine (same numbers, pinned by goldens).
   std::map<std::int32_t, LegendEntry> by_id;
@@ -24,7 +25,7 @@ std::vector<LegendEntry> legend(const slog2::File& file, LegendSort sort) {
       [&](const slog2::EventDrawable& e) { sweep.add_event(e); },
       [&](const slog2::ArrowDrawable& a) { sweep.add_arrow(a); });
 
-  for (const auto& [id, t] : sweep.totals()) {
+  for (const auto& [id, t] : sweep.totals(threads)) {
     auto it = by_id.find(id);
     if (it == by_id.end()) {
       // Drawables of undeclared categories are dropped from the legend —

@@ -28,8 +28,11 @@ struct LegendEntry {
 enum class LegendSort { kByName, kByCount, kByInclusive, kByExclusive };
 
 /// Legend table over the whole file (every category appears, even unused).
+/// `threads` shards the per-rank nesting sweeps (0 = one per hardware
+/// thread); the table is byte-identical at any value.
 std::vector<LegendEntry> legend(const slog2::File& file,
-                                LegendSort sort = LegendSort::kByName);
+                                LegendSort sort = LegendSort::kByName,
+                                int threads = 1);
 
 /// Per-rank occupancy of one window [a, b]: how the paper's instructor spots
 /// load imbalance "at a glance".

@@ -10,14 +10,22 @@
 // are the repo's working regime (the windowed SLOG-2 path covers the rest),
 // and materialized index vectors keep the combinators debuggable and the
 // copies cheap (4 bytes per step).
+// The fold/filter combinators also come in `threads` overloads: predicates
+// and key extractors run across fixed-size index chunks (boundaries depend
+// on the data, never on the worker count) and the per-chunk results commit
+// in chunk order, so every parallel overload returns exactly what its
+// serial twin returns. Callables handed to the parallel overloads must be
+// safe to invoke concurrently — pure functions of the Step are.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "query/trace.hpp"
+#include "util/parallel.hpp"
 
 namespace query {
 
@@ -56,18 +64,52 @@ class Selection {
     return out;
   }
 
+  /// filter with the predicate applied across `threads` workers; chunk
+  /// outputs concatenate in chunk order, so the selection is identical to
+  /// the serial filter's.
+  template <typename Pred>
+  [[nodiscard]] Selection filter(Pred pred, int threads) const {
+    const int nworkers = util::resolve_threads(threads);
+    if (nworkers <= 1 || idx_.size() < 2 * kParallelChunk)
+      return filter(std::move(pred));
+    const std::size_t nchunks = chunk_count();
+    std::vector<std::vector<std::size_t>> part(nchunks);
+    util::parallel_for(nchunks, nworkers, [&](std::size_t c) {
+      const std::size_t hi = std::min(idx_.size(), (c + 1) * kParallelChunk);
+      std::vector<std::size_t>& keep = part[c];
+      for (std::size_t i = c * kParallelChunk; i < hi; ++i)
+        if (pred(trace_->steps()[idx_[i]])) keep.push_back(idx_[i]);
+    });
+    Selection out(*trace_);
+    std::size_t total = 0;
+    for (const auto& p : part) total += p.size();
+    out.idx_.reserve(total);
+    for (const auto& p : part)
+      out.idx_.insert(out.idx_.end(), p.begin(), p.end());
+    return out;
+  }
+
   /// Steps with `a <= time <= b` (the jumpshot window convention).
   [[nodiscard]] Selection window(double a, double b) const {
+    return window(a, b, 1);
+  }
+
+  [[nodiscard]] Selection window(double a, double b, int threads) const {
     if (b < a) std::swap(a, b);
-    return filter([a, b](const Step& s) { return s.time >= a && s.time <= b; });
+    return filter([a, b](const Step& s) { return s.time >= a && s.time <= b; },
+                  threads);
   }
 
-  [[nodiscard]] Selection kind(StepKind k) const {
-    return filter([k](const Step& s) { return s.kind == k; });
+  [[nodiscard]] Selection kind(StepKind k) const { return kind(k, 1); }
+
+  [[nodiscard]] Selection kind(StepKind k, int threads) const {
+    return filter([k](const Step& s) { return s.kind == k; }, threads);
   }
 
-  [[nodiscard]] Selection messages() const {
-    return filter([](const Step& s) { return s.is_msg(); });
+  [[nodiscard]] Selection messages() const { return messages(1); }
+
+  [[nodiscard]] Selection messages(int threads) const {
+    return filter([](const Step& s) { return s.is_msg(); }, threads);
   }
 
   /// Partition by an arbitrary key; groups keep stream order internally and
@@ -87,10 +129,62 @@ class Selection {
     return out;
   }
 
+  /// group_by with the key extraction sharded across `threads` workers; the
+  /// grouping itself stays serial over the precomputed keys, so insertion
+  /// order — and the result — is exactly the serial one. Keys must be
+  /// default-constructible.
+  template <typename KeyFn>
+  [[nodiscard]] auto group_by(KeyFn key, int threads) const
+      -> std::map<decltype(key(std::declval<const Step&>())), Selection> {
+    using K = decltype(key(std::declval<const Step&>()));
+    const int nworkers = util::resolve_threads(threads);
+    if (nworkers <= 1 || idx_.size() < 2 * kParallelChunk)
+      return group_by(std::move(key));
+    std::vector<K> keys(idx_.size());
+    util::parallel_for(chunk_count(), nworkers, [&](std::size_t c) {
+      const std::size_t hi = std::min(idx_.size(), (c + 1) * kParallelChunk);
+      for (std::size_t i = c * kParallelChunk; i < hi; ++i)
+        keys[i] = key(trace_->steps()[idx_[i]]);
+    });
+    std::map<K, Selection> out;
+    for (std::size_t i = 0; i < idx_.size(); ++i) {
+      auto it = out.find(keys[i]);
+      if (it == out.end())
+        it = out.emplace(std::move(keys[i]), Selection(*trace_)).first;
+      it->second.idx_.push_back(idx_[i]);
+    }
+    return out;
+  }
+
   /// Left fold: `f(acc, const Step&)` over the selection in order.
   template <typename Acc, typename Fn>
   [[nodiscard]] Acc aggregate(Acc acc, Fn f) const {
     for (std::size_t i : idx_) acc = f(std::move(acc), trace_->steps()[i]);
+    return acc;
+  }
+
+  /// Parallel fold: each fixed chunk folds from a default-constructed Acc,
+  /// then the partials merge left-to-right in chunk order via
+  /// `merge(acc, partial)`. Identical to the serial fold whenever
+  /// merge(a, fold(Acc{}, chunk)) == fold(a, chunk) — true for counters and
+  /// other exactly-associative accumulators. Floating-point sums are not
+  /// exactly associative; keep those on the serial overload when the byte
+  /// contract matters.
+  template <typename Acc, typename Fn, typename Merge>
+  [[nodiscard]] Acc aggregate(Acc acc, Fn f, Merge merge, int threads) const {
+    const int nworkers = util::resolve_threads(threads);
+    if (nworkers <= 1 || idx_.size() < 2 * kParallelChunk)
+      return aggregate(std::move(acc), std::move(f));
+    const std::size_t nchunks = chunk_count();
+    std::vector<Acc> part(nchunks);
+    util::parallel_for(nchunks, nworkers, [&](std::size_t c) {
+      const std::size_t hi = std::min(idx_.size(), (c + 1) * kParallelChunk);
+      Acc a{};
+      for (std::size_t i = c * kParallelChunk; i < hi; ++i)
+        a = f(std::move(a), trace_->steps()[idx_[i]]);
+      part[c] = std::move(a);
+    });
+    for (Acc& p : part) acc = merge(std::move(acc), std::move(p));
     return acc;
   }
 
@@ -107,8 +201,33 @@ class Selection {
     return n;
   }
 
+  template <typename Pred>
+  [[nodiscard]] std::size_t count_if(Pred pred, int threads) const {
+    const int nworkers = util::resolve_threads(threads);
+    if (nworkers <= 1 || idx_.size() < 2 * kParallelChunk)
+      return count_if(std::move(pred));
+    const std::size_t nchunks = chunk_count();
+    std::vector<std::size_t> part(nchunks, 0);
+    util::parallel_for(nchunks, nworkers, [&](std::size_t c) {
+      const std::size_t hi = std::min(idx_.size(), (c + 1) * kParallelChunk);
+      for (std::size_t i = c * kParallelChunk; i < hi; ++i)
+        if (pred(trace_->steps()[idx_[i]])) ++part[c];
+    });
+    std::size_t n = 0;
+    for (std::size_t p : part) n += p;
+    return n;
+  }
+
  private:
   explicit Selection(const Trace& trace) : trace_(&trace) {}
+
+  // Shard size for the parallel overloads: fixed, data-position chunks so
+  // the shard boundaries never depend on the worker count.
+  static constexpr std::size_t kParallelChunk = std::size_t{1} << 16;
+
+  [[nodiscard]] std::size_t chunk_count() const {
+    return (idx_.size() + kParallelChunk - 1) / kParallelChunk;
+  }
 
   const Trace* trace_;
   std::vector<std::size_t> idx_;

@@ -1,0 +1,30 @@
+// Window-scoped SLOG-2 sweeps over a Navigator, sharded per frame.
+//
+// legend_window builds one LegendSweep shard per directory frame the window
+// touches — decode (through the shared frame cache), window filtering, and
+// buffering all run in parallel — then absorbs the shards in traversal
+// order, the same drawable feed order Navigator::visit_window produces. The
+// result is therefore byte-identical to a serial visit_window + LegendSweep
+// at any thread count.
+//
+// occupancy_window accumulates into per-rank slots as drawables arrive, an
+// order-sensitive double fold, so it rides visit_window's parallel frame
+// decode and keeps the fold itself serial.
+#pragma once
+
+#include <cstdint>
+
+#include "query/slog2_rollup.hpp"
+#include "slog2/slog2.hpp"
+
+namespace query {
+
+/// Legend sweep of `nav`'s window [a, b]; `threads` = 0 means hardware.
+LegendSweep legend_window(slog2::Navigator& nav, double a, double b,
+                          int threads = 0);
+
+/// Occupancy of `nav`'s window [a, b] over `nranks` ranks.
+WindowOccupancy occupancy_window(slog2::Navigator& nav, std::int32_t nranks,
+                                 double a, double b, int threads = 0);
+
+}  // namespace query

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace query {
+
+namespace {
+
+// Below this many steps/messages the thread-spawn cost outweighs the sweep.
+constexpr std::size_t kParallelGrain = std::size_t{64} * 1024;
+
+/// One step of the state-duration sweep — shared verbatim by the serial
+/// path, the per-rank shards, and the out-of-range leftover pass.
+void sweep_state_step(
+    const Trace& trace, const Step& s,
+    std::map<std::pair<int, std::int32_t>, std::vector<double>>& open,
+    StateDurations& out) {
+  if (s.kind != StepKind::kEvent) return;
+  const StateEvent* se = trace.state_event(s.event_id);
+  if (se == nullptr) return;  // solo bubble
+  const std::pair<int, std::int32_t> key{s.rank, se->state_id};
+  auto& stack = open[key];
+  if (se->is_start) {
+    stack.push_back(s.time);
+    return;
+  }
+  if (stack.empty()) return;  // orphan end — the checker's business
+  const double t0 = stack.back();
+  stack.pop_back();
+  const double dur = std::max(0.0, s.time - t0);
+  StateStats& stats = out.by_rank_state[key];
+  ++stats.count;
+  stats.total_seconds += dur;
+  ++stats.histogram[duration_bucket(dur)];
+}
+
+}  // namespace
 
 std::size_t duration_bucket(double seconds) {
   if (seconds < 1e-6) return 0;
@@ -30,25 +64,37 @@ StateDurations state_durations(const Trace& trace) {
   StateDurations out;
   // Start-time stacks per (rank, state id) — the checker's sweep.
   std::map<std::pair<int, std::int32_t>, std::vector<double>> open;
-  for (const Step& s : trace.steps()) {
-    if (s.kind != StepKind::kEvent) continue;
-    const StateEvent* se = trace.state_event(s.event_id);
-    if (se == nullptr) continue;  // solo bubble
-    const std::pair<int, std::int32_t> key{s.rank, se->state_id};
-    auto& stack = open[key];
-    if (se->is_start) {
-      stack.push_back(s.time);
-      continue;
-    }
-    if (stack.empty()) continue;  // orphan end — the checker's business
-    const double t0 = stack.back();
-    stack.pop_back();
-    const double dur = std::max(0.0, s.time - t0);
-    StateStats& stats = out.by_rank_state[key];
-    ++stats.count;
-    stats.total_seconds += dur;
-    ++stats.histogram[duration_bucket(dur)];
+  for (const Step& s : trace.steps()) sweep_state_step(trace, s, open, out);
+  return out;
+}
+
+StateDurations state_durations(const Trace& trace, int threads) {
+  const int nworkers = util::resolve_threads(threads);
+  if (nworkers <= 1 || trace.steps().size() < kParallelGrain ||
+      trace.nranks() <= 1)
+    return state_durations(trace);
+
+  const auto& by_rank = trace.by_rank();
+  std::vector<StateDurations> shard(by_rank.size());
+  util::parallel_for(by_rank.size(), nworkers, [&](std::size_t r) {
+    std::map<std::pair<int, std::int32_t>, std::vector<double>> open;
+    for (std::size_t i : by_rank[r])
+      sweep_state_step(trace, trace.steps()[i], open, shard[r]);
+  });
+
+  StateDurations out;
+  // Steps whose rank sits outside [0, nranks) are absent from by_rank();
+  // sweep them serially so the merged result is exactly the serial one.
+  std::size_t covered = 0;
+  for (const auto& v : by_rank) covered += v.size();
+  if (covered != trace.steps().size()) {
+    std::map<std::pair<int, std::int32_t>, std::vector<double>> open;
+    for (const Step& s : trace.steps())
+      if (s.rank < 0 || s.rank >= trace.nranks())
+        sweep_state_step(trace, s, open, out);
   }
+  for (auto& sd : shard)
+    out.by_rank_state.insert(sd.by_rank_state.begin(), sd.by_rank_state.end());
   return out;
 }
 
@@ -63,6 +109,40 @@ MessageEdges message_edges(const MsgGraph& graph) {
       e.total_latency += m.recv_time - m.send_time;
     }
   }
+  return out;
+}
+
+MessageEdges message_edges(const MsgGraph& graph, int threads) {
+  const int nworkers = util::resolve_threads(threads);
+  if (nworkers <= 1 || graph.msgs.size() < kParallelGrain)
+    return message_edges(graph);
+
+  // Bucket message indices by sender (serial, preserving graph order within
+  // each bucket), fold the buckets in parallel, and merge in ascending
+  // sender order — every (sender, receiver, tag) key lives in exactly one
+  // bucket, so this is the serial fold re-ordered only across disjoint keys.
+  std::map<int, std::vector<std::size_t>> by_sender;
+  for (std::size_t i = 0; i < graph.msgs.size(); ++i)
+    by_sender[graph.msgs[i].sender].push_back(i);
+  std::vector<const std::vector<std::size_t>*> buckets;
+  buckets.reserve(by_sender.size());
+  for (const auto& [sender, v] : by_sender) buckets.push_back(&v);
+
+  std::vector<MessageEdges> shard(buckets.size());
+  util::parallel_for(buckets.size(), nworkers, [&](std::size_t b) {
+    for (std::size_t i : *buckets[b]) {
+      const MatchedMsg& m = graph.msgs[i];
+      EdgeStats& e = shard[b].edges[{m.sender, m.receiver, m.tag}];
+      ++e.sent;
+      e.bytes += m.size;
+      if (m.matched) {
+        ++e.matched;
+        e.total_latency += m.recv_time - m.send_time;
+      }
+    }
+  });
+  MessageEdges out;
+  for (auto& sd : shard) out.edges.insert(sd.edges.begin(), sd.edges.end());
   return out;
 }
 

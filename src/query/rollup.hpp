@@ -42,6 +42,13 @@ struct StateDurations {
 
 StateDurations state_durations(const Trace& trace);
 
+/// Same rollup, sharded per rank across `threads` workers (0 = hardware).
+/// Keys are (rank, state), so shards own disjoint key sets and within one
+/// rank the sweep replays the exact serial step order — the merged result
+/// is byte-identical to the serial rollup at any worker count. Steps whose
+/// rank falls outside [0, nranks) are swept serially on the side.
+StateDurations state_durations(const Trace& trace, int threads);
+
 struct EdgeStats {
   std::uint64_t sent = 0;
   std::uint64_t matched = 0;
@@ -59,6 +66,12 @@ struct MessageEdges {
 };
 
 MessageEdges message_edges(const MsgGraph& graph);
+
+/// Same rollup, sharded per sender across `threads` workers (0 = hardware).
+/// TagKey sorts sender-first, so shards own disjoint key ranges; within a
+/// sender the messages fold in graph order, making the merged result
+/// byte-identical to the serial rollup at any worker count.
+MessageEdges message_edges(const MsgGraph& graph, int threads);
 
 // --- interval algebra --------------------------------------------------------
 

@@ -1,6 +1,10 @@
 #include "query/slog2_rollup.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace query {
 
@@ -9,6 +13,19 @@ namespace {
 struct OpenInterval {
   double end;
   std::int32_t category_id;
+};
+
+// Below this many buffered states the sort is cheaper than a thread spawn.
+constexpr std::size_t kParallelStates = std::size_t{64} * 1024;
+
+/// What one state adds to the totals, with the nesting resolved: replaying
+/// these in rank order performs the exact additions — same values, same
+/// order — the serial sweep performs.
+struct Contribution {
+  std::int32_t category_id = 0;
+  std::int32_t parent_id = 0;  ///< valid only when nested
+  bool nested = false;
+  double dur = 0.0;
 };
 
 }  // namespace
@@ -26,30 +43,58 @@ void LegendSweep::add_arrow(const slog2::ArrowDrawable&) {
 }
 
 std::map<std::int32_t, LegendTotals> LegendSweep::totals() const {
+  return totals(1);
+}
+
+std::map<std::int32_t, LegendTotals> LegendSweep::totals(int threads) const {
   std::map<std::int32_t, LegendTotals> out;
   for (const auto& [id, n] : event_counts_) out[id].count += n;
 
-  std::map<std::int32_t, double> exclusive;  // category -> seconds
-  for (const auto& [rank, unsorted] : per_rank_) {
-    auto states = unsorted;
+  std::size_t nstates = 0;
+  for (const auto& [rank, v] : per_rank_) nstates += v.size();
+  const int nworkers =
+      nstates < kParallelStates ? 1 : util::resolve_threads(threads);
+
+  // Shard the per-rank sort + nesting sweeps. Workers write only their
+  // rank's contribution slot; the accumulators are fed below, serially.
+  std::vector<const std::vector<slog2::StateDrawable>*> ranks;
+  ranks.reserve(per_rank_.size());
+  for (const auto& [rank, v] : per_rank_) ranks.push_back(&v);
+  std::vector<std::vector<Contribution>> per_rank_ops(ranks.size());
+  util::parallel_for(ranks.size(), nworkers, [&](std::size_t ri) {
+    auto states = *ranks[ri];
     std::sort(states.begin(), states.end(),
               [](const slog2::StateDrawable& a, const slog2::StateDrawable& b) {
                 if (a.start_time != b.start_time) return a.start_time < b.start_time;
                 return a.end_time > b.end_time;  // outer first on ties
               });
     std::vector<OpenInterval> stack;
+    std::vector<Contribution>& ops = per_rank_ops[ri];
+    ops.reserve(states.size());
     for (const auto& s : states) {
-      LegendTotals& t = out[s.category_id];
-      ++t.count;
-      t.inclusive += s.end_time - s.start_time;
+      Contribution c;
+      c.category_id = s.category_id;
+      c.dur = s.end_time - s.start_time;
       while (!stack.empty() && stack.back().end <= s.start_time) stack.pop_back();
-      const double dur = s.end_time - s.start_time;
-      exclusive[s.category_id] += dur;
       if (!stack.empty() && stack.back().end >= s.end_time) {
         // Nested: parent loses this much exclusive time.
-        exclusive[stack.back().category_id] -= dur;
+        c.nested = true;
+        c.parent_id = stack.back().category_id;
       }
       stack.push_back(OpenInterval{s.end_time, s.category_id});
+      ops.push_back(c);
+    }
+  });
+
+  // Replay in rank order — the serial accumulation sequence, bit for bit.
+  std::map<std::int32_t, double> exclusive;  // category -> seconds
+  for (const auto& ops : per_rank_ops) {
+    for (const Contribution& c : ops) {
+      LegendTotals& t = out[c.category_id];
+      ++t.count;
+      t.inclusive += c.dur;
+      exclusive[c.category_id] += c.dur;
+      if (c.nested) exclusive[c.parent_id] -= c.dur;
     }
   }
   for (auto& [id, t] : out) {
@@ -57,6 +102,19 @@ std::map<std::int32_t, LegendTotals> LegendSweep::totals() const {
     t.exclusive = it != exclusive.end() ? it->second : 0.0;
   }
   return out;
+}
+
+void LegendSweep::absorb(LegendSweep&& other) {
+  for (auto& [rank, v] : other.per_rank_) {
+    auto& dst = per_rank_[rank];
+    if (dst.empty())
+      dst = std::move(v);
+    else
+      dst.insert(dst.end(), v.begin(), v.end());
+  }
+  for (const auto& [id, n] : other.event_counts_) event_counts_[id] += n;
+  other.per_rank_.clear();
+  other.event_counts_.clear();
 }
 
 WindowOccupancy::WindowOccupancy(std::int32_t nranks, double a, double b)

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <optional>
 
@@ -95,13 +96,18 @@ void decode_time_column(util::ByteReader& r, std::size_t n, SetTime set) {
   if (mode == kTimeGrid) {
     const int e = util::get_svarint32(r);
     std::uint64_t k = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      k += static_cast<std::uint64_t>(util::get_svarint(r));
+    util::get_svarint_batch(r, n, [&](std::size_t i, std::int64_t d) {
+      k += static_cast<std::uint64_t>(d);
       set(i, std::ldexp(static_cast<double>(static_cast<std::int64_t>(k)), e));
-    }
+    });
   } else if (mode == kTimeRaw) {
-    util::F64DeltaDecoder dec;
-    for (std::size_t i = 0; i < n; ++i) set(i, dec.get(r));
+    std::uint64_t prev = 0;
+    util::get_varint_batch(r, n, [&](std::size_t i, std::uint64_t raw) {
+      prev += util::unzigzag(raw);
+      double v;
+      std::memcpy(&v, &prev, sizeof v);
+      set(i, v);
+    });
   } else {
     throw util::IoError(
         "slog2: v2 frame time column carries unknown mode byte");
@@ -113,9 +119,9 @@ void decode_time_column(util::ByteReader& r, std::size_t n, SetTime set) {
 /// as they are consumed (take() throws on overrun), so a hostile length
 /// column cannot force a giant allocation.
 std::vector<std::uint32_t> read_lengths(util::ByteReader& r, std::size_t n) {
-  std::vector<std::uint32_t> lens;
-  lens.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) lens.push_back(util::get_varint32(r));
+  std::vector<std::uint32_t> lens(n);
+  util::get_varint32_batch(
+      r, n, [&](std::size_t i, std::uint32_t v) { lens[i] = v; });
   return lens;
 }
 
@@ -175,51 +181,52 @@ void decode_drawables_v2(util::ByteReader& r,
   const std::size_t ne = r.checked_count(util::get_varint(r), kMinEventBytes);
   const std::size_t na = r.checked_count(util::get_varint(r), kMinArrowBytes);
 
+  // Each column decodes in one tight batched loop over the raw cursor
+  // (bounds-checked per column, not per value) straight into the rows.
   const std::size_t s0 = states->size();
   states->resize(s0 + ns);
-  for (std::size_t i = 0; i < ns; ++i)
-    (*states)[s0 + i].category_id = util::get_svarint32(r);
-  for (std::size_t i = 0; i < ns; ++i)
-    (*states)[s0 + i].rank = util::get_svarint32(r);
-  for (std::size_t i = 0; i < ns; ++i)
-    (*states)[s0 + i].depth = util::get_svarint32(r);
+  StateDrawable* const sp = states->data() + s0;
+  util::get_svarint32_batch(
+      r, ns, [sp](std::size_t i, std::int32_t v) { sp[i].category_id = v; });
+  util::get_svarint32_batch(
+      r, ns, [sp](std::size_t i, std::int32_t v) { sp[i].rank = v; });
+  util::get_svarint32_batch(
+      r, ns, [sp](std::size_t i, std::int32_t v) { sp[i].depth = v; });
   decode_time_column(r, ns,
-                     [&](std::size_t i, double t) { (*states)[s0 + i].start_time = t; });
+                     [sp](std::size_t i, double t) { sp[i].start_time = t; });
   decode_time_column(r, ns,
-                     [&](std::size_t i, double t) { (*states)[s0 + i].end_time = t; });
+                     [sp](std::size_t i, double t) { sp[i].end_time = t; });
   const std::vector<std::uint32_t> slens = read_lengths(r, ns);
   const std::vector<std::uint32_t> elens = read_lengths(r, ns);
-  for (std::size_t i = 0; i < ns; ++i)
-    (*states)[s0 + i].start_text = read_text(r, slens[i]);
-  for (std::size_t i = 0; i < ns; ++i)
-    (*states)[s0 + i].end_text = read_text(r, elens[i]);
+  for (std::size_t i = 0; i < ns; ++i) sp[i].start_text = read_text(r, slens[i]);
+  for (std::size_t i = 0; i < ns; ++i) sp[i].end_text = read_text(r, elens[i]);
 
   const std::size_t e0 = events->size();
   events->resize(e0 + ne);
-  for (std::size_t i = 0; i < ne; ++i)
-    (*events)[e0 + i].category_id = util::get_svarint32(r);
-  for (std::size_t i = 0; i < ne; ++i)
-    (*events)[e0 + i].rank = util::get_svarint32(r);
-  decode_time_column(r, ne,
-                     [&](std::size_t i, double t) { (*events)[e0 + i].time = t; });
+  EventDrawable* const ep = events->data() + e0;
+  util::get_svarint32_batch(
+      r, ne, [ep](std::size_t i, std::int32_t v) { ep[i].category_id = v; });
+  util::get_svarint32_batch(
+      r, ne, [ep](std::size_t i, std::int32_t v) { ep[i].rank = v; });
+  decode_time_column(r, ne, [ep](std::size_t i, double t) { ep[i].time = t; });
   const std::vector<std::uint32_t> tlens = read_lengths(r, ne);
-  for (std::size_t i = 0; i < ne; ++i)
-    (*events)[e0 + i].text = read_text(r, tlens[i]);
+  for (std::size_t i = 0; i < ne; ++i) ep[i].text = read_text(r, tlens[i]);
 
   const std::size_t a0 = arrows->size();
   arrows->resize(a0 + na);
-  for (std::size_t i = 0; i < na; ++i)
-    (*arrows)[a0 + i].src_rank = util::get_svarint32(r);
-  for (std::size_t i = 0; i < na; ++i)
-    (*arrows)[a0 + i].dst_rank = util::get_svarint32(r);
-  for (std::size_t i = 0; i < na; ++i)
-    (*arrows)[a0 + i].tag = util::get_svarint32(r);
-  for (std::size_t i = 0; i < na; ++i)
-    (*arrows)[a0 + i].size = util::get_varint32(r);
+  ArrowDrawable* const ap = arrows->data() + a0;
+  util::get_svarint32_batch(
+      r, na, [ap](std::size_t i, std::int32_t v) { ap[i].src_rank = v; });
+  util::get_svarint32_batch(
+      r, na, [ap](std::size_t i, std::int32_t v) { ap[i].dst_rank = v; });
+  util::get_svarint32_batch(
+      r, na, [ap](std::size_t i, std::int32_t v) { ap[i].tag = v; });
+  util::get_varint32_batch(
+      r, na, [ap](std::size_t i, std::uint32_t v) { ap[i].size = v; });
   decode_time_column(r, na,
-                     [&](std::size_t i, double t) { (*arrows)[a0 + i].start_time = t; });
+                     [ap](std::size_t i, double t) { ap[i].start_time = t; });
   decode_time_column(r, na,
-                     [&](std::size_t i, double t) { (*arrows)[a0 + i].end_time = t; });
+                     [ap](std::size_t i, double t) { ap[i].end_time = t; });
 }
 
 }  // namespace slog2::detail

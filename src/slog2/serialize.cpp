@@ -14,9 +14,12 @@
 #include <array>
 #include <fstream>
 
+#include "slog2/frame_cache.hpp"
 #include "slog2/frame_codec.hpp"
 #include "slog2/slog2.hpp"
 #include "util/fs.hpp"
+#include "util/mmapio.hpp"
+#include "util/parallel.hpp"
 #include "util/streamio.hpp"
 #include "util/strings.hpp"
 
@@ -347,7 +350,11 @@ std::vector<std::uint8_t> serialize(const File& file) {
 }
 
 File parse(const std::vector<std::uint8_t>& bytes, const ReadOptions& ro) {
-  util::ByteReader r(bytes);
+  return parse(bytes.data(), bytes.size(), ro);
+}
+
+File parse(const std::uint8_t* data, std::size_t n, const ReadOptions& ro) {
+  util::ByteReader r(data, n);
   const Header h = read_header(r, ro);
 
   File file;
@@ -426,22 +433,40 @@ void write_file(const std::filesystem::path& path, const File& file) {
 }
 
 File read_file(const std::filesystem::path& path, const ReadOptions& ro) {
-  return parse(util::read_file(path), ro);
+  // mmap: the header/directory/payload slices below read straight from the
+  // page cache; only the decoded drawables are materialized.
+  const util::MappedFile map(path);
+  return parse(map.data(), map.size(), ro);
 }
 
 // --- Navigator ---------------------------------------------------------------
 
-Navigator::Navigator(const std::filesystem::path& path, const ReadOptions& ro) {
-  load(util::read_file(path), ro);
+Navigator::Navigator(const std::filesystem::path& path, const ReadOptions& ro)
+    : map_(path) {
+  load(map_.data(), map_.size(), ro);
+  // File-identity owner: every navigator (and pilot-traced session) over
+  // the same on-disk bytes shares one decode of each frame.
+  owner_ = FrameCache::owner_for_path(path);
 }
 
-Navigator::Navigator(std::vector<std::uint8_t> bytes, const ReadOptions& ro) {
-  load(std::move(bytes), ro);
+Navigator::Navigator(std::vector<std::uint8_t> bytes, const ReadOptions& ro)
+    : bytes_(std::move(bytes)) {
+  load(bytes_.data(), bytes_.size(), ro);
+  owner_ = FrameCache::fresh_owner();
+  private_owner_ = true;
 }
 
-void Navigator::load(std::vector<std::uint8_t> bytes, const ReadOptions& ro) {
-  bytes_ = std::move(bytes);
-  util::ByteReader r(bytes_);
+Navigator::~Navigator() {
+  // A private (in-memory) owner's frames can never be requested again;
+  // file-keyed frames stay for the next session over the same file.
+  if (cache_ != nullptr && private_owner_) cache_->erase_owner(owner_);
+}
+
+void Navigator::load(const std::uint8_t* data, std::size_t n, const ReadOptions& ro) {
+  data_ = data;
+  size_ = n;
+  cache_ = &FrameCache::global();
+  util::ByteReader r(data_, size_);
   const Header h = read_header(r, ro);
   encoding_ = h.encoding;
   nranks_ = h.nranks;
@@ -473,7 +498,8 @@ void Navigator::load(std::vector<std::uint8_t> bytes, const ReadOptions& ro) {
   for (const auto& e : directory_)
     if (e.length > blob_len || e.offset > blob_len - e.length)
       throw util::IoError("slog2: frame payload extent out of range");
-  decoded_.resize(directory_.size());
+  touched_ = std::make_unique<std::atomic<char>[]>(directory_.size());
+  for (std::size_t i = 0; i < directory_.size(); ++i) touched_[i] = 0;
 }
 
 const Category* Navigator::category(std::int32_t id) const {
@@ -483,39 +509,65 @@ const Category* Navigator::category(std::int32_t id) const {
 }
 
 std::size_t Navigator::frames_decoded() const {
-  std::size_t n = 0;
-  for (const auto& f : decoded_)
-    if (f) ++n;
-  return n;
+  return touched_count_.load(std::memory_order_relaxed);
 }
 
-const Frame& Navigator::frame(std::size_t index) {
-  auto& slot = decoded_.at(index);
-  if (!slot) {
-    const DirEntry& e = directory_[index];
-    slot = std::make_unique<Frame>();
-    slot->t0 = e.t0;
-    slot->t1 = e.t1;
-    slot->depth = e.depth;
-    util::ByteReader pr(bytes_.data() + blob_base_ + e.offset,
-                        static_cast<std::size_t>(e.length));
-    read_payload(pr, slot.get(), encoding_);
-  }
-  return *slot;
+std::shared_ptr<const Frame> Navigator::frame_ptr(std::size_t index) {
+  const DirEntry& e = directory_.at(index);
+  auto frame = cache_->get(
+      owner_, index, static_cast<std::size_t>(e.length) + sizeof(Frame),
+      [&]() -> std::shared_ptr<const Frame> {
+        auto f = std::make_shared<Frame>();
+        f->t0 = e.t0;
+        f->t1 = e.t1;
+        f->depth = e.depth;
+        util::ByteReader pr(data_ + blob_base_ + e.offset,
+                            static_cast<std::size_t>(e.length));
+        read_payload(pr, f.get(), encoding_);
+        return f;
+      });
+  if (touched_[index].exchange(1, std::memory_order_relaxed) == 0)
+    touched_count_.fetch_add(1, std::memory_order_relaxed);
+  return frame;
 }
 
-void Navigator::visit_window(
-    double a, double b, const std::function<void(const StateDrawable&)>& on_state,
-    const std::function<void(const EventDrawable&)>& on_event,
-    const std::function<void(const ArrowDrawable&)>& on_arrow) {
-  if (directory_.empty()) return;
+std::vector<std::uint32_t> Navigator::window_frames(double a, double b) const {
+  std::vector<std::uint32_t> out;
+  if (directory_.empty()) return out;
   std::vector<std::int32_t> stack = {0};
   while (!stack.empty()) {
     const auto i = static_cast<std::size_t>(stack.back());
     stack.pop_back();
     const DirEntry& e = directory_[i];
     if (e.t1 < a || e.t0 > b) continue;
-    const Frame& f = frame(i);
+    out.push_back(static_cast<std::uint32_t>(i));
+    if (e.left != -1) stack.push_back(e.left);
+    if (e.right != -1) stack.push_back(e.right);
+  }
+  return out;
+}
+
+void Navigator::visit_window(
+    double a, double b, const std::function<void(const StateDrawable&)>& on_state,
+    const std::function<void(const EventDrawable&)>& on_event,
+    const std::function<void(const ArrowDrawable&)>& on_arrow) {
+  visit_window(a, b, on_state, on_event, on_arrow, 1);
+}
+
+void Navigator::visit_window(
+    double a, double b, const std::function<void(const StateDrawable&)>& on_state,
+    const std::function<void(const EventDrawable&)>& on_event,
+    const std::function<void(const ArrowDrawable&)>& on_arrow, int threads) {
+  const std::vector<std::uint32_t> frames = window_frames(a, b);
+  // Decode (or fetch from the shared cache) every touched frame up front —
+  // in parallel when asked — then run the callbacks serially in traversal
+  // order. Pinning the shared_ptrs here means eviction under memory
+  // pressure cannot invalidate a frame mid-visit.
+  std::vector<std::shared_ptr<const Frame>> pinned(frames.size());
+  util::parallel_for(frames.size(), util::resolve_threads(threads),
+                     [&](std::size_t k) { pinned[k] = frame_ptr(frames[k]); });
+  for (const auto& fp : pinned) {
+    const Frame& f = *fp;
     if (on_state)
       for (const auto& s : f.states)
         if (s.end_time >= a && s.start_time <= b) on_state(s);
@@ -528,8 +580,6 @@ void Navigator::visit_window(
         const double hi = std::max(ar.start_time, ar.end_time);
         if (hi >= a && lo <= b) on_arrow(ar);
       }
-    if (e.left != -1) stack.push_back(e.left);
-    if (e.right != -1) stack.push_back(e.right);
   }
 }
 
@@ -549,53 +599,95 @@ std::uint64_t Navigator::window_payload_bytes(double a, double b) const {
   return total;
 }
 
+namespace {
+
+struct StreamMeta {
+  double t0 = 0.0, t1 = 0.0;
+  std::int32_t left = -1, right = -1;
+  std::uint64_t offset = 0, length = 0;
+};
+
+// Validation pass — field for field the checks parse() performs, with
+// payloads left for the caller to decode one frame at a time. Templated
+// over the reader so the mmap and streaming backends share one set of
+// verdicts (the fuzz suite pins them against each other).
+template <typename Reader>
+void collect_stream_meta(Reader& r, const ReadOptions& ro, Header* h,
+                         std::vector<StreamMeta>* metas,
+                         std::uint64_t* blob_len, std::size_t* blob_base) {
+  *h = read_header(r, ro);
+  const std::uint32_t node_count =
+      static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
+  metas->reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    StreamMeta m;
+    m.t0 = r.f64();
+    m.t1 = r.f64();
+    (void)r.i32();  // depth: directory metadata, not printed
+    m.left = r.i32();
+    m.right = r.i32();
+    if ((m.left != -1 && (m.left <= static_cast<std::int32_t>(i) ||
+                          m.left >= static_cast<std::int32_t>(node_count))) ||
+        (m.right != -1 && (m.right <= static_cast<std::int32_t>(i) ||
+                           m.right >= static_cast<std::int32_t>(node_count))))
+      throw util::IoError("slog2: corrupt frame directory links");
+    m.offset = r.u64();
+    m.length = r.u64();
+    (void)read_preview(r);
+    metas->push_back(m);
+  }
+  *blob_len = r.u64();
+  *blob_base = r.pos();
+  r.skip(*blob_len);
+  if (!r.at_end())
+    throw util::IoError("slog2: trailing bytes after payload blob");
+}
+
+void print_stream_text(
+    const Header& h, const std::vector<StreamMeta>& metas, bool dump_drawables,
+    const std::function<void(const std::string&)>& sink,
+    const std::function<Frame(const StreamMeta&)>& decode_frame);
+
+}  // namespace
+
 void stream_text(const std::filesystem::path& path, bool dump_drawables,
                  const std::function<void(const std::string&)>& sink,
                  const ReadOptions& ro) {
-  struct Meta {
-    double t0 = 0.0, t1 = 0.0;
-    std::int32_t left = -1, right = -1;
-    std::uint64_t offset = 0, length = 0;
-  };
-  std::vector<Meta> metas;
+  std::vector<StreamMeta> metas;
   Header h;
   std::size_t blob_base = 0;
   std::uint64_t blob_len = 0;
 
-  // Validation pass — field for field the checks parse() performs, with
-  // payloads decoded one frame at a time instead of all at once.
+  if (auto mapped = util::MappedFile::try_map(path)) {
+    // mmap backend: the directory pass and every frame decode read page-
+    // cache slices of the mapping; nothing is copied but the drawables.
+    util::MmapByteReader r(std::move(*mapped));
+    collect_stream_meta(r, ro, &h, &metas, &blob_len, &blob_base);
+    const std::uint8_t* blob = r.mapping().data() + blob_base;
+    auto decode_frame = [&, blob](const StreamMeta& m) {
+      if (m.length > blob_len || m.offset > blob_len - m.length)
+        throw util::IoError("slog2: frame payload extent out of range");
+      Frame f;
+      util::ByteReader pr(blob + m.offset, static_cast<std::size_t>(m.length));
+      read_payload(pr, &f, h.encoding);
+      if (!pr.at_end())
+        throw util::IoError("slog2: frame payload has trailing bytes");
+      return f;
+    };
+    for (const StreamMeta& m : metas) (void)decode_frame(m);
+    print_stream_text(h, metas, dump_drawables, sink, decode_frame);
+    return;
+  }
+
+  // Streaming backend (mmap unavailable): fixed-size read window plus one
+  // frame payload at a time — RSS stays O(window + directory + frame).
   {
     util::FileByteReader r(path);
-    h = read_header(r, ro);
-    const std::uint32_t node_count =
-        static_cast<std::uint32_t>(r.checked_count(r.u32(), 44));
-    metas.reserve(node_count);
-    for (std::uint32_t i = 0; i < node_count; ++i) {
-      Meta m;
-      m.t0 = r.f64();
-      m.t1 = r.f64();
-      (void)r.i32();  // depth: directory metadata, not printed
-      m.left = r.i32();
-      m.right = r.i32();
-      if ((m.left != -1 && (m.left <= static_cast<std::int32_t>(i) ||
-                            m.left >= static_cast<std::int32_t>(node_count))) ||
-          (m.right != -1 && (m.right <= static_cast<std::int32_t>(i) ||
-                             m.right >= static_cast<std::int32_t>(node_count))))
-        throw util::IoError("slog2: corrupt frame directory links");
-      m.offset = r.u64();
-      m.length = r.u64();
-      (void)read_preview(r);
-      metas.push_back(m);
-    }
-    blob_len = r.u64();
-    blob_base = r.pos();
-    r.skip(blob_len);
-    if (!r.at_end())
-      throw util::IoError("slog2: trailing bytes after payload blob");
+    collect_stream_meta(r, ro, &h, &metas, &blob_len, &blob_base);
   }
   std::ifstream blob_in(path, std::ios::binary);
   if (!blob_in) throw util::IoError("cannot open " + path.string());
-  auto decode_frame = [&](const Meta& m) {
+  auto decode_frame = [&](const StreamMeta& m) {
     if (m.length > blob_len || m.offset > blob_len - m.length)
       throw util::IoError("slog2: frame payload extent out of range");
     const auto bytes = util::read_at(blob_in, blob_base + m.offset,
@@ -608,8 +700,57 @@ void stream_text(const std::filesystem::path& path, bool dump_drawables,
       throw util::IoError("slog2: frame payload has trailing bytes");
     return f;
   };
-  for (const Meta& m : metas) (void)decode_frame(m);
+  for (const StreamMeta& m : metas) (void)decode_frame(m);
+  print_stream_text(h, metas, dump_drawables, sink, decode_frame);
+}
 
+void validate_file(const std::filesystem::path& path, const ReadOptions& ro,
+                   ReadBackend backend) {
+  std::vector<StreamMeta> metas;
+  Header h;
+  std::size_t blob_base = 0;
+  std::uint64_t blob_len = 0;
+
+  if (backend == ReadBackend::kMmap) {
+    util::MmapByteReader r(path);
+    collect_stream_meta(r, ro, &h, &metas, &blob_len, &blob_base);
+    const std::uint8_t* blob = r.mapping().data() + blob_base;
+    for (const StreamMeta& m : metas) {
+      if (m.length > blob_len || m.offset > blob_len - m.length)
+        throw util::IoError("slog2: frame payload extent out of range");
+      Frame f;
+      util::ByteReader pr(blob + m.offset, static_cast<std::size_t>(m.length));
+      read_payload(pr, &f, h.encoding);
+      if (!pr.at_end())
+        throw util::IoError("slog2: frame payload has trailing bytes");
+    }
+    return;
+  }
+
+  util::FileByteReader r(path);
+  collect_stream_meta(r, ro, &h, &metas, &blob_len, &blob_base);
+  std::ifstream blob_in(path, std::ios::binary);
+  if (!blob_in) throw util::IoError("cannot open " + path.string());
+  for (const StreamMeta& m : metas) {
+    if (m.length > blob_len || m.offset > blob_len - m.length)
+      throw util::IoError("slog2: frame payload extent out of range");
+    const auto bytes = util::read_at(blob_in, blob_base + m.offset,
+                                     static_cast<std::size_t>(m.length),
+                                     "slog2: frame payload");
+    Frame f;
+    util::ByteReader pr(bytes);
+    read_payload(pr, &f, h.encoding);
+    if (!pr.at_end())
+      throw util::IoError("slog2: frame payload has trailing bytes");
+  }
+}
+
+namespace {
+
+void print_stream_text(
+    const Header& h, const std::vector<StreamMeta>& metas, bool dump_drawables,
+    const std::function<void(const std::string&)>& sink,
+    const std::function<Frame(const StreamMeta&)>& decode_frame) {
   // Printing pass: mirrors to_text() line for line.
   sink(util::strprintf(
       "SLOG-2  ranks=%d  span=[%.9f, %.9f]  frame_size=%llu\n", h.nranks, h.t_min,
@@ -650,7 +791,7 @@ void stream_text(const std::filesystem::path& path, bool dump_drawables,
     while (!stack.empty()) {
       const auto i = static_cast<std::size_t>(stack.back());
       stack.pop_back();
-      const Meta& m = metas[i];
+      const StreamMeta& m = metas[i];
       if (m.t1 < a || m.t0 > b) continue;
       const Frame f = decode_frame(m);
       for (const auto& s : f.states)
@@ -676,6 +817,8 @@ void stream_text(const std::filesystem::path& path, bool dump_drawables,
     }
   }
 }
+
+}  // namespace
 
 Navigator::PreviewView Navigator::preview_covering(double a, double b) {
   PreviewView out;

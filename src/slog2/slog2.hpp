@@ -15,6 +15,7 @@
 //    striped rectangles without touching leaf data (Fig. 1's outline view).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -26,8 +27,11 @@
 #include <vector>
 
 #include "clog2/clog2.hpp"
+#include "util/mmapio.hpp"
 
 namespace slog2 {
+
+class FrameCache;
 
 enum class CategoryKind : std::uint8_t { kState = 0, kEvent = 1, kArrow = 2 };
 
@@ -198,18 +202,39 @@ File convert(const clog2::File& in, const ConvertOptions& opts = {},
 // needs — the defining property of real SLOG-2.
 std::vector<std::uint8_t> serialize(const File& file);
 File parse(const std::vector<std::uint8_t>& bytes, const ReadOptions& ro = {});
+File parse(const std::uint8_t* data, std::size_t n, const ReadOptions& ro = {});
 void write_file(const std::filesystem::path& path, const File& file);
+/// Reads through an mmap of the file (page-cache slices, no whole-file
+/// copy) with a transparent buffered fallback; verdicts are identical.
 File read_file(const std::filesystem::path& path, const ReadOptions& ro = {});
 
+/// Reader backend selector for validate_file — the format-fuzz suite runs
+/// every corrupted fixture through both and pins that the verdicts match.
+enum class ReadBackend { kMmap, kStream };
+
+/// Validate an on-disk SLOG-2 file end to end (header, directory, every
+/// frame payload) with exactly parse()'s accept/reject behaviour, through
+/// the chosen reader backend. Throws util::IoError on the first defect.
+void validate_file(const std::filesystem::path& path, const ReadOptions& ro = {},
+                   ReadBackend backend = ReadBackend::kMmap);
+
 /// Lazy reader: parses the header and frame directory eagerly but decodes
-/// frame payloads only when a query touches them (decoded frames are
-/// cached). This is how Jumpshot scrolls seamlessly through logs far
-/// larger than memory-comfortable: a zoomed-in window touches O(depth)
-/// frames, not all of them.
+/// frame payloads only when a query touches them. This is how Jumpshot
+/// scrolls seamlessly through logs far larger than memory-comfortable: a
+/// zoomed-in window touches O(depth) frames, not all of them.
+///
+/// The path constructor mmaps the file (with a read-into-buffer fallback),
+/// so frame payloads are decoded straight out of the page cache — the file
+/// bytes are never copied wholesale. Decoded frames live in the process-wide
+/// FrameCache, keyed by file identity: every Navigator (and every
+/// pilot-traced session) over the same file shares one decode of each frame.
 class Navigator {
 public:
   explicit Navigator(const std::filesystem::path& path, const ReadOptions& ro = {});
   explicit Navigator(std::vector<std::uint8_t> bytes, const ReadOptions& ro = {});
+  ~Navigator();
+  Navigator(const Navigator&) = delete;
+  Navigator& operator=(const Navigator&) = delete;
 
   [[nodiscard]] FrameEncoding encoding() const { return encoding_; }
   [[nodiscard]] std::int32_t nranks() const { return nranks_; }
@@ -225,6 +250,25 @@ public:
                     const std::function<void(const StateDrawable&)>& on_state,
                     const std::function<void(const EventDrawable&)>& on_event,
                     const std::function<void(const ArrowDrawable&)>& on_arrow);
+
+  /// Same visit, but the touched frames are decoded in parallel on
+  /// `threads` workers (0 = hardware) before the serial in-order callback
+  /// pass — output is byte-identical to the serial overload at any thread
+  /// count, because the callbacks always run in traversal order.
+  void visit_window(double a, double b,
+                    const std::function<void(const StateDrawable&)>& on_state,
+                    const std::function<void(const EventDrawable&)>& on_event,
+                    const std::function<void(const ArrowDrawable&)>& on_arrow,
+                    int threads);
+
+  /// Directory indices of every frame intersecting [a, b], in exactly the
+  /// order visit_window touches them. The unit of sharding for the
+  /// parallel query sweeps.
+  [[nodiscard]] std::vector<std::uint32_t> window_frames(double a, double b) const;
+
+  /// Decode frame `index` through the shared cache. The returned pointer
+  /// stays valid for as long as the caller holds it, even across eviction.
+  [[nodiscard]] std::shared_ptr<const Frame> frame_ptr(std::size_t index);
 
   /// Preview of the smallest single frame covering [a, b] (zoomed-out
   /// rendering without touching leaf payloads), with its interval.
@@ -257,10 +301,12 @@ private:
     Preview preview;  // small; kept eagerly for zoomed-out rendering
   };
 
-  void load(std::vector<std::uint8_t> bytes, const ReadOptions& ro);
-  const Frame& frame(std::size_t index);
+  void load(const std::uint8_t* data, std::size_t n, const ReadOptions& ro);
 
-  std::vector<std::uint8_t> bytes_;
+  util::MappedFile map_;              // path ctor: zero-copy view of the file
+  std::vector<std::uint8_t> bytes_;   // bytes ctor: owned buffer
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t blob_base_ = 0;
   FrameEncoding encoding_ = FrameEncoding::kV1;
   std::int32_t nranks_ = 0;
@@ -270,19 +316,25 @@ private:
   std::vector<Category> categories_;
   ConvertStats stats_;
   std::vector<DirEntry> directory_;  // preorder; [0] is the root (if any)
-  std::vector<std::unique_ptr<Frame>> decoded_;  // cache, index-aligned
+  FrameCache* cache_ = nullptr;      // shared decode cache (never null after load)
+  std::uint64_t owner_ = 0;          // our namespace within the cache
+  bool private_owner_ = false;       // bytes ctor: evict our frames on dtor
+  std::unique_ptr<std::atomic<char>[]> touched_;  // frames ever requested here
+  std::atomic<std::size_t> touched_count_{0};
 };
 
 /// Human-readable structural summary (the slog2print tool).
 std::string to_text(const File& file, bool dump_drawables = false);
 
-/// Stream the to_text() dump of an on-disk SLOG-2 file through `sink`
-/// using a fixed-size read window plus one frame payload at a time — RSS
-/// stays O(window + directory + largest frame) instead of O(trace). A full
-/// validation pass runs first with exactly the accept/reject verdict of
-/// parse() (every payload is decoded and bounds-checked), so a corrupt file
-/// throws util::IoError before any output is emitted. Output is
-/// byte-identical to to_text(read_file(path), dump_drawables).
+/// Stream the to_text() dump of an on-disk SLOG-2 file through `sink`,
+/// reading through an mmap of the file when available (page-cache slices,
+/// one frame decoded at a time) and falling back to a fixed-size read
+/// window otherwise — either way RSS stays O(window + directory + largest
+/// frame) instead of O(trace). A full validation pass runs first with
+/// exactly the accept/reject verdict of parse() (every payload is decoded
+/// and bounds-checked), so a corrupt file throws util::IoError before any
+/// output is emitted. Output is byte-identical to
+/// to_text(read_file(path), dump_drawables).
 void stream_text(const std::filesystem::path& path, bool dump_drawables,
                  const std::function<void(const std::string&)>& sink,
                  const ReadOptions& ro = {});

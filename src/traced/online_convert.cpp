@@ -5,6 +5,7 @@
 #include <iterator>
 #include <limits>
 
+#include "slog2/frame_cache.hpp"
 #include "slog2/frame_codec.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -29,7 +30,12 @@ OnlineConverter::OnlineConverter(const OnlineOptions& opts) : opts_(opts) {
     throw util::UsageError("traced::OnlineConverter: max_depth out of range");
   if (opts_.max_disorder < 0.0)
     throw util::UsageError("traced::OnlineConverter: max_disorder must be >= 0");
-  if (opts_.chunk_cache == 0) opts_.chunk_cache = 1;
+  cache_owner_ = slog2::FrameCache::fresh_owner();
+}
+
+OnlineConverter::~OnlineConverter() {
+  // Sealed chunks can never be requested again under this owner id.
+  slog2::FrameCache::global().erase_owner(cache_owner_);
 }
 
 void OnlineConverter::begin(std::int32_t nranks) {
@@ -364,16 +370,21 @@ slog2::detail::Collected OnlineConverter::decode_chunk(std::size_t index) {
   return out;
 }
 
-const slog2::detail::Collected& OnlineConverter::cached_chunk(std::size_t index) {
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    if (it->first == index) {
-      cache_.splice(cache_.begin(), cache_, it);  // move-to-front LRU
-      return cache_.front().second;
-    }
-  }
-  cache_.emplace_front(index, decode_chunk(index));
-  while (cache_.size() > opts_.chunk_cache) cache_.pop_back();
-  return cache_.front().second;
+std::shared_ptr<const slog2::Frame> OnlineConverter::cached_chunk(
+    std::size_t index) {
+  const Chunk& c = chunks_[index];
+  return slog2::FrameCache::global().get(
+      cache_owner_, index, static_cast<std::size_t>(c.length) + sizeof(slog2::Frame),
+      [&]() -> std::shared_ptr<const slog2::Frame> {
+        auto f = std::make_shared<slog2::Frame>();
+        detail2::Collected got = decode_chunk(index);
+        f->t0 = c.t_lo;
+        f->t1 = c.t_hi;
+        f->states = std::move(got.states);
+        f->events = std::move(got.events);
+        f->arrows = std::move(got.arrows);
+        return f;
+      });
 }
 
 void OnlineConverter::visit_window(
@@ -381,7 +392,8 @@ void OnlineConverter::visit_window(
     const std::function<void(const slog2::StateDrawable&)>& on_state,
     const std::function<void(const slog2::EventDrawable&)>& on_event,
     const std::function<void(const slog2::ArrowDrawable&)>& on_arrow) {
-  auto scan = [&](const detail2::Collected& c) {
+  // Generic over slog2::Frame (shared cache) and Collected (resident tail).
+  auto scan = [&](const auto& c) {
     if (on_state)
       for (const auto& s : c.states)
         if (s.end_time >= a && s.start_time <= b) on_state(s);
@@ -397,7 +409,7 @@ void OnlineConverter::visit_window(
   };
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     if (chunks_[i].t_hi < a || chunks_[i].t_lo > b) continue;
-    scan(cached_chunk(i));
+    scan(*cached_chunk(i));
   }
   detail2::Collected tail;
   tail.states = tail_states_;
@@ -521,7 +533,7 @@ slog2::File OnlineConverter::finalize(std::vector<std::string>* warnings) {
 
   // Release working state; the spill file is no longer needed.
   chunks_.clear();
-  cache_.clear();
+  slog2::FrameCache::global().erase_owner(cache_owner_);
   tail_states_.clear();
   tail_events_.clear();
   tail_arrows_.clear();

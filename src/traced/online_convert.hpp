@@ -24,8 +24,8 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
-#include <list>
 #include <map>
+#include <memory>
 #include <queue>
 #include <string>
 #include <tuple>
@@ -33,6 +33,7 @@
 
 #include "clog2/clog2.hpp"
 #include "slog2/convert_internal.hpp"
+#include "slog2/frame_cache.hpp"
 #include "slog2/slog2.hpp"
 
 namespace traced {
@@ -59,7 +60,10 @@ struct OnlineOptions {
   /// configures a spill directory so per-session RSS stays bounded.
   std::filesystem::path spill_dir;
 
-  /// Sealed chunks decoded and cached at once while serving live queries.
+  /// Superseded: sealed-chunk decodes now go through the process-wide
+  /// slog2::FrameCache (sized in bytes, shared by every session), so the
+  /// per-session entry count no longer bounds anything. Kept so existing
+  /// configs keep parsing; the value is ignored.
   std::size_t chunk_cache = 4;
 };
 
@@ -78,6 +82,9 @@ struct OnlineUsage {
 class OnlineConverter {
 public:
   explicit OnlineConverter(const OnlineOptions& opts = {});
+  ~OnlineConverter();
+  OnlineConverter(const OnlineConverter&) = delete;
+  OnlineConverter& operator=(const OnlineConverter&) = delete;
 
   /// Start a conversion for a trace with `nranks` ranks (from the CLOG-2
   /// stream header).
@@ -159,7 +166,7 @@ private:
   void account();
   [[nodiscard]] std::vector<std::uint8_t> encode_tail() const;
   [[nodiscard]] slog2::detail::Collected decode_chunk(std::size_t index);
-  const slog2::detail::Collected& cached_chunk(std::size_t index);
+  [[nodiscard]] std::shared_ptr<const slog2::Frame> cached_chunk(std::size_t index);
   void scan_warn(std::int32_t rank, const std::string& msg);
   [[nodiscard]] slog2::detail::Collected collect_all();
   void fill_pairing_stats(slog2::ConvertStats& stats) const;
@@ -196,10 +203,12 @@ private:
   double tail_lo_ = 0.0, tail_hi_ = 0.0;
   bool tail_any_ = false;
 
-  // Sealed chunks + spill file (append-only) + tiny decode cache.
+  // Sealed chunks + spill file (append-only). Decoded chunks live in the
+  // process-wide slog2::FrameCache under this converter's private owner id,
+  // so N concurrent sessions share one byte-sized budget.
   std::vector<Chunk> chunks_;
   std::filesystem::path spill_file_;
-  std::list<std::pair<std::size_t, slog2::detail::Collected>> cache_;
+  slog2::FrameCache::Owner cache_owner_ = 0;
 
   // Warnings and counters, replayed at finalize in the offline order.
   std::vector<std::string> scan_warnings_;

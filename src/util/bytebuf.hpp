@@ -126,6 +126,10 @@ public:
   }
 
   void skip(std::size_t n) { take(n); }
+  /// Raw pointer at the cursor without consuming anything. Paired with
+  /// remaining()/seek() by the batch varint decoders, which bounds-check a
+  /// whole column at once instead of per byte.
+  [[nodiscard]] const std::uint8_t* cursor() const { return p_ + pos_; }
   [[nodiscard]] std::size_t pos() const { return pos_; }
   [[nodiscard]] std::size_t remaining() const { return n_ - pos_; }
   [[nodiscard]] bool at_end() const { return pos_ == n_; }

@@ -77,6 +77,14 @@ std::vector<std::string> ArgParser::unused_keys() const {
   return out;
 }
 
+int parse_threads(const ArgParser& args, int fallback) {
+  const std::int64_t n = args.get_int_or("threads", fallback);
+  if (n < 0 || n > 1024)
+    throw UsageError("--threads expects 0 (hardware) .. 1024, got " +
+                     std::to_string(n));
+  return static_cast<int>(n);
+}
+
 std::vector<std::string> strip_args_with_prefix(int* argc, char*** argv,
                                                 const std::string& prefix) {
   std::vector<std::string> taken;

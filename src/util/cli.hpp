@@ -41,6 +41,12 @@ private:
   std::vector<std::string> positional_;
 };
 
+/// Parse the unified `--threads=N` option shared by every parallel tool
+/// (pilot-clog2toslog2, pilot-tracecheck, pilot-tracediff, pilot-tracedigest,
+/// pilot-jumpshot): N = 0 means one worker per hardware thread, N >= 1 pins
+/// the worker count. Values outside [0, 1024] are a UsageError.
+int parse_threads(const ArgParser& args, int fallback = 0);
+
 /// Remove argv entries for which `matches(arg)` returned an engaged value,
 /// collecting those values. Used by PI_Configure to strip "-pisvc=..."-style
 /// options in place, updating argc/argv like the real Pilot does.

@@ -78,6 +78,75 @@ inline std::uint32_t get_varint32(ByteReader& r) {
   return static_cast<std::uint32_t>(v);
 }
 
+// --- batch decode -----------------------------------------------------------
+// Column decoders for the v2 frame codec: decode `n` consecutive varints in
+// one tight loop over the raw cursor, hoisting the ByteReader bookkeeping
+// (per-byte virtual cursor updates and bound checks) out of the hot path.
+// Error behaviour is byte-for-byte the serial loop's: the same IoError
+// messages are thrown at the same input offsets, so the fuzz and round-trip
+// suites cannot tell the two decoders apart.
+
+/// Decode `n` unsigned varints, calling `emit(i, value)` for each. Advances
+/// `r` past the column. Errors match get_varint()/ByteReader::take exactly.
+template <typename Emit>
+inline void get_varint_batch(ByteReader& r, std::size_t n, Emit&& emit) {
+  const std::uint8_t* const base = r.cursor();
+  const std::uint8_t* const end = base + r.remaining();
+  const std::size_t base_pos = r.pos();
+  const std::uint8_t* q = base;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    std::uint8_t b;
+    do {
+      if (q == end)
+        throw IoError("ByteReader: truncated input (want 1 bytes at offset " +
+                      std::to_string(base_pos +
+                                     static_cast<std::size_t>(q - base)) +
+                      ", have 0)");
+      b = *q++;
+      if (shift == 63 && (b & 0x7E) != 0)
+        throw IoError("varint: value exceeds 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      shift += 7;
+    } while ((b & 0x80) != 0 && shift < 70);
+    if ((b & 0x80) != 0) throw IoError("varint: continuation past 10 bytes");
+    if (b == 0 && shift != 7)
+      throw IoError("varint: overlong (non-canonical) encoding");
+    emit(i, v);
+  }
+  r.seek(base_pos + static_cast<std::size_t>(q - base));
+}
+
+/// Column of signed int32 fields (category ids, ranks, depths, tags).
+template <typename Emit>
+inline void get_svarint32_batch(ByteReader& r, std::size_t n, Emit&& emit) {
+  get_varint_batch(r, n, [&](std::size_t i, std::uint64_t raw) {
+    const auto v = static_cast<std::int64_t>(unzigzag(raw));
+    if (v < INT32_MIN || v > INT32_MAX)
+      throw IoError("varint: signed 32-bit field out of range");
+    emit(i, static_cast<std::int32_t>(v));
+  });
+}
+
+/// Column of unsigned uint32 fields (message sizes, text lengths).
+template <typename Emit>
+inline void get_varint32_batch(ByteReader& r, std::size_t n, Emit&& emit) {
+  get_varint_batch(r, n, [&](std::size_t i, std::uint64_t v) {
+    if (v > UINT32_MAX)
+      throw IoError("varint: unsigned 32-bit field out of range");
+    emit(i, static_cast<std::uint32_t>(v));
+  });
+}
+
+/// Column of signed int64 deltas (grid time columns).
+template <typename Emit>
+inline void get_svarint_batch(ByteReader& r, std::size_t n, Emit&& emit) {
+  get_varint_batch(r, n, [&](std::size_t i, std::uint64_t raw) {
+    emit(i, static_cast<std::int64_t>(unzigzag(raw)));
+  });
+}
+
 /// Delta codec for a column of doubles: each value is encoded as the zigzag
 /// varint of the wrapping difference between its IEEE-754 bit pattern and
 /// the previous one. Lossless for every double (including NaNs and signed

@@ -133,6 +133,76 @@ TEST(FuzzParsers, Slog2V2SurvivesTruncationAndBitFlips) {
               [](const std::vector<std::uint8_t>& b) { slog2::parse(b); });
 }
 
+/// validate_file verdict for one backend: empty string = accepted,
+/// otherwise the error text with the reader names normalized away — the
+/// mmap and streaming readers phrase truncation identically except for
+/// their own class name.
+std::string backend_verdict(const std::filesystem::path& path,
+                            slog2::ReadBackend backend) {
+  try {
+    slog2::validate_file(path, {}, backend);
+    return "";
+  } catch (const util::Error& e) {
+    std::string msg = e.what();
+    for (const char* name :
+         {"MmapByteReader", "FileByteReader", "ByteReader"}) {
+      for (std::size_t pos; (pos = msg.find(name)) != std::string::npos;)
+        msg.replace(pos, std::string(name).size(), "Reader");
+    }
+    return msg;
+  }
+}
+
+/// The mmap-backed reader must agree with the streaming reader on every
+/// corrupted file: same accept/reject decision *and* the same diagnostic
+/// (modulo the reader's own name). This pins the zero-copy path to the
+/// incremental one across truncations, bit flips, and trailing growth.
+void fuzz_backend_parity(const std::string& name) {
+  const auto bytes = load(name);
+  ASSERT_FALSE(bytes.empty());
+  const auto dir = std::filesystem::path(::testing::TempDir());
+  const auto path = dir / ("backend_parity_" + name);
+
+  const auto check = [&](const std::vector<std::uint8_t>& variant) {
+    util::write_file(path, variant);
+    const std::string mmap_v = backend_verdict(path, slog2::ReadBackend::kMmap);
+    const std::string stream_v =
+        backend_verdict(path, slog2::ReadBackend::kStream);
+    EXPECT_EQ(mmap_v, stream_v);
+  };
+
+  check(bytes);  // the pristine fixture must pass both
+  // Every truncation length — a reader observing a shrunken file — then
+  // bit/byte flips, then trailing garbage (a file that grew mid-read).
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    SCOPED_TRACE(name + " truncated to " + std::to_string(n));
+    check({bytes.begin(), bytes.begin() + static_cast<long>(n)});
+  }
+  for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                                  std::uint8_t{0xff}}) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      SCOPED_TRACE(name + ": flip 0x" + std::to_string(mask) + " at byte " +
+                   std::to_string(i));
+      auto mutated = bytes;
+      mutated[i] ^= mask;
+      check(mutated);
+    }
+  }
+  auto padded = bytes;
+  padded.insert(padded.end(), {0xde, 0xad, 0xbe, 0xef});
+  check(padded);
+
+  std::filesystem::remove(path);
+}
+
+TEST(FuzzParsers, Slog2MmapAndStreamBackendsAgree) {
+  fuzz_backend_parity("tiny.slog2");
+}
+
+TEST(FuzzParsers, Slog2V2MmapAndStreamBackendsAgree) {
+  fuzz_backend_parity("tiny.v2.slog2");
+}
+
 // The v2 payload codec's varint layer, fed hostile encodings directly.
 // Every rejection must be a util::Error with the overrun caught before any
 // allocation or write — the sanitizer presets run this suite too.

@@ -1,0 +1,410 @@
+// Determinism property suite for the parallel query engine: every sharded
+// path — Trace construction, the per-rank rollups, the Selection
+// combinators, the legend/occupancy window sweeps, and the vector-clock
+// stamping — must produce output *identical* to the serial path at any
+// worker count. Doubles are compared with EXPECT_EQ (exact bits), because
+// the parallel implementations promise to replay the serial accumulation
+// order, not merely to be "close".
+//
+// The fast 'QueryParallel' and 'FrameCacheConcurrency' suites run under the
+// sanitizers (they carry the TSan coverage for the shared decode cache and
+// the parallel sweeps); the million-event 'QueryParallelScale' suite is
+// heavy — keep 'Scale' out of the sanitizer ctest regexes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "query/clocks.hpp"
+#include "query/combinators.hpp"
+#include "query/parallel_sweep.hpp"
+#include "query/rollup.hpp"
+#include "query/slog2_rollup.hpp"
+#include "query/trace.hpp"
+#include "slog2/frame_cache.hpp"
+#include "slog2/slog2.hpp"
+#include "tracegen/tracegen.hpp"
+
+namespace {
+
+clog2::File gen_trace(std::uint64_t events, std::int32_t nranks = 8,
+                      std::uint64_t seed = 7) {
+  tracegen::Options o;
+  o.seed = seed;
+  o.nranks = nranks;
+  o.events = events;
+  o.arrow_fraction = 0.3;  // plenty of messages for the clock/edge paths
+  return tracegen::generate(o);
+}
+
+void expect_traces_identical(const query::Trace& a, const query::Trace& b) {
+  EXPECT_EQ(a.nranks(), b.nranks());
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  for (std::size_t i = 0; i < a.steps().size(); ++i) {
+    const query::Step& x = a.steps()[i];
+    const query::Step& y = b.steps()[i];
+    ASSERT_EQ(x.time, y.time) << "step " << i;
+    ASSERT_EQ(x.rank, y.rank) << "step " << i;
+    ASSERT_EQ(x.kind, y.kind) << "step " << i;
+    ASSERT_EQ(x.event_id, y.event_id) << "step " << i;
+    ASSERT_EQ(x.text, y.text) << "step " << i;  // same pointer into the file
+    ASSERT_EQ(x.partner, y.partner) << "step " << i;
+    ASSERT_EQ(x.tag, y.tag) << "step " << i;
+    ASSERT_EQ(x.size, y.size) << "step " << i;
+  }
+  EXPECT_EQ(a.by_rank(), b.by_rank());
+  EXPECT_EQ(a.state_names(), b.state_names());
+  ASSERT_EQ(a.state_events().size(), b.state_events().size());
+  for (const auto& [id, ev] : a.state_events()) {
+    const query::StateEvent* other = b.state_event(id);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(ev.state_id, other->state_id);
+    EXPECT_EQ(ev.name, other->name);
+    EXPECT_EQ(ev.is_start, other->is_start);
+  }
+  EXPECT_EQ(a.has_span(), b.has_span());
+  EXPECT_EQ(a.t_min(), b.t_min());
+  EXPECT_EQ(a.t_max(), b.t_max());
+}
+
+void expect_durations_identical(const query::StateDurations& a,
+                                const query::StateDurations& b) {
+  ASSERT_EQ(a.by_rank_state.size(), b.by_rank_state.size());
+  auto ia = a.by_rank_state.begin();
+  auto ib = b.by_rank_state.begin();
+  for (; ia != a.by_rank_state.end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.count, ib->second.count);
+    EXPECT_EQ(ia->second.total_seconds, ib->second.total_seconds);
+    EXPECT_EQ(ia->second.histogram, ib->second.histogram);
+  }
+}
+
+void expect_edges_identical(const query::MessageEdges& a,
+                            const query::MessageEdges& b) {
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  auto ia = a.edges.begin();
+  auto ib = b.edges.begin();
+  for (; ia != a.edges.end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.sent, ib->second.sent);
+    EXPECT_EQ(ia->second.matched, ib->second.matched);
+    EXPECT_EQ(ia->second.bytes, ib->second.bytes);
+    EXPECT_EQ(ia->second.total_latency, ib->second.total_latency);
+  }
+}
+
+void expect_totals_identical(
+    const std::map<std::int32_t, query::LegendTotals>& a,
+    const std::map<std::int32_t, query::LegendTotals>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.count, ib->second.count) << "cat " << ia->first;
+    EXPECT_EQ(ia->second.inclusive, ib->second.inclusive) << "cat " << ia->first;
+    EXPECT_EQ(ia->second.exclusive, ib->second.exclusive) << "cat " << ia->first;
+  }
+}
+
+void expect_occupancy_identical(const query::WindowOccupancy& a,
+                                const query::WindowOccupancy& b) {
+  ASSERT_EQ(a.ranks().size(), b.ranks().size());
+  for (std::size_t r = 0; r < a.ranks().size(); ++r) {
+    const auto& x = a.ranks()[r];
+    const auto& y = b.ranks()[r];
+    EXPECT_EQ(x.state_time, y.state_time) << "rank " << r;
+    EXPECT_EQ(x.state_count, y.state_count) << "rank " << r;
+    EXPECT_EQ(x.event_count, y.event_count) << "rank " << r;
+    EXPECT_EQ(x.arrows_out, y.arrows_out) << "rank " << r;
+    EXPECT_EQ(x.arrows_in, y.arrows_in) << "rank " << r;
+  }
+}
+
+// Enough records that every parallel gate (2 * 64Ki-step chunks, the
+// 64Ki-state legend floor, the 10k-op clock floor) is actually crossed —
+// these tests must exercise the sharded code, not its serial fallback.
+constexpr std::uint64_t kFastEvents = 200000;
+
+TEST(QueryParallel, TraceBuildIdenticalAcrossThreadCounts) {
+  const clog2::File f = gen_trace(kFastEvents);
+  const query::Trace serial(f);
+  ASSERT_GE(serial.steps().size(), std::size_t{1} << 17)
+      << "fixture too small to cross the parallel gate";
+  for (int threads : {2, 8}) {
+    const query::Trace par(f, threads);
+    expect_traces_identical(serial, par);
+  }
+}
+
+TEST(QueryParallel, RollupsIdenticalAcrossThreadCounts) {
+  const clog2::File f = gen_trace(kFastEvents);
+  const query::Trace t(f);
+  const query::StateDurations sd = query::state_durations(t);
+  query::MsgGraph g = query::match_messages(f);
+  const query::MessageEdges me = query::message_edges(g);
+  for (int threads : {2, 8}) {
+    expect_durations_identical(sd, query::state_durations(t, threads));
+    expect_edges_identical(me, query::message_edges(g, threads));
+  }
+}
+
+TEST(QueryParallel, StampClocksIdenticalToSerial) {
+  const clog2::File f = gen_trace(kFastEvents);
+  query::MsgGraph serial_g = query::match_messages(f);
+  const bool serial_ok = query::stamp_clocks(serial_g);
+  for (int threads : {2, 8}) {
+    query::MsgGraph par_g = query::match_messages(f);
+    EXPECT_EQ(query::stamp_clocks(par_g, threads), serial_ok);
+    ASSERT_EQ(par_g.msgs.size(), serial_g.msgs.size());
+    for (std::size_t i = 0; i < serial_g.msgs.size(); ++i) {
+      ASSERT_EQ(par_g.msgs[i].stamped, serial_g.msgs[i].stamped) << "msg " << i;
+      ASSERT_EQ(par_g.msgs[i].send_stamp, serial_g.msgs[i].send_stamp)
+          << "msg " << i;
+      ASSERT_EQ(par_g.msgs[i].recv_stamp, serial_g.msgs[i].recv_stamp)
+          << "msg " << i;
+    }
+  }
+}
+
+TEST(QueryParallel, SelectionCombinatorsIdenticalAcrossThreadCounts) {
+  const clog2::File f = gen_trace(kFastEvents);
+  const query::Trace t(f);
+  const query::Selection all = query::Selection::all(t);
+  const double mid = (t.t_min() + t.t_max()) / 2.0;
+
+  const auto is_even_rank = [](const query::Step& s) { return s.rank % 2 == 0; };
+  const query::Selection filt = all.filter(is_even_rank);
+  const query::Selection win = all.window(t.t_min(), mid);
+  const query::Selection sends = all.kind(query::StepKind::kSend);
+  const query::Selection msgs = all.messages();
+  const auto grouped =
+      all.group_by([](const query::Step& s) { return static_cast<int>(s.rank); });
+  const std::uint64_t bytes = sends.aggregate(
+      std::uint64_t{0},
+      [](std::uint64_t acc, const query::Step& s) { return acc + s.size; });
+  const std::size_t nsync = all.count_if(
+      [](const query::Step& s) { return s.kind == query::StepKind::kSync; });
+
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(all.filter(is_even_rank, threads).indices(), filt.indices());
+    EXPECT_EQ(all.window(t.t_min(), mid, threads).indices(), win.indices());
+    EXPECT_EQ(all.kind(query::StepKind::kSend, threads).indices(),
+              sends.indices());
+    EXPECT_EQ(all.messages(threads).indices(), msgs.indices());
+
+    const auto grouped_p = all.group_by(
+        [](const query::Step& s) { return static_cast<int>(s.rank); }, threads);
+    ASSERT_EQ(grouped_p.size(), grouped.size());
+    for (const auto& [key, sel] : grouped)
+      EXPECT_EQ(grouped_p.at(key).indices(), sel.indices()) << "rank " << key;
+
+    EXPECT_EQ(sends.aggregate(
+                  std::uint64_t{0},
+                  [](std::uint64_t acc, const query::Step& s) {
+                    return acc + s.size;
+                  },
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; },
+                  threads),
+              bytes);
+    EXPECT_EQ(all.count_if(
+                  [](const query::Step& s) {
+                    return s.kind == query::StepKind::kSync;
+                  },
+                  threads),
+              nsync);
+  }
+}
+
+TEST(QueryParallel, LegendTotalsIdenticalAcrossThreadCounts) {
+  const clog2::File f = gen_trace(kFastEvents);
+  slog2::ConvertOptions co;
+  const slog2::File s = slog2::convert(f, co);
+
+  query::LegendSweep sweep;
+  s.visit_window(
+      s.t_min, s.t_max,
+      [&](const slog2::StateDrawable& st) { sweep.add_state(st); },
+      [&](const slog2::EventDrawable& e) { sweep.add_event(e); },
+      [&](const slog2::ArrowDrawable& a) { sweep.add_arrow(a); });
+
+  const auto serial = sweep.totals();
+  for (int threads : {2, 8})
+    expect_totals_identical(serial, sweep.totals(threads));
+}
+
+TEST(QueryParallel, WindowSweepsIdenticalAcrossThreadCounts) {
+  const clog2::File f = gen_trace(kFastEvents);
+  slog2::ConvertOptions co;
+  co.frame_size = 16 * 1024;  // many frames, so the per-frame shards matter
+  const std::vector<std::uint8_t> bytes = slog2::serialize(slog2::convert(f, co));
+
+  slog2::Navigator nav(bytes);
+  const double a = nav.t_min();
+  const double b = (nav.t_min() + nav.t_max()) / 2.0;
+
+  // Serial reference: the plain Navigator visit feeding one sweep.
+  query::LegendSweep ref_sweep;
+  query::WindowOccupancy ref_occ(nav.nranks(), a, b);
+  nav.visit_window(
+      a, b,
+      [&](const slog2::StateDrawable& st) {
+        ref_sweep.add_state(st);
+        ref_occ.add_state(st);
+      },
+      [&](const slog2::EventDrawable& e) {
+        ref_sweep.add_event(e);
+        ref_occ.add_event(e);
+      },
+      [&](const slog2::ArrowDrawable& ar) {
+        ref_sweep.add_arrow(ar);
+        ref_occ.add_arrow(ar);
+      });
+  const auto ref_totals = ref_sweep.totals();
+
+  for (int threads : {1, 2, 8}) {
+    query::LegendSweep par = query::legend_window(nav, a, b, threads);
+    expect_totals_identical(ref_totals, par.totals());
+    const query::WindowOccupancy occ =
+        query::occupancy_window(nav, nav.nranks(), a, b, threads);
+    expect_occupancy_identical(ref_occ, occ);
+  }
+}
+
+// --- the shared decode cache -------------------------------------------------
+
+TEST(FrameCacheConcurrency, ConcurrentSessionsShareOneFile) {
+  const clog2::File f = gen_trace(60000, 4, 11);
+  slog2::ConvertOptions co;
+  co.frame_size = 8 * 1024;
+  const std::vector<std::uint8_t> bytes = slog2::serialize(slog2::convert(f, co));
+
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "frame_cache_shared.slog2";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  slog2::FrameCache::global().clear();
+  const auto before = slog2::FrameCache::global().stats();
+
+  // N sessions over the same on-disk file: same owner id, so the decode work
+  // is shared. Every session must see the same totals.
+  constexpr int kSessions = 8;
+  std::vector<std::uint64_t> state_counts(kSessions, 0);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      pool.emplace_back([&, s] {
+        try {
+          slog2::Navigator nav(path);
+          std::uint64_t states = 0;
+          nav.visit_window(
+              nav.t_min(), nav.t_max(),
+              [&](const slog2::StateDrawable&) { ++states; },
+              [](const slog2::EventDrawable&) {}, [](const slog2::ArrowDrawable&) {});
+          state_counts[s] = states;
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int s = 1; s < kSessions; ++s)
+    EXPECT_EQ(state_counts[s], state_counts[0]) << "session " << s;
+  EXPECT_GT(state_counts[0], 0u);
+
+  // With 8 sessions touching every frame, the shared cache must have served
+  // most decodes from memory: at most one miss per frame, the rest hits.
+  const auto after = slog2::FrameCache::global().stats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_GT(after.hits - before.hits, after.misses - before.misses);
+
+  std::filesystem::remove(path);
+}
+
+TEST(FrameCacheConcurrency, EvictionKeepsServingAndBoundsBytes) {
+  const clog2::File f = gen_trace(60000, 4, 13);
+  slog2::ConvertOptions co;
+  co.frame_size = 4 * 1024;
+  const std::vector<std::uint8_t> bytes = slog2::serialize(slog2::convert(f, co));
+
+  slog2::FrameCache& cache = slog2::FrameCache::global();
+  const std::size_t saved = cache.capacity();
+  cache.clear();
+  cache.set_capacity(64 * 1024);  // far smaller than the trace: force eviction
+
+  {
+    slog2::Navigator nav(bytes);
+    std::uint64_t pass1 = 0, pass2 = 0;
+    nav.visit_window(
+        nav.t_min(), nav.t_max(),
+        [&](const slog2::StateDrawable&) { ++pass1; },
+        [](const slog2::EventDrawable&) {}, [](const slog2::ArrowDrawable&) {});
+    nav.visit_window(
+        nav.t_min(), nav.t_max(),
+        [&](const slog2::StateDrawable&) { ++pass2; },
+        [](const slog2::EventDrawable&) {}, [](const slog2::ArrowDrawable&) {});
+    EXPECT_EQ(pass1, pass2);  // eviction must never change what a visit sees
+
+    const auto st = cache.stats();
+    EXPECT_GT(st.evictions, 0u);
+    EXPECT_LE(st.bytes, cache.capacity());
+  }
+
+  cache.set_capacity(saved);
+  cache.clear();
+}
+
+// --- scale -------------------------------------------------------------------
+
+TEST(QueryParallelScale, MillionEventByteIdentity) {
+  const clog2::File f = gen_trace(1000000, 16, 42);
+  const query::Trace serial(f);
+  const query::StateDurations sd = query::state_durations(serial);
+  query::MsgGraph serial_g = query::match_messages(f);
+  const query::MessageEdges me = query::message_edges(serial_g);
+  const bool serial_ok = query::stamp_clocks(serial_g);
+
+  slog2::ConvertOptions co;
+  const slog2::File s = slog2::convert(f, co);
+  query::LegendSweep sweep;
+  s.visit_window(
+      s.t_min, s.t_max,
+      [&](const slog2::StateDrawable& st) { sweep.add_state(st); },
+      [&](const slog2::EventDrawable& e) { sweep.add_event(e); },
+      [&](const slog2::ArrowDrawable& a) { sweep.add_arrow(a); });
+  const auto serial_totals = sweep.totals();
+
+  for (int threads : {2, 8}) {
+    const query::Trace par(f, threads);
+    expect_traces_identical(serial, par);
+    expect_durations_identical(sd, query::state_durations(par, threads));
+
+    query::MsgGraph par_g = query::match_messages(f);
+    expect_edges_identical(me, query::message_edges(par_g, threads));
+    EXPECT_EQ(query::stamp_clocks(par_g, threads), serial_ok);
+    ASSERT_EQ(par_g.msgs.size(), serial_g.msgs.size());
+    for (std::size_t i = 0; i < serial_g.msgs.size(); ++i) {
+      ASSERT_EQ(par_g.msgs[i].send_stamp, serial_g.msgs[i].send_stamp)
+          << "msg " << i;
+      ASSERT_EQ(par_g.msgs[i].recv_stamp, serial_g.msgs[i].recv_stamp)
+          << "msg " << i;
+    }
+
+    expect_totals_identical(serial_totals, sweep.totals(threads));
+  }
+}
+
+}  // namespace

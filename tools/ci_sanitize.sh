@@ -24,7 +24,7 @@ cmake --preset sanitize-thread
 cmake --build --preset sanitize-thread -j "$(nproc)" \
   --target pilot_replay_test mpisim_test fault_test fault_chaos_test \
   pipeline_scale_test pilot_tasks_scale_test tracediff_localize_test \
-  traced_test slog2_v2_roundtrip_test tracedigest_test
+  traced_test slog2_v2_roundtrip_test tracedigest_test query_parallel_test
 # 'Mpisim' also picks up the MpisimTasks fiber-substrate suite, and
 # TasksSubstrate runs the threads-vs-tasks comparison under TSan (the fiber
 # side is annotated via __tsan_*_fiber). The thousand-rank TasksScale suite
@@ -38,6 +38,11 @@ cmake --build --preset sanitize-thread -j "$(nproc)" \
 # through the threaded converter and the online seal path, and 'TraceDigest'
 # drives pilot-tracedigest's analysis over both encodings; the million-event
 # V2Scale sibling stays out by name like the other heavy suites.
+# 'QueryParallel\.' runs every sharded query path (trace build, rollups,
+# combinators, window sweeps, vector clocks) against its serial twin, and
+# 'FrameCacheConcurrency' hammers the process-wide decode cache from
+# concurrent sessions; the million-event QueryParallelScale sibling stays
+# out by name like the other heavy suites.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --preset sanitize-thread \
-  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.|Traced\.|V2Codec|V2Differential|V2Online|TraceDigest' "$@"
+  -R 'Replay|Prl|CrossCheck|Mpisim|Fault|ChaosMatrix|PipelineScale\.|TasksSubstrate\.|TraceDiffLocalize\.|Traced\.|V2Codec|V2Differential|V2Online|TraceDigest|QueryParallel\.|FrameCacheConcurrency' "$@"

@@ -35,7 +35,7 @@ int run(int argc, char** argv) {
   opts.frame_size = static_cast<std::uint64_t>(args.get_int_or("framesize", 64 * 1024));
   opts.max_depth = static_cast<int>(args.get_int_or("maxdepth", 24));
   // 0 = hardware concurrency; output is byte-identical at any thread count.
-  opts.threads = static_cast<int>(args.get_int_or("threads", 0));
+  opts.threads = util::parse_threads(args);
   // v1 = fixed-width record payloads (default, readable by old tools);
   // v2 = columnar delta-varint payloads (smaller, needs a v2-aware reader).
   opts.encoding = slog2::parse_frame_encoding(args.get_or("frame-encoding", "v1"));

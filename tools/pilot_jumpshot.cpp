@@ -21,7 +21,9 @@ int run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <trace.slog2> [--out=view.svg] [--t0=S] [--t1=S]\n"
                  "       [--width=PX] [--title=TEXT] [--no-legend] [--windowed]\n"
-                 "       [--lod-budget=BYTES] [--search=NEEDLE] [--rank=R] [--stats]\n",
+                 "       [--lod-budget=BYTES] [--search=NEEDLE] [--rank=R] [--stats]\n"
+                 "       [--threads=N]  (N workers for frame decode / legend\n"
+                 "       sweeps, 0 = hardware; output is byte-identical)\n",
                  args.program().c_str());
     return 2;
   }
@@ -34,6 +36,7 @@ int run(int argc, char** argv) {
   opts.draw_legend = !args.has("no-legend");
   opts.lod_payload_budget = static_cast<std::uint64_t>(args.get_int_or(
       "lod-budget", static_cast<long long>(opts.lod_payload_budget)));
+  opts.threads = util::parse_threads(args);
 
   // --windowed: render through the Navigator, decoding only the frames the
   // window touches (and none at all once the preview LOD kicks in). The
@@ -106,8 +109,8 @@ int run(int argc, char** argv) {
   }
   jumpshot::render_to_file(out, file, opts);
   std::printf("wrote %s\n", out.c_str());
-  std::fputs(jumpshot::legend_to_text(
-                 jumpshot::legend(file, jumpshot::LegendSort::kByInclusive))
+  std::fputs(jumpshot::legend_to_text(jumpshot::legend(
+                 file, jumpshot::LegendSort::kByInclusive, opts.threads))
                  .c_str(),
              stdout);
   return 0;

@@ -25,7 +25,9 @@ int run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <trace.clog2> [--json] [--replay=FILE.prl]\n"
                  "           [--stall-fraction=F] [--min-stall=SECONDS] "
-                 "[--min-rounds=N]\n"
+                 "[--min-rounds=N] [--threads=N]\n"
+                 "--threads=N uses N workers (0 = hardware); the verdict is\n"
+                 "identical at any value.\n"
                  "--replay cross-checks the trace against a .prl replay log\n"
                  "(RP20-RP22 findings on disagreement).\n"
                  "exit status: 0 clean, 1 findings, 2 usage/input error\n",
@@ -38,6 +40,7 @@ int run(int argc, char** argv) {
   opts.min_stall_seconds = args.get_double_or("min-stall", opts.min_stall_seconds);
   opts.min_serialized_rounds = static_cast<int>(
       args.get_int_or("min-rounds", opts.min_serialized_rounds));
+  opts.threads = util::parse_threads(args);
   const bool json = args.has("json");
   const std::string replay_path = args.get_or("replay", "");
   for (const auto& key : args.unused_keys()) {

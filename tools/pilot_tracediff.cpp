@@ -26,7 +26,7 @@ int run(int argc, char** argv) {
                  "usage: %s <reference.clog2> <suspect.clog2> [more.clog2...]\n"
                  "           [--json] [--top=N] [--min-latency=SECONDS]\n"
                  "           [--latency-ratio=R] [--min-duration=SECONDS]\n"
-                 "           [--duration-ratio=R]\n"
+                 "           [--duration-ratio=R] [--threads=N]\n"
                  "diffs each suspect trace against the reference and ranks\n"
                  "the processes most likely to have caused the divergence.\n"
                  "exit status: 0 identical, 1 divergence, 2 usage/input error\n",
@@ -41,6 +41,7 @@ int run(int argc, char** argv) {
       args.get_double_or("min-duration", opts.min_duration_delta);
   opts.duration_ratio = args.get_double_or("duration-ratio", opts.duration_ratio);
   opts.top_suspects = static_cast<int>(args.get_int_or("top", opts.top_suspects));
+  opts.threads = util::parse_threads(args);
   const bool json = args.has("json");
   for (const auto& key : args.unused_keys()) {
     std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());

@@ -19,7 +19,7 @@ int run(int argc, char** argv) {
   if (args.positional().size() != 1 || args.has("help")) {
     std::fprintf(stderr,
                  "usage: %s <trace.slog2> [--budget=BYTES] [--seed=N] "
-                 "[--json] [--t0=T] [--t1=T]\n"
+                 "[--json] [--t0=T] [--t1=T] [--threads=N]\n"
                  "  Prints a summary guaranteed to fit in --budget bytes "
                  "(default 4096).\n",
                  args.program().c_str());
@@ -31,6 +31,7 @@ int run(int argc, char** argv) {
   opts.json = args.has("json");
   opts.t0 = args.get_double_or("t0", opts.t0);
   opts.t1 = args.get_double_or("t1", opts.t1);
+  opts.threads = util::parse_threads(args);
   for (const auto& k : args.unused_keys()) {
     std::fprintf(stderr, "error: unknown option --%s\n", k.c_str());
     return 2;
